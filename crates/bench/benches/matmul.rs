@@ -1,0 +1,50 @@
+//! Dense-kernel micro-benchmarks (the compute side of the simulated clock).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tensor::{Matrix, Rng};
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    for n in [128usize, 512, 1024] {
+        let mut rng = Rng::seed_from(1);
+        let a = Matrix::from_fn(n, 64, |_, _| rng.uniform(-1.0, 1.0));
+        let b = Matrix::from_fn(64, 64, |_, _| rng.uniform(-1.0, 1.0));
+        group.throughput(Throughput::Elements((n * 64 * 64) as u64));
+        group.bench_with_input(BenchmarkId::new("n_x_64_x_64", n), &n, |bencher, _| {
+            bencher.iter(|| a.matmul(&b));
+        });
+    }
+    group.finish();
+}
+
+fn bench_transposed_products(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul_transposed");
+    let mut rng = Rng::seed_from(2);
+    let a = Matrix::from_fn(1024, 64, |_, _| rng.uniform(-1.0, 1.0));
+    let g = Matrix::from_fn(1024, 64, |_, _| rng.uniform(-1.0, 1.0));
+    group.bench_function("a_t_times_g (weight grads)", |b| {
+        b.iter(|| a.matmul_tn(&g));
+    });
+    let w = Matrix::from_fn(64, 64, |_, _| rng.uniform(-1.0, 1.0));
+    group.bench_function("g_times_w_t (input grads)", |b| {
+        b.iter(|| g.matmul_nt(&w));
+    });
+    group.finish();
+}
+
+fn bench_layer_norm(c: &mut Criterion) {
+    let mut rng = Rng::seed_from(3);
+    let x = Matrix::from_fn(2048, 64, |_, _| rng.uniform(-2.0, 2.0));
+    let gamma = vec![1.0f32; 64];
+    let beta = vec![0.0f32; 64];
+    c.bench_function("layer_norm_2048x64", |b| {
+        b.iter(|| tensor::layer_norm_forward(&x, &gamma, &beta));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_matmul, bench_transposed_products, bench_layer_norm
+}
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Ablation bench for design decision D4 (DESIGN.md): end-to-end epoch cost
+//! with and without the central/marginal overlap, and per-method epoch-time
+//! composition. Runs short real training loops inside criterion.
+
+use adaqp::{Method, TrainingConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graph::DatasetSpec;
+
+fn short_cfg(method: Method) -> adaqp::ExperimentConfig {
+    adaqp::ExperimentConfig {
+        dataset: DatasetSpec::tiny().scaled(2.0),
+        machines: 1,
+        devices_per_machine: 2,
+        method,
+        training: TrainingConfig {
+            epochs: 3,
+            hidden: 32,
+            num_layers: 2,
+            dropout: 0.0,
+            reassign_period: 2,
+            ..TrainingConfig::default()
+        },
+        seed: 17,
+    }
+}
+
+fn bench_epoch_real_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("train_3_epochs_real");
+    group.sample_size(10);
+    for method in [Method::Vanilla, Method::AdaQp, Method::PipeGcn] {
+        group.bench_with_input(
+            BenchmarkId::new("method", method.name()),
+            &method,
+            |b, &m| {
+                b.iter(|| adaqp::run_experiment(&short_cfg(m)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_overlap_composition(c: &mut Criterion) {
+    // Pure composition math on a recorded breakdown: overlapped vs serial.
+    let cfg = short_cfg(Method::AdaQp);
+    let r = adaqp::run_experiment(&cfg);
+    let tb = r.total_breakdown;
+    c.bench_function("epoch_time_composition", |b| {
+        b.iter(|| {
+            (
+                adaqp::metrics::epoch_time(Method::Vanilla, &tb),
+                adaqp::metrics::epoch_time(Method::AdaQp, &tb),
+                adaqp::metrics::epoch_time(Method::PipeGcn, &tb),
+            )
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(5)).warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_epoch_real_cost, bench_overlap_composition
+}
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Partitioner benchmarks: the multilevel METIS-like scheme vs the random
+//! baseline, on community graphs of increasing size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graph::generators::{sbm_with_gateways, skewed_communities};
+use tensor::Rng;
+
+fn community_graph(n: usize) -> graph::CsrGraph {
+    let mut rng = Rng::seed_from(5);
+    let blocks = skewed_communities(n, 12, &mut rng);
+    sbm_with_gateways(&blocks, 12.0, 3.0, 0.4, &mut rng)
+}
+
+fn bench_metis_like(c: &mut Criterion) {
+    let mut group = c.benchmark_group("metis_like");
+    group.sample_size(10);
+    for n in [2_000usize, 8_000] {
+        let g = community_graph(n);
+        for k in [4usize, 8] {
+            group.bench_with_input(BenchmarkId::new(format!("n{n}"), k), &k, |b, &k| {
+                b.iter(|| {
+                    let mut rng = Rng::seed_from(6);
+                    graph::partition::metis_like(&g, k, &mut rng)
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_boundary_build(c: &mut Criterion) {
+    let g = community_graph(8_000);
+    let mut rng = Rng::seed_from(7);
+    let p = graph::partition::metis_like(&g, 8, &mut rng);
+    c.bench_function("boundary_info_8k_8parts", |b| {
+        b.iter(|| graph::stats::BoundaryInfo::build(&g, &p));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(4)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_metis_like, bench_boundary_build
+}
+criterion_main!(benches);

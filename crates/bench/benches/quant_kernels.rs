@@ -1,0 +1,74 @@
+//! Micro-benchmarks for the quantization pipeline: the Sec. 3.2 claim that
+//! quantize/de-quantize overhead is small relative to the comm it saves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use quant::{decode_block, encode_block, BitWidth};
+use tensor::{Matrix, Rng};
+
+fn bench_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encode_block");
+    let dim = 64;
+    for rows in [256usize, 2048] {
+        let msgs = Matrix::from_fn(rows, dim, |i, j| ((i * dim + j) as f32 * 0.173).sin() * 3.0);
+        group.throughput(Throughput::Elements((rows * dim) as u64));
+        for w in BitWidth::ALL {
+            let widths = vec![w; rows];
+            group.bench_with_input(
+                BenchmarkId::new(format!("{w}"), rows),
+                &widths,
+                |b, widths| {
+                    let mut rng = Rng::seed_from(1);
+                    b.iter(|| encode_block(&msgs, widths, &mut rng));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decode_block");
+    let dim = 64;
+    let rows = 2048;
+    let msgs = Matrix::from_fn(rows, dim, |i, j| ((i * dim + j) as f32 * 0.173).sin() * 3.0);
+    group.throughput(Throughput::Elements((rows * dim) as u64));
+    for w in BitWidth::ALL {
+        let mut rng = Rng::seed_from(2);
+        let block = encode_block(&msgs, &vec![w; rows], &mut rng);
+        group.bench_with_input(BenchmarkId::new(format!("{w}"), rows), &block, |b, blk| {
+            b.iter(|| decode_block(blk).expect("valid block"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_wire_ratio(c: &mut Criterion) {
+    // Not a timing benchmark per se: encodes once per iteration to expose
+    // the wire-size ratio in the report via throughput units.
+    let mut group = c.benchmark_group("codec_vs_fp32");
+    let dim = 64;
+    let rows = 1024;
+    let msgs = Matrix::from_fn(rows, dim, |i, j| ((i + j) as f32).cos());
+    group.bench_function("fp32_serialize", |b| {
+        b.iter(|| {
+            let mut raw = Vec::with_capacity(rows * dim * 4);
+            for v in msgs.as_slice() {
+                raw.extend_from_slice(&v.to_le_bytes());
+            }
+            raw
+        });
+    });
+    group.bench_function("quantize_2bit", |b| {
+        let mut rng = Rng::seed_from(3);
+        let widths = vec![BitWidth::B2; rows];
+        b.iter(|| encode_block(&msgs, &widths, &mut rng));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_encode, bench_decode, bench_wire_ratio
+}
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Ablations of the design decisions DESIGN.md calls out:
+//!
+//! * D4 — central/marginal overlap on vs off;
+//! * the error-feedback extension on vs off;
+//! * adaptive assignment vs fixed uniform widths (D1 lives in
+//!   `fig11_sensitivity`, D5 inside Table 4's SANCUS rows).
+
+use adaqp::{ExperimentConfig, Method};
+
+fn base(spec: &graph::DatasetSpec, seed: u64) -> ExperimentConfig {
+    bench::experiment(spec.clone(), 2, 2, Method::AdaQp, false, seed)
+}
+
+fn main() {
+    let spec = bench::datasets()
+        .into_iter()
+        .find(|d| d.name == "ogbn-products-sim")
+        .expect("products stand-in present");
+    let seed = bench::seeds()[0];
+
+    println!("Design-choice ablations (GCN, {}, 2M-2D)", spec.name);
+    println!(
+        "{:<28} {:>10} {:>16} {:>12}",
+        "variant", "val acc", "throughput", "sim time"
+    );
+    bench::rule(70);
+    let mut json = Vec::new();
+    type Variant = (&'static str, Box<dyn Fn(&mut ExperimentConfig)>);
+    let variants: Vec<Variant> = vec![
+        ("AdaQP (full)", Box::new(|_c: &mut ExperimentConfig| {})),
+        (
+            "AdaQP, no overlap (D4 off)",
+            Box::new(|c: &mut ExperimentConfig| c.training.disable_overlap = true),
+        ),
+        (
+            "AdaQP + error feedback",
+            Box::new(|c: &mut ExperimentConfig| c.training.error_feedback = true),
+        ),
+        (
+            "Uniform widths (no solver)",
+            Box::new(|c: &mut ExperimentConfig| c.method = Method::AdaQpUniform),
+        ),
+        (
+            "Vanilla (no quantization)",
+            Box::new(|c: &mut ExperimentConfig| c.method = Method::Vanilla),
+        ),
+    ];
+    for (label, mutate) in variants {
+        let mut cfg = base(&spec, seed);
+        mutate(&mut cfg);
+        let r = adaqp::run_experiment(&cfg);
+        println!(
+            "{:<28} {:>9.2}% {:>11.2} ep/s {:>11.3}s",
+            label,
+            r.best_val * 100.0,
+            r.throughput,
+            r.total_sim_seconds
+        );
+        json.push(serde_json::json!({
+            "variant": label,
+            "val_acc": r.best_val * 100.0,
+            "throughput": r.throughput,
+            "sim_time_s": r.total_sim_seconds,
+            "total_bytes": r.total_bytes,
+        }));
+    }
+    bench::rule(70);
+    println!("expected: disabling the overlap costs throughput with identical");
+    println!("accuracy; error feedback matches or improves accuracy at equal");
+    println!("traffic; uniform widths trail the adaptive assignment.");
+    bench::save_json("ablation_design", &serde_json::Value::Array(json));
+}

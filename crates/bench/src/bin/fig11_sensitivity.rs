@@ -1,0 +1,86 @@
+//! Fig. 11: sensitivity of AdaQP to its three hyper-parameters — message
+//! group size, the scalarization weight lambda, and the bit-width
+//! re-assignment period — on GCN / ogbn-products / 2M-4D, as in the paper.
+
+use adaqp::Method;
+
+fn run_with(
+    mutate: impl Fn(&mut adaqp::TrainingConfig),
+    spec: &graph::DatasetSpec,
+    seed: u64,
+) -> (f64, f64, f64) {
+    let mut cfg = bench::experiment(spec.clone(), 2, 4, Method::AdaQp, false, seed);
+    mutate(&mut cfg.training);
+    let r = adaqp::run_experiment(&cfg);
+    (r.best_val * 100.0, r.throughput, r.total_breakdown.solve)
+}
+
+fn main() {
+    let spec = bench::datasets()
+        .into_iter()
+        .find(|d| d.name == "ogbn-products-sim")
+        .expect("products stand-in present");
+    let seed = bench::seeds()[0];
+    let mut json = Vec::new();
+
+    println!("Fig. 11: AdaQP sensitivity (GCN, {}, 2M-4D)", spec.name);
+    println!();
+    println!("(a) message group size");
+    println!(
+        "{:>10} {:>12} {:>16} {:>16}",
+        "group", "val acc (%)", "throughput", "assign time (s)"
+    );
+    for group in [16usize, 64, 256, 1024] {
+        let (acc, tp, solve) = run_with(|t| t.group_size = group, &spec, seed);
+        println!("{group:>10} {acc:>12.2} {tp:>16.2} {solve:>16.4}");
+        json.push(serde_json::json!({
+            "knob": "group_size", "value": group,
+            "val_acc": acc, "throughput": tp, "assign_s": solve,
+        }));
+    }
+    println!("paper: smallest group size gives the best accuracy but much");
+    println!("larger assignment overhead.");
+    println!();
+
+    println!("(b) lambda (variance-vs-time weight)");
+    println!(
+        "{:>10} {:>12} {:>16} {:>14}",
+        "lambda", "val acc (%)", "throughput", "MB moved"
+    );
+    for lambda in [0.0, 0.25, 0.5, 0.75, 1.0] {
+        let mut cfg = bench::experiment(spec.clone(), 2, 4, Method::AdaQp, false, seed);
+        cfg.training.lambda = lambda;
+        let r = adaqp::run_experiment(&cfg);
+        println!(
+            "{lambda:>10.2} {:>12.2} {:>16.2} {:>14.2}",
+            r.best_val * 100.0,
+            r.throughput,
+            r.total_bytes as f64 / 1e6
+        );
+        json.push(serde_json::json!({
+            "knob": "lambda", "value": lambda,
+            "val_acc": r.best_val * 100.0, "throughput": r.throughput,
+            "mb_moved": r.total_bytes as f64 / 1e6,
+        }));
+    }
+    println!("paper: the extremes (pure-variance or pure-time objective) do");
+    println!("not give the best accuracy; lambda = 0.5 is the default.");
+    println!();
+
+    println!("(c) re-assignment period");
+    println!(
+        "{:>10} {:>12} {:>16} {:>16}",
+        "period", "val acc (%)", "throughput", "assign time (s)"
+    );
+    for period in [5usize, 10, 25, 50] {
+        let (acc, tp, solve) = run_with(|t| t.reassign_period = period, &spec, seed);
+        println!("{period:>10} {acc:>12.2} {tp:>16.2} {solve:>16.4}");
+        json.push(serde_json::json!({
+            "knob": "reassign_period", "value": period,
+            "val_acc": acc, "throughput": tp, "assign_s": solve,
+        }));
+    }
+    println!("paper: a moderate period balances staleness of traced ranges");
+    println!("against assignment overhead.");
+    bench::save_json("fig11_sensitivity", &serde_json::Value::Array(json));
+}

@@ -1,0 +1,75 @@
+#![allow(clippy::needless_range_loop)]
+//! Fig. 2: data size transferred across each device pair in the GCN's first
+//! layer, AmazonProducts with 4 partitions — the per-pair imbalance that
+//! motivates the minimax term of the bit-width assignment (Eqn. 10).
+
+use gnn::ConvKind;
+use graph::stats::BoundaryInfo;
+use tensor::Rng;
+
+fn main() {
+    let spec = bench::datasets()
+        .into_iter()
+        .find(|d| d.name == "amazon-products-sim")
+        .expect("amazon stand-in present");
+    let seed = bench::seeds()[0];
+    let ds = spec.generate(seed);
+    let k = 4;
+    let mut rng = Rng::seed_from(seed ^ 0x5EED_CAFE);
+    let part = graph::partition::metis_like(&ds.graph, k, &mut rng);
+    // Layer-1 messages carry raw features: the GCN aggregation graph
+    // includes self loops, matching the training-time boundary sets.
+    let parts = adaqp::build_partitions(&ds, &part, ConvKind::Gcn);
+    let dim = ds.feature_dim();
+
+    println!(
+        "Fig. 2: layer-1 fp32 message volume per directed device pair (MB), {} k={k}",
+        spec.name
+    );
+    print!("{:>8}", "src\\dst");
+    for q in 0..k {
+        print!("{q:>10}");
+    }
+    println!();
+    let mut volumes = vec![vec![0.0f64; k]; k];
+    let mut flat = Vec::new();
+    for p in &parts {
+        for q in 0..k {
+            let mb = p.send_sets[q].len() as f64 * dim as f64 * 4.0 / 1e6;
+            volumes[p.rank][q] = mb;
+            if q != p.rank {
+                flat.push(mb);
+            }
+        }
+    }
+    for (p, row) in volumes.iter().enumerate() {
+        print!("{p:>8}");
+        for v in row {
+            print!("{v:>10.3}");
+        }
+        println!();
+    }
+    let max = flat.iter().copied().fold(0.0, f64::max);
+    let min = flat.iter().copied().fold(f64::INFINITY, f64::min);
+    bench::rule(60);
+    println!(
+        "imbalance: max/min pair volume = {:.2}x (paper's Fig. 2 shows a",
+        max / min.max(1e-12)
+    );
+    println!("similar several-fold spread, which creates straggler rounds)");
+
+    // Cross-check against the raw boundary structure.
+    let b = BoundaryInfo::build(&ds.graph.with_self_loops(), &part);
+    let mut json = Vec::new();
+    for p in 0..k {
+        for q in 0..k {
+            json.push(serde_json::json!({
+                "src": p,
+                "dst": q,
+                "mb": volumes[p][q],
+                "messages": b.count(p, q),
+            }));
+        }
+    }
+    bench::save_json("fig2_pair_volume", &serde_json::Value::Array(json));
+}

@@ -1,0 +1,64 @@
+//! Table 7: scalability — throughput on a 24-device, 6-machine cluster
+//! (6M-4D) for the two largest datasets, GraphSAGE, Vanilla vs AdaQP.
+
+use adaqp::Method;
+
+fn main() {
+    let seeds = bench::seeds();
+    println!("Table 7: training throughput on the 6M-4D partition (24 devices)");
+    println!(
+        "{:<22} {:<10} {:>18} {:>10}",
+        "dataset", "method", "throughput (ep/s)", "speedup"
+    );
+    bench::rule(64);
+    let paper = [("ogbn-products-sim", 1.79), ("amazon-products-sim", 2.34)];
+    let mut json = Vec::new();
+    for spec in bench::datasets() {
+        if !paper.iter().any(|(n, _)| *n == spec.name) {
+            continue;
+        }
+        let mut vanilla_tp = 0.0;
+        for method in [Method::Vanilla, Method::AdaQp] {
+            let mut tps = Vec::new();
+            for &seed in &seeds {
+                let mut cfg = bench::experiment(spec.clone(), 6, 4, method, true, seed);
+                // Paper's 6M-4D fleet: 2 V100 machines + 4 A100 machines
+                // (A100s run ~1.7x faster).
+                cfg.training.device_scales =
+                    Some((0..24).map(|r| if r < 8 { 1.0 } else { 1.7 }).collect());
+                let r = adaqp::run_experiment(&cfg);
+                tps.push(r.throughput);
+            }
+            let (tp, _) = bench::mean_std(&tps);
+            if method == Method::Vanilla {
+                vanilla_tp = tp;
+            }
+            let speedup = if method == Method::Vanilla {
+                String::new()
+            } else {
+                format!("{:.2}x", tp / vanilla_tp.max(1e-12))
+            };
+            println!(
+                "{:<22} {:<10} {:>18.2} {:>10}",
+                spec.name,
+                method.name(),
+                tp,
+                speedup
+            );
+            json.push(serde_json::json!({
+                "dataset": spec.name,
+                "method": method.name(),
+                "throughput": tp,
+                "speedup": if method == Method::AdaQp { tp / vanilla_tp.max(1e-12) } else { 1.0 },
+            }));
+        }
+        let expected = paper.iter().find(|(n, _)| *n == spec.name).map(|(_, s)| *s);
+        println!(
+            "{:<22} (paper speedup at 6M-4D: {:.2}x)",
+            "",
+            expected.unwrap_or(f64::NAN)
+        );
+        bench::rule(64);
+    }
+    bench::save_json("table7_scalability", &serde_json::Value::Array(json));
+}

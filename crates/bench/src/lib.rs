@@ -1,0 +1,138 @@
+//! Shared plumbing for the reproduction harness.
+//!
+//! Every table/figure of the paper's evaluation has its own binary under
+//! `src/bin/`. They share: experiment scaling (via `ADAQP_SCALE`, default
+//! 0.35 of the stand-in dataset sizes so the full suite finishes on a
+//! laptop-class CPU), seed lists, and JSON result dumps under `results/` at
+//! the repository root (consumed when updating `EXPERIMENTS.md`).
+
+use adaqp::{ExperimentConfig, Method, TrainingConfig};
+use graph::DatasetSpec;
+
+/// Dataset scale factor: `ADAQP_SCALE` env var, default 0.35.
+pub fn scale() -> f64 {
+    std::env::var("ADAQP_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.35)
+}
+
+/// Seeds to average over: `ADAQP_SEEDS` (count), default 1; the paper uses 3
+/// independent runs.
+pub fn seeds() -> Vec<u64> {
+    let n: u64 = std::env::var("ADAQP_SEEDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    (0..n.max(1)).map(|i| 1000 + 17 * i).collect()
+}
+
+/// Training epochs used by the end-to-end comparisons (`ADAQP_EPOCHS`,
+/// default 40).
+pub fn epochs() -> usize {
+    std::env::var("ADAQP_EPOCHS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(40)
+}
+
+/// The four paper datasets at harness scale, in Table 3 order.
+pub fn datasets() -> Vec<DatasetSpec> {
+    DatasetSpec::paper_suite()
+        .into_iter()
+        .map(|d| d.scaled(scale()))
+        .collect()
+}
+
+/// Default training configuration for end-to-end runs.
+pub fn training_defaults() -> TrainingConfig {
+    TrainingConfig {
+        epochs: epochs(),
+        hidden: 64,
+        dropout: 0.2,
+        group_size: 64,
+        reassign_period: 10,
+        ..TrainingConfig::default()
+    }
+}
+
+/// Builds a full experiment config.
+pub fn experiment(
+    dataset: DatasetSpec,
+    machines: usize,
+    devices_per_machine: usize,
+    method: Method,
+    use_sage: bool,
+    seed: u64,
+) -> ExperimentConfig {
+    ExperimentConfig {
+        dataset,
+        machines,
+        devices_per_machine,
+        method,
+        training: TrainingConfig {
+            use_sage,
+            ..training_defaults()
+        },
+        seed,
+    }
+}
+
+/// Mean and population standard deviation.
+pub fn mean_std(xs: &[f64]) -> (f64, f64) {
+    if xs.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
+    (mean, var.sqrt())
+}
+
+/// Writes a JSON result blob under `results/<name>.json` (repo root).
+pub fn save_json(name: &str, value: &serde_json::Value) {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    if std::fs::create_dir_all(&dir).is_ok() {
+        let path = dir.join(format!("{name}.json"));
+        if let Ok(s) = serde_json::to_string_pretty(value) {
+            let _ = std::fs::write(&path, s);
+            eprintln!("[saved {}]", path.display());
+        }
+    }
+}
+
+/// Prints a horizontal rule sized to `width`.
+pub fn rule(width: usize) {
+    println!("{}", "-".repeat(width));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_std_basics() {
+        let (m, s) = mean_std(&[1.0, 3.0]);
+        assert_eq!(m, 2.0);
+        assert_eq!(s, 1.0);
+        assert_eq!(mean_std(&[]), (0.0, 0.0));
+    }
+
+    #[test]
+    fn datasets_are_scaled() {
+        let full = DatasetSpec::paper_suite();
+        let scaled = datasets();
+        for (f, s) in full.iter().zip(&scaled) {
+            assert!(s.num_nodes <= f.num_nodes);
+            assert_eq!(s.name, f.name);
+        }
+    }
+
+    #[test]
+    fn experiment_builder_sets_method_and_model() {
+        let e = experiment(DatasetSpec::tiny(), 2, 2, Method::AdaQp, true, 9);
+        assert_eq!(e.method, Method::AdaQp);
+        assert!(e.training.use_sage);
+        assert_eq!(e.num_devices(), 4);
+        assert_eq!(e.seed, 9);
+    }
+}

@@ -1,0 +1,388 @@
+//! Affine link cost model (`t = theta * bytes + gamma`).
+
+use serde::{Deserialize, Serialize};
+
+/// Physical layout of the simulated cluster: which device ranks live on
+/// which machine (paper notation `xM-yD` = `x` machines, `y` devices each).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterTopology {
+    /// Number of machines.
+    pub machines: usize,
+    /// Devices (GPUs) per machine.
+    pub devices_per_machine: usize,
+}
+
+impl ClusterTopology {
+    /// Creates an `xM-yD` topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either count is zero.
+    pub fn new(machines: usize, devices_per_machine: usize) -> Self {
+        assert!(machines > 0 && devices_per_machine > 0, "empty topology");
+        Self {
+            machines,
+            devices_per_machine,
+        }
+    }
+
+    /// Total device count.
+    pub fn num_devices(&self) -> usize {
+        self.machines * self.devices_per_machine
+    }
+
+    /// Machine hosting `rank`.
+    pub fn machine_of(&self, rank: usize) -> usize {
+        rank / self.devices_per_machine
+    }
+
+    /// Whether two ranks share a machine.
+    pub fn same_machine(&self, a: usize, b: usize) -> bool {
+        self.machine_of(a) == self.machine_of(b)
+    }
+
+    /// Paper-style name, e.g. `2M-4D`.
+    pub fn label(&self) -> String {
+        format!("{}M-{}D", self.machines, self.devices_per_machine)
+    }
+}
+
+/// Per-device-pair affine transfer cost `t(bytes) = theta * bytes + gamma`
+/// (seconds), the cost model of Eqn. 10.
+///
+/// # Example
+///
+/// ```
+/// use comm::{ClusterTopology, CostModel};
+///
+/// let cm = CostModel::ethernet_cluster(ClusterTopology::new(2, 2));
+/// // Intra-machine transfers are faster than inter-machine ones.
+/// assert!(cm.transfer_time(0, 1, 1 << 20) < cm.transfer_time(0, 2, 1 << 20));
+/// // Self-transfers are free.
+/// assert_eq!(cm.transfer_time(1, 1, 123), 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    n: usize,
+    /// Seconds per byte, row-major `n x n`.
+    theta: Vec<f64>,
+    /// Fixed per-transfer seconds, row-major `n x n`.
+    gamma: Vec<f64>,
+    /// Divisor applied to measured CPU compute time to emulate accelerator
+    /// speed (a V100 is roughly an order of magnitude faster than the single
+    /// CPU thread a simulated device gets here).
+    pub compute_speedup: f64,
+    /// Optional per-device speedup multipliers on top of `compute_speedup`,
+    /// for heterogeneous clusters (the paper's 6M-4D testbed mixes V100 and
+    /// A100 machines). `None` means a homogeneous cluster.
+    per_device_scale: Option<Vec<f64>>,
+}
+
+/// Default effective inter-machine bandwidth (bytes/second).
+///
+/// Deliberately below the paper's 100 Gbps line rate: our graphs are ~40x
+/// smaller than the originals, so the link is slowed proportionally to keep
+/// the communication-to-computation ratio in the regime Table 1 reports
+/// (comm = 65-80% of epoch time). This is the calibrated "same shape"
+/// substitution documented in DESIGN.md.
+pub const DEFAULT_INTER_BW: f64 = 130.0e6;
+
+/// Default intra-machine (NVLink/PCIe-class) bandwidth in bytes/second.
+pub const DEFAULT_INTRA_BW: f64 = 0.6e9;
+
+/// Default per-transfer latency, seconds (RDMA-class round-trip setup).
+pub const DEFAULT_LATENCY: f64 = 20.0e-6;
+
+/// Default compute speedup (GPU vs single CPU thread).
+pub const DEFAULT_COMPUTE_SPEEDUP: f64 = 10.0;
+
+/// Effective scalar-operation rate of one unloaded CPU thread running this
+/// workspace's kernels (ops/second). Calibrated against measured matmul /
+/// aggregation / quantization throughput on a modern x86 core; used by
+/// [`CostModel::ops_time_for`] so a simulated device's compute rate is
+/// `BASE_CPU_OPS_PER_SEC * compute_speedup * device_scale`.
+pub const BASE_CPU_OPS_PER_SEC: f64 = 2.5e9;
+
+impl CostModel {
+    /// Builds a cost model with uniform bandwidth/latency on every link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `bandwidth <= 0`.
+    pub fn homogeneous(n: usize, bandwidth_bytes_per_sec: f64, latency_sec: f64) -> Self {
+        assert!(n > 0, "need at least one device");
+        assert!(bandwidth_bytes_per_sec > 0.0, "bandwidth must be positive");
+        let mut cm = Self {
+            n,
+            theta: vec![1.0 / bandwidth_bytes_per_sec; n * n],
+            gamma: vec![latency_sec; n * n],
+            compute_speedup: DEFAULT_COMPUTE_SPEEDUP,
+            per_device_scale: None,
+        };
+        cm.zero_diagonal();
+        cm
+    }
+
+    /// Builds the default two-tier model for an `xM-yD` topology: fast
+    /// intra-machine links, slower inter-machine Ethernet.
+    pub fn ethernet_cluster(topology: ClusterTopology) -> Self {
+        Self::two_tier(
+            topology,
+            DEFAULT_INTER_BW,
+            DEFAULT_INTRA_BW,
+            DEFAULT_LATENCY,
+        )
+    }
+
+    /// Builds a two-tier model with explicit bandwidths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a bandwidth is not positive.
+    pub fn two_tier(
+        topology: ClusterTopology,
+        inter_bw: f64,
+        intra_bw: f64,
+        latency_sec: f64,
+    ) -> Self {
+        assert!(
+            inter_bw > 0.0 && intra_bw > 0.0,
+            "bandwidth must be positive"
+        );
+        let n = topology.num_devices();
+        let mut theta = vec![0.0; n * n];
+        let mut gamma = vec![0.0; n * n];
+        for s in 0..n {
+            for d in 0..n {
+                if s == d {
+                    continue;
+                }
+                let bw = if topology.same_machine(s, d) {
+                    intra_bw
+                } else {
+                    inter_bw
+                };
+                theta[s * n + d] = 1.0 / bw;
+                gamma[s * n + d] = latency_sec;
+            }
+        }
+        Self {
+            n,
+            theta,
+            gamma,
+            compute_speedup: DEFAULT_COMPUTE_SPEEDUP,
+            per_device_scale: None,
+        }
+    }
+
+    /// Sets the compute-speedup divisor (builder style).
+    pub fn with_compute_speedup(mut self, speedup: f64) -> Self {
+        assert!(speedup > 0.0, "speedup must be positive");
+        self.compute_speedup = speedup;
+        self
+    }
+
+    /// Overrides one directed link's parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if ranks are out of range.
+    pub fn set_link(&mut self, src: usize, dst: usize, theta: f64, gamma: f64) {
+        assert!(src < self.n && dst < self.n, "rank out of range");
+        self.theta[src * self.n + dst] = theta;
+        self.gamma[src * self.n + dst] = gamma;
+    }
+
+    /// Number of devices.
+    pub fn num_devices(&self) -> usize {
+        self.n
+    }
+
+    /// Modeled seconds to move `bytes` from `src` to `dst`. Zero-byte
+    /// transfers and self-transfers are free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if ranks are out of range.
+    pub fn transfer_time(&self, src: usize, dst: usize, bytes: usize) -> f64 {
+        assert!(src < self.n && dst < self.n, "rank out of range");
+        if src == dst || bytes == 0 {
+            return 0.0;
+        }
+        self.theta[src * self.n + dst] * bytes as f64 + self.gamma[src * self.n + dst]
+    }
+
+    /// The `(theta, gamma)` parameters of a directed link, as used by the
+    /// bit-width assigner's time objective.
+    pub fn link_params(&self, src: usize, dst: usize) -> (f64, f64) {
+        assert!(src < self.n && dst < self.n, "rank out of range");
+        (
+            self.theta[src * self.n + dst],
+            self.gamma[src * self.n + dst],
+        )
+    }
+
+    /// Sets per-device speedup multipliers (builder style): device `r`'s
+    /// effective speedup becomes `compute_speedup * scales[r]`. Use for
+    /// heterogeneous clusters (e.g. V100 machines at 1.0, A100 at ~1.7).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length differs from the device count or any scale is
+    /// not positive.
+    pub fn with_device_scales(mut self, scales: Vec<f64>) -> Self {
+        assert_eq!(scales.len(), self.n, "one scale per device");
+        assert!(scales.iter().all(|&s| s > 0.0), "scales must be positive");
+        self.per_device_scale = Some(scales);
+        self
+    }
+
+    /// Converts measured CPU seconds into simulated accelerator seconds.
+    pub fn compute_time(&self, cpu_seconds: f64) -> f64 {
+        cpu_seconds / self.compute_speedup
+    }
+
+    /// Per-device variant of [`CostModel::compute_time`]: applies the
+    /// device's heterogeneity scale when one is configured.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` is out of range.
+    pub fn compute_time_for(&self, rank: usize, cpu_seconds: f64) -> f64 {
+        assert!(rank < self.n, "rank out of range");
+        let scale = self.per_device_scale.as_ref().map_or(1.0, |s| s[rank]);
+        cpu_seconds / (self.compute_speedup * scale)
+    }
+
+    /// Simulated seconds for `ops` scalar operations on device `rank`.
+    ///
+    /// This is the load-independent way to charge compute: kernels report
+    /// their operation counts and the model divides by the device's
+    /// effective rate (`BASE_CPU_OPS_PER_SEC * compute_speedup * scale`).
+    /// Unlike wall-clock measurement it is immune to host CPU
+    /// oversubscription, which matters when dozens of simulated devices
+    /// share a few physical cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` is out of range.
+    pub fn ops_time_for(&self, rank: usize, ops: f64) -> f64 {
+        assert!(rank < self.n, "rank out of range");
+        let scale = self.per_device_scale.as_ref().map_or(1.0, |s| s[rank]);
+        ops / (BASE_CPU_OPS_PER_SEC * self.compute_speedup * scale)
+    }
+
+    fn zero_diagonal(&mut self) {
+        for i in 0..self.n {
+            self.theta[i * self.n + i] = 0.0;
+            self.gamma[i * self.n + i] = 0.0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topology_machine_mapping() {
+        let t = ClusterTopology::new(2, 4);
+        assert_eq!(t.num_devices(), 8);
+        assert_eq!(t.machine_of(0), 0);
+        assert_eq!(t.machine_of(3), 0);
+        assert_eq!(t.machine_of(4), 1);
+        assert!(t.same_machine(1, 2));
+        assert!(!t.same_machine(3, 4));
+        assert_eq!(t.label(), "2M-4D");
+    }
+
+    #[test]
+    fn homogeneous_affine_cost() {
+        let cm = CostModel::homogeneous(3, 1e9, 1e-4);
+        let t = cm.transfer_time(0, 1, 1_000_000);
+        assert!((t - (1e-3 + 1e-4)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn self_and_empty_transfers_free() {
+        let cm = CostModel::homogeneous(2, 1e9, 1e-4);
+        assert_eq!(cm.transfer_time(0, 0, 1000), 0.0);
+        assert_eq!(cm.transfer_time(0, 1, 0), 0.0);
+    }
+
+    #[test]
+    fn two_tier_orders_links() {
+        let cm = CostModel::ethernet_cluster(ClusterTopology::new(2, 2));
+        let intra = cm.transfer_time(0, 1, 1 << 20);
+        let inter = cm.transfer_time(0, 2, 1 << 20);
+        assert!(intra < inter);
+    }
+
+    #[test]
+    fn cost_is_monotone_in_bytes() {
+        let cm = CostModel::ethernet_cluster(ClusterTopology::new(2, 2));
+        let mut prev = 0.0;
+        for bytes in [1usize, 10, 100, 10_000, 1_000_000] {
+            let t = cm.transfer_time(0, 3, bytes);
+            assert!(t > prev);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn set_link_overrides() {
+        let mut cm = CostModel::homogeneous(2, 1e9, 0.0);
+        cm.set_link(0, 1, 1.0, 5.0);
+        assert_eq!(cm.transfer_time(0, 1, 2), 7.0);
+        // Reverse direction untouched.
+        assert!(cm.transfer_time(1, 0, 2) < 1e-6);
+    }
+
+    #[test]
+    fn compute_time_divides_by_speedup() {
+        let cm = CostModel::homogeneous(2, 1e9, 0.0).with_compute_speedup(20.0);
+        assert!((cm.compute_time(1.0) - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn link_params_roundtrip() {
+        let cm = CostModel::homogeneous(2, 2.0, 3.0);
+        let (theta, gamma) = cm.link_params(0, 1);
+        assert_eq!(theta, 0.5);
+        assert_eq!(gamma, 3.0);
+    }
+}
+
+#[cfg(test)]
+mod hetero_tests {
+    use super::*;
+
+    #[test]
+    fn device_scales_apply_per_rank() {
+        let cm = CostModel::homogeneous(3, 1e9, 0.0)
+            .with_compute_speedup(10.0)
+            .with_device_scales(vec![1.0, 2.0, 0.5]);
+        assert!((cm.compute_time_for(0, 1.0) - 0.1).abs() < 1e-12);
+        assert!((cm.compute_time_for(1, 1.0) - 0.05).abs() < 1e-12);
+        assert!((cm.compute_time_for(2, 1.0) - 0.2).abs() < 1e-12);
+        // Homogeneous default matches compute_time.
+        let plain = CostModel::homogeneous(2, 1e9, 0.0).with_compute_speedup(10.0);
+        assert_eq!(plain.compute_time_for(1, 2.0), plain.compute_time(2.0));
+    }
+
+    #[test]
+    fn ops_time_uses_base_rate_and_scales() {
+        let cm = CostModel::homogeneous(2, 1e9, 0.0)
+            .with_compute_speedup(10.0)
+            .with_device_scales(vec![1.0, 2.0]);
+        let expect0 = 1e9 / (BASE_CPU_OPS_PER_SEC * 10.0);
+        assert!((cm.ops_time_for(0, 1e9) - expect0).abs() < 1e-15);
+        assert!((cm.ops_time_for(1, 1e9) - expect0 / 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "one scale per device")]
+    fn scales_length_checked() {
+        let _ = CostModel::homogeneous(3, 1e9, 0.0).with_device_scales(vec![1.0]);
+    }
+}

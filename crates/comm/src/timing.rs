@@ -1,0 +1,188 @@
+//! Simulated-time accounting.
+//!
+//! Each device accumulates simulated seconds into labeled buckets; the
+//! buckets are exactly the decomposition the paper's Fig. 10 reports
+//! (communication / computation / quantization, plus the assigner's solve
+//! time for the wall-clock breakdown).
+
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, AddAssign};
+
+/// Category a slice of simulated time is charged to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TimeCategory {
+    /// Message transfer time (marginal-graph halo exchange).
+    Comm,
+    /// Central-graph computation (overlappable with `Comm`).
+    CentralComp,
+    /// Marginal-graph computation (on the critical path after comm).
+    MarginalComp,
+    /// Quantization + de-quantization kernels.
+    Quant,
+    /// Bit-width assigner solve + trace gather/scatter.
+    Solve,
+}
+
+/// Per-category accumulated simulated seconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct TimeBreakdown {
+    /// Communication seconds.
+    pub comm: f64,
+    /// Central-graph computation seconds.
+    pub central_comp: f64,
+    /// Marginal-graph computation seconds.
+    pub marginal_comp: f64,
+    /// Quantization/de-quantization seconds.
+    pub quant: f64,
+    /// Assigner solve seconds.
+    pub solve: f64,
+}
+
+impl TimeBreakdown {
+    /// An all-zero breakdown.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `seconds` to `category`.
+    pub fn charge(&mut self, category: TimeCategory, seconds: f64) {
+        debug_assert!(seconds >= 0.0, "cannot charge negative time");
+        match category {
+            TimeCategory::Comm => self.comm += seconds,
+            TimeCategory::CentralComp => self.central_comp += seconds,
+            TimeCategory::MarginalComp => self.marginal_comp += seconds,
+            TimeCategory::Quant => self.quant += seconds,
+            TimeCategory::Solve => self.solve += seconds,
+        }
+    }
+
+    /// Epoch time under AdaQP's overlap schedule: central-graph computation
+    /// hides under communication (Sec. 3.4's three-stage isolation), so the
+    /// critical path is `quant + max(comm, central) + marginal + solve`.
+    pub fn overlapped_total(&self) -> f64 {
+        self.quant + self.comm.max(self.central_comp) + self.marginal_comp + self.solve
+    }
+
+    /// Epoch time with no overlap (Vanilla): every stage serializes.
+    pub fn serial_total(&self) -> f64 {
+        self.quant + self.comm + self.central_comp + self.marginal_comp + self.solve
+    }
+
+    /// Total computation (central + marginal).
+    pub fn total_comp(&self) -> f64 {
+        self.central_comp + self.marginal_comp
+    }
+
+    /// Fraction of the serial total spent communicating (Table 1's
+    /// "communication cost").
+    pub fn comm_fraction(&self) -> f64 {
+        let t = self.serial_total();
+        if t == 0.0 {
+            0.0
+        } else {
+            self.comm / t
+        }
+    }
+}
+
+impl Add for TimeBreakdown {
+    type Output = TimeBreakdown;
+
+    fn add(self, rhs: TimeBreakdown) -> TimeBreakdown {
+        TimeBreakdown {
+            comm: self.comm + rhs.comm,
+            central_comp: self.central_comp + rhs.central_comp,
+            marginal_comp: self.marginal_comp + rhs.marginal_comp,
+            quant: self.quant + rhs.quant,
+            solve: self.solve + rhs.solve,
+        }
+    }
+}
+
+impl AddAssign for TimeBreakdown {
+    fn add_assign(&mut self, rhs: TimeBreakdown) {
+        *self = *self + rhs;
+    }
+}
+
+impl std::fmt::Display for TimeBreakdown {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "comm {:.4}s, central {:.4}s, marginal {:.4}s, quant {:.4}s, solve {:.4}s",
+            self.comm, self.central_comp, self.marginal_comp, self.quant, self.solve
+        )
+    }
+}
+
+/// Measures the wall-clock CPU time of `f` in seconds and returns it with
+/// the closure's output. Used to price compute kernels before converting via
+/// [`crate::CostModel::compute_time`].
+pub fn measure<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = std::time::Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_routes_to_buckets() {
+        let mut tb = TimeBreakdown::new();
+        tb.charge(TimeCategory::Comm, 1.0);
+        tb.charge(TimeCategory::CentralComp, 2.0);
+        tb.charge(TimeCategory::MarginalComp, 3.0);
+        tb.charge(TimeCategory::Quant, 4.0);
+        tb.charge(TimeCategory::Solve, 5.0);
+        assert_eq!(tb.comm, 1.0);
+        assert_eq!(tb.central_comp, 2.0);
+        assert_eq!(tb.marginal_comp, 3.0);
+        assert_eq!(tb.quant, 4.0);
+        assert_eq!(tb.solve, 5.0);
+    }
+
+    #[test]
+    fn overlap_hides_smaller_of_comm_and_central() {
+        let mut tb = TimeBreakdown::new();
+        tb.charge(TimeCategory::Comm, 10.0);
+        tb.charge(TimeCategory::CentralComp, 4.0);
+        tb.charge(TimeCategory::MarginalComp, 1.0);
+        assert_eq!(tb.overlapped_total(), 11.0);
+        assert_eq!(tb.serial_total(), 15.0);
+        // When compute dominates, it becomes the critical path.
+        let mut tb2 = TimeBreakdown::new();
+        tb2.charge(TimeCategory::Comm, 2.0);
+        tb2.charge(TimeCategory::CentralComp, 9.0);
+        assert_eq!(tb2.overlapped_total(), 9.0);
+    }
+
+    #[test]
+    fn comm_fraction() {
+        let mut tb = TimeBreakdown::new();
+        tb.charge(TimeCategory::Comm, 3.0);
+        tb.charge(TimeCategory::CentralComp, 1.0);
+        assert_eq!(tb.comm_fraction(), 0.75);
+        assert_eq!(TimeBreakdown::new().comm_fraction(), 0.0);
+    }
+
+    #[test]
+    fn add_accumulates() {
+        let mut a = TimeBreakdown::new();
+        a.charge(TimeCategory::Comm, 1.0);
+        let mut b = TimeBreakdown::new();
+        b.charge(TimeCategory::Comm, 2.0);
+        b.charge(TimeCategory::Quant, 0.5);
+        a += b;
+        assert_eq!(a.comm, 3.0);
+        assert_eq!(a.quant, 0.5);
+    }
+
+    #[test]
+    fn measure_reports_positive_time() {
+        let (sum, secs) = measure(|| (0..100_000u64).sum::<u64>());
+        assert_eq!(sum, 4_999_950_000);
+        assert!(secs >= 0.0);
+    }
+}

@@ -1,0 +1,643 @@
+//! The Adaptive Bit-width Assigner (Sec. 3.3 / Sec. 4.2).
+//!
+//! Every device traces the value ranges of the messages it sends (forward
+//! activations and backward embedding gradients). Periodically the traces
+//! are gathered at the master (rank 0), which builds one bi-objective
+//! problem per GNN layer and direction, solves them in parallel (the paper
+//! uses a thread pool for the same reason), and scatters fresh per-message
+//! bit-width assignments back to the workers.
+
+use crate::config::TrainingConfig;
+use crate::decompose::DevicePartition;
+use bytes::Bytes;
+use comm::{CostModel, DeviceHandle};
+use quant::codec::{HEADER_BYTES, ROW_OVERHEAD_BYTES};
+use quant::BitWidth;
+use serde::{Deserialize, Serialize};
+use solver::{solve, BiObjectiveProblem, GroupSpec, PairSpec};
+use tensor::{Matrix, Rng};
+
+/// How widths are chosen at each reassignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AssignMode {
+    /// Solve the bi-objective problem (AdaQP).
+    Adaptive,
+    /// Sample one width per group uniformly at random (the Sec. 5.3
+    /// ablation).
+    UniformRandom,
+}
+
+/// Per-device bit-width assignment for every layer and direction.
+///
+/// `fwd`/`bwd` cover the messages this device *sends*; `fwd_recv`/`bwd_recv`
+/// cover the ones it *receives* (the paper's "bit-retrieval index set" —
+/// needed to decode the group-major wire format, where row widths are not
+/// on the wire).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WidthAssignment {
+    /// `fwd[layer][dst]`, aligned with `part.send_sets[dst]`.
+    pub fwd: Vec<Vec<Vec<BitWidth>>>,
+    /// `bwd[layer][peer]`, aligned with `part.recv_slots[peer]`.
+    pub bwd: Vec<Vec<Vec<BitWidth>>>,
+    /// Widths of incoming forward messages: `fwd_recv[layer][src]`, aligned
+    /// with `part.recv_slots[src]` (the sender's `fwd[layer][me]`).
+    pub fwd_recv: Vec<Vec<Vec<BitWidth>>>,
+    /// Widths of incoming backward messages: `bwd_recv[layer][src]`, aligned
+    /// with `part.send_sets[src]` (the sender's `bwd[layer][me]`).
+    pub bwd_recv: Vec<Vec<Vec<BitWidth>>>,
+}
+
+impl WidthAssignment {
+    /// All messages at one fixed width (the "naive message quantization" of
+    /// Sec. 3.2 and the starting state before the first solve).
+    pub fn fixed(part: &DevicePartition, num_layers: usize, width: BitWidth) -> Self {
+        let per_send: Vec<Vec<Vec<BitWidth>>> = (0..num_layers)
+            .map(|_| {
+                part.send_sets
+                    .iter()
+                    .map(|s| vec![width; s.len()])
+                    .collect()
+            })
+            .collect();
+        let per_recv: Vec<Vec<Vec<BitWidth>>> = (0..num_layers)
+            .map(|_| {
+                part.recv_slots
+                    .iter()
+                    .map(|s| vec![width; s.len()])
+                    .collect()
+            })
+            .collect();
+        Self {
+            fwd: per_send.clone(),
+            bwd: per_recv.clone(),
+            fwd_recv: per_recv,
+            bwd_recv: per_send,
+        }
+    }
+
+    /// Histogram of assigned widths across all layers/directions:
+    /// `(num_2bit, num_4bit, num_8bit)`.
+    pub fn histogram(&self) -> (usize, usize, usize) {
+        let mut h = (0usize, 0usize, 0usize);
+        let count = |h: &mut (usize, usize, usize), w: BitWidth| match w {
+            BitWidth::B2 => h.0 += 1,
+            BitWidth::B4 => h.1 += 1,
+            BitWidth::B8 => h.2 += 1,
+        };
+        for layer in self.fwd.iter().chain(&self.bwd) {
+            for peer in layer {
+                for &w in peer {
+                    count(&mut h, w);
+                }
+            }
+        }
+        h
+    }
+}
+
+/// Value-range traces for one direction of one layer.
+#[derive(Debug, Clone)]
+pub struct LayerDirTrace {
+    /// Message dimension for this layer/direction.
+    pub dim: usize,
+    /// `ranges[peer][k]`: last observed `max - min` of message `k`.
+    pub ranges: Vec<Vec<f32>>,
+}
+
+/// All traced data on one device.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    /// Forward traces per layer (message dim = the layer's input dim).
+    pub fwd: Vec<LayerDirTrace>,
+    /// Backward traces per layer (embedding-gradient messages).
+    pub bwd: Vec<LayerDirTrace>,
+}
+
+impl Trace {
+    /// Creates an empty trace. `layer_in_dims[l]` is layer `l`'s input
+    /// feature dimension (both directions of layer `l` move vectors of that
+    /// size).
+    pub fn new(part: &DevicePartition, layer_in_dims: &[usize]) -> Self {
+        let mk = |sets: &[Vec<u32>], dim: usize| LayerDirTrace {
+            dim,
+            ranges: sets.iter().map(|s| vec![1.0f32; s.len()]).collect(),
+        };
+        Self {
+            fwd: layer_in_dims
+                .iter()
+                .map(|&d| mk(&part.send_sets, d))
+                .collect(),
+            bwd: layer_in_dims
+                .iter()
+                .map(|&d| mk(&part.recv_slots, d))
+                .collect(),
+        }
+    }
+
+    /// Records forward message ranges for `layer` from the current local
+    /// embedding matrix.
+    pub fn record_fwd(&mut self, part: &DevicePartition, layer: usize, x: &Matrix) {
+        for (q, set) in part.send_sets.iter().enumerate() {
+            for (k, &li) in set.iter().enumerate() {
+                self.fwd[layer].ranges[q][k] = row_range(x.row(li as usize));
+            }
+        }
+    }
+
+    /// Records backward (embedding-gradient) message ranges for `layer` from
+    /// the extended gradient matrix.
+    pub fn record_bwd(&mut self, part: &DevicePartition, layer: usize, grad_ext: &Matrix) {
+        for (q, slots) in part.recv_slots.iter().enumerate() {
+            for (k, &slot) in slots.iter().enumerate() {
+                self.bwd[layer].ranges[q][k] =
+                    row_range(grad_ext.row(part.num_local() + slot as usize));
+            }
+        }
+    }
+}
+
+fn row_range(row: &[f32]) -> f32 {
+    let mut mn = f32::INFINITY;
+    let mut mx = f32::NEG_INFINITY;
+    for &v in row {
+        mn = mn.min(v);
+        mx = mx.max(v);
+    }
+    if row.is_empty() || mx <= mn {
+        0.0
+    } else {
+        mx - mn
+    }
+}
+
+/// One device's serialized contribution to the master's problem: per layer,
+/// per direction, per peer, the per-message `beta` coefficients.
+#[derive(Debug, Serialize, Deserialize)]
+struct TraceMsg {
+    /// `fwd_betas[layer][peer][k]`.
+    fwd_betas: Vec<Vec<Vec<f64>>>,
+    /// `bwd_betas[layer][peer][k]`.
+    bwd_betas: Vec<Vec<Vec<f64>>>,
+    /// Message dims per layer (shared by both directions).
+    dims: Vec<u32>,
+}
+
+/// Master's reply: widths as raw bit counts, for both send and receive
+/// sides of every layer/direction.
+#[derive(Debug, Serialize, Deserialize)]
+struct AssignMsg {
+    fwd: Vec<Vec<Vec<u8>>>,
+    bwd: Vec<Vec<Vec<u8>>>,
+    fwd_recv: Vec<Vec<Vec<u8>>>,
+    bwd_recv: Vec<Vec<Vec<u8>>>,
+}
+
+/// Runs one reassignment round (all ranks must call this collectively).
+///
+/// Returns the new assignment and the measured master solve time in seconds
+/// (identical on every rank; the paper blocks workers while the master
+/// solves, so trainers charge it on every device).
+pub fn reassign(
+    dev: &mut DeviceHandle,
+    part: &DevicePartition,
+    cost: &CostModel,
+    trace: &Trace,
+    cfg: &TrainingConfig,
+    mode: AssignMode,
+    rng: &mut Rng,
+) -> (WidthAssignment, f64) {
+    match mode {
+        AssignMode::UniformRandom => {
+            // No coordination needed: each device samples per-group widths
+            // for its outgoing messages. (Group structure mirrors the
+            // adaptive path so the comparison isolates the *choice* of
+            // widths, as in Sec. 5.3.)
+            let num_layers = trace.fwd.len();
+            let mut assignment = WidthAssignment::fixed(part, num_layers, BitWidth::B8);
+            for l in 0..num_layers {
+                sample_uniform(&mut assignment.fwd[l], cfg.group_size, rng);
+                sample_uniform(&mut assignment.bwd[l], cfg.group_size, rng);
+            }
+            // Receive-side tables stay at the B8 placeholder: uniform mode
+            // samples widths locally without coordination, so peers cannot
+            // know them — the row-major wire format (which carries widths)
+            // must be used with this mode.
+            (assignment, 0.0)
+        }
+        AssignMode::Adaptive => reassign_adaptive(dev, part, cost, trace, cfg),
+    }
+}
+
+fn sample_uniform(per_peer: &mut [Vec<BitWidth>], group_size: usize, rng: &mut Rng) {
+    let gs = group_size.max(1);
+    for widths in per_peer.iter_mut() {
+        let len = widths.len();
+        let mut k = 0;
+        while k < len {
+            let w = BitWidth::ALL[rng.below(3)];
+            for slot in widths[k..(k + gs).min(len)].iter_mut() {
+                *slot = w;
+            }
+            k += gs;
+        }
+    }
+}
+
+fn reassign_adaptive(
+    dev: &mut DeviceHandle,
+    part: &DevicePartition,
+    cost: &CostModel,
+    trace: &Trace,
+    cfg: &TrainingConfig,
+) -> (WidthAssignment, f64) {
+    let num_layers = trace.fwd.len();
+    // Step 1-2 (Fig. 6): build and gather per-device betas.
+    let msg = TraceMsg {
+        fwd_betas: (0..num_layers)
+            .map(|l| fwd_betas(part, &trace.fwd[l]))
+            .collect(),
+        bwd_betas: (0..num_layers)
+            .map(|l| bwd_betas(part, &trace.bwd[l]))
+            .collect(),
+        dims: trace.fwd.iter().map(|t| t.dim as u32).collect(),
+    };
+    let payload = Bytes::from(serde_json::to_vec(&msg).expect("trace serializes"));
+    let gathered = dev.gather(0, payload);
+
+    // Step 3: master solves one problem per (layer, direction) in parallel.
+    let reply = if let Some(parts_raw) = gathered {
+        let all: Vec<TraceMsg> = parts_raw
+            .iter()
+            .map(|b| serde_json::from_slice(b).expect("trace deserializes"))
+            .collect();
+        let (replies, secs) = comm::timing::measure(|| master_solve(&all, cost, cfg));
+        let payloads: Vec<Bytes> = replies
+            .into_iter()
+            .map(|r| Bytes::from(serde_json::to_vec(&r).expect("assignment serializes")))
+            .collect();
+        // Piggy-back the solve time: broadcast after scatter.
+        let own = dev.scatter(0, Some(payloads));
+        let secs_b = dev.broadcast(0, Some(Bytes::from(secs.to_le_bytes().to_vec())));
+        (own, secs_b)
+    } else {
+        let own = dev.scatter(0, None);
+        let secs_b = dev.broadcast(0, None);
+        (own, secs_b)
+    };
+    let (own, secs_bytes) = reply;
+    let solve_secs = f64::from_le_bytes(secs_bytes[..8].try_into().expect("8-byte solve time"));
+    let parsed: AssignMsg = serde_json::from_slice(&own).expect("assignment deserializes");
+    let to_widths = |raw: &Vec<Vec<Vec<u8>>>| -> Vec<Vec<Vec<BitWidth>>> {
+        raw.iter()
+            .map(|per_peer| {
+                per_peer
+                    .iter()
+                    .map(|ws| {
+                        ws.iter()
+                            .map(|&b| {
+                                BitWidth::from_bits(b as u32).expect("master sent valid widths")
+                            })
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect()
+    };
+    (
+        WidthAssignment {
+            fwd: to_widths(&parsed.fwd),
+            bwd: to_widths(&parsed.bwd),
+            fwd_recv: to_widths(&parsed.fwd_recv),
+            bwd_recv: to_widths(&parsed.bwd_recv),
+        },
+        solve_secs,
+    )
+}
+
+/// Sender-side `beta_k` for forward messages: `alpha_sq * D * range^2 / 6`.
+fn fwd_betas(part: &DevicePartition, t: &LayerDirTrace) -> Vec<Vec<f64>> {
+    part.send_alpha_sq
+        .iter()
+        .zip(&t.ranges)
+        .map(|(alphas, ranges)| {
+            alphas
+                .iter()
+                .zip(ranges)
+                .map(|(&a, &r)| quant::variance::beta(a, t.dim, r))
+                .collect()
+        })
+        .collect()
+}
+
+/// `beta_k` for backward (gradient) messages. Gradient rows arriving at the
+/// owner are accumulated with unit coefficient (the aggregation weights were
+/// already applied by `A^T` on the sender), so `alpha_sq = 1`.
+fn bwd_betas(part: &DevicePartition, t: &LayerDirTrace) -> Vec<Vec<f64>> {
+    part.recv_slots
+        .iter()
+        .zip(&t.ranges)
+        .map(|(slots, ranges)| {
+            slots
+                .iter()
+                .zip(ranges)
+                .map(|(_, &r)| quant::variance::beta(1.0, t.dim, r))
+                .collect()
+        })
+        .collect()
+}
+
+/// Builds and solves the per-(layer, direction) problems on the master.
+fn master_solve(all: &[TraceMsg], cost: &CostModel, cfg: &TrainingConfig) -> Vec<AssignMsg> {
+    let n = all.len();
+    let num_layers = all[0].dims.len();
+    // Task list: (layer, is_bwd).
+    let tasks: Vec<(usize, bool)> = (0..num_layers)
+        .flat_map(|l| [(l, false), (l, true)])
+        .collect();
+    // Solve tasks in parallel (paper: thread pool on the master device).
+    let solutions: Vec<Vec<Vec<Vec<u8>>>> = std::thread::scope(|scope| {
+        let joins: Vec<_> = tasks
+            .iter()
+            .map(|&(layer, is_bwd)| scope.spawn(move || solve_one(all, cost, cfg, layer, is_bwd)))
+            .collect();
+        joins
+            .into_iter()
+            .map(|j| j.join().expect("solver task panicked"))
+            .collect()
+    });
+    // Reassemble per-device replies.
+    let mut replies: Vec<AssignMsg> = (0..n)
+        .map(|_| AssignMsg {
+            fwd: vec![Vec::new(); num_layers],
+            bwd: vec![Vec::new(); num_layers],
+            fwd_recv: vec![vec![Vec::new(); n]; num_layers],
+            bwd_recv: vec![vec![Vec::new(); n]; num_layers],
+        })
+        .collect();
+    for (t, &(layer, is_bwd)) in tasks.iter().enumerate() {
+        for (src, per_peer) in solutions[t].iter().enumerate() {
+            if is_bwd {
+                replies[src].bwd[layer] = per_peer.clone();
+            } else {
+                replies[src].fwd[layer] = per_peer.clone();
+            }
+            // Mirror to the receiving side: what `src` sends to `dst` is
+            // what `dst` receives from `src` (the bit-retrieval index set).
+            for (dst, widths) in per_peer.iter().enumerate() {
+                if is_bwd {
+                    replies[dst].bwd_recv[layer][src] = widths.clone();
+                } else {
+                    replies[dst].fwd_recv[layer][src] = widths.clone();
+                }
+            }
+        }
+    }
+    replies
+}
+
+/// Solves one (layer, direction) problem; returns `widths[src][peer][k]` as
+/// bit counts.
+fn solve_one(
+    all: &[TraceMsg],
+    cost: &CostModel,
+    cfg: &TrainingConfig,
+    layer: usize,
+    is_bwd: bool,
+) -> Vec<Vec<Vec<u8>>> {
+    let n = all.len();
+    let dim = all[0].dims[layer] as usize;
+    let group_size = cfg.group_size.max(1);
+    // Collect directed pairs with their message betas.
+    struct PairRef {
+        src: usize,
+        dst: usize,
+        /// Permutation: sorted-group position -> original message index.
+        order: Vec<usize>,
+        /// Group boundaries into `order`.
+        group_of: Vec<usize>,
+        num_groups: usize,
+    }
+    let mut pair_refs = Vec::new();
+    let mut pair_specs = Vec::new();
+    for src in 0..n {
+        let betas_all = if is_bwd {
+            &all[src].bwd_betas[layer]
+        } else {
+            &all[src].fwd_betas[layer]
+        };
+        for (dst, betas) in betas_all.iter().enumerate() {
+            if betas.is_empty() {
+                continue;
+            }
+            // Sort messages by beta descending; chunk into groups.
+            let mut order: Vec<usize> = (0..betas.len()).collect();
+            order.sort_by(|&a, &b| {
+                betas[b]
+                    .partial_cmp(&betas[a])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            let num_groups = betas.len().div_ceil(group_size);
+            let mut group_of = vec![0usize; betas.len()];
+            let mut groups = Vec::with_capacity(num_groups);
+            for g in 0..num_groups {
+                let lo = g * group_size;
+                let hi = ((g + 1) * group_size).min(betas.len());
+                let beta_sum: f64 = order[lo..hi].iter().map(|&k| betas[k]).sum();
+                let count = hi - lo;
+                for pos in lo..hi {
+                    group_of[pos] = g;
+                }
+                groups.push(GroupSpec {
+                    beta: beta_sum,
+                    bytes_per_bit: count as f64 * dim as f64 / 8.0,
+                });
+            }
+            let (theta, gamma) = cost.link_params(src, dst);
+            // Fold fixed wire overhead into gamma.
+            let overhead = HEADER_BYTES + betas.len() * ROW_OVERHEAD_BYTES;
+            pair_specs.push(PairSpec {
+                theta,
+                gamma: gamma + theta * overhead as f64,
+                groups,
+            });
+            pair_refs.push(PairRef {
+                src,
+                dst,
+                order,
+                group_of,
+                num_groups,
+            });
+        }
+    }
+    let problem = BiObjectiveProblem::new(pair_specs, cfg.lambda);
+    let sol = solve(&problem);
+    // Materialize per-source replies.
+    let mut out: Vec<Vec<Vec<u8>>> = (0..n).map(|_| vec![Vec::new(); n]).collect();
+    for (p, r) in pair_refs.iter().enumerate() {
+        let widths = &sol.widths[p];
+        assert_eq!(widths.len(), r.num_groups);
+        let mut per_msg = vec![0u8; r.order.len()];
+        for (pos, &orig) in r.order.iter().enumerate() {
+            per_msg[orig] = widths[r.group_of[pos]].bits() as u8;
+        }
+        out[r.src][r.dst] = per_msg;
+    }
+    // Peers with no messages keep empty vectors (consistent with empty send
+    // sets).
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnn::ConvKind;
+    use graph::DatasetSpec;
+
+    fn setup(k: usize) -> Vec<DevicePartition> {
+        let ds = DatasetSpec::tiny().generate(21);
+        let mut rng = Rng::seed_from(22);
+        let p = graph::partition::metis_like(&ds.graph, k, &mut rng);
+        crate::decompose::build_partitions(&ds, &p, ConvKind::Gcn)
+    }
+
+    #[test]
+    fn fixed_assignment_shapes() {
+        let parts = setup(3);
+        let a = WidthAssignment::fixed(&parts[1], 3, BitWidth::B4);
+        assert_eq!(a.fwd.len(), 3);
+        for (q, s) in parts[1].send_sets.iter().enumerate() {
+            assert_eq!(a.fwd[0][q].len(), s.len());
+        }
+        for (q, s) in parts[1].recv_slots.iter().enumerate() {
+            assert_eq!(a.bwd[2][q].len(), s.len());
+        }
+        let (h2, h4, h8) = a.histogram();
+        assert_eq!(h2, 0);
+        assert_eq!(h8, 0);
+        assert!(h4 > 0);
+    }
+
+    #[test]
+    fn trace_records_ranges() {
+        let parts = setup(2);
+        let part = &parts[0];
+        let mut trace = Trace::new(part, &[4, 4]);
+        let x = Matrix::from_fn(part.num_local(), 4, |i, j| (i as f32) * 0.1 + j as f32);
+        trace.record_fwd(part, 0, &x);
+        // Every message row has range 3.0 (j spans 0..4).
+        for q in 0..2 {
+            for &r in &trace.fwd[0].ranges[q] {
+                assert!((r - 3.0).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn row_range_edge_cases() {
+        assert_eq!(row_range(&[]), 0.0);
+        assert_eq!(row_range(&[5.0, 5.0]), 0.0);
+        assert_eq!(row_range(&[-1.0, 2.0]), 3.0);
+    }
+
+    #[test]
+    fn uniform_sampling_respects_groups() {
+        let parts = setup(2);
+        let part = &parts[0];
+        let trace = Trace::new(part, &[8, 8]);
+        let cost = CostModel::homogeneous(2, 1e9, 1e-5);
+        let cfg = TrainingConfig {
+            group_size: 4,
+            ..TrainingConfig::default()
+        };
+        // UniformRandom requires no cross-device calls, so no cluster needed:
+        // fabricate a handle via a 1-device cluster trick is impossible here;
+        // instead call the sampler directly.
+        let mut rng = Rng::seed_from(33);
+        let mut a = WidthAssignment::fixed(part, 2, BitWidth::B8);
+        sample_uniform(&mut a.fwd[0], cfg.group_size, &mut rng);
+        // Each group of 4 consecutive messages shares a width.
+        for per_peer in &a.fwd[0] {
+            for chunk in per_peer.chunks(4) {
+                assert!(chunk.iter().all(|&w| w == chunk[0]));
+            }
+        }
+        let _ = (trace, cost);
+    }
+
+    #[test]
+    fn betas_scale_with_range_squared() {
+        let parts = setup(2);
+        let part = &parts[0];
+        let mut t = LayerDirTrace {
+            dim: 16,
+            ranges: part
+                .send_sets
+                .iter()
+                .map(|s| vec![1.0f32; s.len()])
+                .collect(),
+        };
+        let b1 = fwd_betas(part, &t);
+        for r in t.ranges.iter_mut().flatten() {
+            *r = 2.0;
+        }
+        let b2 = fwd_betas(part, &t);
+        for (p1, p2) in b1.iter().zip(&b2) {
+            for (x, y) in p1.iter().zip(p2) {
+                assert!((y / x - 4.0).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn full_reassign_roundtrip_on_cluster() {
+        // End-to-end: 2 devices run the collective reassignment.
+        let ds = DatasetSpec::tiny().generate(23);
+        let mut rng0 = Rng::seed_from(24);
+        let p = graph::partition::metis_like(&ds.graph, 2, &mut rng0);
+        let parts = crate::decompose::build_partitions(&ds, &p, ConvKind::Gcn);
+        let cfg = TrainingConfig {
+            group_size: 8,
+            lambda: 0.5,
+            ..TrainingConfig::default()
+        };
+        let cost = CostModel::homogeneous(2, 1e6, 1e-5);
+        let parts_ref = &parts;
+        let cfg_ref = &cfg;
+        let cost_ref = &cost;
+        let out = comm::Cluster::run(2, move |mut dev| {
+            let part = &parts_ref[dev.rank()];
+            let dims = [16usize, 8];
+            let mut trace = Trace::new(part, &dims);
+            // Fabricate some activity so ranges are nonzero and varied.
+            let x = Matrix::from_fn(part.num_local(), 16, |i, j| {
+                ((i * 7 + j) % 13) as f32 * (0.1 + dev.rank() as f32)
+            });
+            trace.record_fwd(part, 0, &x);
+            let mut rng = Rng::seed_from(100 + dev.rank() as u64);
+            let (assign, secs) = reassign(
+                &mut dev,
+                part,
+                cost_ref,
+                &trace,
+                cfg_ref,
+                AssignMode::Adaptive,
+                &mut rng,
+            );
+            (assign, secs)
+        });
+        for (rank, (assign, secs)) in out.iter().enumerate() {
+            assert!(*secs >= 0.0);
+            // Shapes line up with the partition.
+            for (q, s) in parts[rank].send_sets.iter().enumerate() {
+                assert_eq!(assign.fwd[0][q].len(), s.len(), "rank {rank} -> {q}");
+                assert_eq!(assign.fwd[1][q].len(), s.len());
+            }
+            for (q, s) in parts[rank].recv_slots.iter().enumerate() {
+                assert_eq!(assign.bwd[0][q].len(), s.len());
+            }
+            // Assignment uses at least one real width.
+            let (h2, h4, h8) = assign.histogram();
+            assert!(h2 + h4 + h8 > 0);
+        }
+    }
+}

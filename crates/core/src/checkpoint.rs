@@ -1,0 +1,206 @@
+//! Checkpointing: persist and restore a trained model (and the experiment
+//! that produced it) so long runs can resume or be evaluated later.
+
+use crate::config::ExperimentConfig;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// A serializable training checkpoint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Format version for forward compatibility.
+    pub version: u32,
+    /// The experiment this model came from.
+    pub config: ExperimentConfig,
+    /// Epochs completed.
+    pub epoch: usize,
+    /// Flattened model parameters ([`gnn::Gnn::params_flat`] order).
+    pub params: Vec<f32>,
+    /// Best validation score seen so far.
+    pub best_val: f64,
+}
+
+/// Current checkpoint format version.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// Errors raised by checkpoint I/O.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// JSON (de)serialization failure.
+    Serde(serde_json::Error),
+    /// Version or shape mismatch on load.
+    Incompatible(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint i/o error: {e}"),
+            CheckpointError::Serde(e) => write!(f, "checkpoint serialization error: {e}"),
+            CheckpointError::Incompatible(m) => write!(f, "incompatible checkpoint: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for CheckpointError {
+    fn from(e: serde_json::Error) -> Self {
+        CheckpointError::Serde(e)
+    }
+}
+
+impl Checkpoint {
+    /// Builds a checkpoint from a trained model's flattened parameters.
+    pub fn new(config: ExperimentConfig, epoch: usize, params: Vec<f32>, best_val: f64) -> Self {
+        Self {
+            version: CHECKPOINT_VERSION,
+            config,
+            epoch,
+            params,
+            best_val,
+        }
+    }
+
+    /// Writes the checkpoint as JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError`] on write failures.
+    pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
+        let raw = serde_json::to_vec(self)?;
+        std::fs::write(path, raw)?;
+        Ok(())
+    }
+
+    /// Loads a checkpoint and validates its version.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError`] on read failures or version mismatch.
+    pub fn load(path: &Path) -> Result<Self, CheckpointError> {
+        let raw = std::fs::read(path)?;
+        let cp: Checkpoint = serde_json::from_slice(&raw)?;
+        if cp.version != CHECKPOINT_VERSION {
+            return Err(CheckpointError::Incompatible(format!(
+                "version {} (expected {CHECKPOINT_VERSION})",
+                cp.version
+            )));
+        }
+        Ok(cp)
+    }
+
+    /// Instantiates the checkpoint's model with its stored parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Incompatible`] if the stored parameter
+    /// vector does not match the architecture in `config`.
+    pub fn restore_model(&self) -> Result<gnn::Gnn, CheckpointError> {
+        let ds = self.config.dataset.generate(self.config.seed);
+        let dims = self.config.training.dims(ds.feature_dim(), ds.num_classes);
+        let mut rng = tensor::Rng::seed_from(self.config.seed);
+        let mut model = gnn::Gnn::with_dropout(
+            self.config.training.conv_kind(),
+            &dims,
+            self.config.training.dropout,
+            &mut rng,
+        );
+        if model.param_count() != self.params.len() {
+            return Err(CheckpointError::Incompatible(format!(
+                "parameter count {} (architecture expects {})",
+                self.params.len(),
+                model.param_count()
+            )));
+        }
+        model.set_params_flat(&self.params);
+        Ok(model)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Method, TrainingConfig};
+    use graph::DatasetSpec;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("adaqp-checkpoint-tests");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir.join(name)
+    }
+
+    fn sample_config() -> ExperimentConfig {
+        ExperimentConfig {
+            dataset: DatasetSpec::tiny(),
+            machines: 1,
+            devices_per_machine: 2,
+            method: Method::AdaQp,
+            training: TrainingConfig {
+                epochs: 3,
+                hidden: 16,
+                num_layers: 2,
+                ..TrainingConfig::default()
+            },
+            seed: 404,
+        }
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let cfg = sample_config();
+        let ds = cfg.dataset.generate(cfg.seed);
+        let dims = cfg.training.dims(ds.feature_dim(), ds.num_classes);
+        let mut rng = tensor::Rng::seed_from(cfg.seed);
+        let model = gnn::Gnn::with_dropout(cfg.training.conv_kind(), &dims, 0.0, &mut rng);
+        let cp = Checkpoint::new(cfg, 3, model.params_flat(), 0.87);
+        let path = tmp("roundtrip.json");
+        cp.save(&path).expect("save");
+        let loaded = Checkpoint::load(&path).expect("load");
+        assert_eq!(loaded, cp);
+    }
+
+    #[test]
+    fn restore_model_reproduces_parameters() {
+        let cfg = sample_config();
+        let ds = cfg.dataset.generate(cfg.seed);
+        let dims = cfg.training.dims(ds.feature_dim(), ds.num_classes);
+        let mut rng = tensor::Rng::seed_from(cfg.seed);
+        let mut model = gnn::Gnn::with_dropout(cfg.training.conv_kind(), &dims, 0.0, &mut rng);
+        // Make parameters distinctive.
+        let params: Vec<f32> = (0..model.param_count()).map(|i| i as f32 * 0.01).collect();
+        model.set_params_flat(&params);
+        let cp = Checkpoint::new(cfg, 1, model.params_flat(), 0.5);
+        let restored = cp.restore_model().expect("restore");
+        assert_eq!(restored.params_flat(), params);
+    }
+
+    #[test]
+    fn wrong_param_count_is_rejected() {
+        let cp = Checkpoint::new(sample_config(), 0, vec![0.0; 7], 0.0);
+        match cp.restore_model() {
+            Err(CheckpointError::Incompatible(m)) => assert!(m.contains("parameter count")),
+            other => panic!("expected incompatibility, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let mut cp = Checkpoint::new(sample_config(), 0, vec![], 0.0);
+        cp.version = 99;
+        let path = tmp("badversion.json");
+        cp.save(&path).expect("save");
+        match Checkpoint::load(&path) {
+            Err(CheckpointError::Incompatible(m)) => assert!(m.contains("version")),
+            other => panic!("expected incompatibility, got {other:?}"),
+        }
+    }
+}

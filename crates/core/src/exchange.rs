@@ -1,0 +1,605 @@
+//! Halo exchange: moving boundary messages between devices, at full
+//! precision (Vanilla) or quantized (AdaQP), with byte and time accounting.
+
+use crate::decompose::DevicePartition;
+use bytes::Bytes;
+use comm::{CostModel, DeviceHandle};
+use quant::{decode_block, encode_block, BitWidth, EncodedBlock};
+use tensor::{Matrix, Rng};
+
+/// Operations per element of the quantization encoder (hash coin + scale +
+/// truncate + pack), calibrated against the measured kernel throughput.
+pub const ENCODE_OPS_PER_ELEMENT: f64 = 15.0;
+
+/// Operations per element of the de-quantization decoder (unpack + fma).
+pub const DECODE_OPS_PER_ELEMENT: f64 = 4.0;
+
+/// Byte and kernel accounting for one exchange.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExchangeStats {
+    /// Bytes sent to each destination rank.
+    pub sent_bytes: Vec<usize>,
+    /// Bytes received from each source rank.
+    pub recv_bytes: Vec<usize>,
+    /// Measured CPU seconds spent in quantize/de-quantize kernels
+    /// (diagnostic only; the clock charges `quant_ops` instead so the
+    /// simulation is immune to host load).
+    pub quant_cpu_seconds: f64,
+    /// Elements quantized (encoder side, including error-feedback
+    /// self-decodes at decoder cost).
+    pub quant_ops: f64,
+}
+
+impl ExchangeStats {
+    fn new(n: usize) -> Self {
+        Self {
+            sent_bytes: vec![0; n],
+            recv_bytes: vec![0; n],
+            quant_cpu_seconds: 0.0,
+            quant_ops: 0.0,
+        }
+    }
+
+    /// Total bytes sent.
+    pub fn total_sent(&self) -> usize {
+        self.sent_bytes.iter().sum()
+    }
+
+    /// Merges another exchange's accounting into this one.
+    pub fn merge(&mut self, other: &ExchangeStats) {
+        for (a, b) in self.sent_bytes.iter_mut().zip(&other.sent_bytes) {
+            *a += b;
+        }
+        for (a, b) in self.recv_bytes.iter_mut().zip(&other.recv_bytes) {
+            *a += b;
+        }
+        self.quant_cpu_seconds += other.quant_cpu_seconds;
+        self.quant_ops += other.quant_ops;
+    }
+
+    /// Simulated communication seconds for this device under the
+    /// unsynchronized ring schedule: in round `r` the device waits for the
+    /// longer of its own send and its own receive.
+    pub fn ring_seconds(&self, cost: &CostModel, rank: usize) -> f64 {
+        let n = cost.num_devices();
+        let mut t = 0.0;
+        for round in 1..n {
+            let dst = (rank + round) % n;
+            let src = (rank + n - round) % n;
+            let send = cost.transfer_time(rank, dst, self.sent_bytes[dst]);
+            let recv = cost.transfer_time(src, rank, self.recv_bytes[src]);
+            t += send.max(recv);
+        }
+        t
+    }
+
+    /// Simulated communication seconds under SANCUS's sequential-broadcast
+    /// schedule: devices take turns, and a broadcasting device pushes a
+    /// separate unicast copy to every peer through its single NIC, so each
+    /// turn costs the *sum* of its point-to-point transfers. Peers observe a
+    /// broadcaster's full turn (they wait for the round to finish), which
+    /// each rank reconstructs from the bytes it received (a broadcast sends
+    /// the same payload to every destination).
+    pub fn sequential_seconds(&self, cost: &CostModel, rank: usize) -> f64 {
+        let n = cost.num_devices();
+        let mut total = 0.0;
+        for turn in 0..n {
+            let mut t: f64 = 0.0;
+            if turn == rank {
+                for (dst, &b) in self.sent_bytes.iter().enumerate() {
+                    if dst != rank {
+                        t += cost.transfer_time(rank, dst, b);
+                    }
+                }
+            } else {
+                let b = self.recv_bytes[turn];
+                for dst in 0..n {
+                    if dst != turn {
+                        t += cost.transfer_time(turn, dst, b);
+                    }
+                }
+            }
+            total += t;
+        }
+        total
+    }
+}
+
+/// Serializes a row-major matrix to little-endian `f32` bytes.
+pub fn matrix_to_bytes(m: &Matrix) -> Bytes {
+    let mut raw = Vec::with_capacity(m.len() * 4);
+    for v in m.as_slice() {
+        raw.extend_from_slice(&v.to_le_bytes());
+    }
+    Bytes::from(raw)
+}
+
+/// Deserializes little-endian `f32` bytes into a `rows x cols` matrix.
+///
+/// # Panics
+///
+/// Panics if the byte length is not `rows * cols * 4`.
+pub fn bytes_to_matrix(bytes: &Bytes, rows: usize, cols: usize) -> Matrix {
+    assert_eq!(bytes.len(), rows * cols * 4, "fp32 payload size mismatch");
+    let data: Vec<f32> = bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect();
+    Matrix::from_vec(rows, cols, data).expect("sized by construction")
+}
+
+/// Full-precision forward halo exchange: sends boundary rows of `x` to every
+/// peer and returns the filled halo matrix (`num_halo x dim`).
+pub fn exchange_forward_fp32(
+    dev: &mut DeviceHandle,
+    part: &DevicePartition,
+    x: &Matrix,
+) -> (Matrix, ExchangeStats) {
+    let n = part.num_parts;
+    let dim = x.cols();
+    let mut stats = ExchangeStats::new(n);
+    let mut payloads: Vec<Bytes> = Vec::with_capacity(n);
+    for q in 0..n {
+        if q == part.rank || part.send_sets[q].is_empty() {
+            payloads.push(Bytes::new());
+            continue;
+        }
+        let msgs = part.gather_send_rows(x, q);
+        let b = matrix_to_bytes(&msgs);
+        stats.sent_bytes[q] = b.len();
+        payloads.push(b);
+    }
+    let received = dev.ring_all2all(payloads);
+    let mut halo = Matrix::zeros(part.num_halo(), dim);
+    for (q, payload) in received.into_iter().enumerate() {
+        let Some(payload) = payload else { continue };
+        stats.recv_bytes[q] = payload.len();
+        if payload.is_empty() {
+            continue;
+        }
+        let rows = part.recv_slots[q].len();
+        let m = bytes_to_matrix(&payload, rows, dim);
+        for (r, &slot) in part.recv_slots[q].iter().enumerate() {
+            halo.row_mut(slot as usize).copy_from_slice(m.row(r));
+        }
+    }
+    (halo, stats)
+}
+
+/// Quantized forward halo exchange. `widths[q]` gives the bit-width of each
+/// message to peer `q`, aligned with `part.send_sets[q]`.
+///
+/// # Panics
+///
+/// Panics if a width vector's length disagrees with its send set.
+pub fn exchange_forward_quant(
+    dev: &mut DeviceHandle,
+    part: &DevicePartition,
+    x: &Matrix,
+    widths: &[Vec<BitWidth>],
+    rng: &mut Rng,
+) -> (Matrix, ExchangeStats) {
+    exchange_forward_quant_ef(dev, part, x, widths, None, rng)
+}
+
+/// [`exchange_forward_quant`] with optional error feedback: when `residuals`
+/// is provided (one matrix per peer, aligned with the send sets), the last
+/// round's quantization error is added to each outgoing message before
+/// quantizing and the new error is stored back — the classic
+/// error-compensated compression scheme (Wu et al. 2018), offered as an
+/// extension beyond the paper.
+///
+/// # Panics
+///
+/// Panics if widths or residual shapes disagree with the send sets.
+pub fn exchange_forward_quant_ef(
+    dev: &mut DeviceHandle,
+    part: &DevicePartition,
+    x: &Matrix,
+    widths: &[Vec<BitWidth>],
+    mut residuals: Option<&mut Vec<Matrix>>,
+    rng: &mut Rng,
+) -> (Matrix, ExchangeStats) {
+    let n = part.num_parts;
+    let dim = x.cols();
+    let mut stats = ExchangeStats::new(n);
+    let mut payloads: Vec<Bytes> = Vec::with_capacity(n);
+    for q in 0..n {
+        if q == part.rank || part.send_sets[q].is_empty() {
+            payloads.push(Bytes::new());
+            continue;
+        }
+        assert_eq!(
+            widths[q].len(),
+            part.send_sets[q].len(),
+            "one width per message to peer {q}"
+        );
+        let mut msgs = part.gather_send_rows(x, q);
+        if let Some(res) = residuals.as_deref_mut() {
+            assert_eq!(res[q].shape(), msgs.shape(), "residual shape for peer {q}");
+            msgs.add_assign(&res[q]);
+        }
+        let (block, secs) = comm::timing::measure(|| encode_block(&msgs, &widths[q], rng));
+        stats.quant_cpu_seconds += secs;
+        stats.quant_ops += msgs.len() as f64 * ENCODE_OPS_PER_ELEMENT;
+        if let Some(res) = residuals.as_deref_mut() {
+            // New residual = compensated message - what the receiver decodes.
+            let (decoded, dsecs) =
+                comm::timing::measure(|| decode_block(&block).expect("own block decodes"));
+            stats.quant_cpu_seconds += dsecs;
+            stats.quant_ops += msgs.len() as f64 * (DECODE_OPS_PER_ELEMENT + 2.0);
+            let mut r = msgs;
+            r.sub_assign(&decoded);
+            res[q] = r;
+        }
+        stats.sent_bytes[q] = block.wire_len();
+        payloads.push(block.bytes);
+    }
+    let received = dev.ring_all2all(payloads);
+    let mut halo = Matrix::zeros(part.num_halo(), dim);
+    for (q, payload) in received.into_iter().enumerate() {
+        let Some(payload) = payload else { continue };
+        stats.recv_bytes[q] = payload.len();
+        if payload.is_empty() {
+            continue;
+        }
+        let rows = part.recv_slots[q].len();
+        let block = EncodedBlock {
+            bytes: payload,
+            rows,
+            dim,
+        };
+        let (decoded, secs) =
+            comm::timing::measure(|| decode_block(&block).expect("peer sent a well-formed block"));
+        stats.quant_cpu_seconds += secs;
+        stats.quant_ops += (rows * dim) as f64 * DECODE_OPS_PER_ELEMENT;
+        for (r, &slot) in part.recv_slots[q].iter().enumerate() {
+            halo.row_mut(slot as usize).copy_from_slice(decoded.row(r));
+        }
+    }
+    (halo, stats)
+}
+
+/// Gathers the halo-gradient rows destined for peer `q` (aligned with
+/// `recv_slots[q]`) out of an extended gradient matrix.
+fn gather_halo_grads(part: &DevicePartition, grad_ext: &Matrix, q: usize) -> Matrix {
+    let idx: Vec<usize> = part.recv_slots[q]
+        .iter()
+        .map(|&slot| part.num_local() + slot as usize)
+        .collect();
+    grad_ext.gather_rows(&idx)
+}
+
+/// Accumulates gradient rows received from peer `q` (aligned with
+/// `send_sets[q]`) into the local gradient matrix.
+fn scatter_grads(part: &DevicePartition, grad_local: &mut Matrix, q: usize, m: &Matrix) {
+    let idx: Vec<usize> = part.send_sets[q].iter().map(|&li| li as usize).collect();
+    grad_local.scatter_add_rows(&idx, m);
+}
+
+/// Full-precision backward exchange: ships the halo rows of `grad_ext` back
+/// to their owners and accumulates the rows received from peers into
+/// `grad_local` (the embedding-gradient "error" flow of the backward pass).
+///
+/// # Panics
+///
+/// Panics if matrix shapes disagree with the partition.
+pub fn exchange_backward_fp32(
+    dev: &mut DeviceHandle,
+    part: &DevicePartition,
+    grad_ext: &Matrix,
+    grad_local: &mut Matrix,
+) -> ExchangeStats {
+    let n = part.num_parts;
+    let dim = grad_ext.cols();
+    assert_eq!(grad_ext.rows(), part.num_ext(), "grad_ext shape");
+    assert_eq!(grad_local.rows(), part.num_local(), "grad_local shape");
+    let mut stats = ExchangeStats::new(n);
+    let mut payloads: Vec<Bytes> = Vec::with_capacity(n);
+    for q in 0..n {
+        if q == part.rank || part.recv_slots[q].is_empty() {
+            payloads.push(Bytes::new());
+            continue;
+        }
+        let msgs = gather_halo_grads(part, grad_ext, q);
+        let b = matrix_to_bytes(&msgs);
+        stats.sent_bytes[q] = b.len();
+        payloads.push(b);
+    }
+    let received = dev.ring_all2all(payloads);
+    for (q, payload) in received.into_iter().enumerate() {
+        let Some(payload) = payload else { continue };
+        stats.recv_bytes[q] = payload.len();
+        if payload.is_empty() {
+            continue;
+        }
+        let rows = part.send_sets[q].len();
+        let m = bytes_to_matrix(&payload, rows, dim);
+        scatter_grads(part, grad_local, q, &m);
+    }
+    stats
+}
+
+/// Quantized backward exchange; `widths[q]` is aligned with
+/// `part.recv_slots[q]` (the messages we send back to owner `q`).
+///
+/// # Panics
+///
+/// Panics if shapes or width vectors disagree with the partition.
+pub fn exchange_backward_quant(
+    dev: &mut DeviceHandle,
+    part: &DevicePartition,
+    grad_ext: &Matrix,
+    grad_local: &mut Matrix,
+    widths: &[Vec<BitWidth>],
+    rng: &mut Rng,
+) -> ExchangeStats {
+    exchange_backward_quant_ef(dev, part, grad_ext, grad_local, widths, None, rng)
+}
+
+/// [`exchange_backward_quant`] with optional error feedback (see
+/// [`exchange_forward_quant_ef`]).
+///
+/// # Panics
+///
+/// Panics if shapes, widths or residuals disagree with the partition.
+pub fn exchange_backward_quant_ef(
+    dev: &mut DeviceHandle,
+    part: &DevicePartition,
+    grad_ext: &Matrix,
+    grad_local: &mut Matrix,
+    widths: &[Vec<BitWidth>],
+    mut residuals: Option<&mut Vec<Matrix>>,
+    rng: &mut Rng,
+) -> ExchangeStats {
+    let n = part.num_parts;
+    let dim = grad_ext.cols();
+    assert_eq!(grad_ext.rows(), part.num_ext(), "grad_ext shape");
+    let mut stats = ExchangeStats::new(n);
+    let mut payloads: Vec<Bytes> = Vec::with_capacity(n);
+    for q in 0..n {
+        if q == part.rank || part.recv_slots[q].is_empty() {
+            payloads.push(Bytes::new());
+            continue;
+        }
+        assert_eq!(
+            widths[q].len(),
+            part.recv_slots[q].len(),
+            "one width per gradient message to peer {q}"
+        );
+        let mut msgs = gather_halo_grads(part, grad_ext, q);
+        if let Some(res) = residuals.as_deref_mut() {
+            assert_eq!(res[q].shape(), msgs.shape(), "residual shape for peer {q}");
+            msgs.add_assign(&res[q]);
+        }
+        let (block, secs) = comm::timing::measure(|| encode_block(&msgs, &widths[q], rng));
+        stats.quant_cpu_seconds += secs;
+        stats.quant_ops += msgs.len() as f64 * ENCODE_OPS_PER_ELEMENT;
+        if let Some(res) = residuals.as_deref_mut() {
+            let (decoded, dsecs) =
+                comm::timing::measure(|| decode_block(&block).expect("own block decodes"));
+            stats.quant_cpu_seconds += dsecs;
+            stats.quant_ops += msgs.len() as f64 * (DECODE_OPS_PER_ELEMENT + 2.0);
+            let mut r = msgs;
+            r.sub_assign(&decoded);
+            res[q] = r;
+        }
+        stats.sent_bytes[q] = block.wire_len();
+        payloads.push(block.bytes);
+    }
+    let received = dev.ring_all2all(payloads);
+    for (q, payload) in received.into_iter().enumerate() {
+        let Some(payload) = payload else { continue };
+        stats.recv_bytes[q] = payload.len();
+        if payload.is_empty() {
+            continue;
+        }
+        let rows = part.send_sets[q].len();
+        let block = EncodedBlock {
+            bytes: payload,
+            rows,
+            dim,
+        };
+        let (decoded, secs) =
+            comm::timing::measure(|| decode_block(&block).expect("peer sent a well-formed block"));
+        stats.quant_cpu_seconds += secs;
+        stats.quant_ops += (rows * dim) as f64 * DECODE_OPS_PER_ELEMENT;
+        scatter_grads(part, grad_local, q, &decoded);
+    }
+    stats
+}
+
+/// Quantized forward exchange over the *group-major* wire format (the
+/// paper's exact serialization: messages grouped by bit-width, one
+/// contiguous code stream per group, no per-row width bytes). Requires the
+/// receive-side width tables the Adaptive Bit-width Assigner scatters
+/// (`recv_widths[src]` aligned with `part.recv_slots[src]`).
+///
+/// # Panics
+///
+/// Panics if width tables disagree with the partition.
+pub fn exchange_forward_grouped(
+    dev: &mut DeviceHandle,
+    part: &DevicePartition,
+    x: &Matrix,
+    send_widths: &[Vec<BitWidth>],
+    recv_widths: &[Vec<BitWidth>],
+    rng: &mut Rng,
+) -> (Matrix, ExchangeStats) {
+    let n = part.num_parts;
+    let dim = x.cols();
+    let mut stats = ExchangeStats::new(n);
+    let mut payloads: Vec<Bytes> = Vec::with_capacity(n);
+    for q in 0..n {
+        if q == part.rank || part.send_sets[q].is_empty() {
+            payloads.push(Bytes::new());
+            continue;
+        }
+        assert_eq!(
+            send_widths[q].len(),
+            part.send_sets[q].len(),
+            "one width per message to peer {q}"
+        );
+        let msgs = part.gather_send_rows(x, q);
+        let block = quant::encode_block_grouped(&msgs, &send_widths[q], rng);
+        stats.quant_ops += msgs.len() as f64 * ENCODE_OPS_PER_ELEMENT;
+        stats.sent_bytes[q] = block.wire_len();
+        payloads.push(block.bytes);
+    }
+    let received = dev.ring_all2all(payloads);
+    let mut halo = Matrix::zeros(part.num_halo(), dim);
+    for (q, payload) in received.into_iter().enumerate() {
+        let Some(payload) = payload else { continue };
+        stats.recv_bytes[q] = payload.len();
+        if payload.is_empty() {
+            continue;
+        }
+        let rows = part.recv_slots[q].len();
+        assert_eq!(
+            recv_widths[q].len(),
+            rows,
+            "one recv width per message from peer {q}"
+        );
+        let block = EncodedBlock {
+            bytes: payload,
+            rows,
+            dim,
+        };
+        let decoded = quant::decode_block_grouped(&block, &recv_widths[q])
+            .expect("peer sent a well-formed grouped block");
+        stats.quant_ops += (rows * dim) as f64 * DECODE_OPS_PER_ELEMENT;
+        for (r, &slot) in part.recv_slots[q].iter().enumerate() {
+            halo.row_mut(slot as usize).copy_from_slice(decoded.row(r));
+        }
+    }
+    (halo, stats)
+}
+
+/// Backward counterpart of [`exchange_forward_grouped`]: ships halo
+/// gradients back to owners in the group-major format. `send_widths[q]`
+/// aligns with `part.recv_slots[q]`; `recv_widths[q]` aligns with
+/// `part.send_sets[q]`.
+///
+/// # Panics
+///
+/// Panics if shapes or width tables disagree with the partition.
+pub fn exchange_backward_grouped(
+    dev: &mut DeviceHandle,
+    part: &DevicePartition,
+    grad_ext: &Matrix,
+    grad_local: &mut Matrix,
+    send_widths: &[Vec<BitWidth>],
+    recv_widths: &[Vec<BitWidth>],
+    rng: &mut Rng,
+) -> ExchangeStats {
+    let n = part.num_parts;
+    let dim = grad_ext.cols();
+    assert_eq!(grad_ext.rows(), part.num_ext(), "grad_ext shape");
+    let mut stats = ExchangeStats::new(n);
+    let mut payloads: Vec<Bytes> = Vec::with_capacity(n);
+    for q in 0..n {
+        if q == part.rank || part.recv_slots[q].is_empty() {
+            payloads.push(Bytes::new());
+            continue;
+        }
+        assert_eq!(
+            send_widths[q].len(),
+            part.recv_slots[q].len(),
+            "one width per gradient message to peer {q}"
+        );
+        let msgs = gather_halo_grads(part, grad_ext, q);
+        let block = quant::encode_block_grouped(&msgs, &send_widths[q], rng);
+        stats.quant_ops += msgs.len() as f64 * ENCODE_OPS_PER_ELEMENT;
+        stats.sent_bytes[q] = block.wire_len();
+        payloads.push(block.bytes);
+    }
+    let received = dev.ring_all2all(payloads);
+    for (q, payload) in received.into_iter().enumerate() {
+        let Some(payload) = payload else { continue };
+        stats.recv_bytes[q] = payload.len();
+        if payload.is_empty() {
+            continue;
+        }
+        let rows = part.send_sets[q].len();
+        assert_eq!(
+            recv_widths[q].len(),
+            rows,
+            "one recv width per gradient message from peer {q}"
+        );
+        let block = EncodedBlock {
+            bytes: payload,
+            rows,
+            dim,
+        };
+        let decoded = quant::decode_block_grouped(&block, &recv_widths[q])
+            .expect("peer sent a well-formed grouped block");
+        stats.quant_ops += (rows * dim) as f64 * DECODE_OPS_PER_ELEMENT;
+        scatter_grads(part, grad_local, q, &decoded);
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_bytes_roundtrip() {
+        let m = Matrix::from_rows(&[&[1.5, -2.25], &[0.0, 1e-7]]);
+        let b = matrix_to_bytes(&m);
+        assert_eq!(b.len(), 16);
+        assert_eq!(bytes_to_matrix(&b, 2, 2), m);
+    }
+
+    #[test]
+    fn stats_merge_accumulates() {
+        let mut a = ExchangeStats {
+            sent_bytes: vec![1, 2],
+            recv_bytes: vec![3, 4],
+            quant_cpu_seconds: 0.5,
+            quant_ops: 100.0,
+        };
+        let b = ExchangeStats {
+            sent_bytes: vec![10, 20],
+            recv_bytes: vec![30, 40],
+            quant_cpu_seconds: 0.25,
+            quant_ops: 50.0,
+        };
+        a.merge(&b);
+        assert_eq!(a.sent_bytes, vec![11, 22]);
+        assert_eq!(a.recv_bytes, vec![33, 44]);
+        assert!((a.quant_cpu_seconds - 0.75).abs() < 1e-12);
+        assert_eq!(a.quant_ops, 150.0);
+        assert_eq!(a.total_sent(), 33);
+    }
+
+    #[test]
+    fn ring_seconds_counts_rounds() {
+        let cost = CostModel::homogeneous(3, 1e6, 0.0);
+        let stats = ExchangeStats {
+            sent_bytes: vec![0, 1000, 2000],
+            recv_bytes: vec![0, 500, 4000],
+            quant_cpu_seconds: 0.0,
+            quant_ops: 0.0,
+        };
+        // rank 0: round 1 -> send to 1 (1ms) / recv from 2 (4ms) => 4ms;
+        //         round 2 -> send to 2 (2ms) / recv from 1 (0.5ms) => 2ms.
+        let t = stats.ring_seconds(&cost, 0);
+        assert!((t - 6e-3).abs() < 1e-9, "t = {t}");
+    }
+
+    #[test]
+    fn sequential_seconds_serializes_unicast_copies() {
+        let cost = CostModel::homogeneous(3, 1e6, 0.0);
+        let stats = ExchangeStats {
+            sent_bytes: vec![0, 3000, 1000],
+            recv_bytes: vec![0, 2000, 2000],
+            quant_cpu_seconds: 0.0,
+            quant_ops: 0.0,
+        };
+        // rank 0's view: own turn = 3ms + 1ms = 4ms; turn 1 broadcast 2000B
+        // to 2 peers = 4ms; turn 2 likewise = 4ms.
+        let t = stats.sequential_seconds(&cost, 0);
+        assert!((t - 12e-3).abs() < 1e-9, "t = {t}");
+    }
+}

@@ -1,0 +1,321 @@
+//! Sparse neighborhood aggregation over an extended (local + halo) index
+//! space.
+
+use graph::CsrGraph;
+use tensor::Matrix;
+
+/// A weighted aggregation operator `Z = A X`, where `A` is
+/// `num_target x num_ext` sparse with explicit per-edge coefficients.
+///
+/// For a full graph, `num_target == num_ext == |V|`. For a device-local
+/// partition, targets are the local nodes and the extended space appends
+/// halo slots holding remote neighbors' messages.
+///
+/// The same triples run the backward pass: `grad_X = A^T grad_Z`, which
+/// yields gradient rows for halo slots — exactly the embedding gradients
+/// ("errors") the backward pass must ship back to owner devices.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggGraph {
+    num_target: usize,
+    num_ext: usize,
+    offsets: Vec<usize>,
+    /// `(extended index, coefficient)` per entry, grouped by target row.
+    entries: Vec<(u32, f32)>,
+}
+
+impl AggGraph {
+    /// Builds from per-target neighbor lists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any entry index is `>= num_ext`.
+    pub fn from_rows(num_ext: usize, rows: Vec<Vec<(u32, f32)>>) -> Self {
+        let num_target = rows.len();
+        let mut offsets = Vec::with_capacity(num_target + 1);
+        offsets.push(0);
+        let mut entries = Vec::new();
+        for row in rows {
+            for &(idx, _) in &row {
+                assert!(
+                    (idx as usize) < num_ext,
+                    "entry {idx} out of range {num_ext}"
+                );
+            }
+            entries.extend(row);
+            offsets.push(entries.len());
+        }
+        Self {
+            num_target,
+            num_ext,
+            offsets,
+            entries,
+        }
+    }
+
+    /// GCN aggregation for a whole graph: `alpha_{u,v} = 1/sqrt(d_u d_v)`
+    /// over `graph` (which should already contain self loops).
+    pub fn full_graph_gcn(graph: &CsrGraph) -> Self {
+        let n = graph.num_nodes();
+        let rows = (0..n)
+            .map(|v| {
+                graph
+                    .neighbors(v)
+                    .iter()
+                    .map(|&u| (u, graph.gcn_coeff(u as usize, v)))
+                    .collect()
+            })
+            .collect();
+        Self::from_rows(n, rows)
+    }
+
+    /// GraphSAGE-mean aggregation for a whole graph: `1/d_v` over neighbors
+    /// (no self loop; the layer adds the self path separately).
+    pub fn full_graph_mean(graph: &CsrGraph) -> Self {
+        let n = graph.num_nodes();
+        let rows = (0..n)
+            .map(|v| {
+                let c = graph.mean_coeff(v);
+                graph.neighbors(v).iter().map(|&u| (u, c)).collect()
+            })
+            .collect();
+        Self::from_rows(n, rows)
+    }
+
+    /// GIN sum aggregation for a whole graph: unit coefficients over plain
+    /// neighbors (the learnable self path lives in the layer).
+    pub fn full_graph_sum(graph: &CsrGraph) -> Self {
+        let n = graph.num_nodes();
+        let rows = (0..n)
+            .map(|v| graph.neighbors(v).iter().map(|&u| (u, 1.0f32)).collect())
+            .collect();
+        Self::from_rows(n, rows)
+    }
+
+    /// Number of target rows produced by [`AggGraph::aggregate`].
+    pub fn num_target(&self) -> usize {
+        self.num_target
+    }
+
+    /// Size of the extended input index space.
+    pub fn num_ext(&self) -> usize {
+        self.num_ext
+    }
+
+    /// Number of weighted edges.
+    pub fn num_entries(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Number of weighted edges feeding the given target rows (the exact
+    /// multiply-add count of [`AggGraph::aggregate_rows`] per feature
+    /// column). Used by the simulated clock's analytic compute model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a target is out of range.
+    pub fn entries_for(&self, targets: &[u32]) -> usize {
+        targets
+            .iter()
+            .map(|&t| {
+                let v = t as usize;
+                assert!(v < self.num_target, "target {v} out of range");
+                self.offsets[v + 1] - self.offsets[v]
+            })
+            .sum()
+    }
+
+    /// Forward aggregation `Z = A X`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.rows() != num_ext()`.
+    pub fn aggregate(&self, x: &Matrix) -> Matrix {
+        assert_eq!(
+            x.rows(),
+            self.num_ext,
+            "input rows must cover extended space"
+        );
+        let mut out = Matrix::zeros(self.num_target, x.cols());
+        for v in 0..self.num_target {
+            let orow = out.row_mut(v);
+            for &(u, c) in &self.entries[self.offsets[v]..self.offsets[v + 1]] {
+                let xrow = x.row(u as usize);
+                for (o, &xv) in orow.iter_mut().zip(xrow) {
+                    *o += c * xv;
+                }
+            }
+        }
+        out
+    }
+
+    /// Forward aggregation restricted to the target rows in `targets`;
+    /// returns a `targets.len() x cols` matrix in the given order. Used to
+    /// compute the central graph while marginal messages are still in
+    /// flight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any target is out of range or `x.rows() != num_ext()`.
+    pub fn aggregate_rows(&self, x: &Matrix, targets: &[u32]) -> Matrix {
+        assert_eq!(
+            x.rows(),
+            self.num_ext,
+            "input rows must cover extended space"
+        );
+        let mut out = Matrix::zeros(targets.len(), x.cols());
+        for (k, &t) in targets.iter().enumerate() {
+            let v = t as usize;
+            assert!(v < self.num_target, "target {v} out of range");
+            let orow = out.row_mut(k);
+            for &(u, c) in &self.entries[self.offsets[v]..self.offsets[v + 1]] {
+                let xrow = x.row(u as usize);
+                for (o, &xv) in orow.iter_mut().zip(xrow) {
+                    *o += c * xv;
+                }
+            }
+        }
+        out
+    }
+
+    /// Backward pass `grad_X = A^T grad_Z` over the full extended space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grad.rows() != num_target()`.
+    pub fn backward(&self, grad: &Matrix) -> Matrix {
+        assert_eq!(grad.rows(), self.num_target, "grad rows must match targets");
+        let mut out = Matrix::zeros(self.num_ext, grad.cols());
+        for v in 0..self.num_target {
+            let grow = grad.row(v);
+            for &(u, c) in &self.entries[self.offsets[v]..self.offsets[v + 1]] {
+                let orow = out.row_mut(u as usize);
+                for (o, &gv) in orow.iter_mut().zip(grow) {
+                    *o += c * gv;
+                }
+            }
+        }
+        out
+    }
+
+    /// Sum of squared coefficients applied to extended slot `u` across all
+    /// targets — the `sum_alpha_sq` factor of `beta_k` (Sec. 4.2).
+    pub fn sum_alpha_sq(&self) -> Vec<f64> {
+        let mut sums = vec![0.0f64; self.num_ext];
+        for &(u, c) in &self.entries {
+            sums[u as usize] += (c as f64) * (c as f64);
+        }
+        sums
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graph::CsrGraph;
+
+    fn path3() -> CsrGraph {
+        CsrGraph::from_edges(3, &[(0, 1), (1, 2)]).with_self_loops()
+    }
+
+    #[test]
+    fn full_graph_gcn_matches_dense_reference() {
+        let g = path3();
+        let agg = AggGraph::full_graph_gcn(&g);
+        // Dense normalized adjacency.
+        let mut a = Matrix::zeros(3, 3);
+        for v in 0..3 {
+            for &u in g.neighbors(v) {
+                a.set(v, u as usize, g.gcn_coeff(u as usize, v));
+            }
+        }
+        let x = Matrix::from_fn(3, 4, |i, j| (i * 4 + j) as f32 * 0.3 - 1.0);
+        let fast = agg.aggregate(&x);
+        let dense = a.matmul(&x);
+        for (p, q) in fast.as_slice().iter().zip(dense.as_slice()) {
+            assert!((p - q).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn mean_aggregation_averages_neighbors() {
+        let g = CsrGraph::from_edges(3, &[(0, 1), (0, 2)]);
+        let agg = AggGraph::full_graph_mean(&g);
+        let x = Matrix::from_rows(&[&[0.0], &[2.0], &[4.0]]);
+        let z = agg.aggregate(&x);
+        assert!((z.at(0, 0) - 3.0).abs() < 1e-6); // mean(2, 4)
+        assert!((z.at(1, 0) - 0.0).abs() < 1e-6); // mean(0)
+    }
+
+    #[test]
+    fn backward_is_transpose_of_forward() {
+        // <A x, y> == <x, A^T y> for random x, y.
+        let g = path3();
+        let agg = AggGraph::full_graph_gcn(&g);
+        let mut rng = tensor::Rng::seed_from(3);
+        let x = Matrix::from_fn(3, 5, |_, _| rng.uniform(-1.0, 1.0));
+        let y = Matrix::from_fn(3, 5, |_, _| rng.uniform(-1.0, 1.0));
+        let ax = agg.aggregate(&x);
+        let aty = agg.backward(&y);
+        let lhs: f32 = ax
+            .as_slice()
+            .iter()
+            .zip(y.as_slice())
+            .map(|(a, b)| a * b)
+            .sum();
+        let rhs: f32 = x
+            .as_slice()
+            .iter()
+            .zip(aty.as_slice())
+            .map(|(a, b)| a * b)
+            .sum();
+        assert!((lhs - rhs).abs() < 1e-4, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn aggregate_rows_subset_matches_full() {
+        let g = path3();
+        let agg = AggGraph::full_graph_gcn(&g);
+        let x = Matrix::from_fn(3, 2, |i, j| (i + j) as f32);
+        let full = agg.aggregate(&x);
+        let sub = agg.aggregate_rows(&x, &[2, 0]);
+        assert_eq!(sub.row(0), full.row(2));
+        assert_eq!(sub.row(1), full.row(0));
+    }
+
+    #[test]
+    fn halo_extended_space() {
+        // 2 local targets, 3 extended slots (slot 2 is a halo copy).
+        let agg = AggGraph::from_rows(3, vec![vec![(0, 1.0), (2, 0.5)], vec![(1, 1.0)]]);
+        assert_eq!(agg.num_target(), 2);
+        assert_eq!(agg.num_ext(), 3);
+        let x = Matrix::from_rows(&[&[1.0], &[2.0], &[4.0]]);
+        let z = agg.aggregate(&x);
+        assert_eq!(z.at(0, 0), 3.0); // 1 + 0.5*4
+        assert_eq!(z.at(1, 0), 2.0);
+        // Backward produces a gradient row for the halo slot.
+        let grad = Matrix::from_rows(&[&[1.0], &[1.0]]);
+        let gx = agg.backward(&grad);
+        assert_eq!(gx.at(2, 0), 0.5);
+    }
+
+    #[test]
+    fn sum_alpha_sq_accumulates() {
+        let agg = AggGraph::from_rows(2, vec![vec![(0, 2.0), (1, 1.0)], vec![(1, 3.0)]]);
+        let s = agg.sum_alpha_sq();
+        assert_eq!(s, vec![4.0, 10.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_rows_validates_indices() {
+        let _ = AggGraph::from_rows(1, vec![vec![(1, 1.0)]]);
+    }
+
+    #[test]
+    fn empty_targets() {
+        let agg = AggGraph::from_rows(4, vec![]);
+        let x = Matrix::zeros(4, 3);
+        assert_eq!(agg.aggregate(&x).shape(), (0, 3));
+        assert_eq!(agg.backward(&Matrix::zeros(0, 3)).shape(), (4, 3));
+    }
+}

@@ -1,0 +1,428 @@
+//! One GNN layer: dense transform + LayerNorm + ReLU + dropout, with manual
+//! forward/backward and explicit caches.
+
+use tensor::{
+    dropout_backward, dropout_forward, layer_norm_backward, layer_norm_forward, relu_backward,
+    relu_forward, xavier_uniform, DropoutMask, LayerNormCache, Matrix, Rng,
+};
+
+/// Convolution family: decides how aggregation output enters the dense
+/// transform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConvKind {
+    /// GCN (Kipf & Welling): `h = act(LN(W * agg))`, self handled via the
+    /// graph's self loops.
+    Gcn,
+    /// GraphSAGE-mean (Hamilton et al.): `h = act(LN(W_self * x + W_neigh *
+    /// mean(neighbors)))`.
+    Sage,
+    /// GIN (Xu et al.): sum aggregation with a learnable self path,
+    /// `h = act(LN(W_self * x + W_neigh * sum(neighbors)))` — the
+    /// `(1 + eps)` self-scaling of the original formulation is subsumed by
+    /// the learnable `W_self`.
+    Gin,
+}
+
+impl ConvKind {
+    /// Whether the layer consumes the nodes' own features through a separate
+    /// learnable path (GCN routes self-information through its self loops
+    /// instead).
+    pub fn uses_self_path(self) -> bool {
+        matches!(self, ConvKind::Sage | ConvKind::Gin)
+    }
+}
+
+/// A single GNN layer with its parameters, gradients and forward caches.
+///
+/// Hidden layers apply `LayerNorm -> ReLU -> dropout` after the linear
+/// transform (the paper's configuration, Table 8); the output layer emits
+/// raw logits.
+#[derive(Debug, Clone)]
+pub struct GnnLayer {
+    kind: ConvKind,
+    in_dim: usize,
+    out_dim: usize,
+    is_output: bool,
+    dropout: f32,
+
+    w_neigh: Matrix,
+    w_self: Option<Matrix>,
+    bias: Vec<f32>,
+    ln_gamma: Vec<f32>,
+    ln_beta: Vec<f32>,
+
+    gw_neigh: Matrix,
+    gw_self: Option<Matrix>,
+    gbias: Vec<f32>,
+    gln_gamma: Vec<f32>,
+    gln_beta: Vec<f32>,
+
+    cache_agg: Option<Matrix>,
+    cache_self: Option<Matrix>,
+    cache_ln: Option<LayerNormCache>,
+    cache_relu_in: Option<Matrix>,
+    cache_dropout: Option<DropoutMask>,
+}
+
+impl GnnLayer {
+    /// Creates a layer with Xavier-initialized weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a dimension is zero or `dropout` is outside `[0, 1)`.
+    pub fn new(
+        kind: ConvKind,
+        in_dim: usize,
+        out_dim: usize,
+        is_output: bool,
+        dropout: f32,
+        rng: &mut Rng,
+    ) -> Self {
+        assert!(in_dim > 0 && out_dim > 0, "zero layer dimension");
+        assert!((0.0..1.0).contains(&dropout), "dropout must be in [0,1)");
+        let w_neigh = xavier_uniform(in_dim, out_dim, rng);
+        let w_self = if kind.uses_self_path() {
+            Some(xavier_uniform(in_dim, out_dim, rng))
+        } else {
+            None
+        };
+        Self {
+            kind,
+            in_dim,
+            out_dim,
+            is_output,
+            dropout,
+            gw_neigh: Matrix::zeros(in_dim, out_dim),
+            gw_self: w_self.as_ref().map(|_| Matrix::zeros(in_dim, out_dim)),
+            w_neigh,
+            w_self,
+            bias: vec![0.0; out_dim],
+            ln_gamma: vec![1.0; out_dim],
+            ln_beta: vec![0.0; out_dim],
+            gbias: vec![0.0; out_dim],
+            gln_gamma: vec![0.0; out_dim],
+            gln_beta: vec![0.0; out_dim],
+            cache_agg: None,
+            cache_self: None,
+            cache_ln: None,
+            cache_relu_in: None,
+            cache_dropout: None,
+        }
+    }
+
+    /// Input feature dimension.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output feature dimension.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Convolution family.
+    pub fn kind(&self) -> ConvKind {
+        self.kind
+    }
+
+    /// Whether this layer produces raw logits.
+    pub fn is_output(&self) -> bool {
+        self.is_output
+    }
+
+    /// Dense part of the forward pass.
+    ///
+    /// `agg` is the aggregated neighborhood (`num_nodes x in_dim`); for SAGE
+    /// `x_self` must be the nodes' own features; GCN ignores it.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch, or if SAGE is missing `x_self`.
+    pub fn forward_dense(
+        &mut self,
+        agg: &Matrix,
+        x_self: Option<&Matrix>,
+        training: bool,
+        rng: &mut Rng,
+    ) -> Matrix {
+        assert_eq!(agg.cols(), self.in_dim, "agg feature dim mismatch");
+        let mut lin = agg.matmul(&self.w_neigh);
+        if let Some(ws) = &self.w_self {
+            let xs = x_self.expect("this layer kind requires x_self");
+            assert_eq!(xs.shape(), agg.shape(), "x_self shape mismatch");
+            lin.add_assign(&xs.matmul(ws));
+            self.cache_self = Some(xs.clone());
+        }
+        lin.add_row_vector(&self.bias);
+        self.cache_agg = Some(agg.clone());
+        if self.is_output {
+            self.cache_ln = None;
+            self.cache_relu_in = None;
+            self.cache_dropout = None;
+            return lin;
+        }
+        let (ln_out, ln_cache) = layer_norm_forward(&lin, &self.ln_gamma, &self.ln_beta);
+        self.cache_ln = Some(ln_cache);
+        self.cache_relu_in = Some(ln_out.clone());
+        let act = relu_forward(&ln_out);
+        if training && self.dropout > 0.0 {
+            let (dropped, mask) = dropout_forward(&act, self.dropout, rng);
+            self.cache_dropout = Some(mask);
+            dropped
+        } else {
+            self.cache_dropout = None;
+            act
+        }
+    }
+
+    /// Dense part of the backward pass. Accumulates parameter gradients and
+    /// returns `(grad_agg, grad_self)` (the latter `None` for GCN).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before `forward_dense` or on shape mismatch.
+    pub fn backward_dense(&mut self, grad_out: &Matrix) -> (Matrix, Option<Matrix>) {
+        let agg = self
+            .cache_agg
+            .take()
+            .expect("backward_dense before forward_dense");
+        let mut grad = grad_out.clone();
+        if !self.is_output {
+            if let Some(mask) = self.cache_dropout.take() {
+                grad = dropout_backward(&grad, &mask);
+            }
+            let relu_in = self.cache_relu_in.take().expect("missing relu cache");
+            grad = relu_backward(&grad, &relu_in);
+            let ln_cache = self.cache_ln.take().expect("missing layernorm cache");
+            let (g, ggamma, gbeta) = layer_norm_backward(&grad, &ln_cache, &self.ln_gamma);
+            grad = g;
+            for (a, b) in self.gln_gamma.iter_mut().zip(ggamma) {
+                *a += b;
+            }
+            for (a, b) in self.gln_beta.iter_mut().zip(gbeta) {
+                *a += b;
+            }
+        }
+        // grad wrt linear: accumulate weight/bias grads, propagate input grads.
+        self.gw_neigh.add_assign(&agg.matmul_tn(&grad));
+        for (b, s) in self.gbias.iter_mut().zip(grad.column_sums()) {
+            *b += s;
+        }
+        let grad_agg = grad.matmul_nt(&self.w_neigh);
+        let grad_self = match (&self.w_self, self.cache_self.take()) {
+            (Some(ws), Some(xs)) => {
+                self.gw_self
+                    .as_mut()
+                    .expect("sage grad buffer")
+                    .add_assign(&xs.matmul_tn(&grad));
+                Some(grad.matmul_nt(ws))
+            }
+            _ => None,
+        };
+        (grad_agg, grad_self)
+    }
+
+    /// Zeroes accumulated gradients.
+    pub fn zero_grads(&mut self) {
+        self.gw_neigh.scale(0.0);
+        if let Some(g) = &mut self.gw_self {
+            g.scale(0.0);
+        }
+        self.gbias.iter_mut().for_each(|v| *v = 0.0);
+        self.gln_gamma.iter_mut().for_each(|v| *v = 0.0);
+        self.gln_beta.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    /// Number of scalar parameters.
+    pub fn param_count(&self) -> usize {
+        let mut n = self.w_neigh.len() + self.bias.len() + self.ln_gamma.len() + self.ln_beta.len();
+        if let Some(ws) = &self.w_self {
+            n += ws.len();
+        }
+        n
+    }
+
+    /// Appends parameters to `out` in a fixed order.
+    pub fn write_params(&self, out: &mut Vec<f32>) {
+        out.extend_from_slice(self.w_neigh.as_slice());
+        if let Some(ws) = &self.w_self {
+            out.extend_from_slice(ws.as_slice());
+        }
+        out.extend_from_slice(&self.bias);
+        out.extend_from_slice(&self.ln_gamma);
+        out.extend_from_slice(&self.ln_beta);
+    }
+
+    /// Appends gradients to `out` in the same order as [`Self::write_params`].
+    pub fn write_grads(&self, out: &mut Vec<f32>) {
+        out.extend_from_slice(self.gw_neigh.as_slice());
+        if let Some(gs) = &self.gw_self {
+            out.extend_from_slice(gs.as_slice());
+        }
+        out.extend_from_slice(&self.gbias);
+        out.extend_from_slice(&self.gln_gamma);
+        out.extend_from_slice(&self.gln_beta);
+    }
+
+    /// Loads parameters from `src` starting at `offset`; returns the new
+    /// offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` is too short.
+    pub fn read_params(&mut self, src: &[f32], mut offset: usize) -> usize {
+        let take = |buf: &mut [f32], src: &[f32], off: usize| {
+            buf.copy_from_slice(&src[off..off + buf.len()]);
+            off + buf.len()
+        };
+        offset = take(self.w_neigh.as_mut_slice(), src, offset);
+        if let Some(ws) = &mut self.w_self {
+            offset = take(ws.as_mut_slice(), src, offset);
+        }
+        offset = take(&mut self.bias, src, offset);
+        offset = take(&mut self.ln_gamma, src, offset);
+        take(&mut self.ln_beta, src, offset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcn_layer_shapes() {
+        let mut rng = Rng::seed_from(1);
+        let mut layer = GnnLayer::new(ConvKind::Gcn, 8, 4, false, 0.0, &mut rng);
+        let agg = Matrix::from_fn(5, 8, |_, _| rng.uniform(-1.0, 1.0));
+        let y = layer.forward_dense(&agg, None, false, &mut rng);
+        assert_eq!(y.shape(), (5, 4));
+        let (ga, gs) = layer.backward_dense(&Matrix::full(5, 4, 1.0));
+        assert_eq!(ga.shape(), (5, 8));
+        assert!(gs.is_none());
+    }
+
+    #[test]
+    fn sage_layer_uses_self_path() {
+        let mut rng = Rng::seed_from(2);
+        let mut layer = GnnLayer::new(ConvKind::Sage, 6, 3, true, 0.0, &mut rng);
+        let agg = Matrix::zeros(4, 6);
+        let xs = Matrix::from_fn(4, 6, |_, _| rng.uniform(-1.0, 1.0));
+        // With zero aggregation, output depends only on the self path.
+        let y = layer.forward_dense(&agg, Some(&xs), false, &mut rng);
+        let y0 = layer.forward_dense(&agg, Some(&Matrix::zeros(4, 6)), false, &mut rng);
+        assert!(y.as_slice().iter().any(|&v| v.abs() > 1e-4));
+        // Zero input + zero agg = bias only (zero-initialized).
+        assert!(y0.as_slice().iter().all(|&v| v.abs() < 1e-6));
+        let (_, gs) = layer.backward_dense(&Matrix::full(4, 3, 1.0));
+        assert!(gs.is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "requires x_self")]
+    fn sage_without_self_panics() {
+        let mut rng = Rng::seed_from(3);
+        let mut layer = GnnLayer::new(ConvKind::Sage, 4, 2, false, 0.0, &mut rng);
+        let agg = Matrix::zeros(2, 4);
+        let _ = layer.forward_dense(&agg, None, false, &mut rng);
+    }
+
+    #[test]
+    fn output_layer_skips_norm_and_activation() {
+        let mut rng = Rng::seed_from(4);
+        let mut layer = GnnLayer::new(ConvKind::Gcn, 4, 2, true, 0.5, &mut rng);
+        let agg = Matrix::from_fn(3, 4, |_, _| -1.0);
+        let y = layer.forward_dense(&agg, None, true, &mut rng);
+        // Logits may be negative (no ReLU) and dropout must not apply.
+        let y2 = layer.forward_dense(&agg, None, true, &mut rng);
+        assert_eq!(y, y2, "output layer must be deterministic");
+    }
+
+    #[test]
+    fn param_roundtrip() {
+        let mut rng = Rng::seed_from(5);
+        let layer = GnnLayer::new(ConvKind::Sage, 4, 3, false, 0.1, &mut rng);
+        let mut params = Vec::new();
+        layer.write_params(&mut params);
+        assert_eq!(params.len(), layer.param_count());
+        // Perturb then restore.
+        let saved = params.clone();
+        let mut layer2 = layer.clone();
+        let zeros = vec![0.5f32; params.len()];
+        layer2.read_params(&zeros, 0);
+        let mut after = Vec::new();
+        layer2.write_params(&mut after);
+        assert!(after.iter().all(|&v| v == 0.5));
+        layer2.read_params(&saved, 0);
+        let mut restored = Vec::new();
+        layer2.write_params(&mut restored);
+        assert_eq!(restored, saved);
+    }
+
+    #[test]
+    fn gradient_check_gcn_hidden_layer() {
+        // Finite differences through lin + LN + ReLU wrt weights and input.
+        let mut rng = Rng::seed_from(6);
+        let mut layer = GnnLayer::new(ConvKind::Gcn, 3, 4, false, 0.0, &mut rng);
+        let agg = Matrix::from_fn(5, 3, |_, _| rng.uniform(-1.0, 1.0));
+        let loss = |layer: &mut GnnLayer, agg: &Matrix, rng: &mut Rng| -> f32 {
+            let y = layer.forward_dense(agg, None, false, rng);
+            // Smooth-ish scalar objective.
+            y.as_slice().iter().map(|v| v * v).sum::<f32>() * 0.5
+        };
+        // Analytic grads.
+        layer.zero_grads();
+        let y = layer.forward_dense(&agg, None, false, &mut rng);
+        let (grad_agg, _) = layer.backward_dense(&y);
+        let mut analytic = Vec::new();
+        layer.write_grads(&mut analytic);
+        // Numeric wrt first few weight entries.
+        let mut params = Vec::new();
+        layer.write_params(&mut params);
+        let eps = 1e-2;
+        for idx in [0usize, 3, 7, 11] {
+            let mut pp = params.clone();
+            pp[idx] += eps;
+            layer.read_params(&pp, 0);
+            let lp = loss(&mut layer, &agg, &mut rng);
+            pp[idx] -= 2.0 * eps;
+            layer.read_params(&pp, 0);
+            let lm = loss(&mut layer, &agg, &mut rng);
+            layer.read_params(&params, 0);
+            let num = (lp - lm) / (2.0 * eps);
+            assert!(
+                (num - analytic[idx]).abs() < 3e-2 * (1.0 + num.abs()),
+                "param {idx}: numeric {num} vs analytic {}",
+                analytic[idx]
+            );
+        }
+        // Numeric wrt one input entry.
+        let (i, j) = (2, 1);
+        let mut ap = agg.clone();
+        ap.set(i, j, ap.at(i, j) + eps);
+        let lp = loss(&mut layer, &ap, &mut rng);
+        ap.set(i, j, ap.at(i, j) - 2.0 * eps);
+        let lm = loss(&mut layer, &ap, &mut rng);
+        let num = (lp - lm) / (2.0 * eps);
+        assert!(
+            (num - grad_agg.at(i, j)).abs() < 3e-2 * (1.0 + num.abs()),
+            "input grad: numeric {num} vs analytic {}",
+            grad_agg.at(i, j)
+        );
+    }
+
+    #[test]
+    fn zero_grads_clears_accumulation() {
+        let mut rng = Rng::seed_from(7);
+        let mut layer = GnnLayer::new(ConvKind::Gcn, 3, 2, true, 0.0, &mut rng);
+        let agg = Matrix::full(2, 3, 1.0);
+        let _ = layer.forward_dense(&agg, None, false, &mut rng);
+        let _ = layer.backward_dense(&Matrix::full(2, 2, 1.0));
+        let mut grads = Vec::new();
+        layer.write_grads(&mut grads);
+        assert!(grads.iter().any(|&g| g != 0.0));
+        layer.zero_grads();
+        grads.clear();
+        layer.write_grads(&mut grads);
+        assert!(grads.iter().all(|&g| g == 0.0));
+    }
+}

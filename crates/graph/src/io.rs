@@ -1,0 +1,520 @@
+//! Dataset persistence: plain-text edge lists and a compact binary format.
+//!
+//! The reproduction generates synthetic stand-ins, but a downstream user of
+//! this crate will want to train on real graphs. This module reads and
+//! writes:
+//!
+//! * **edge lists** — one `u v` pair per line, `#` comments allowed (the
+//!   format SNAP/OGB dumps use);
+//! * **full datasets** — a little-endian binary container with graph,
+//!   features, labels and splits, round-tripping [`Dataset`] exactly.
+
+use crate::{CsrGraph, Dataset, Labels, Task};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+use tensor::Matrix;
+
+/// Magic bytes of the binary dataset container.
+const MAGIC: &[u8; 8] = b"ADAQPDS1";
+
+/// Errors raised while loading graph data.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+    /// A line or field failed to parse.
+    Parse {
+        /// 1-based line number of the offending input.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The binary container is malformed.
+    Format(String),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "i/o error: {e}"),
+            IoError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            IoError::Format(m) => write!(f, "bad dataset container: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Reads an undirected edge list (`u v` per line; `#` starts a comment).
+/// Node count is `max id + 1` unless `num_nodes` forces a larger graph.
+///
+/// # Errors
+///
+/// Returns [`IoError`] on unreadable files or malformed lines.
+pub fn read_edge_list(path: &Path, num_nodes: Option<usize>) -> Result<CsrGraph, IoError> {
+    let file = std::fs::File::open(path)?;
+    let reader = BufReader::new(file);
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let mut max_id = 0u32;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let parse = |tok: Option<&str>, lineno: usize| -> Result<u32, IoError> {
+            tok.ok_or_else(|| IoError::Parse {
+                line: lineno + 1,
+                message: "expected two node ids".into(),
+            })?
+            .parse()
+            .map_err(|e| IoError::Parse {
+                line: lineno + 1,
+                message: format!("bad node id: {e}"),
+            })
+        };
+        let u = parse(it.next(), lineno)?;
+        let v = parse(it.next(), lineno)?;
+        max_id = max_id.max(u).max(v);
+        edges.push((u, v));
+    }
+    let n = num_nodes.unwrap_or(0).max(if edges.is_empty() {
+        0
+    } else {
+        max_id as usize + 1
+    });
+    Ok(CsrGraph::from_edges(n, &edges))
+}
+
+/// Writes a graph as an undirected edge list (each edge once, `u <= v`).
+///
+/// # Errors
+///
+/// Returns [`IoError`] on write failures.
+pub fn write_edge_list(graph: &CsrGraph, path: &Path) -> Result<(), IoError> {
+    let file = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(file);
+    writeln!(w, "# {} nodes, undirected edge list", graph.num_nodes())?;
+    for (u, v) in graph.edges() {
+        writeln!(w, "{u} {v}")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a graph in METIS `.graph` format: a header line
+/// `<num_nodes> <num_edges> [fmt]`, then one line per node listing its
+/// (1-indexed) neighbors. Only the unweighted format (`fmt` absent or `0`)
+/// is supported.
+///
+/// # Errors
+///
+/// Returns [`IoError`] on unreadable files, malformed headers/lines,
+/// out-of-range neighbor ids or unsupported weighted formats.
+pub fn read_metis_graph(path: &Path) -> Result<CsrGraph, IoError> {
+    let file = std::fs::File::open(path)?;
+    let reader = BufReader::new(file);
+    // '%' starts a comment line in METIS format. Empty lines are *valid*
+    // adjacency lines (isolated nodes), so only comments are skipped —
+    // except before the header, where blank lines are also tolerated.
+    let mut lines = reader
+        .lines()
+        .enumerate()
+        .filter_map(|(no, line)| match line {
+            Ok(l) => {
+                let t = l.trim().to_string();
+                if t.starts_with('%') {
+                    None
+                } else {
+                    Some(Ok((no, t)))
+                }
+            }
+            Err(e) => Some(Err(IoError::from(e))),
+        });
+    let mut lines = lines.by_ref().skip_while(|r| match r {
+        Ok((_, t)) => t.is_empty(),
+        Err(_) => false,
+    });
+    let (hdr_no, header) = lines
+        .next()
+        .ok_or_else(|| IoError::Format("empty file".into()))??;
+    let mut hdr = header.split_whitespace();
+    let parse_usize = |tok: Option<&str>, line: usize| -> Result<usize, IoError> {
+        tok.ok_or_else(|| IoError::Parse {
+            line: line + 1,
+            message: "missing header field".into(),
+        })?
+        .parse()
+        .map_err(|e| IoError::Parse {
+            line: line + 1,
+            message: format!("bad number: {e}"),
+        })
+    };
+    let n = parse_usize(hdr.next(), hdr_no)?;
+    let _m = parse_usize(hdr.next(), hdr_no)?;
+    if let Some(fmt) = hdr.next() {
+        if fmt != "0" && fmt != "00" && fmt != "000" {
+            return Err(IoError::Format(format!(
+                "weighted METIS format `{fmt}` not supported"
+            )));
+        }
+    }
+    let mut adj: Vec<Vec<u32>> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let Some(next) = lines.next() else {
+            return Err(IoError::Format(format!(
+                "expected {n} adjacency lines, file ended after {}",
+                adj.len()
+            )));
+        };
+        let (no, line) = next?;
+        let mut nbrs = Vec::new();
+        for tok in line.split_whitespace() {
+            let id: usize = tok.parse().map_err(|e| IoError::Parse {
+                line: no + 1,
+                message: format!("bad neighbor id: {e}"),
+            })?;
+            if id == 0 || id > n {
+                return Err(IoError::Parse {
+                    line: no + 1,
+                    message: format!("neighbor id {id} out of range 1..={n}"),
+                });
+            }
+            nbrs.push((id - 1) as u32);
+        }
+        adj.push(nbrs);
+    }
+    Ok(CsrGraph::from_adjacency(adj))
+}
+
+/// Writes a graph in METIS `.graph` format (unweighted, 1-indexed).
+///
+/// # Errors
+///
+/// Returns [`IoError`] on write failures.
+pub fn write_metis_graph(graph: &CsrGraph, path: &Path) -> Result<(), IoError> {
+    let file = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(file);
+    // METIS counts undirected edges once; self loops are not representable.
+    let undirected = graph.edges().filter(|&(u, v)| u != v).count();
+    writeln!(w, "{} {}", graph.num_nodes(), undirected)?;
+    for v in 0..graph.num_nodes() {
+        let line: Vec<String> = graph
+            .neighbors(v)
+            .iter()
+            .filter(|&&u| u as usize != v)
+            .map(|&u| (u + 1).to_string())
+            .collect();
+        writeln!(w, "{}", line.join(" "))?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+fn put_u64(w: &mut impl Write, v: u64) -> std::io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn put_f32s(w: &mut impl Write, vs: &[f32]) -> std::io::Result<()> {
+    for v in vs {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+fn get_u64(r: &mut impl Read) -> Result<u64, IoError> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn get_f32s(r: &mut impl Read, n: usize) -> Result<Vec<f32>, IoError> {
+    let mut raw = vec![0u8; n * 4];
+    r.read_exact(&mut raw)?;
+    Ok(raw
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect())
+}
+
+/// Saves a full dataset to the binary container format.
+///
+/// # Errors
+///
+/// Returns [`IoError`] on write failures.
+pub fn save_dataset(ds: &Dataset, path: &Path) -> Result<(), IoError> {
+    let file = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(file);
+    w.write_all(MAGIC)?;
+    // Name.
+    let name = ds.name.as_bytes();
+    put_u64(&mut w, name.len() as u64)?;
+    w.write_all(name)?;
+    // Graph: node count + flattened (u, v) pairs.
+    let edges: Vec<(u32, u32)> = ds.graph.edges().collect();
+    put_u64(&mut w, ds.num_nodes() as u64)?;
+    put_u64(&mut w, edges.len() as u64)?;
+    for (u, v) in &edges {
+        w.write_all(&u.to_le_bytes())?;
+        w.write_all(&v.to_le_bytes())?;
+    }
+    // Features.
+    put_u64(&mut w, ds.features.rows() as u64)?;
+    put_u64(&mut w, ds.features.cols() as u64)?;
+    put_f32s(&mut w, ds.features.as_slice())?;
+    // Labels.
+    put_u64(&mut w, ds.num_classes as u64)?;
+    match &ds.labels {
+        Labels::Single(classes) => {
+            put_u64(&mut w, 0)?;
+            put_u64(&mut w, classes.len() as u64)?;
+            for &c in classes {
+                put_u64(&mut w, c as u64)?;
+            }
+        }
+        Labels::Multi(m) => {
+            put_u64(&mut w, 1)?;
+            put_u64(&mut w, m.rows() as u64)?;
+            put_f32s(&mut w, m.as_slice())?;
+        }
+    }
+    // Masks, bit-packed as bytes.
+    for mask in [&ds.train_mask, &ds.val_mask, &ds.test_mask] {
+        put_u64(&mut w, mask.len() as u64)?;
+        let bytes: Vec<u8> = mask.iter().map(|&b| u8::from(b)).collect();
+        w.write_all(&bytes)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Loads a dataset written by [`save_dataset`].
+///
+/// # Errors
+///
+/// Returns [`IoError`] on read failures or malformed containers.
+pub fn load_dataset(path: &Path) -> Result<Dataset, IoError> {
+    let file = std::fs::File::open(path)?;
+    let mut r = BufReader::new(file);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(IoError::Format("wrong magic bytes".into()));
+    }
+    let name_len = get_u64(&mut r)? as usize;
+    let mut name_raw = vec![0u8; name_len];
+    r.read_exact(&mut name_raw)?;
+    let name = String::from_utf8(name_raw)
+        .map_err(|_| IoError::Format("dataset name is not UTF-8".into()))?;
+    let num_nodes = get_u64(&mut r)? as usize;
+    let num_edges = get_u64(&mut r)? as usize;
+    let mut edges = Vec::with_capacity(num_edges);
+    let mut raw = vec![0u8; 8];
+    for _ in 0..num_edges {
+        r.read_exact(&mut raw)?;
+        let u = u32::from_le_bytes([raw[0], raw[1], raw[2], raw[3]]);
+        let v = u32::from_le_bytes([raw[4], raw[5], raw[6], raw[7]]);
+        edges.push((u, v));
+    }
+    let graph = CsrGraph::from_edges(num_nodes, &edges);
+    let frows = get_u64(&mut r)? as usize;
+    let fcols = get_u64(&mut r)? as usize;
+    let fdata = get_f32s(&mut r, frows * fcols)?;
+    let features = Matrix::from_vec(frows, fcols, fdata)
+        .map_err(|e| IoError::Format(format!("feature matrix: {e}")))?;
+    let num_classes = get_u64(&mut r)? as usize;
+    let label_kind = get_u64(&mut r)?;
+    let (labels, task) = match label_kind {
+        0 => {
+            let n = get_u64(&mut r)? as usize;
+            let mut classes = Vec::with_capacity(n);
+            for _ in 0..n {
+                classes.push(get_u64(&mut r)? as usize);
+            }
+            (Labels::Single(classes), Task::SingleLabel)
+        }
+        1 => {
+            let rows = get_u64(&mut r)? as usize;
+            let data = get_f32s(&mut r, rows * num_classes)?;
+            let m = Matrix::from_vec(rows, num_classes, data)
+                .map_err(|e| IoError::Format(format!("label matrix: {e}")))?;
+            (Labels::Multi(m), Task::MultiLabel)
+        }
+        k => return Err(IoError::Format(format!("unknown label kind {k}"))),
+    };
+    let mut read_mask = || -> Result<Vec<bool>, IoError> {
+        let n = get_u64(&mut r)? as usize;
+        let mut raw = vec![0u8; n];
+        r.read_exact(&mut raw)?;
+        Ok(raw.into_iter().map(|b| b != 0).collect())
+    };
+    let train_mask = read_mask()?;
+    let val_mask = read_mask()?;
+    let test_mask = read_mask()?;
+    Ok(Dataset {
+        name,
+        graph,
+        features,
+        labels,
+        num_classes,
+        task,
+        train_mask,
+        val_mask,
+        test_mask,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DatasetSpec;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("adaqp-graph-io-tests");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir.join(name)
+    }
+
+    #[test]
+    fn edge_list_roundtrip() {
+        let g = CsrGraph::from_edges(5, &[(0, 1), (1, 2), (3, 4), (0, 4)]);
+        let path = tmp("edges.txt");
+        write_edge_list(&g, &path).expect("write");
+        let g2 = read_edge_list(&path, None).expect("read");
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn edge_list_comments_and_blanks() {
+        let path = tmp("comments.txt");
+        std::fs::write(&path, "# header\n\n0 1\n # indented comment\n2 3\n").expect("write");
+        let g = read_edge_list(&path, None).expect("read");
+        assert_eq!(g.num_nodes(), 4);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(2, 3));
+    }
+
+    #[test]
+    fn edge_list_bad_line_reports_position() {
+        let path = tmp("bad.txt");
+        std::fs::write(&path, "0 1\nnot numbers\n").expect("write");
+        match read_edge_list(&path, None) {
+            Err(IoError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn edge_list_num_nodes_override() {
+        let path = tmp("override.txt");
+        std::fs::write(&path, "0 1\n").expect("write");
+        let g = read_edge_list(&path, Some(10)).expect("read");
+        assert_eq!(g.num_nodes(), 10);
+    }
+
+    #[test]
+    fn dataset_roundtrip_single_label() {
+        let ds = DatasetSpec::tiny().generate(3);
+        let path = tmp("tiny.bin");
+        save_dataset(&ds, &path).expect("save");
+        let ds2 = load_dataset(&path).expect("load");
+        assert_eq!(ds.name, ds2.name);
+        assert_eq!(ds.graph, ds2.graph);
+        assert_eq!(ds.features, ds2.features);
+        assert_eq!(ds.train_mask, ds2.train_mask);
+        assert_eq!(ds.val_mask, ds2.val_mask);
+        assert_eq!(ds.test_mask, ds2.test_mask);
+        assert_eq!(ds.single_labels(), ds2.single_labels());
+        assert_eq!(ds2.task, Task::SingleLabel);
+    }
+
+    #[test]
+    fn dataset_roundtrip_multi_label() {
+        let spec = DatasetSpec {
+            task: Task::MultiLabel,
+            ..DatasetSpec::tiny()
+        };
+        let ds = spec.generate(4);
+        let path = tmp("tiny-multi.bin");
+        save_dataset(&ds, &path).expect("save");
+        let ds2 = load_dataset(&path).expect("load");
+        assert_eq!(ds.multi_targets(), ds2.multi_targets());
+        assert_eq!(ds2.task, Task::MultiLabel);
+    }
+
+    #[test]
+    fn metis_roundtrip() {
+        let g = CsrGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)]);
+        let path = tmp("ring.graph");
+        write_metis_graph(&g, &path).expect("write");
+        let g2 = read_metis_graph(&path).expect("read");
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn metis_format_content() {
+        let g = CsrGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        let path = tmp("path.graph");
+        write_metis_graph(&g, &path).expect("write");
+        let content = std::fs::read_to_string(&path).expect("read back");
+        let lines: Vec<&str> = content.lines().collect();
+        assert_eq!(lines[0], "3 2");
+        assert_eq!(lines[1], "2"); // node 1's neighbor is node 2 (1-indexed)
+        assert_eq!(lines[2], "1 3");
+        assert_eq!(lines[3], "2");
+    }
+
+    #[test]
+    fn metis_comments_and_isolated_nodes() {
+        let path = tmp("comments.graph");
+        std::fs::write(&path, "% a comment\n4 1\n2\n1\n\n\n").expect("write");
+        let g = read_metis_graph(&path).expect("read");
+        assert_eq!(g.num_nodes(), 4);
+        assert!(g.has_edge(0, 1));
+        assert_eq!(g.degree(2), 0);
+    }
+
+    #[test]
+    fn metis_rejects_weighted_format() {
+        let path = tmp("weighted.graph");
+        std::fs::write(&path, "2 1 011\n2 5\n1 5\n").expect("write");
+        match read_metis_graph(&path) {
+            Err(IoError::Format(m)) => assert!(m.contains("not supported")),
+            other => panic!("expected format error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn metis_rejects_out_of_range_neighbor() {
+        let path = tmp("oob.graph");
+        std::fs::write(&path, "2 1\n3\n1\n").expect("write");
+        assert!(matches!(
+            read_metis_graph(&path),
+            Err(IoError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn metis_truncated_file() {
+        let path = tmp("short.graph");
+        std::fs::write(&path, "3 2\n2\n").expect("write");
+        assert!(matches!(read_metis_graph(&path), Err(IoError::Format(_))));
+    }
+
+    #[test]
+    fn wrong_magic_is_rejected() {
+        let path = tmp("garbage.bin");
+        std::fs::write(&path, b"NOTADSET whatever").expect("write");
+        match load_dataset(&path) {
+            Err(IoError::Format(m)) => assert!(m.contains("magic")),
+            other => panic!("expected format error, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,372 @@
+//! Partition-quality and communication-volume statistics.
+//!
+//! These measurements drive Table 1 (communication cost and remote-neighbor
+//! ratio) and Fig. 2 (per-device-pair data volume) of the paper.
+
+use crate::{CsrGraph, Partition};
+use serde::{Deserialize, Serialize};
+
+/// Number of undirected edges whose endpoints lie in different parts.
+///
+/// # Panics
+///
+/// Panics if `partition.assignment.len() != graph.num_nodes()`.
+pub fn edge_cut(graph: &CsrGraph, partition: &Partition) -> usize {
+    assert_eq!(
+        partition.assignment.len(),
+        graph.num_nodes(),
+        "partition size mismatch"
+    );
+    graph
+        .edges()
+        .filter(|&(u, v)| partition.assignment[u as usize] != partition.assignment[v as usize])
+        .count()
+}
+
+/// Per-partition boundary structure: which local nodes must be sent where,
+/// and which remote nodes must be received from where.
+///
+/// `send_sets[p][q]` lists nodes owned by `p` that have at least one neighbor
+/// in `q` (their messages travel `p -> q` each layer); by symmetry of the
+/// undirected graph this equals the set of nodes `q` must receive from `p`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BoundaryInfo {
+    /// Parts count.
+    pub k: usize,
+    /// `send_sets[p][q]`: sorted node ids owned by `p` with a neighbor in `q`.
+    pub send_sets: Vec<Vec<Vec<u32>>>,
+}
+
+impl BoundaryInfo {
+    /// Computes boundary sets for a graph/partition pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if sizes disagree.
+    pub fn build(graph: &CsrGraph, partition: &Partition) -> Self {
+        assert_eq!(
+            partition.assignment.len(),
+            graph.num_nodes(),
+            "partition size mismatch"
+        );
+        let k = partition.k;
+        let mut send_sets: Vec<Vec<Vec<u32>>> = vec![vec![Vec::new(); k]; k];
+        for v in 0..graph.num_nodes() {
+            let pv = partition.assignment[v];
+            let mut touched = vec![false; k];
+            for &u in graph.neighbors(v) {
+                let pu = partition.assignment[u as usize];
+                if pu != pv && !touched[pu] {
+                    touched[pu] = true;
+                    send_sets[pv][pu].push(v as u32);
+                }
+            }
+        }
+        Self { k, send_sets }
+    }
+
+    /// Number of messages (boundary nodes) sent from `p` to `q` per layer.
+    pub fn count(&self, p: usize, q: usize) -> usize {
+        self.send_sets[p][q].len()
+    }
+
+    /// Total messages sent by part `p` per layer (sum over destinations).
+    pub fn total_sent_by(&self, p: usize) -> usize {
+        self.send_sets[p].iter().map(Vec::len).sum()
+    }
+
+    /// Marginal nodes of part `p`: local nodes with at least one remote
+    /// neighbor (union over destinations of the send sets).
+    pub fn marginal_nodes(&self, p: usize) -> Vec<u32> {
+        let mut all: Vec<u32> = self.send_sets[p].iter().flatten().copied().collect();
+        all.sort_unstable();
+        all.dedup();
+        all
+    }
+}
+
+/// Remote-neighbor statistics, as reported in Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RemoteNeighborStats {
+    /// Average over partitions of (#distinct remote 1-hop neighbors) /
+    /// (#local nodes).
+    pub remote_neighbor_ratio: f64,
+    /// Average over partitions of the fraction of local nodes that are
+    /// marginal (have at least one remote neighbor).
+    pub marginal_node_fraction: f64,
+}
+
+/// Computes remote-neighbor statistics for a partition.
+///
+/// # Panics
+///
+/// Panics if sizes disagree.
+pub fn remote_neighbor_stats(graph: &CsrGraph, partition: &Partition) -> RemoteNeighborStats {
+    assert_eq!(
+        partition.assignment.len(),
+        graph.num_nodes(),
+        "partition size mismatch"
+    );
+    let k = partition.k;
+    let mut local_counts = vec![0usize; k];
+    let mut marginal_counts = vec![0usize; k];
+    let mut remote_sets: Vec<std::collections::HashSet<u32>> =
+        vec![std::collections::HashSet::new(); k];
+    for v in 0..graph.num_nodes() {
+        let pv = partition.assignment[v];
+        local_counts[pv] += 1;
+        let mut marginal = false;
+        for &u in graph.neighbors(v) {
+            if partition.assignment[u as usize] != pv {
+                remote_sets[pv].insert(u);
+                marginal = true;
+            }
+        }
+        if marginal {
+            marginal_counts[pv] += 1;
+        }
+    }
+    let mut ratio_sum = 0.0;
+    let mut marg_sum = 0.0;
+    let mut parts = 0usize;
+    for p in 0..k {
+        if local_counts[p] == 0 {
+            continue;
+        }
+        parts += 1;
+        ratio_sum += remote_sets[p].len() as f64 / local_counts[p] as f64;
+        marg_sum += marginal_counts[p] as f64 / local_counts[p] as f64;
+    }
+    let parts = parts.max(1) as f64;
+    RemoteNeighborStats {
+        remote_neighbor_ratio: ratio_sum / parts,
+        marginal_node_fraction: marg_sum / parts,
+    }
+}
+
+/// Bytes transferred from `p` to `q` per layer at full precision
+/// (`count * feature_dim * 4` bytes for f32 messages).
+pub fn pair_volume_bytes(boundary: &BoundaryInfo, p: usize, q: usize, feature_dim: usize) -> usize {
+    boundary.count(p, q) * feature_dim * 4
+}
+
+/// Newman modularity of a partition: `sum_p (e_pp / m - (d_p / 2m)^2)`,
+/// where `e_pp` is the number of intra-part edges, `d_p` the total degree of
+/// part `p` and `m` the edge count. Higher is better; random assignments
+/// score near 0.
+///
+/// # Panics
+///
+/// Panics if `partition.assignment.len() != graph.num_nodes()`.
+pub fn modularity(graph: &CsrGraph, partition: &Partition) -> f64 {
+    assert_eq!(
+        partition.assignment.len(),
+        graph.num_nodes(),
+        "partition size mismatch"
+    );
+    let m = graph.edges().count() as f64;
+    if m == 0.0 {
+        return 0.0;
+    }
+    let k = partition.k;
+    let mut intra = vec![0.0f64; k];
+    let mut degree = vec![0.0f64; k];
+    for (u, v) in graph.edges() {
+        let (pu, pv) = (
+            partition.assignment[u as usize],
+            partition.assignment[v as usize],
+        );
+        degree[pu] += 1.0;
+        degree[pv] += 1.0;
+        if pu == pv {
+            intra[pu] += 1.0;
+        }
+    }
+    (0..k)
+        .map(|p| intra[p] / m - (degree[p] / (2.0 * m)).powi(2))
+        .sum()
+}
+
+/// Conductance of each part: cut edges leaving the part divided by the
+/// smaller of the part's edge volume and the rest of the graph's. Lower is
+/// better; empty or full parts report 0.
+///
+/// # Panics
+///
+/// Panics if `partition.assignment.len() != graph.num_nodes()`.
+pub fn conductance(graph: &CsrGraph, partition: &Partition) -> Vec<f64> {
+    assert_eq!(
+        partition.assignment.len(),
+        graph.num_nodes(),
+        "partition size mismatch"
+    );
+    let k = partition.k;
+    let mut cut = vec![0.0f64; k];
+    let mut volume = vec![0.0f64; k];
+    let mut total_volume = 0.0;
+    for (u, v) in graph.edges() {
+        let (pu, pv) = (
+            partition.assignment[u as usize],
+            partition.assignment[v as usize],
+        );
+        volume[pu] += 1.0;
+        volume[pv] += 1.0;
+        total_volume += 2.0;
+        if pu != pv {
+            cut[pu] += 1.0;
+            cut[pv] += 1.0;
+        }
+    }
+    (0..k)
+        .map(|p| {
+            let denom = volume[p].min(total_volume - volume[p]);
+            if denom == 0.0 {
+                0.0
+            } else {
+                cut[p] / denom
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::block_partition;
+
+    /// 6-node path split into two halves: single cut edge 2-3.
+    fn path_graph() -> (CsrGraph, Partition) {
+        let g = CsrGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        let p = Partition::new(2, vec![0, 0, 0, 1, 1, 1]);
+        (g, p)
+    }
+
+    #[test]
+    fn edge_cut_counts_cross_edges() {
+        let (g, p) = path_graph();
+        assert_eq!(edge_cut(&g, &p), 1);
+    }
+
+    #[test]
+    fn edge_cut_zero_for_single_part() {
+        let (g, _) = path_graph();
+        let p = Partition::new(1, vec![0; 6]);
+        assert_eq!(edge_cut(&g, &p), 0);
+    }
+
+    #[test]
+    fn boundary_sets_are_symmetric_in_counts() {
+        let (g, p) = path_graph();
+        let b = BoundaryInfo::build(&g, &p);
+        assert_eq!(b.send_sets[0][1], vec![2]);
+        assert_eq!(b.send_sets[1][0], vec![3]);
+        assert_eq!(b.count(0, 1), 1);
+        assert_eq!(b.total_sent_by(0), 1);
+    }
+
+    #[test]
+    fn marginal_nodes_union() {
+        // Star: center 0 in part 0; leaves in parts 0/1/2.
+        let g = CsrGraph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]);
+        let p = Partition::new(3, vec![0, 0, 1, 2]);
+        let b = BoundaryInfo::build(&g, &p);
+        // Node 0 is sent to both parts 1 and 2 but appears once as marginal.
+        assert_eq!(b.marginal_nodes(0), vec![0]);
+        assert_eq!(b.count(0, 1), 1);
+        assert_eq!(b.count(0, 2), 1);
+    }
+
+    #[test]
+    fn remote_ratio_on_path() {
+        let (g, p) = path_graph();
+        let s = remote_neighbor_stats(&g, &p);
+        // Each half: 1 remote neighbor / 3 local nodes; 1 of 3 nodes marginal.
+        assert!((s.remote_neighbor_ratio - 1.0 / 3.0).abs() < 1e-9);
+        assert!((s.marginal_node_fraction - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn remote_ratio_grows_with_partitions() {
+        // Dense-ish random community graph: more parts => higher ratio.
+        let mut rng = tensor::Rng::seed_from(20);
+        let blocks = crate::generators::skewed_communities(800, 8, &mut rng);
+        let g = crate::generators::sbm(&blocks, 8.0, 2.0, &mut rng);
+        let p2 = crate::partition::metis_like(&g, 2, &mut rng);
+        let p8 = crate::partition::metis_like(&g, 8, &mut rng);
+        let r2 = remote_neighbor_stats(&g, &p2).remote_neighbor_ratio;
+        let r8 = remote_neighbor_stats(&g, &p8).remote_neighbor_ratio;
+        assert!(r8 > r2, "ratio should grow with k: {r2} vs {r8}");
+    }
+
+    #[test]
+    fn pair_volume_bytes_formula() {
+        let (g, p) = path_graph();
+        let b = BoundaryInfo::build(&g, &p);
+        assert_eq!(pair_volume_bytes(&b, 0, 1, 10), 40);
+        assert_eq!(pair_volume_bytes(&b, 0, 0, 10), 0);
+    }
+
+    #[test]
+    fn modularity_prefers_community_aligned_partitions() {
+        let mut rng = tensor::Rng::seed_from(30);
+        let blocks: Vec<usize> = (0..400).map(|v| v / 200).collect();
+        let g = crate::generators::sbm(&blocks, 10.0, 0.5, &mut rng);
+        let aligned = Partition::new(2, blocks.clone());
+        let random = crate::partition::random_partition(&g, 2, &mut rng);
+        let qa = modularity(&g, &aligned);
+        let qr = modularity(&g, &random);
+        assert!(qa > 0.3, "aligned modularity {qa}");
+        assert!(qa > qr + 0.2, "aligned {qa} vs random {qr}");
+    }
+
+    #[test]
+    fn modularity_of_single_part_is_zero() {
+        let (g, _) = path_graph();
+        let p = Partition::new(1, vec![0; 6]);
+        assert!(modularity(&g, &p).abs() < 1e-12);
+        // Empty graph.
+        let e = CsrGraph::from_edges(3, &[]);
+        assert_eq!(modularity(&e, &Partition::new(2, vec![0, 1, 0])), 0.0);
+    }
+
+    #[test]
+    fn conductance_on_path_split() {
+        let (g, p) = path_graph();
+        let c = conductance(&g, &p);
+        // Each half: 1 cut edge over min(volume 5, 5) = 0.2.
+        assert_eq!(c.len(), 2);
+        assert!((c[0] - 0.2).abs() < 1e-12);
+        assert!((c[1] - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conductance_zero_for_disconnected_split() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (2, 3)]);
+        let p = Partition::new(2, vec![0, 0, 1, 1]);
+        let c = conductance(&g, &p);
+        assert_eq!(c, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn block_partition_boundary_small_on_path() {
+        let g = CsrGraph::from_edges(
+            9,
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (6, 7),
+                (7, 8),
+            ],
+        );
+        let p = block_partition(&g, 3);
+        let b = BoundaryInfo::build(&g, &p);
+        // Chain of blocks: 0<->1 and 1<->2 only.
+        assert_eq!(b.count(0, 2), 0);
+        assert_eq!(b.count(0, 1), 1);
+        assert_eq!(b.count(1, 2), 1);
+    }
+}

@@ -1,0 +1,143 @@
+//! Packing sub-byte quantization codes into uniform byte streams.
+//!
+//! The paper (following EXACT, Liu et al. 2021) merges all 2-/4-bit codes
+//! into 8-bit byte streams before transmission. Codes are packed LSB-first:
+//! the first code occupies the lowest bits of the first byte.
+
+use crate::BitWidth;
+
+/// Packs `codes` (each `<= width.max_code()`) into a byte stream.
+///
+/// # Panics
+///
+/// Panics (debug) if any code exceeds the representable range.
+pub fn pack(codes: &[u8], width: BitWidth) -> Vec<u8> {
+    let bits = width.bits() as usize;
+    let mut out = vec![0u8; width.packed_len(codes.len())];
+    for (i, &c) in codes.iter().enumerate() {
+        debug_assert!(
+            (c as u32) <= width.max_code(),
+            "code {c} exceeds {width} range"
+        );
+        let bit_pos = i * bits;
+        let byte = bit_pos / 8;
+        let shift = bit_pos % 8;
+        out[byte] |= c << shift;
+        // 2- and 4-bit codes never straddle byte boundaries (8 % bits == 0),
+        // so a single write suffices.
+    }
+    out
+}
+
+/// Unpacks `n` codes of the given width from a byte stream.
+///
+/// # Panics
+///
+/// Panics if `bytes` is shorter than `width.packed_len(n)`.
+pub fn unpack(bytes: &[u8], width: BitWidth, n: usize) -> Vec<u8> {
+    let bits = width.bits() as usize;
+    assert!(
+        bytes.len() >= width.packed_len(n),
+        "byte stream too short: {} < {}",
+        bytes.len(),
+        width.packed_len(n)
+    );
+    let mask = width.max_code() as u8;
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let bit_pos = i * bits;
+        let byte = bit_pos / 8;
+        let shift = bit_pos % 8;
+        out.push((bytes[byte] >> shift) & mask);
+    }
+    out
+}
+
+/// Unpacks into an existing buffer (hot receive path).
+///
+/// # Panics
+///
+/// Panics if `bytes` is too short for `dst.len()` codes.
+pub fn unpack_into(bytes: &[u8], width: BitWidth, dst: &mut [u8]) {
+    let bits = width.bits() as usize;
+    assert!(
+        bytes.len() >= width.packed_len(dst.len()),
+        "byte stream too short"
+    );
+    let mask = width.max_code() as u8;
+    for (i, d) in dst.iter_mut().enumerate() {
+        let bit_pos = i * bits;
+        *d = (bytes[bit_pos / 8] >> (bit_pos % 8)) & mask;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_2bit_known_layout() {
+        // Codes 0,1,2,3 -> bits 00 01 10 11 LSB-first -> 0b11_10_01_00 = 0xE4.
+        let packed = pack(&[0, 1, 2, 3], BitWidth::B2);
+        assert_eq!(packed, vec![0xE4]);
+    }
+
+    #[test]
+    fn pack_4bit_known_layout() {
+        // Codes 0xA, 0xB -> byte 0xBA.
+        let packed = pack(&[0x0A, 0x0B], BitWidth::B4);
+        assert_eq!(packed, vec![0xBA]);
+    }
+
+    #[test]
+    fn pack_8bit_is_identity() {
+        let codes = vec![0u8, 17, 255, 128];
+        assert_eq!(pack(&codes, BitWidth::B8), codes);
+    }
+
+    #[test]
+    fn roundtrip_all_widths() {
+        for w in BitWidth::ALL {
+            let codes: Vec<u8> = (0..97).map(|i| (i % (w.max_code() + 1)) as u8).collect();
+            let packed = pack(&codes, w);
+            assert_eq!(packed.len(), w.packed_len(codes.len()));
+            assert_eq!(unpack(&packed, w, codes.len()), codes);
+        }
+    }
+
+    #[test]
+    fn roundtrip_odd_lengths() {
+        for w in BitWidth::ALL {
+            for n in [0usize, 1, 3, 7, 8, 9] {
+                let codes: Vec<u8> = (0..n)
+                    .map(|i| (i as u32 % (w.max_code() + 1)) as u8)
+                    .collect();
+                assert_eq!(unpack(&pack(&codes, w), w, n), codes, "width {w} n {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn unpack_into_matches_unpack() {
+        let codes: Vec<u8> = (0..33).map(|i| (i % 4) as u8).collect();
+        let packed = pack(&codes, BitWidth::B2);
+        let a = unpack(&packed, BitWidth::B2, 33);
+        let mut b = vec![0u8; 33];
+        unpack_into(&packed, BitWidth::B2, &mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn compression_ratio() {
+        let codes = vec![1u8; 1024];
+        assert_eq!(pack(&codes, BitWidth::B2).len(), 256);
+        assert_eq!(pack(&codes, BitWidth::B4).len(), 512);
+        assert_eq!(pack(&codes, BitWidth::B8).len(), 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "too short")]
+    fn unpack_validates_length() {
+        let _ = unpack(&[0u8], BitWidth::B8, 2);
+    }
+}

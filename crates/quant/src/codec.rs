@@ -1,0 +1,338 @@
+//! Wire codec for blocks of quantized messages.
+//!
+//! A *block* is the set of messages one device sends to one peer in one
+//! communication round: a `rows x dim` matrix where every row is one node's
+//! message, quantized with its own assigned bit-width (Sec. 5 "group messages
+//! according to their assigned bit-width … concatenate all groups into a byte
+//! array for transmission").
+//!
+//! Wire layout (little endian):
+//!
+//! ```text
+//! u32 rows | u32 dim
+//! per row: u8 bits | f32 zero_point | f32 scale
+//! per row: packed codes (byte aligned)
+//! ```
+
+use crate::BitWidth;
+use bytes::{BufMut, Bytes, BytesMut};
+use tensor::{Matrix, Rng};
+
+/// Per-row metadata overhead on the wire: bits byte + two f32 params.
+pub const ROW_OVERHEAD_BYTES: usize = 1 + 4 + 4;
+
+/// Fixed block header size.
+pub const HEADER_BYTES: usize = 8;
+
+/// An encoded block ready for transmission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncodedBlock {
+    /// Serialized bytes (the unit the cost model charges for).
+    pub bytes: Bytes,
+    /// Number of messages in the block.
+    pub rows: usize,
+    /// Message dimension.
+    pub dim: usize,
+}
+
+impl EncodedBlock {
+    /// Total wire size in bytes.
+    pub fn wire_len(&self) -> usize {
+        self.bytes.len()
+    }
+}
+
+/// Errors produced while decoding a block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer ended before the declared content.
+    Truncated,
+    /// A row header declared an unsupported bit-width.
+    BadBitWidth(u8),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "encoded block is truncated"),
+            DecodeError::BadBitWidth(b) => write!(f, "unsupported bit-width {b}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Quantizes and serializes a block of messages.
+///
+/// `widths[i]` is the bit-width assigned to row `i` of `messages` (by the
+/// Adaptive Bit-width Assigner, or a fixed width for the naive scheme).
+///
+/// # Panics
+///
+/// Panics if `widths.len() != messages.rows()`.
+pub fn encode_block(messages: &Matrix, widths: &[BitWidth], rng: &mut Rng) -> EncodedBlock {
+    assert_eq!(widths.len(), messages.rows(), "one width per message row");
+    let rows = messages.rows();
+    let dim = messages.cols();
+    let packed_total: usize = widths.iter().map(|w| w.packed_len(dim)).sum();
+    let mut buf = BytesMut::with_capacity(HEADER_BYTES + rows * ROW_OVERHEAD_BYTES + packed_total);
+    buf.put_u32_le(rows as u32);
+    buf.put_u32_le(dim as u32);
+    // Pass 1: per-row quantization parameters.
+    let mut scales = Vec::with_capacity(rows);
+    for (i, &w) in widths.iter().enumerate() {
+        let row = messages.row(i);
+        let mut mn = f32::INFINITY;
+        let mut mx = f32::NEG_INFINITY;
+        for &v in row {
+            mn = mn.min(v);
+            mx = mx.max(v);
+        }
+        if row.is_empty() {
+            mn = 0.0;
+            mx = 0.0;
+        }
+        let scale = if mx > mn {
+            (mx - mn) / w.max_code() as f32
+        } else {
+            0.0
+        };
+        buf.put_u8(w.bits() as u8);
+        buf.put_f32_le(mn);
+        buf.put_f32_le(scale);
+        scales.push((mn, scale));
+    }
+    // Pass 2: stochastic quantization packed straight into the wire buffer.
+    // Hot path: `floor(x + u)` with `u ~ U[0,1)` *is* stochastic rounding
+    // (it rounds up with probability frac(x)), so one add + floor replaces
+    // the separate floor / coin / compare sequence; a per-row scratch buffer
+    // avoids per-byte writes into `BytesMut`; and the rounding coins come
+    // from counter-based SplitMix64 so consecutive elements have no serial
+    // RNG dependency (the loop pipelines).
+    let mut counter = rng.next_u64();
+    let mut scratch = vec![0u8; BitWidth::B8.packed_len(dim)];
+    for (i, &w) in widths.iter().enumerate() {
+        let (zero, scale) = scales[i];
+        let bits = w.bits() as usize;
+        let max_code = w.max_code();
+        let plen = w.packed_len(dim);
+        if scale == 0.0 {
+            scratch[..plen].iter_mut().for_each(|b| *b = 0);
+            buf.extend_from_slice(&scratch[..plen]);
+            continue;
+        }
+        let inv_scale = 1.0 / scale;
+        let row = messages.row(i);
+        let out = &mut scratch[..plen];
+        out.iter_mut().for_each(|b| *b = 0);
+        let mut acc: u8 = 0;
+        let mut fill = 0usize;
+        let mut byte_idx = 0usize;
+        let mut c32 = counter as u32;
+        for &v in row {
+            // Murmur-style 32-bit counter hash: independent per element,
+            // cheap enough to pipeline, and the high 24 bits are uniform —
+            // all a rounding coin needs.
+            c32 = c32.wrapping_add(0x9E37_79B9);
+            let mut z = c32 ^ (c32 >> 16);
+            z = z.wrapping_mul(0x85EB_CA6B);
+            z ^= z >> 13;
+            let u = (z >> 8) as f32 * (1.0 / 16_777_216.0);
+            // x >= 0 by construction (v >= zero-point), so `as u32`
+            // truncation *is* floor — one cvttss instruction instead of a
+            // libm floor call. The min() handles the row maximum, where
+            // x can reach max_code + u.
+            let x = (v - zero) * inv_scale + u;
+            let code = (x as u32).min(max_code) as u8;
+            acc |= code << fill;
+            fill += bits;
+            if fill == 8 {
+                out[byte_idx] = acc;
+                byte_idx += 1;
+                acc = 0;
+                fill = 0;
+            }
+        }
+        if fill > 0 {
+            out[byte_idx] = acc;
+        }
+        // LCG-style advance: never collapses to a fixed point (the previous
+        // self-XOR variant zeroed the low bits after an empty group, making
+        // the next group's coins deterministic).
+        counter = counter
+            .wrapping_mul(0x5851_F42D_4C95_7F2D)
+            .wrapping_add(u64::from(c32) | 1);
+        buf.extend_from_slice(out);
+    }
+    EncodedBlock {
+        bytes: buf.freeze(),
+        rows,
+        dim,
+    }
+}
+
+/// Decodes a block back into a dense de-quantized matrix.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] if the buffer is truncated or a row header is
+/// invalid.
+pub fn decode_block(block: &EncodedBlock) -> Result<Matrix, DecodeError> {
+    let raw: &[u8] = &block.bytes;
+    if raw.len() < HEADER_BYTES {
+        return Err(DecodeError::Truncated);
+    }
+    let rows = u32::from_le_bytes([raw[0], raw[1], raw[2], raw[3]]) as usize;
+    let dim = u32::from_le_bytes([raw[4], raw[5], raw[6], raw[7]]) as usize;
+    if raw.len() < HEADER_BYTES + rows * ROW_OVERHEAD_BYTES {
+        return Err(DecodeError::Truncated);
+    }
+    let mut headers = Vec::with_capacity(rows);
+    let mut pos = HEADER_BYTES;
+    for _ in 0..rows {
+        let bits = raw[pos];
+        let zero = f32::from_le_bytes([raw[pos + 1], raw[pos + 2], raw[pos + 3], raw[pos + 4]]);
+        let scale = f32::from_le_bytes([raw[pos + 5], raw[pos + 6], raw[pos + 7], raw[pos + 8]]);
+        pos += ROW_OVERHEAD_BYTES;
+        let width = BitWidth::from_bits(bits as u32).ok_or(DecodeError::BadBitWidth(bits))?;
+        headers.push((width, zero, scale));
+    }
+    let mut out = Matrix::zeros(rows, dim);
+    for (i, &(width, zero, scale)) in headers.iter().enumerate() {
+        let plen = width.packed_len(dim);
+        if raw.len() < pos + plen {
+            return Err(DecodeError::Truncated);
+        }
+        let packed = &raw[pos..pos + plen];
+        pos += plen;
+        // Inline unpack + de-quantize straight into the output row.
+        let bits = width.bits() as usize;
+        let mask = width.max_code() as u8;
+        let row = out.row_mut(i);
+        let mut bitpos = 0usize;
+        for r in row.iter_mut() {
+            let c = (packed[bitpos >> 3] >> (bitpos & 7)) & mask;
+            *r = c as f32 * scale + zero;
+            bitpos += bits;
+        }
+    }
+    Ok(out)
+}
+
+/// Wire size a block *would* have, without encoding it. Used by the cost
+/// model and the bit-width assigner's time objective.
+pub fn predicted_wire_len(dim: usize, widths: &[BitWidth]) -> usize {
+    HEADER_BYTES
+        + widths.len() * ROW_OVERHEAD_BYTES
+        + widths.iter().map(|w| w.packed_len(dim)).sum::<usize>()
+}
+
+/// Wire size of the same block sent at full precision (f32), including the
+/// block header; the Vanilla baseline's traffic.
+pub fn fp32_wire_len(rows: usize, dim: usize) -> usize {
+    HEADER_BYTES + rows * dim * 4
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_messages(rows: usize, dim: usize) -> Matrix {
+        Matrix::from_fn(rows, dim, |i, j| ((i * dim + j) as f32 * 0.731).sin() * 4.0)
+    }
+
+    #[test]
+    fn roundtrip_uniform_8bit_is_accurate() {
+        let mut rng = Rng::seed_from(1);
+        let msgs = sample_messages(10, 32);
+        let widths = vec![BitWidth::B8; 10];
+        let block = encode_block(&msgs, &widths, &mut rng);
+        let decoded = decode_block(&block).expect("valid block");
+        for i in 0..10 {
+            for (a, b) in msgs.row(i).iter().zip(decoded.row(i)) {
+                assert!((a - b).abs() < 0.05, "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_widths_roundtrip() {
+        let mut rng = Rng::seed_from(2);
+        let msgs = sample_messages(9, 16);
+        let widths: Vec<BitWidth> = (0..9).map(|i| BitWidth::ALL[i % 3]).collect();
+        let block = encode_block(&msgs, &widths, &mut rng);
+        let decoded = decode_block(&block).expect("valid block");
+        assert_eq!(decoded.shape(), (9, 16));
+        // Error bounded by each row's scale.
+        for i in 0..9 {
+            let range = msgs
+                .row(i)
+                .iter()
+                .copied()
+                .fold(f32::NEG_INFINITY, f32::max)
+                - msgs.row(i).iter().copied().fold(f32::INFINITY, f32::min);
+            let step = range / widths[i].max_code() as f32;
+            for (a, b) in msgs.row(i).iter().zip(decoded.row(i)) {
+                assert!((a - b).abs() <= step + 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn wire_len_matches_prediction() {
+        let mut rng = Rng::seed_from(3);
+        let msgs = sample_messages(7, 24);
+        let widths: Vec<BitWidth> = (0..7).map(|i| BitWidth::ALL[(i * 2) % 3]).collect();
+        let block = encode_block(&msgs, &widths, &mut rng);
+        assert_eq!(block.wire_len(), predicted_wire_len(24, &widths));
+    }
+
+    #[test]
+    fn lower_bits_smaller_wire() {
+        let dim = 64;
+        let w2 = predicted_wire_len(dim, &[BitWidth::B2; 100]);
+        let w4 = predicted_wire_len(dim, &[BitWidth::B4; 100]);
+        let w8 = predicted_wire_len(dim, &[BitWidth::B8; 100]);
+        let fp = fp32_wire_len(100, dim);
+        assert!(w2 < w4 && w4 < w8 && w8 < fp);
+        // Asymptotic ratios: 2-bit ~16x smaller than fp32 for wide messages.
+        assert!((fp as f64 / w2 as f64) > 10.0);
+    }
+
+    #[test]
+    fn empty_block_roundtrips() {
+        let mut rng = Rng::seed_from(4);
+        let msgs = Matrix::zeros(0, 8);
+        let block = encode_block(&msgs, &[], &mut rng);
+        let decoded = decode_block(&block).expect("valid block");
+        assert_eq!(decoded.shape(), (0, 8));
+    }
+
+    #[test]
+    fn truncated_block_is_rejected() {
+        let mut rng = Rng::seed_from(5);
+        let msgs = sample_messages(4, 8);
+        let block = encode_block(&msgs, &[BitWidth::B8; 4], &mut rng);
+        let cut = EncodedBlock {
+            bytes: block.bytes.slice(0..block.bytes.len() - 5),
+            rows: 4,
+            dim: 8,
+        };
+        assert_eq!(decode_block(&cut), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn corrupt_bitwidth_is_rejected() {
+        let mut rng = Rng::seed_from(6);
+        let msgs = sample_messages(1, 4);
+        let block = encode_block(&msgs, &[BitWidth::B8], &mut rng);
+        let mut raw = block.bytes.to_vec();
+        raw[HEADER_BYTES] = 7; // invalid bits field of row 0
+        let bad = EncodedBlock {
+            bytes: Bytes::from(raw),
+            rows: 1,
+            dim: 4,
+        };
+        assert_eq!(decode_block(&bad), Err(DecodeError::BadBitWidth(7)));
+    }
+}

@@ -1,0 +1,242 @@
+//! Stochastic quantization and deterministic de-quantization (Eqn. 4-5).
+
+use crate::BitWidth;
+use serde::{Deserialize, Serialize};
+use tensor::Rng;
+
+/// Per-message quantization parameters transmitted alongside the codes.
+///
+/// `zero_point` is `min(h)` and `scale` is `(max(h) - min(h)) / (2^b - 1)`
+/// (Eqn. 4). A constant message has `scale == 0` and decodes exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QuantParams {
+    /// Minimum of the original vector (`Z_v^l`).
+    pub zero_point: f32,
+    /// Scale factor (`S_{v_b}^l`).
+    pub scale: f32,
+}
+
+/// A quantized message: integer codes plus the parameters to invert them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantizedMessage {
+    /// Bit-width used.
+    pub width: BitWidth,
+    /// Quantization parameters.
+    pub params: QuantParams,
+    /// One unpacked code per element (each `<= width.max_code()`).
+    pub codes: Vec<u8>,
+}
+
+impl QuantizedMessage {
+    /// Number of elements in the original message.
+    pub fn dim(&self) -> usize {
+        self.codes.len()
+    }
+}
+
+/// Stochastically quantizes one message vector to `width`-bit integers.
+///
+/// Uses stochastic rounding: a value at fractional position `p` between two
+/// adjacent codes rounds up with probability `p`, making the de-quantized
+/// estimate unbiased (Theorem 1).
+pub fn quantize(message: &[f32], width: BitWidth, rng: &mut Rng) -> QuantizedMessage {
+    let (min, max) = min_max(message);
+    let levels = width.max_code() as f32;
+    let scale = if max > min { (max - min) / levels } else { 0.0 };
+    let codes = if scale == 0.0 {
+        vec![0u8; message.len()]
+    } else {
+        // Hot kernel: use a fast inline xorshift stream (seeded from the
+        // caller's RNG) for the rounding coin flips instead of paying the
+        // full RNG per element.
+        let mut state = rng.next_u64() | 1;
+        let inv_scale = 1.0 / scale;
+        let max_code = width.max_code();
+        message
+            .iter()
+            .map(|&v| {
+                let x = (v - min) * inv_scale;
+                let floor = x.floor();
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                let coin = (state >> 40) as f32 * (1.0 / 16_777_216.0);
+                let up = coin < (x - floor);
+                ((floor as u32 + u32::from(up)).min(max_code)) as u8
+            })
+            .collect()
+    };
+    QuantizedMessage {
+        width,
+        params: QuantParams {
+            zero_point: min,
+            scale,
+        },
+        codes,
+    }
+}
+
+/// Deterministically de-quantizes a message (Eqn. 5):
+/// `h_hat = code * S + Z`.
+pub fn dequantize(q: &QuantizedMessage) -> Vec<f32> {
+    q.codes
+        .iter()
+        .map(|&c| c as f32 * q.params.scale + q.params.zero_point)
+        .collect()
+}
+
+/// De-quantizes straight into a destination slice (avoids allocation on the
+/// hot receive path).
+///
+/// # Panics
+///
+/// Panics if `dst.len() != q.dim()`.
+pub fn dequantize_into(q: &QuantizedMessage, dst: &mut [f32]) {
+    assert_eq!(dst.len(), q.dim(), "dequantize_into size mismatch");
+    for (d, &c) in dst.iter_mut().zip(&q.codes) {
+        *d = c as f32 * q.params.scale + q.params.zero_point;
+    }
+}
+
+#[inline]
+fn min_max(xs: &[f32]) -> (f32, f32) {
+    let mut min = f32::INFINITY;
+    let mut max = f32::NEG_INFINITY;
+    for &x in xs {
+        min = min.min(x);
+        max = max.max(x);
+    }
+    if xs.is_empty() {
+        (0.0, 0.0)
+    } else {
+        (min, max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_within_range() {
+        let mut rng = Rng::seed_from(1);
+        let msg: Vec<f32> = (0..100).map(|i| (i as f32 * 0.37).sin() * 5.0).collect();
+        for w in BitWidth::ALL {
+            let q = quantize(&msg, w, &mut rng);
+            assert!(q.codes.iter().all(|&c| (c as u32) <= w.max_code()));
+        }
+    }
+
+    #[test]
+    fn endpoints_are_exact() {
+        let mut rng = Rng::seed_from(2);
+        let msg = vec![-3.0, 7.0];
+        for w in BitWidth::ALL {
+            let q = quantize(&msg, w, &mut rng);
+            let d = dequantize(&q);
+            assert!((d[0] + 3.0).abs() < 1e-6, "min must be exact at {w}");
+            assert!((d[1] - 7.0).abs() < 1e-6, "max must be exact at {w}");
+        }
+    }
+
+    #[test]
+    fn constant_message_roundtrips_exactly() {
+        let mut rng = Rng::seed_from(3);
+        let msg = vec![2.5; 16];
+        let q = quantize(&msg, BitWidth::B2, &mut rng);
+        assert_eq!(q.params.scale, 0.0);
+        assert_eq!(dequantize(&q), msg);
+    }
+
+    #[test]
+    fn empty_message_ok() {
+        let mut rng = Rng::seed_from(4);
+        let q = quantize(&[], BitWidth::B4, &mut rng);
+        assert_eq!(q.dim(), 0);
+        assert_eq!(dequantize(&q), Vec::<f32>::new());
+    }
+
+    #[test]
+    fn grid_values_roundtrip_exactly_at_8bit() {
+        // Values exactly on the 8-bit grid survive quantization unchanged.
+        let mut rng = Rng::seed_from(5);
+        let scale = 0.5f32;
+        let msg: Vec<f32> = (0..=255).map(|i| i as f32 * scale).collect();
+        let q = quantize(&msg, BitWidth::B8, &mut rng);
+        let d = dequantize(&q);
+        for (a, b) in msg.iter().zip(&d) {
+            assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn dequantized_estimate_is_unbiased() {
+        // Theorem 1: E[dq(q(h))] = h. Average many independent quantizations.
+        let mut rng = Rng::seed_from(6);
+        let msg = vec![0.1, 0.333, 0.5, 0.789, 0.9];
+        let trials = 4000;
+        let mut sums = vec![0.0f64; msg.len()];
+        for _ in 0..trials {
+            let q = quantize(&msg, BitWidth::B2, &mut rng);
+            for (s, v) in sums.iter_mut().zip(dequantize(&q)) {
+                *s += v as f64;
+            }
+        }
+        for (s, &m) in sums.iter().zip(&msg) {
+            let mean = s / trials as f64;
+            assert!(
+                (mean - m as f64).abs() < 0.01,
+                "biased estimate: {mean} vs {m}"
+            );
+        }
+    }
+
+    #[test]
+    fn error_bounded_by_scale() {
+        let mut rng = Rng::seed_from(7);
+        let msg: Vec<f32> = (0..64).map(|i| (i as f32).cos() * 3.0).collect();
+        for w in BitWidth::ALL {
+            let q = quantize(&msg, w, &mut rng);
+            let d = dequantize(&q);
+            for (a, b) in msg.iter().zip(&d) {
+                assert!(
+                    (a - b).abs() <= q.params.scale + 1e-6,
+                    "error beyond one quantization step at {w}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn higher_bitwidth_means_lower_error() {
+        let mut rng = Rng::seed_from(8);
+        let msg: Vec<f32> = (0..256).map(|i| ((i * 37) % 101) as f32 * 0.11).collect();
+        let mut errs = Vec::new();
+        for w in BitWidth::ALL {
+            // Average over repetitions to smooth stochastic rounding noise.
+            let mut total = 0.0f64;
+            for _ in 0..20 {
+                let q = quantize(&msg, w, &mut rng);
+                let d = dequantize(&q);
+                total += msg
+                    .iter()
+                    .zip(&d)
+                    .map(|(a, b)| ((a - b) as f64).powi(2))
+                    .sum::<f64>();
+            }
+            errs.push(total);
+        }
+        assert!(errs[0] > errs[1] && errs[1] > errs[2], "errors {errs:?}");
+    }
+
+    #[test]
+    fn dequantize_into_matches_dequantize() {
+        let mut rng = Rng::seed_from(9);
+        let msg = vec![1.0, -2.0, 0.5, 3.25];
+        let q = quantize(&msg, BitWidth::B4, &mut rng);
+        let a = dequantize(&q);
+        let mut b = vec![0.0; 4];
+        dequantize_into(&q, &mut b);
+        assert_eq!(a, b);
+    }
+}

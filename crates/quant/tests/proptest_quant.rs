@@ -1,0 +1,107 @@
+#![allow(clippy::needless_range_loop)]
+//! Property-based tests for quantization invariants.
+
+use proptest::prelude::*;
+use quant::{bitpack, decode_block, dequantize, encode_block, quantize, BitWidth};
+use tensor::{Matrix, Rng};
+
+fn arb_width() -> impl Strategy<Value = BitWidth> {
+    prop_oneof![Just(BitWidth::B2), Just(BitWidth::B4), Just(BitWidth::B8)]
+}
+
+proptest! {
+    #[test]
+    fn quantize_error_within_one_step(
+        msg in proptest::collection::vec(-100.0f32..100.0, 1..128),
+        width in arb_width(),
+        seed in 0u64..10_000,
+    ) {
+        let mut rng = Rng::seed_from(seed);
+        let q = quantize(&msg, width, &mut rng);
+        let d = dequantize(&q);
+        for (a, b) in msg.iter().zip(&d) {
+            prop_assert!(
+                (a - b).abs() <= q.params.scale + 1e-4 * a.abs().max(1.0),
+                "error {} exceeds step {}",
+                (a - b).abs(),
+                q.params.scale
+            );
+        }
+    }
+
+    #[test]
+    fn quantize_codes_in_range(
+        msg in proptest::collection::vec(-10.0f32..10.0, 0..64),
+        width in arb_width(),
+        seed in 0u64..10_000,
+    ) {
+        let mut rng = Rng::seed_from(seed);
+        let q = quantize(&msg, width, &mut rng);
+        prop_assert!(q.codes.iter().all(|&c| (c as u32) <= width.max_code()));
+    }
+
+    #[test]
+    fn bitpack_roundtrip(
+        n in 0usize..200,
+        width in arb_width(),
+        seed in 0u64..10_000,
+    ) {
+        let mut rng = Rng::seed_from(seed);
+        let codes: Vec<u8> = (0..n).map(|_| rng.below((width.max_code() + 1) as usize) as u8).collect();
+        let packed = bitpack::pack(&codes, width);
+        prop_assert_eq!(packed.len(), width.packed_len(n));
+        prop_assert_eq!(bitpack::unpack(&packed, width, n), codes);
+    }
+
+    #[test]
+    fn codec_roundtrip_bounded_error(
+        rows in 1usize..12,
+        dim in 1usize..24,
+        seed in 0u64..10_000,
+    ) {
+        let mut rng = Rng::seed_from(seed);
+        let msgs = Matrix::from_fn(rows, dim, |_, _| rng.uniform(-5.0, 5.0));
+        let widths: Vec<BitWidth> = (0..rows).map(|_| BitWidth::ALL[rng.below(3)]).collect();
+        let block = encode_block(&msgs, &widths, &mut rng);
+        let decoded = decode_block(&block).expect("well-formed block");
+        prop_assert_eq!(decoded.shape(), (rows, dim));
+        for i in 0..rows {
+            let mn = msgs.row(i).iter().copied().fold(f32::INFINITY, f32::min);
+            let mx = msgs.row(i).iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let step = (mx - mn) / widths[i].max_code() as f32;
+            for (a, b) in msgs.row(i).iter().zip(decoded.row(i)) {
+                prop_assert!((a - b).abs() <= step + 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn wire_size_monotone_in_bits(rows in 1usize..50, dim in 1usize..100) {
+        let sizes: Vec<usize> = BitWidth::ALL
+            .iter()
+            .map(|&w| quant::codec::predicted_wire_len(dim, &vec![w; rows]))
+            .collect();
+        prop_assert!(sizes[0] <= sizes[1] && sizes[1] <= sizes[2]);
+        prop_assert!(sizes[2] <= quant::codec::fp32_wire_len(rows, dim) + rows * quant::codec::ROW_OVERHEAD_BYTES);
+    }
+
+    #[test]
+    fn stochastic_rounding_mean_converges(
+        value in 0.0f32..1.0,
+        seed in 0u64..1000,
+    ) {
+        // Quantize the 1-element message [0, value, 1] at 2-bit; middle
+        // element's expectation should approach its true value.
+        let mut rng = Rng::seed_from(seed);
+        let msg = [0.0, value, 1.0];
+        let trials = 600;
+        let mut acc = 0.0f64;
+        for _ in 0..trials {
+            let q = quantize(&msg, BitWidth::B2, &mut rng);
+            acc += dequantize(&q)[1] as f64;
+        }
+        let mean = acc / trials as f64;
+        // Standard error of a bounded variable over 600 trials.
+        prop_assert!((mean - value as f64).abs() < 0.06, "mean {mean} vs {value}");
+    }
+}

@@ -1,0 +1,782 @@
+//! The two-level solver: per-pair knapsack greedy inside a Z sweep.
+
+use crate::problem::{BiObjectiveProblem, PairSpec, Solution};
+use quant::BitWidth;
+
+/// Number of candidate `Z` values sampled between the global min and max
+/// feasible times (plus every pair's own breakpoints).
+const Z_SAMPLES: usize = 48;
+
+/// Minimizes a pair's variance subject to `time <= budget_seconds`.
+///
+/// Greedy LP-relaxation: start everything at 8-bit and repeatedly apply the
+/// downgrade (8→4 or 4→2) with the smallest variance-increase per byte saved
+/// until the budget holds. Returns the widths and whether the budget was
+/// satisfiable at all (all-2-bit still over budget ⇒ `false`, widths all 2).
+pub fn min_variance_within_budget(pair: &PairSpec, budget_seconds: f64) -> (Vec<BitWidth>, bool) {
+    let n = pair.groups.len();
+    let mut widths = vec![BitWidth::B8; n];
+    if pair.time(&widths) <= budget_seconds {
+        return (widths, true);
+    }
+    // Candidate downgrades as (variance_delta / bytes_saved, group, to).
+    // Each group contributes two sequential moves: 8->4 then 4->2.
+    #[derive(Debug, Clone, Copy)]
+    struct Move {
+        ratio: f64,
+        group: usize,
+        to: BitWidth,
+    }
+    let mut moves: Vec<Move> = Vec::with_capacity(2 * n);
+    for (k, g) in pair.groups.iter().enumerate() {
+        let d84 = g.variance_at(BitWidth::B4) - g.variance_at(BitWidth::B8);
+        let b84 = g.bytes_at(BitWidth::B8) - g.bytes_at(BitWidth::B4);
+        let d42 = g.variance_at(BitWidth::B2) - g.variance_at(BitWidth::B4);
+        let b42 = g.bytes_at(BitWidth::B4) - g.bytes_at(BitWidth::B2);
+        if b84 > 0.0 {
+            moves.push(Move {
+                ratio: d84 / b84,
+                group: k,
+                to: BitWidth::B4,
+            });
+        }
+        if b42 > 0.0 {
+            moves.push(Move {
+                ratio: d42 / b42,
+                group: k,
+                to: BitWidth::B2,
+            });
+        }
+    }
+    // Sort ascending by ratio. Because variance is convex in the byte count
+    // (1/(2^b-1)^2 decays faster than bytes grow), a group's 8->4 move always
+    // has a smaller ratio than its 4->2 move, so sequencing is respected.
+    moves.sort_by(|a, b| {
+        a.ratio
+            .partial_cmp(&b.ratio)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut current_bytes: f64 = pair.groups.iter().map(|g| g.bytes_at(BitWidth::B8)).sum();
+    let budget_bytes = if pair.theta > 0.0 {
+        (budget_seconds - pair.gamma) / pair.theta
+    } else {
+        f64::INFINITY
+    };
+    for mv in moves {
+        if current_bytes <= budget_bytes {
+            break;
+        }
+        // Apply only if it is the legal next step for the group.
+        let cur = widths[mv.group];
+        let legal = matches!(
+            (cur, mv.to),
+            (BitWidth::B8, BitWidth::B4) | (BitWidth::B4, BitWidth::B2)
+        );
+        if !legal {
+            continue;
+        }
+        let g = &pair.groups[mv.group];
+        current_bytes -= g.bytes_at(cur) - g.bytes_at(mv.to);
+        widths[mv.group] = mv.to;
+    }
+    let feasible = current_bytes <= budget_bytes + 1e-9;
+    if !feasible {
+        // Budget unreachable even at all-2-bit; return the floor assignment.
+        return (vec![BitWidth::B2; n], false);
+    }
+    (widths, true)
+}
+
+/// Exact multiple-choice-knapsack solution of the per-pair sub-problem by
+/// dynamic programming over a discretized byte budget.
+///
+/// The byte axis is split into `resolution` buckets; each group picks one of
+/// the three widths; `dp[j]` holds the minimum variance achievable with at
+/// most `j` buckets of bytes. Group byte costs are rounded *up* to buckets,
+/// so the returned assignment never exceeds the true budget (the result is
+/// exact once `resolution` out-resolves the group byte sizes, and always
+/// feasible).
+///
+/// Returns the widths and whether the budget was satisfiable (all-2-bit
+/// still over budget ⇒ `false`, widths all 2-bit).
+///
+/// # Panics
+///
+/// Panics if `resolution == 0`.
+pub fn min_variance_within_budget_dp(
+    pair: &PairSpec,
+    budget_seconds: f64,
+    resolution: usize,
+) -> (Vec<BitWidth>, bool) {
+    assert!(resolution > 0, "resolution must be positive");
+    let n = pair.groups.len();
+    if n == 0 {
+        return (Vec::new(), pair.gamma <= budget_seconds + 1e-15);
+    }
+    let all8 = vec![BitWidth::B8; n];
+    if pair.time(&all8) <= budget_seconds {
+        return (all8, true);
+    }
+    let all2 = vec![BitWidth::B2; n];
+    if pair.time(&all2) > budget_seconds + 1e-12 {
+        return (all2, false);
+    }
+    let budget_bytes = if pair.theta > 0.0 {
+        (budget_seconds - pair.gamma) / pair.theta
+    } else {
+        f64::INFINITY
+    };
+    if !budget_bytes.is_finite() {
+        return (vec![BitWidth::B8; n], true);
+    }
+    let bucket = budget_bytes / resolution as f64;
+    let cost_of = |g: &crate::problem::GroupSpec, w: BitWidth| -> usize {
+        // Floor rounding keeps exact-fit solutions reachable; any
+        // discretization overshoot is repaired after reconstruction.
+        (g.bytes_at(w) / bucket).floor() as usize
+    };
+    const INF: f64 = f64::INFINITY;
+    // dp over "bytes used" with a per-group choice table for reconstruction.
+    let mut dp = vec![INF; resolution + 1];
+    let mut choices: Vec<Vec<u8>> = Vec::with_capacity(n);
+    dp[0] = 0.0;
+    for g in &pair.groups {
+        let mut next = vec![INF; resolution + 1];
+        let mut pick = vec![u8::MAX; resolution + 1];
+        for (wi, &w) in BitWidth::ALL.iter().enumerate() {
+            let c = cost_of(g, w);
+            let v = g.variance_at(w);
+            if c > resolution {
+                continue;
+            }
+            for j in c..=resolution {
+                if dp[j - c].is_finite() {
+                    let cand = dp[j - c] + v;
+                    if cand < next[j] {
+                        next[j] = cand;
+                        pick[j] = wi as u8;
+                    }
+                }
+            }
+        }
+        dp = next;
+        choices.push(pick);
+    }
+    // Best end state.
+    let mut best_j = usize::MAX;
+    let mut best_v = INF;
+    for (j, &v) in dp.iter().enumerate() {
+        if v < best_v {
+            best_v = v;
+            best_j = j;
+        }
+    }
+    if best_j == usize::MAX {
+        // No feasible packing at this resolution; fall back to the floor.
+        return (vec![BitWidth::B2; n], true);
+    }
+    // Reconstruct.
+    let mut widths = vec![BitWidth::B2; n];
+    let mut j = best_j;
+    for (gi, g) in pair.groups.iter().enumerate().rev() {
+        let wi = choices[gi][j];
+        debug_assert_ne!(wi, u8::MAX, "reconstruction hole");
+        let w = BitWidth::ALL[wi as usize];
+        widths[gi] = w;
+        j -= cost_of(g, w);
+    }
+    // Repair the (at most bucket-sized per group) discretization overshoot:
+    // downgrade the cheapest variance-per-byte groups until within budget.
+    while pair.time(&widths) > budget_seconds + 1e-12 {
+        let mut best_gi = usize::MAX;
+        let mut best_ratio = f64::INFINITY;
+        for (gi, g) in pair.groups.iter().enumerate() {
+            let down = match widths[gi] {
+                BitWidth::B8 => Some(BitWidth::B4),
+                BitWidth::B4 => Some(BitWidth::B2),
+                BitWidth::B2 => None,
+            };
+            let Some(to) = down else { continue };
+            let dv = g.variance_at(to) - g.variance_at(widths[gi]);
+            let db = g.bytes_at(widths[gi]) - g.bytes_at(to);
+            if db > 0.0 && dv / db < best_ratio {
+                best_ratio = dv / db;
+                best_gi = gi;
+            }
+        }
+        if best_gi == usize::MAX {
+            break; // already at the all-2-bit floor
+        }
+        widths[best_gi] = match widths[best_gi] {
+            BitWidth::B8 => BitWidth::B4,
+            _ => BitWidth::B2,
+        };
+    }
+    (widths, true)
+}
+
+/// Precomputed downgrade schedule for one pair: the greedy's sorted move
+/// list turned into prefix sums, so any byte budget resolves with a binary
+/// search instead of a fresh sort.
+struct PairSchedule {
+    /// Bytes at all-8-bit.
+    bytes8: f64,
+    /// Variance at all-8-bit.
+    var8: f64,
+    /// After applying the first `k` moves: cumulative bytes saved.
+    saved: Vec<f64>,
+    /// After applying the first `k` moves: cumulative variance added.
+    dvar: Vec<f64>,
+    /// Move k's `(group, to)`.
+    moves: Vec<(usize, BitWidth)>,
+}
+
+impl PairSchedule {
+    fn build(pair: &PairSpec) -> Self {
+        struct Move {
+            ratio: f64,
+            group: usize,
+            to: BitWidth,
+            dv: f64,
+            db: f64,
+        }
+        let mut moves: Vec<Move> = Vec::with_capacity(2 * pair.groups.len());
+        for (k, g) in pair.groups.iter().enumerate() {
+            for (from, to) in [(BitWidth::B8, BitWidth::B4), (BitWidth::B4, BitWidth::B2)] {
+                let dv = g.variance_at(to) - g.variance_at(from);
+                let db = g.bytes_at(from) - g.bytes_at(to);
+                if db > 0.0 {
+                    moves.push(Move {
+                        ratio: dv / db,
+                        group: k,
+                        to,
+                        dv,
+                        db,
+                    });
+                }
+            }
+        }
+        // Convexity of 1/(2^b-1)^2 vs bytes guarantees a group's 8->4 move
+        // sorts before its 4->2 move, so prefix application stays legal.
+        moves.sort_by(|a, b| {
+            a.ratio
+                .partial_cmp(&b.ratio)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut saved = Vec::with_capacity(moves.len());
+        let mut dvar = Vec::with_capacity(moves.len());
+        let mut s = 0.0;
+        let mut v = 0.0;
+        for m in &moves {
+            s += m.db;
+            v += m.dv;
+            saved.push(s);
+            dvar.push(v);
+        }
+        Self {
+            bytes8: pair.groups.iter().map(|g| g.bytes_at(BitWidth::B8)).sum(),
+            var8: pair
+                .groups
+                .iter()
+                .map(|g| g.variance_at(BitWidth::B8))
+                .sum(),
+            saved,
+            dvar,
+            moves: moves.into_iter().map(|m| (m.group, m.to)).collect(),
+        }
+    }
+
+    /// Number of prefix moves needed to fit `budget_seconds`; `None` when
+    /// even all moves (all-2-bit) do not fit.
+    fn moves_for_budget(&self, pair: &PairSpec, budget_seconds: f64) -> Option<usize> {
+        let budget_bytes = if pair.theta > 0.0 {
+            (budget_seconds - pair.gamma) / pair.theta
+        } else {
+            f64::INFINITY
+        };
+        let need = self.bytes8 - budget_bytes;
+        if need <= 0.0 {
+            return Some(0);
+        }
+        // First k with saved[k-1] >= need.
+        let k = self.saved.partition_point(|&s| s < need - 1e-12);
+        if k >= self.saved.len() && self.saved.last().is_none_or(|&s| s < need - 1e-9) {
+            None
+        } else {
+            Some((k + 1).min(self.moves.len()))
+        }
+    }
+
+    /// `(variance, time)` after the first `k` moves.
+    fn stats_after(&self, pair: &PairSpec, k: usize) -> (f64, f64) {
+        let (saved, dvar) = if k == 0 {
+            (0.0, 0.0)
+        } else {
+            (self.saved[k - 1], self.dvar[k - 1])
+        };
+        (
+            self.var8 + dvar,
+            pair.theta * (self.bytes8 - saved) + pair.gamma,
+        )
+    }
+
+    /// Materializes the width assignment for the first `k` moves.
+    fn widths_after(&self, num_groups: usize, k: usize) -> Vec<BitWidth> {
+        let mut widths = vec![BitWidth::B8; num_groups];
+        for &(g, to) in &self.moves[..k] {
+            widths[g] = to;
+        }
+        widths
+    }
+}
+
+/// Solves the scalarized bi-objective problem (Eqn. 12).
+///
+/// Sweeps candidate `Z` values (pair time breakpoints plus a uniform grid),
+/// solves the per-pair budgeted sub-problems for each, and returns the best
+/// scalarized objective found. With `lambda == 1` the time term vanishes and
+/// everything gets 8-bit; with `lambda == 0` only the slowest pair matters
+/// and the result is the fastest feasible assignment.
+pub fn solve(problem: &BiObjectiveProblem) -> Solution {
+    let n_pairs = problem.pairs.len();
+    if n_pairs == 0 {
+        return Solution {
+            widths: Vec::new(),
+            variance: 0.0,
+            max_time: 0.0,
+            objective: 0.0,
+        };
+    }
+    if problem.lambda >= 1.0 {
+        // Pure variance objective: maximize precision everywhere.
+        let widths: Vec<Vec<BitWidth>> = problem
+            .pairs
+            .iter()
+            .map(|p| vec![BitWidth::B8; p.groups.len()])
+            .collect();
+        return finish(problem, widths);
+    }
+
+    // Candidate Z values: every pair's min/max plus a grid between the
+    // global extremes.
+    let z_floor = problem
+        .pairs
+        .iter()
+        .map(PairSpec::min_time)
+        .fold(0.0, f64::max);
+    let z_ceil = problem
+        .pairs
+        .iter()
+        .map(PairSpec::max_time)
+        .fold(0.0, f64::max)
+        .max(z_floor);
+    let mut candidates: Vec<f64> = Vec::with_capacity(Z_SAMPLES + 2 * n_pairs.min(32) + 2);
+    candidates.push(z_floor);
+    candidates.push(z_ceil);
+    // Per-pair breakpoints sharpen the sweep, but on large clusters they
+    // multiply into the dominant solver cost (pairs grow quadratically with
+    // devices); past 32 pairs the uniform grid is accurate enough.
+    if n_pairs <= 32 {
+        for p in &problem.pairs {
+            candidates.push(p.min_time().max(z_floor));
+            candidates.push(p.max_time().min(z_ceil).max(z_floor));
+        }
+    }
+    if z_ceil > z_floor {
+        for i in 0..Z_SAMPLES {
+            candidates.push(z_floor + (z_ceil - z_floor) * (i as f64 + 0.5) / Z_SAMPLES as f64);
+        }
+    }
+    candidates.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    candidates.dedup();
+
+    // Seed with the three uniform assignments so the sweep can never lose
+    // to a trivial candidate.
+    let v_ref = problem.variance_ref();
+    let t_ref = problem.time_ref();
+    let mut best: Option<Solution> = None;
+    for w in BitWidth::ALL {
+        let widths: Vec<Vec<BitWidth>> = problem
+            .pairs
+            .iter()
+            .map(|p| vec![w; p.groups.len()])
+            .collect();
+        let sol = finish_with_refs(problem, widths, v_ref, t_ref);
+        if best.as_ref().is_none_or(|b| sol.objective < b.objective) {
+            best = Some(sol);
+        }
+    }
+    // Precompute per-pair downgrade schedules once; every candidate Z is
+    // then a binary search per pair and the winning candidate alone pays
+    // materialization.
+    let schedules: Vec<PairSchedule> = problem.pairs.iter().map(PairSchedule::build).collect();
+    let mut best_candidate: Option<(f64, f64, f64)> = None; // (objective, variance, z)
+    for &z in &candidates {
+        let mut variance = 0.0;
+        let mut max_time: f64 = 0.0;
+        for (p, sched) in problem.pairs.iter().zip(&schedules) {
+            let k = sched.moves_for_budget(p, z).unwrap_or(sched.moves.len());
+            let (v, t) = sched.stats_after(p, k);
+            variance += v;
+            max_time = max_time.max(t);
+        }
+        let obj = problem.objective_from_parts(variance, max_time, v_ref, t_ref);
+        if best_candidate.is_none_or(|(o, _, _)| obj < o) {
+            best_candidate = Some((obj, variance, z));
+        }
+    }
+    if let Some((obj, _, z)) = best_candidate {
+        let current_best = best.as_ref().map_or(f64::INFINITY, |b| b.objective);
+        if obj < current_best {
+            let widths: Vec<Vec<BitWidth>> = problem
+                .pairs
+                .iter()
+                .zip(&schedules)
+                .map(|(p, sched)| {
+                    let k = sched.moves_for_budget(p, z).unwrap_or(sched.moves.len());
+                    sched.widths_after(p.groups.len(), k)
+                })
+                .collect();
+            best = Some(finish_with_refs(problem, widths, v_ref, t_ref));
+        }
+    }
+    best.expect("at least one candidate evaluated")
+}
+
+/// Like [`solve`] but with the exact DP inner solver
+/// ([`min_variance_within_budget_dp`]) instead of the LP-relaxation greedy.
+/// Slower (each pair pays `O(groups * resolution)` per Z candidate) but
+/// never worse than the greedy at the evaluated candidates; use it when
+/// group sizes are very uneven.
+pub fn solve_exact(problem: &BiObjectiveProblem, resolution: usize) -> Solution {
+    let n_pairs = problem.pairs.len();
+    if n_pairs == 0 || problem.lambda >= 1.0 {
+        return solve(problem);
+    }
+    let z_floor = problem
+        .pairs
+        .iter()
+        .map(PairSpec::min_time)
+        .fold(0.0, f64::max);
+    let z_ceil = problem
+        .pairs
+        .iter()
+        .map(PairSpec::max_time)
+        .fold(0.0, f64::max)
+        .max(z_floor);
+    let mut candidates: Vec<f64> = vec![z_floor, z_ceil];
+    if z_ceil > z_floor {
+        for i in 0..Z_SAMPLES {
+            candidates.push(z_floor + (z_ceil - z_floor) * (i as f64 + 0.5) / Z_SAMPLES as f64);
+        }
+    }
+    let mut best = solve(problem); // greedy baseline: exact never returns worse
+    for &z in &candidates {
+        let mut widths = Vec::with_capacity(n_pairs);
+        for p in &problem.pairs {
+            let (w, _feasible) = min_variance_within_budget_dp(p, z, resolution);
+            widths.push(w);
+        }
+        let sol = finish(problem, widths);
+        if sol.objective < best.objective {
+            best = sol;
+        }
+    }
+    best
+}
+
+fn finish(problem: &BiObjectiveProblem, widths: Vec<Vec<BitWidth>>) -> Solution {
+    let v_ref = problem.variance_ref();
+    let t_ref = problem.time_ref();
+    finish_with_refs(problem, widths, v_ref, t_ref)
+}
+
+/// [`finish`] with the objective normalizers precomputed (hot path).
+fn finish_with_refs(
+    problem: &BiObjectiveProblem,
+    widths: Vec<Vec<BitWidth>>,
+    v_ref: f64,
+    t_ref: f64,
+) -> Solution {
+    let variance = problem.total_variance(&widths);
+    let max_time = problem.max_time(&widths);
+    let objective = problem.objective_from_parts(variance, max_time, v_ref, t_ref);
+    Solution {
+        widths,
+        variance,
+        max_time,
+        objective,
+    }
+}
+
+/// Exhaustive solver for small instances (`3^num_groups` assignments).
+///
+/// # Panics
+///
+/// Panics if the instance has more than 16 groups total.
+pub fn brute_force(problem: &BiObjectiveProblem) -> Solution {
+    let total_groups = problem.num_groups();
+    assert!(total_groups <= 16, "brute force limited to 16 groups");
+    let shape: Vec<usize> = problem.pairs.iter().map(|p| p.groups.len()).collect();
+    let mut best: Option<Solution> = None;
+    let mut counter = vec![0usize; total_groups];
+    loop {
+        // Materialize the assignment.
+        let mut widths: Vec<Vec<BitWidth>> = Vec::with_capacity(shape.len());
+        let mut idx = 0;
+        for &len in &shape {
+            widths.push(
+                (0..len)
+                    .map(|_| {
+                        let w = BitWidth::ALL[counter[idx]];
+                        idx += 1;
+                        w
+                    })
+                    .collect(),
+            );
+        }
+        let sol = finish(problem, widths);
+        if best.as_ref().is_none_or(|b| sol.objective < b.objective) {
+            best = Some(sol);
+        }
+        // Increment the mixed-radix counter.
+        let mut pos = 0;
+        loop {
+            if pos == total_groups {
+                return best.expect("at least one assignment");
+            }
+            counter[pos] += 1;
+            if counter[pos] < 3 {
+                break;
+            }
+            counter[pos] = 0;
+            pos += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::GroupSpec;
+
+    fn simple_pair(betas: &[f64], bytes_per_bit: f64, theta: f64, gamma: f64) -> PairSpec {
+        PairSpec {
+            theta,
+            gamma,
+            groups: betas
+                .iter()
+                .map(|&beta| GroupSpec {
+                    beta,
+                    bytes_per_bit,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn lambda_one_gives_full_precision() {
+        let prob = BiObjectiveProblem::new(vec![simple_pair(&[1.0, 5.0], 100.0, 1e-6, 0.0)], 1.0);
+        let sol = solve(&prob);
+        assert!(sol.widths[0].iter().all(|&w| w == BitWidth::B8));
+    }
+
+    #[test]
+    fn lambda_zero_minimizes_bottleneck_time() {
+        // Two pairs; pair 1 carries 10x the data. With lambda=0 the slowest
+        // pair must be driven to 2-bit.
+        let prob = BiObjectiveProblem::new(
+            vec![
+                simple_pair(&[1.0], 10.0, 1e-6, 0.0),
+                simple_pair(&[1.0], 100.0, 1e-6, 0.0),
+            ],
+            0.0,
+        );
+        let sol = solve(&prob);
+        assert_eq!(sol.widths[1], vec![BitWidth::B2]);
+        // The light pair may keep higher precision without moving the max.
+        assert!(sol.widths[0][0] >= BitWidth::B2);
+        assert!((sol.max_time - 200e-6 * 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn high_beta_groups_get_more_bits() {
+        // One pair, two groups with very different beta, budget-pressured by
+        // a moderate lambda: the high-beta group should keep >= the bits of
+        // the low-beta group.
+        let prob =
+            BiObjectiveProblem::new(vec![simple_pair(&[1000.0, 0.001], 1000.0, 1e-5, 0.0)], 0.5);
+        let sol = solve(&prob);
+        assert!(
+            sol.widths[0][0] >= sol.widths[0][1],
+            "high-beta group {:?} must not get fewer bits than low-beta {:?}",
+            sol.widths[0][0],
+            sol.widths[0][1]
+        );
+    }
+
+    #[test]
+    fn matches_brute_force_on_small_instances() {
+        // Several deterministic small instances with heterogeneous links.
+        let cases = [
+            BiObjectiveProblem::new(
+                vec![
+                    simple_pair(&[3.0, 0.5, 7.0], 50.0, 2e-6, 1e-4),
+                    simple_pair(&[1.0], 400.0, 1e-6, 5e-5),
+                ],
+                0.5,
+            ),
+            BiObjectiveProblem::new(
+                vec![
+                    simple_pair(&[10.0, 10.0], 100.0, 1e-6, 0.0),
+                    simple_pair(&[0.1, 0.2], 100.0, 4e-6, 0.0),
+                ],
+                0.3,
+            ),
+            BiObjectiveProblem::new(
+                vec![simple_pair(&[5.0, 1.0, 0.2, 8.0], 25.0, 1e-5, 1e-3)],
+                0.8,
+            ),
+        ];
+        for (i, prob) in cases.iter().enumerate() {
+            let heur = solve(prob);
+            let exact = brute_force(prob);
+            // Heuristic within 5% of the exact optimum (usually equal).
+            assert!(
+                heur.objective <= exact.objective * 1.05 + 1e-12,
+                "case {i}: heuristic {} vs exact {}",
+                heur.objective,
+                exact.objective
+            );
+        }
+    }
+
+    #[test]
+    fn empty_problem() {
+        let sol = solve(&BiObjectiveProblem::new(vec![], 0.5));
+        assert!(sol.widths.is_empty());
+        assert_eq!(sol.objective, 0.0);
+    }
+
+    #[test]
+    fn pair_with_no_groups() {
+        let prob = BiObjectiveProblem::new(
+            vec![
+                PairSpec {
+                    theta: 1e-6,
+                    gamma: 2e-4,
+                    groups: vec![],
+                },
+                simple_pair(&[1.0], 10.0, 1e-6, 0.0),
+            ],
+            0.5,
+        );
+        let sol = solve(&prob);
+        assert!(sol.widths[0].is_empty());
+        assert!(sol.max_time >= 2e-4);
+    }
+
+    #[test]
+    fn budget_greedy_downgrades_low_beta_first() {
+        let pair = simple_pair(&[100.0, 1.0, 50.0], 100.0, 1e-6, 0.0);
+        // All-8 time = 3 * 100 * 8 * 1e-6 = 2.4ms; force ~half.
+        let (widths, feasible) = min_variance_within_budget(&pair, 1.4e-3);
+        assert!(feasible);
+        // Low-beta group 1 must be downgraded at least as far as the others.
+        assert!(widths[1] <= widths[0]);
+        assert!(widths[1] <= widths[2]);
+        assert!(pair.time(&widths) <= 1.4e-3 + 1e-12);
+    }
+
+    #[test]
+    fn dp_matches_or_beats_greedy() {
+        let pair = simple_pair(&[100.0, 1.0, 50.0, 7.0, 0.3], 100.0, 1e-6, 0.0);
+        for budget in [1.2e-3, 1.8e-3, 2.5e-3, 3.5e-3] {
+            let (gw, gfeas) = min_variance_within_budget(&pair, budget);
+            let (dw, dfeas) = min_variance_within_budget_dp(&pair, budget, 2048);
+            assert_eq!(gfeas, dfeas, "feasibility at {budget}");
+            if gfeas {
+                assert!(pair.time(&dw) <= budget + 1e-12, "dp over budget");
+                // DP is exact up to discretization + repair; allow a small
+                // slack over the greedy (which solves the continuous budget).
+                assert!(
+                    pair.variance(&dw) <= pair.variance(&gw) * 1.05 + 1e-12,
+                    "dp variance {} worse than greedy {} at {budget}",
+                    pair.variance(&dw),
+                    pair.variance(&gw)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dp_handles_degenerate_budgets() {
+        let pair = simple_pair(&[1.0], 100.0, 1e-3, 0.0);
+        // Below all-2-bit.
+        let (w, feasible) = min_variance_within_budget_dp(&pair, 1e-9, 256);
+        assert!(!feasible);
+        assert_eq!(w, vec![BitWidth::B2]);
+        // Above all-8-bit.
+        let (w, feasible) = min_variance_within_budget_dp(&pair, 10.0, 256);
+        assert!(feasible);
+        assert_eq!(w, vec![BitWidth::B8]);
+        // Empty pair.
+        let empty = PairSpec {
+            theta: 1e-6,
+            gamma: 1e-4,
+            groups: vec![],
+        };
+        let (w, feasible) = min_variance_within_budget_dp(&empty, 1.0, 256);
+        assert!(w.is_empty() && feasible);
+    }
+
+    #[test]
+    fn solve_exact_never_worse_than_greedy() {
+        let prob = BiObjectiveProblem::new(
+            vec![
+                simple_pair(&[3.0, 0.5, 7.0, 11.0], 50.0, 2e-6, 1e-4),
+                simple_pair(&[1.0, 90.0], 400.0, 1e-6, 5e-5),
+            ],
+            0.5,
+        );
+        let greedy = solve(&prob);
+        let exact = solve_exact(&prob, 1024);
+        assert!(exact.objective <= greedy.objective + 1e-12);
+        // And still at least as good as brute force allows.
+        let bf = brute_force(&prob);
+        assert!(exact.objective <= bf.objective * 1.02 + 1e-12);
+    }
+
+    #[test]
+    fn infeasible_budget_returns_floor() {
+        let pair = simple_pair(&[1.0], 100.0, 1e-3, 0.0);
+        let (widths, feasible) = min_variance_within_budget(&pair, 1e-9);
+        assert!(!feasible);
+        assert_eq!(widths, vec![BitWidth::B2]);
+    }
+
+    #[test]
+    fn variance_decreases_as_lambda_grows() {
+        let mk = |lambda| {
+            BiObjectiveProblem::new(
+                vec![
+                    simple_pair(&[10.0, 2.0, 30.0], 200.0, 5e-6, 1e-4),
+                    simple_pair(&[8.0, 1.0], 500.0, 2e-6, 1e-4),
+                ],
+                lambda,
+            )
+        };
+        let v_low = solve(&mk(0.1)).variance;
+        let v_high = solve(&mk(0.9)).variance;
+        assert!(
+            v_high <= v_low + 1e-12,
+            "variance should not grow with lambda: {v_low} -> {v_high}"
+        );
+        let t_low = solve(&mk(0.1)).max_time;
+        let t_high = solve(&mk(0.9)).max_time;
+        assert!(
+            t_high >= t_low - 1e-12,
+            "time should not shrink with lambda: {t_low} -> {t_high}"
+        );
+    }
+}

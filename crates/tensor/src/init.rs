@@ -1,0 +1,62 @@
+//! Weight initialization schemes.
+
+use crate::{Matrix, Rng};
+
+/// Xavier/Glorot uniform initialization: samples from
+/// `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
+///
+/// This is what DGL's `GraphConv` uses by default and what the paper's GCN /
+/// GraphSAGE weight matrices start from.
+///
+/// # Example
+///
+/// ```
+/// use tensor::{xavier_uniform, Rng};
+///
+/// let mut rng = Rng::seed_from(0);
+/// let w = xavier_uniform(64, 32, &mut rng);
+/// assert_eq!(w.shape(), (64, 32));
+/// let bound = (6.0f32 / (64.0 + 32.0)).sqrt();
+/// assert!(w.as_slice().iter().all(|v| v.abs() <= bound));
+/// ```
+pub fn xavier_uniform(fan_in: usize, fan_out: usize, rng: &mut Rng) -> Matrix {
+    let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    Matrix::from_fn(fan_in, fan_out, |_, _| rng.uniform(-a, a))
+}
+
+/// Kaiming/He uniform initialization for ReLU networks: samples from
+/// `U(-a, a)` with `a = sqrt(6 / fan_in)`.
+pub fn kaiming_uniform(fan_in: usize, fan_out: usize, rng: &mut Rng) -> Matrix {
+    let a = (6.0 / fan_in as f32).sqrt();
+    Matrix::from_fn(fan_in, fan_out, |_, _| rng.uniform(-a, a))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xavier_bound_holds() {
+        let mut rng = Rng::seed_from(11);
+        let w = xavier_uniform(100, 50, &mut rng);
+        let bound = (6.0f32 / 150.0).sqrt();
+        assert!(w.as_slice().iter().all(|v| v.abs() <= bound));
+    }
+
+    #[test]
+    fn kaiming_bound_holds() {
+        let mut rng = Rng::seed_from(11);
+        let w = kaiming_uniform(128, 64, &mut rng);
+        let bound = (6.0f32 / 128.0).sqrt();
+        assert!(w.as_slice().iter().all(|v| v.abs() <= bound));
+    }
+
+    #[test]
+    fn init_is_not_degenerate() {
+        let mut rng = Rng::seed_from(11);
+        let w = xavier_uniform(32, 32, &mut rng);
+        // Not all equal, mean near zero.
+        assert!(w.mean().abs() < 0.05);
+        assert!(w.frobenius_norm() > 0.0);
+    }
+}

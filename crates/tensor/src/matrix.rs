@@ -1,0 +1,687 @@
+//! Row-major dense `f32` matrix.
+
+use crate::ShapeError;
+use serde::{Deserialize, Serialize};
+
+/// Number of rows of the left operand below which matmul stays single
+/// threaded; parallelism only pays off for the large feature matrices that
+/// full-graph training produces.
+const PAR_ROW_THRESHOLD: usize = 256;
+
+/// Cache-blocking factor for the inner matmul loops.
+const BLOCK: usize = 64;
+
+/// A dense row-major `f32` matrix.
+///
+/// This is the workhorse value type of the workspace: node feature tables,
+/// layer weights, embeddings and embedding gradients are all `Matrix` values.
+///
+/// # Example
+///
+/// ```
+/// use tensor::Matrix;
+///
+/// let m = Matrix::zeros(2, 3);
+/// assert_eq!(m.rows(), 2);
+/// assert_eq!(m.cols(), 3);
+/// assert_eq!(m.row(1), &[0.0, 0.0, 0.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a `rows x cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a `rows x cols` matrix filled with `value`.
+    pub fn full(rows: usize, cols: usize, value: f32) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Creates the `n x n` identity matrix.
+    pub fn eye(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.data[i * n + i] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from a row-major data buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> crate::Result<Self> {
+        if data.len() != rows * cols {
+            return Err(ShapeError {
+                op: "Matrix::from_vec",
+                expected: (rows, cols),
+                found: (data.len(), 1),
+            });
+        }
+        Ok(Self { rows, cols, data })
+    }
+
+    /// Creates a matrix from explicit row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have differing lengths.
+    pub fn from_rows(rows: &[&[f32]]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "all rows must have equal length");
+            data.extend_from_slice(row);
+        }
+        Self {
+            rows: r,
+            cols: c,
+            data,
+        }
+    }
+
+    /// Creates a matrix by evaluating `f(row, col)` for every element.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the matrix has zero elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the underlying row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying row-major buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix and returns its row-major buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows` or `j >= cols`.
+    #[inline]
+    pub fn at(&self, i: usize, j: usize) -> f32 {
+        self.data[i * self.cols + j]
+    }
+
+    /// Sets element `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows` or `j >= cols`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f32) {
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Immutable view of row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f32] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable view of row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Iterator over row slices.
+    pub fn rows_iter(&self) -> impl Iterator<Item = &[f32]> {
+        self.data.chunks(self.cols.max(1))
+    }
+
+    /// Returns a new matrix holding the selected rows, in order.
+    ///
+    /// This is the gather primitive used to build message payloads for remote
+    /// neighbors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn gather_rows(&self, indices: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(indices.len(), self.cols);
+        for (dst, &src) in indices.iter().enumerate() {
+            out.row_mut(dst).copy_from_slice(self.row(src));
+        }
+        out
+    }
+
+    /// Adds each row of `src` into the row of `self` selected by `indices`
+    /// (`self[indices[k]] += src[k]`). The scatter-add primitive used when
+    /// accumulating received remote embedding gradients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes disagree or any index is out of bounds.
+    pub fn scatter_add_rows(&mut self, indices: &[usize], src: &Matrix) {
+        assert_eq!(indices.len(), src.rows(), "index/row count mismatch");
+        assert_eq!(self.cols, src.cols(), "column mismatch");
+        for (k, &dst) in indices.iter().enumerate() {
+            let row = self.row_mut(dst);
+            for (r, s) in row.iter_mut().zip(src.row(k)) {
+                *r += s;
+            }
+        }
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()`.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul: lhs is {}x{}, rhs is {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        matmul_into(
+            &self.data,
+            self.rows,
+            self.cols,
+            &rhs.data,
+            rhs.cols,
+            &mut out.data,
+        );
+        out
+    }
+
+    /// Matrix product `self^T * rhs` without materializing the transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.rows() != rhs.rows()`.
+    pub fn matmul_tn(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows, rhs.rows,
+            "matmul_tn: lhs is {}x{}, rhs is {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        // out[c1][c2] = sum_r lhs[r][c1] * rhs[r][c2]
+        let mut out = Matrix::zeros(self.cols, rhs.cols);
+        for r in 0..self.rows {
+            let lrow = self.row(r);
+            let rrow = rhs.row(r);
+            for (c1, &lv) in lrow.iter().enumerate() {
+                if lv == 0.0 {
+                    continue;
+                }
+                let orow = &mut out.data[c1 * rhs.cols..(c1 + 1) * rhs.cols];
+                for (o, &rv) in orow.iter_mut().zip(rrow) {
+                    *o += lv * rv;
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self * rhs^T` without materializing the transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.cols()`.
+    pub fn matmul_nt(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.cols,
+            "matmul_nt: lhs is {}x{}, rhs is {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        for i in 0..self.rows {
+            let lrow = self.row(i);
+            let orow = &mut out.data[i * rhs.rows..(i + 1) * rhs.rows];
+            for (j, o) in orow.iter_mut().enumerate() {
+                let rrow = &rhs.data[j * rhs.cols..(j + 1) * rhs.cols];
+                let mut acc = 0.0;
+                for (a, b) in lrow.iter().zip(rrow) {
+                    acc += a * b;
+                }
+                *o = acc;
+            }
+        }
+        out
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out.data[j * self.rows + i] = self.data[i * self.cols + j];
+            }
+        }
+        out
+    }
+
+    /// Elementwise in-place addition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn add_assign(&mut self, rhs: &Matrix) {
+        assert_eq!(self.shape(), rhs.shape(), "add_assign shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += b;
+        }
+    }
+
+    /// Elementwise in-place subtraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn sub_assign(&mut self, rhs: &Matrix) {
+        assert_eq!(self.shape(), rhs.shape(), "sub_assign shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
+            *a -= b;
+        }
+    }
+
+    /// `self += alpha * rhs` (axpy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn axpy(&mut self, alpha: f32, rhs: &Matrix) {
+        assert_eq!(self.shape(), rhs.shape(), "axpy shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Multiplies every element by `s` in place.
+    pub fn scale(&mut self, s: f32) {
+        for a in &mut self.data {
+            *a *= s;
+        }
+    }
+
+    /// Elementwise (Hadamard) in-place product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn hadamard_assign(&mut self, rhs: &Matrix) {
+        assert_eq!(self.shape(), rhs.shape(), "hadamard shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
+            *a *= b;
+        }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, mut f: impl FnMut(f32) -> f32) {
+        for a in &mut self.data {
+            *a = f(*a);
+        }
+    }
+
+    /// Returns a new matrix with `f` applied to every element.
+    pub fn map(&self, mut f: impl FnMut(f32) -> f32) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Adds `bias` (a length-`cols` vector) to every row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias.len() != cols`.
+    pub fn add_row_vector(&mut self, bias: &[f32]) {
+        assert_eq!(bias.len(), self.cols, "bias length mismatch");
+        for row in self.data.chunks_mut(self.cols) {
+            for (a, b) in row.iter_mut().zip(bias) {
+                *a += b;
+            }
+        }
+    }
+
+    /// Sum over rows: returns a length-`cols` vector.
+    pub fn column_sums(&self) -> Vec<f32> {
+        let mut sums = vec![0.0; self.cols];
+        for row in self.data.chunks(self.cols.max(1)) {
+            for (s, v) in sums.iter_mut().zip(row) {
+                *s += v;
+            }
+        }
+        sums
+    }
+
+    /// Minimum element; `None` when empty.
+    pub fn min(&self) -> Option<f32> {
+        self.data.iter().copied().reduce(f32::min)
+    }
+
+    /// Maximum element; `None` when empty.
+    pub fn max(&self) -> Option<f32> {
+        self.data.iter().copied().reduce(f32::max)
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// Mean of all elements (0 when empty).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.data.iter().sum::<f32>() / self.data.len() as f32
+        }
+    }
+
+    /// Stacks matrices vertically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if column counts differ.
+    pub fn vstack(parts: &[&Matrix]) -> Matrix {
+        if parts.is_empty() {
+            return Matrix::zeros(0, 0);
+        }
+        let cols = parts[0].cols;
+        let rows = parts.iter().map(|m| m.rows).sum();
+        let mut data = Vec::with_capacity(rows * cols);
+        for m in parts {
+            assert_eq!(m.cols, cols, "vstack column mismatch");
+            data.extend_from_slice(&m.data);
+        }
+        Matrix { rows, cols, data }
+    }
+}
+
+/// Core blocked matmul: `out += a (ra x ca) * b (ca x cb)`.
+///
+/// `out` must already be zeroed by the caller. Splits rows across scoped
+/// threads once the left operand is tall enough to amortize thread startup.
+fn matmul_into(a: &[f32], ra: usize, ca: usize, b: &[f32], cb: usize, out: &mut [f32]) {
+    if ra >= PAR_ROW_THRESHOLD && cb > 0 {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(8);
+        if threads > 1 {
+            let chunk = ra.div_ceil(threads);
+            crossbeam::scope(|s| {
+                for (t, out_chunk) in out.chunks_mut(chunk * cb).enumerate() {
+                    let a_chunk = &a[t * chunk * ca..((t * chunk + out_chunk.len() / cb) * ca)];
+                    s.spawn(move |_| {
+                        matmul_serial(a_chunk, out_chunk.len() / cb, ca, b, cb, out_chunk);
+                    });
+                }
+            })
+            .expect("matmul worker panicked");
+            return;
+        }
+    }
+    matmul_serial(a, ra, ca, b, cb, out);
+}
+
+/// Serial cache-blocked i-k-j matmul.
+fn matmul_serial(a: &[f32], ra: usize, ca: usize, b: &[f32], cb: usize, out: &mut [f32]) {
+    for kb in (0..ca).step_by(BLOCK) {
+        let kend = (kb + BLOCK).min(ca);
+        for i in 0..ra {
+            let arow = &a[i * ca..(i + 1) * ca];
+            let orow = &mut out[i * cb..(i + 1) * cb];
+            for k in kb..kend {
+                let av = arow[k];
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = &b[k * cb..(k + 1) * cb];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx_eq(a: &Matrix, b: &Matrix, tol: f32) -> bool {
+        a.shape() == b.shape()
+            && a.as_slice()
+                .iter()
+                .zip(b.as_slice())
+                .all(|(x, y)| (x - y).abs() <= tol)
+    }
+
+    #[test]
+    fn zeros_and_full() {
+        let z = Matrix::zeros(3, 2);
+        assert_eq!(z.shape(), (3, 2));
+        assert!(z.as_slice().iter().all(|&v| v == 0.0));
+        let f = Matrix::full(2, 2, 7.5);
+        assert!(f.as_slice().iter().all(|&v| v == 7.5));
+    }
+
+    #[test]
+    fn from_vec_shape_error() {
+        let err = Matrix::from_vec(2, 3, vec![0.0; 5]).unwrap_err();
+        assert_eq!(err.op, "Matrix::from_vec");
+    }
+
+    #[test]
+    fn identity_matmul_is_noop() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let c = a.matmul(&Matrix::eye(3));
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn small_matmul_known_values() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn matmul_tn_matches_explicit_transpose() {
+        let a = Matrix::from_fn(7, 4, |i, j| (i * 4 + j) as f32 * 0.1);
+        let b = Matrix::from_fn(7, 3, |i, j| (i + j) as f32 * 0.3 - 1.0);
+        let expect = a.transpose().matmul(&b);
+        assert!(approx_eq(&a.matmul_tn(&b), &expect, 1e-5));
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose() {
+        let a = Matrix::from_fn(5, 6, |i, j| (i as f32 - j as f32) * 0.2);
+        let b = Matrix::from_fn(4, 6, |i, j| (i * j) as f32 * 0.05 + 0.5);
+        let expect = a.matmul(&b.transpose());
+        assert!(approx_eq(&a.matmul_nt(&b), &expect, 1e-5));
+    }
+
+    #[test]
+    fn parallel_matmul_matches_serial() {
+        // 300 rows crosses PAR_ROW_THRESHOLD.
+        let a = Matrix::from_fn(300, 17, |i, j| ((i * 31 + j * 7) % 13) as f32 - 6.0);
+        let b = Matrix::from_fn(17, 9, |i, j| ((i * 5 + j * 3) % 11) as f32 * 0.25);
+        let mut serial = Matrix::zeros(300, 9);
+        matmul_serial(
+            a.as_slice(),
+            300,
+            17,
+            b.as_slice(),
+            9,
+            serial.as_mut_slice(),
+        );
+        let par = a.matmul(&b);
+        assert!(approx_eq(&par, &serial, 1e-5));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_fn(4, 7, |i, j| (i * 7 + j) as f32);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn gather_then_scatter_add_roundtrip() {
+        let base = Matrix::from_fn(6, 3, |i, j| (i * 3 + j) as f32);
+        let idx = [4, 1, 5];
+        let gathered = base.gather_rows(&idx);
+        assert_eq!(gathered.row(0), base.row(4));
+        assert_eq!(gathered.row(2), base.row(5));
+
+        let mut acc = Matrix::zeros(6, 3);
+        acc.scatter_add_rows(&idx, &gathered);
+        for i in 0..6 {
+            if idx.contains(&i) {
+                assert_eq!(acc.row(i), base.row(i));
+            } else {
+                assert!(acc.row(i).iter().all(|&v| v == 0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_add_accumulates_duplicates() {
+        let src = Matrix::from_rows(&[&[1.0, 1.0], &[2.0, 2.0]]);
+        let mut acc = Matrix::zeros(3, 2);
+        acc.scatter_add_rows(&[1, 1], &src);
+        assert_eq!(acc.row(1), &[3.0, 3.0]);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let mut a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[0.5, 0.5], &[0.5, 0.5]]);
+        a.add_assign(&b);
+        assert_eq!(a.at(0, 0), 1.5);
+        a.sub_assign(&b);
+        assert_eq!(a.at(0, 0), 1.0);
+        a.axpy(2.0, &b);
+        assert_eq!(a.at(1, 1), 5.0);
+        a.scale(0.0);
+        assert_eq!(a.frobenius_norm(), 0.0);
+    }
+
+    #[test]
+    fn hadamard() {
+        let mut a = Matrix::from_rows(&[&[2.0, 3.0]]);
+        let b = Matrix::from_rows(&[&[4.0, 5.0]]);
+        a.hadamard_assign(&b);
+        assert_eq!(a.as_slice(), &[8.0, 15.0]);
+    }
+
+    #[test]
+    fn add_row_vector_broadcasts() {
+        let mut a = Matrix::zeros(3, 2);
+        a.add_row_vector(&[1.0, -1.0]);
+        for i in 0..3 {
+            assert_eq!(a.row(i), &[1.0, -1.0]);
+        }
+    }
+
+    #[test]
+    fn column_sums_and_mean() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(a.column_sums(), vec![4.0, 6.0]);
+        assert_eq!(a.mean(), 2.5);
+    }
+
+    #[test]
+    fn min_max() {
+        let a = Matrix::from_rows(&[&[1.0, -2.0], &[3.0, 0.5]]);
+        assert_eq!(a.min(), Some(-2.0));
+        assert_eq!(a.max(), Some(3.0));
+        assert_eq!(Matrix::zeros(0, 0).min(), None);
+    }
+
+    #[test]
+    fn vstack_concatenates() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0]]);
+        let b = Matrix::from_rows(&[&[3.0, 4.0], &[5.0, 6.0]]);
+        let s = Matrix::vstack(&[&a, &b]);
+        assert_eq!(s.shape(), (3, 2));
+        assert_eq!(s.row(2), &[5.0, 6.0]);
+    }
+
+    #[test]
+    fn empty_matrix_is_handled() {
+        let e = Matrix::zeros(0, 4);
+        assert!(e.is_empty());
+        assert_eq!(e.column_sums(), vec![0.0; 4]);
+        let g = e.gather_rows(&[]);
+        assert_eq!(g.shape(), (0, 4));
+    }
+}

@@ -1,0 +1,594 @@
+//! Neural-network kernels: activations, dropout, layer norm and losses.
+//!
+//! All backward functions take exactly the caches their forward counterparts
+//! return, mirroring the manual-autograd style used by the `gnn` crate.
+
+use crate::{Matrix, Rng};
+
+/// Numerical-stability epsilon for layer norm.
+const LN_EPS: f32 = 1e-5;
+
+/// ReLU forward: `max(x, 0)` elementwise.
+pub fn relu_forward(x: &Matrix) -> Matrix {
+    x.map(|v| v.max(0.0))
+}
+
+/// ReLU backward: zeroes gradient where the forward input was non-positive.
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn relu_backward(grad_out: &Matrix, input: &Matrix) -> Matrix {
+    assert_eq!(
+        grad_out.shape(),
+        input.shape(),
+        "relu_backward shape mismatch"
+    );
+    let mut g = grad_out.clone();
+    for (gv, &xv) in g.as_mut_slice().iter_mut().zip(input.as_slice()) {
+        if xv <= 0.0 {
+            *gv = 0.0;
+        }
+    }
+    g
+}
+
+/// Boolean keep-mask produced by [`dropout_forward`], needed by
+/// [`dropout_backward`].
+#[derive(Debug, Clone)]
+pub struct DropoutMask {
+    keep: Vec<bool>,
+    scale: f32,
+}
+
+impl DropoutMask {
+    /// Fraction of elements kept.
+    pub fn keep_rate(&self) -> f32 {
+        if self.keep.is_empty() {
+            1.0
+        } else {
+            self.keep.iter().filter(|&&k| k).count() as f32 / self.keep.len() as f32
+        }
+    }
+}
+
+/// Inverted dropout: zeroes each element with probability `p` and scales the
+/// survivors by `1 / (1 - p)` so the expected activation is unchanged.
+///
+/// Returns the dropped matrix and the mask for the backward pass. With
+/// `p == 0` this is the identity (and the mask keeps everything).
+///
+/// # Panics
+///
+/// Panics if `p` is not in `[0, 1)`.
+pub fn dropout_forward(x: &Matrix, p: f32, rng: &mut Rng) -> (Matrix, DropoutMask) {
+    assert!(
+        (0.0..1.0).contains(&p),
+        "dropout p must be in [0,1), got {p}"
+    );
+    let scale = 1.0 / (1.0 - p);
+    let mut out = x.clone();
+    let mut keep = vec![true; x.len()];
+    if p > 0.0 {
+        for (v, k) in out.as_mut_slice().iter_mut().zip(keep.iter_mut()) {
+            if rng.unit() < p {
+                *v = 0.0;
+                *k = false;
+            } else {
+                *v *= scale;
+            }
+        }
+    }
+    (out, DropoutMask { keep, scale })
+}
+
+/// Dropout backward: applies the same mask and scale to the gradient.
+///
+/// # Panics
+///
+/// Panics if the mask length differs from the gradient size.
+pub fn dropout_backward(grad_out: &Matrix, mask: &DropoutMask) -> Matrix {
+    assert_eq!(
+        grad_out.len(),
+        mask.keep.len(),
+        "dropout mask size mismatch"
+    );
+    let mut g = grad_out.clone();
+    for (gv, &k) in g.as_mut_slice().iter_mut().zip(&mask.keep) {
+        *gv = if k { *gv * mask.scale } else { 0.0 };
+    }
+    g
+}
+
+/// Per-row statistics cached by [`layer_norm_forward`] for the backward pass.
+#[derive(Debug, Clone)]
+pub struct LayerNormCache {
+    /// Normalized activations `(x - mean) / std`, one row per input row.
+    pub x_hat: Matrix,
+    /// Per-row `1 / std`.
+    pub inv_std: Vec<f32>,
+}
+
+/// Layer normalization over the last dimension (per row), with affine
+/// parameters `gamma` and `beta` of length `x.cols()`.
+///
+/// # Panics
+///
+/// Panics if `gamma`/`beta` lengths differ from `x.cols()`.
+pub fn layer_norm_forward(x: &Matrix, gamma: &[f32], beta: &[f32]) -> (Matrix, LayerNormCache) {
+    let d = x.cols();
+    assert_eq!(gamma.len(), d, "gamma length mismatch");
+    assert_eq!(beta.len(), d, "beta length mismatch");
+    let mut out = Matrix::zeros(x.rows(), d);
+    let mut x_hat = Matrix::zeros(x.rows(), d);
+    let mut inv_std = Vec::with_capacity(x.rows());
+    for i in 0..x.rows() {
+        let row = x.row(i);
+        let mean = row.iter().sum::<f32>() / d as f32;
+        let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+        let istd = 1.0 / (var + LN_EPS).sqrt();
+        inv_std.push(istd);
+        let xh = x_hat.row_mut(i);
+        let o = out.row_mut(i);
+        for j in 0..d {
+            let h = (row[j] - mean) * istd;
+            xh[j] = h;
+            o[j] = gamma[j] * h + beta[j];
+        }
+    }
+    (out, LayerNormCache { x_hat, inv_std })
+}
+
+/// Layer-norm backward.
+///
+/// Returns `(grad_input, grad_gamma, grad_beta)`.
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent with the cache.
+pub fn layer_norm_backward(
+    grad_out: &Matrix,
+    cache: &LayerNormCache,
+    gamma: &[f32],
+) -> (Matrix, Vec<f32>, Vec<f32>) {
+    let (n, d) = grad_out.shape();
+    assert_eq!(
+        cache.x_hat.shape(),
+        (n, d),
+        "layer_norm cache shape mismatch"
+    );
+    assert_eq!(gamma.len(), d, "gamma length mismatch");
+    let mut grad_in = Matrix::zeros(n, d);
+    let mut grad_gamma = vec![0.0; d];
+    let mut grad_beta = vec![0.0; d];
+    for i in 0..n {
+        let dy = grad_out.row(i);
+        let xh = cache.x_hat.row(i);
+        let istd = cache.inv_std[i];
+        let mut sum_dxhat = 0.0;
+        let mut sum_dxhat_xhat = 0.0;
+        for j in 0..d {
+            grad_gamma[j] += dy[j] * xh[j];
+            grad_beta[j] += dy[j];
+            let dxhat = dy[j] * gamma[j];
+            sum_dxhat += dxhat;
+            sum_dxhat_xhat += dxhat * xh[j];
+        }
+        let gi = grad_in.row_mut(i);
+        let inv_d = 1.0 / d as f32;
+        for j in 0..d {
+            let dxhat = dy[j] * gamma[j];
+            gi[j] = istd * (dxhat - inv_d * sum_dxhat - xh[j] * inv_d * sum_dxhat_xhat);
+        }
+    }
+    (grad_in, grad_gamma, grad_beta)
+}
+
+/// Row-wise log-softmax, computed stably via the max trick.
+pub fn log_softmax(x: &Matrix) -> Matrix {
+    let mut out = x.clone();
+    for i in 0..out.rows() {
+        let row = out.row_mut(i);
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let lse = row.iter().map(|v| (v - max).exp()).sum::<f32>().ln() + max;
+        for v in row.iter_mut() {
+            *v -= lse;
+        }
+    }
+    out
+}
+
+/// Mean softmax cross-entropy loss over the rows selected by `mask`.
+///
+/// `labels[i]` is the class index of row `i`; rows where `mask` is false are
+/// ignored (the standard transductive-node-classification setup: loss only on
+/// training nodes). Returns 0 when the mask selects no rows.
+///
+/// # Panics
+///
+/// Panics if `labels`/`mask` lengths differ from `logits.rows()`.
+pub fn softmax_cross_entropy_loss(logits: &Matrix, labels: &[usize], mask: &[bool]) -> f32 {
+    assert_eq!(labels.len(), logits.rows(), "labels length mismatch");
+    assert_eq!(mask.len(), logits.rows(), "mask length mismatch");
+    let log_p = log_softmax(logits);
+    let mut loss = 0.0;
+    let mut count = 0usize;
+    for i in 0..logits.rows() {
+        if mask[i] {
+            loss -= log_p.at(i, labels[i]);
+            count += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        loss / count as f32
+    }
+}
+
+/// Gradient of [`softmax_cross_entropy_loss`] with respect to the logits.
+///
+/// Masked-out rows receive zero gradient.
+///
+/// # Panics
+///
+/// Panics if `labels`/`mask` lengths differ from `logits.rows()`.
+pub fn softmax_cross_entropy_backward(logits: &Matrix, labels: &[usize], mask: &[bool]) -> Matrix {
+    assert_eq!(labels.len(), logits.rows(), "labels length mismatch");
+    assert_eq!(mask.len(), logits.rows(), "mask length mismatch");
+    let count = mask.iter().filter(|&&m| m).count().max(1) as f32;
+    let log_p = log_softmax(logits);
+    let mut grad = Matrix::zeros(logits.rows(), logits.cols());
+    for i in 0..logits.rows() {
+        if !mask[i] {
+            continue;
+        }
+        let lp = log_p.row(i);
+        let g = grad.row_mut(i);
+        for j in 0..lp.len() {
+            g[j] = lp[j].exp() / count;
+        }
+        g[labels[i]] -= 1.0 / count;
+    }
+    grad
+}
+
+/// Elementwise logistic sigmoid.
+pub fn sigmoid(x: &Matrix) -> Matrix {
+    x.map(|v| 1.0 / (1.0 + (-v).exp()))
+}
+
+/// Mean binary cross-entropy-with-logits loss over the rows selected by
+/// `mask`, for multi-label classification (Yelp / AmazonProducts tasks).
+///
+/// `targets` holds 0/1 values with the same shape as `logits`. Uses the
+/// numerically stable formulation
+/// `max(z,0) - z*y + ln(1 + exp(-|z|))`. Returns 0 when the mask is empty.
+///
+/// # Panics
+///
+/// Panics if shapes disagree.
+pub fn sigmoid_bce_loss(logits: &Matrix, targets: &Matrix, mask: &[bool]) -> f32 {
+    sigmoid_bce_loss_weighted(logits, targets, mask, 1.0)
+}
+
+/// [`sigmoid_bce_loss`] with a positive-class weight: each positive label's
+/// term is multiplied by `pos_weight`, counteracting the heavy negative
+/// imbalance of many-class multi-label tasks (a node carries 1-3 of ~100
+/// labels, so the unweighted loss is dominated by "predict nothing").
+///
+/// # Panics
+///
+/// Panics if shapes disagree or `pos_weight <= 0`.
+pub fn sigmoid_bce_loss_weighted(
+    logits: &Matrix,
+    targets: &Matrix,
+    mask: &[bool],
+    pos_weight: f32,
+) -> f32 {
+    assert_eq!(logits.shape(), targets.shape(), "bce shape mismatch");
+    assert_eq!(mask.len(), logits.rows(), "mask length mismatch");
+    assert!(pos_weight > 0.0, "pos_weight must be positive");
+    let mut loss = 0.0;
+    let mut count = 0usize;
+    for i in 0..logits.rows() {
+        if !mask[i] {
+            continue;
+        }
+        count += 1;
+        for (&z, &y) in logits.row(i).iter().zip(targets.row(i)) {
+            // softplus(z) = ln(1 + e^z), stable form.
+            let softplus_neg = (1.0 + (-z.abs()).exp()).ln() + (-z).max(0.0); // softplus(-z)
+            let softplus_pos = (1.0 + (-z.abs()).exp()).ln() + z.max(0.0); // softplus(z)
+            loss += pos_weight * y * softplus_neg + (1.0 - y) * softplus_pos;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        loss / (count as f32 * logits.cols() as f32)
+    }
+}
+
+/// Gradient of [`sigmoid_bce_loss`] with respect to the logits.
+///
+/// # Panics
+///
+/// Panics if shapes disagree.
+pub fn sigmoid_bce_backward(logits: &Matrix, targets: &Matrix, mask: &[bool]) -> Matrix {
+    sigmoid_bce_backward_weighted(logits, targets, mask, 1.0)
+}
+
+/// Gradient of [`sigmoid_bce_loss_weighted`] with respect to the logits.
+///
+/// # Panics
+///
+/// Panics if shapes disagree or `pos_weight <= 0`.
+pub fn sigmoid_bce_backward_weighted(
+    logits: &Matrix,
+    targets: &Matrix,
+    mask: &[bool],
+    pos_weight: f32,
+) -> Matrix {
+    assert_eq!(logits.shape(), targets.shape(), "bce shape mismatch");
+    assert_eq!(mask.len(), logits.rows(), "mask length mismatch");
+    assert!(pos_weight > 0.0, "pos_weight must be positive");
+    let count = mask.iter().filter(|&&m| m).count().max(1) as f32;
+    let denom = count * logits.cols() as f32;
+    let mut grad = Matrix::zeros(logits.rows(), logits.cols());
+    for i in 0..logits.rows() {
+        if !mask[i] {
+            continue;
+        }
+        let g = grad.row_mut(i);
+        for (j, (&z, &y)) in logits.row(i).iter().zip(targets.row(i)).enumerate() {
+            let p = 1.0 / (1.0 + (-z).exp());
+            g[j] = (pos_weight * y * (p - 1.0) + (1.0 - y) * p) / denom;
+        }
+    }
+    grad
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finite_diff_loss(
+        logits: &Matrix,
+        labels: &[usize],
+        mask: &[bool],
+        i: usize,
+        j: usize,
+        eps: f32,
+    ) -> f32 {
+        let mut plus = logits.clone();
+        plus.set(i, j, plus.at(i, j) + eps);
+        let mut minus = logits.clone();
+        minus.set(i, j, minus.at(i, j) - eps);
+        (softmax_cross_entropy_loss(&plus, labels, mask)
+            - softmax_cross_entropy_loss(&minus, labels, mask))
+            / (2.0 * eps)
+    }
+
+    #[test]
+    fn relu_clamps_and_gates() {
+        let x = Matrix::from_rows(&[&[-1.0, 2.0], &[0.0, -3.0]]);
+        let y = relu_forward(&x);
+        assert_eq!(y.as_slice(), &[0.0, 2.0, 0.0, 0.0]);
+        let g = relu_backward(&Matrix::full(2, 2, 1.0), &x);
+        assert_eq!(g.as_slice(), &[0.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn dropout_zero_p_is_identity() {
+        let mut rng = Rng::seed_from(5);
+        let x = Matrix::from_rows(&[&[1.0, 2.0, 3.0]]);
+        let (y, mask) = dropout_forward(&x, 0.0, &mut rng);
+        assert_eq!(y, x);
+        assert_eq!(mask.keep_rate(), 1.0);
+    }
+
+    #[test]
+    fn dropout_scales_survivors() {
+        let mut rng = Rng::seed_from(5);
+        let x = Matrix::full(100, 10, 1.0);
+        let (y, mask) = dropout_forward(&x, 0.5, &mut rng);
+        for &v in y.as_slice() {
+            assert!(v == 0.0 || (v - 2.0).abs() < 1e-6);
+        }
+        // Empirical keep rate near 0.5.
+        assert!((mask.keep_rate() - 0.5).abs() < 0.05);
+        // Expected value preserved.
+        assert!((y.mean() - 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn dropout_backward_matches_mask() {
+        let mut rng = Rng::seed_from(6);
+        let x = Matrix::full(4, 4, 1.0);
+        let (y, mask) = dropout_forward(&x, 0.5, &mut rng);
+        let g = dropout_backward(&Matrix::full(4, 4, 1.0), &mask);
+        // Gradient zero exactly where output is zero, scaled elsewhere.
+        for (gv, yv) in g.as_slice().iter().zip(y.as_slice()) {
+            if *yv == 0.0 {
+                assert_eq!(*gv, 0.0);
+            } else {
+                assert!((gv - 2.0).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn layer_norm_rows_are_normalized() {
+        let x = Matrix::from_rows(&[&[1.0, 2.0, 3.0, 4.0], &[-5.0, 0.0, 5.0, 10.0]]);
+        let gamma = vec![1.0; 4];
+        let beta = vec![0.0; 4];
+        let (y, _) = layer_norm_forward(&x, &gamma, &beta);
+        for i in 0..2 {
+            let row = y.row(i);
+            let mean = row.iter().sum::<f32>() / 4.0;
+            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+            assert!(mean.abs() < 1e-5);
+            assert!((var - 1.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn layer_norm_affine_applied() {
+        let x = Matrix::from_rows(&[&[2.0, 4.0]]);
+        let (y, _) = layer_norm_forward(&x, &[3.0, 3.0], &[1.0, 1.0]);
+        // x_hat = [-1, 1] approx, y = 3*x_hat + 1 = [-2, 4]
+        assert!((y.at(0, 0) + 2.0).abs() < 1e-2);
+        assert!((y.at(0, 1) - 4.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn layer_norm_backward_finite_difference() {
+        let x = Matrix::from_rows(&[&[0.5, -1.2, 2.0], &[1.0, 1.5, -0.3]]);
+        let gamma = vec![1.2, 0.8, 1.0];
+        let beta = vec![0.1, -0.2, 0.0];
+        // Scalar objective: sum of outputs.
+        let (_, cache) = layer_norm_forward(&x, &gamma, &beta);
+        let grad_out = Matrix::full(2, 3, 1.0);
+        let (gin, ggamma, gbeta) = layer_norm_backward(&grad_out, &cache, &gamma);
+        let eps = 1e-3;
+        for i in 0..2 {
+            for j in 0..3 {
+                let mut xp = x.clone();
+                xp.set(i, j, xp.at(i, j) + eps);
+                let mut xm = x.clone();
+                xm.set(i, j, xm.at(i, j) - eps);
+                let (yp, _) = layer_norm_forward(&xp, &gamma, &beta);
+                let (ym, _) = layer_norm_forward(&xm, &gamma, &beta);
+                let num: f32 = (yp.as_slice().iter().sum::<f32>()
+                    - ym.as_slice().iter().sum::<f32>())
+                    / (2.0 * eps);
+                assert!(
+                    (num - gin.at(i, j)).abs() < 2e-2,
+                    "dx[{i}][{j}] numeric {num} vs analytic {}",
+                    gin.at(i, j)
+                );
+            }
+        }
+        // grad_beta for sum objective is just the row count.
+        for g in gbeta {
+            assert!((g - 2.0).abs() < 1e-5);
+        }
+        // grad_gamma equals column sums of x_hat.
+        let xh_sums = cache.x_hat.column_sums();
+        for (g, s) in ggamma.iter().zip(xh_sums) {
+            assert!((g - s).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn log_softmax_rows_sum_to_one() {
+        let x = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[100.0, 100.0, 100.0]]);
+        let lp = log_softmax(&x);
+        for i in 0..2 {
+            let s: f32 = lp.row(i).iter().map(|v| v.exp()).sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn log_softmax_is_shift_invariant() {
+        let x = Matrix::from_rows(&[&[1.0, 2.0, 3.0]]);
+        let shifted = x.map(|v| v + 1000.0);
+        let a = log_softmax(&x);
+        let b = log_softmax(&shifted);
+        for (u, v) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!((u - v).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_perfect_prediction_is_small() {
+        let logits = Matrix::from_rows(&[&[20.0, 0.0], &[0.0, 20.0]]);
+        let loss = softmax_cross_entropy_loss(&logits, &[0, 1], &[true, true]);
+        assert!(loss < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_masked_rows_ignored() {
+        let logits = Matrix::from_rows(&[&[20.0, 0.0], &[20.0, 0.0]]);
+        // Second row is wrong but masked out.
+        let loss = softmax_cross_entropy_loss(&logits, &[0, 1], &[true, false]);
+        assert!(loss < 1e-6);
+        let grad = softmax_cross_entropy_backward(&logits, &[0, 1], &[true, false]);
+        assert!(grad.row(1).iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn cross_entropy_empty_mask_is_zero() {
+        let logits = Matrix::from_rows(&[&[1.0, 2.0]]);
+        assert_eq!(softmax_cross_entropy_loss(&logits, &[0], &[false]), 0.0);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_finite_difference() {
+        let logits = Matrix::from_rows(&[&[0.3, -0.7, 1.1], &[0.0, 0.5, -0.5]]);
+        let labels = [2, 0];
+        let mask = [true, true];
+        let grad = softmax_cross_entropy_backward(&logits, &labels, &mask);
+        for i in 0..2 {
+            for j in 0..3 {
+                let num = finite_diff_loss(&logits, &labels, &mask, i, j, 1e-3);
+                assert!(
+                    (num - grad.at(i, j)).abs() < 1e-3,
+                    "grad[{i}][{j}] numeric {num} vs analytic {}",
+                    grad.at(i, j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cross_entropy_grad_rows_sum_to_zero() {
+        let logits = Matrix::from_rows(&[&[0.3, -0.7, 1.1]]);
+        let grad = softmax_cross_entropy_backward(&logits, &[1], &[true]);
+        let s: f32 = grad.row(0).iter().sum();
+        assert!(s.abs() < 1e-6);
+    }
+
+    #[test]
+    fn bce_perfect_prediction_is_small() {
+        let logits = Matrix::from_rows(&[&[20.0, -20.0]]);
+        let targets = Matrix::from_rows(&[&[1.0, 0.0]]);
+        assert!(sigmoid_bce_loss(&logits, &targets, &[true]) < 1e-6);
+    }
+
+    #[test]
+    fn bce_gradient_finite_difference() {
+        let logits = Matrix::from_rows(&[&[0.2, -0.9], &[1.5, 0.1]]);
+        let targets = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        let mask = [true, true];
+        let grad = sigmoid_bce_backward(&logits, &targets, &mask);
+        let eps = 1e-3;
+        for i in 0..2 {
+            for j in 0..2 {
+                let mut lp = logits.clone();
+                lp.set(i, j, lp.at(i, j) + eps);
+                let mut lm = logits.clone();
+                lm.set(i, j, lm.at(i, j) - eps);
+                let num = (sigmoid_bce_loss(&lp, &targets, &mask)
+                    - sigmoid_bce_loss(&lm, &targets, &mask))
+                    / (2.0 * eps);
+                assert!(
+                    (num - grad.at(i, j)).abs() < 1e-3,
+                    "bce grad[{i}][{j}] numeric {num} vs analytic {}",
+                    grad.at(i, j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sigmoid_range() {
+        let x = Matrix::from_rows(&[&[-100.0, 0.0, 100.0]]);
+        let s = sigmoid(&x);
+        assert!(s.at(0, 0) < 1e-6);
+        assert!((s.at(0, 1) - 0.5).abs() < 1e-6);
+        assert!(s.at(0, 2) > 1.0 - 1e-6);
+    }
+}

@@ -1,0 +1,85 @@
+//! Property-based tests for the tensor crate.
+
+use proptest::prelude::*;
+use tensor::{log_softmax, Matrix};
+
+fn arb_matrix(max_rows: usize, max_cols: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_rows, 1..=max_cols).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-10.0f32..10.0, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data).expect("sized by construction"))
+    })
+}
+
+proptest! {
+    #[test]
+    fn matmul_identity_left(m in arb_matrix(12, 12)) {
+        let i = Matrix::eye(m.rows());
+        let p = i.matmul(&m);
+        prop_assert_eq!(p, m);
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        a in arb_matrix(6, 5),
+        seed in 0u64..1000,
+    ) {
+        // Build b, c with shapes compatible with a.
+        let mut rng = tensor::Rng::seed_from(seed);
+        let b = Matrix::from_fn(a.cols(), 4, |_, _| rng.uniform(-1.0, 1.0));
+        let c = Matrix::from_fn(a.cols(), 4, |_, _| rng.uniform(-1.0, 1.0));
+        let mut bc = b.clone();
+        bc.add_assign(&c);
+        let lhs = a.matmul(&bc);
+        let mut rhs = a.matmul(&b);
+        rhs.add_assign(&a.matmul(&c));
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn transpose_preserves_frobenius_norm(m in arb_matrix(10, 10)) {
+        let n1 = m.frobenius_norm();
+        let n2 = m.transpose().frobenius_norm();
+        prop_assert!((n1 - n2).abs() <= 1e-3 * n1.max(1.0));
+    }
+
+    #[test]
+    fn matmul_tn_agrees_with_transpose(m in arb_matrix(8, 6), seed in 0u64..1000) {
+        let mut rng = tensor::Rng::seed_from(seed);
+        let b = Matrix::from_fn(m.rows(), 3, |_, _| rng.uniform(-1.0, 1.0));
+        let fast = m.matmul_tn(&b);
+        let slow = m.transpose().matmul(&b);
+        for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn log_softmax_probabilities_normalize(m in arb_matrix(8, 8)) {
+        let lp = log_softmax(&m);
+        for i in 0..lp.rows() {
+            let s: f32 = lp.row(i).iter().map(|v| v.exp()).sum();
+            prop_assert!((s - 1.0).abs() < 1e-4, "row {i} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn gather_rows_preserves_content(m in arb_matrix(10, 6), seed in 0u64..1000) {
+        let mut rng = tensor::Rng::seed_from(seed);
+        let idx: Vec<usize> = (0..5).map(|_| rng.below(m.rows())).collect();
+        let g = m.gather_rows(&idx);
+        for (k, &i) in idx.iter().enumerate() {
+            prop_assert_eq!(g.row(k), m.row(i));
+        }
+    }
+
+    #[test]
+    fn scale_scales_norm(m in arb_matrix(8, 8), s in -3.0f32..3.0) {
+        let before = m.frobenius_norm();
+        let mut scaled = m.clone();
+        scaled.scale(s);
+        let after = scaled.frobenius_norm();
+        prop_assert!((after - s.abs() * before).abs() <= 1e-2 * (1.0 + before));
+    }
+}

@@ -1,0 +1,57 @@
+//! Explore graph partitioning quality: METIS-like multilevel partitioner vs
+//! random assignment, across partition counts — the structure behind
+//! Table 1's remote-neighbor ratios.
+//!
+//! Run with: `cargo run --release --example partition_explore`
+
+use graph::stats::{edge_cut, remote_neighbor_stats, BoundaryInfo};
+use graph::{partition, DatasetSpec};
+use tensor::Rng;
+
+fn main() {
+    let ds = DatasetSpec::ogbn_products_sim().scaled(0.4).generate(7);
+    println!(
+        "graph: {} nodes, avg degree {:.1}",
+        ds.num_nodes(),
+        ds.graph.avg_degree()
+    );
+    println!();
+    println!(
+        "{:>3} {:>12} {:>12} {:>14} {:>14}",
+        "k", "cut(metis)", "cut(random)", "remote ratio", "marginal frac"
+    );
+    let mut rng = Rng::seed_from(1);
+    for k in [2usize, 4, 8, 16] {
+        let ours = partition::metis_like(&ds.graph, k, &mut rng);
+        let rand = partition::random_partition(&ds.graph, k, &mut rng);
+        let s = remote_neighbor_stats(&ds.graph, &ours);
+        println!(
+            "{k:>3} {:>12} {:>12} {:>13.1}% {:>13.1}%",
+            edge_cut(&ds.graph, &ours),
+            edge_cut(&ds.graph, &rand),
+            s.remote_neighbor_ratio * 100.0,
+            s.marginal_node_fraction * 100.0
+        );
+    }
+    println!();
+    // Per-pair volume imbalance at k = 4 (the Fig. 2 effect).
+    let k = 4;
+    let part = partition::metis_like(&ds.graph, k, &mut rng);
+    let b = BoundaryInfo::build(&ds.graph, &part);
+    println!("messages per device pair (k = {k}):");
+    print!("{:>8}", "src\\dst");
+    for q in 0..k {
+        print!("{q:>8}");
+    }
+    println!();
+    for p in 0..k {
+        print!("{p:>8}");
+        for q in 0..k {
+            print!("{:>8}", b.count(p, q));
+        }
+        println!();
+    }
+    println!();
+    println!("unbalanced pair volumes are what AdaQP's minimax time objective");
+    println!("(Eqn. 10) smooths out with per-pair bit-width choices.");
+}

@@ -1,0 +1,85 @@
+//! Single-device reference training with `gnn::fit`, and the check that
+//! makes the whole reproduction trustworthy: distributed Vanilla training
+//! over k devices reproduces the single-device loss trajectory exactly
+//! (full-precision halo exchange is lossless).
+//!
+//! Run with: `cargo run --release --example single_device_reference`
+
+use adaqp::{ExperimentConfig, Method, TrainingConfig};
+use gnn::{fit, AggGraph, ConvKind, FitLabels, FitOptions, Gnn};
+use graph::DatasetSpec;
+use tensor::Rng;
+
+fn main() {
+    let spec = DatasetSpec::tiny().scaled(2.0);
+    let ds = spec.generate(7);
+    println!(
+        "dataset {}: {} nodes, {} classes",
+        ds.name,
+        ds.num_nodes(),
+        ds.num_classes
+    );
+
+    // --- Single-device reference via the high-level fit API. ---
+    let g = ds.graph.with_self_loops();
+    let agg = AggGraph::full_graph_gcn(&g);
+    let mut rng = Rng::seed_from(7);
+    let mut model = Gnn::with_dropout(
+        ConvKind::Gcn,
+        &[ds.feature_dim(), 32, ds.num_classes],
+        0.0,
+        &mut rng,
+    );
+    let history = fit(
+        &mut model,
+        &agg,
+        &ds.features,
+        &FitLabels::Single(ds.single_labels()),
+        &ds.train_mask,
+        &ds.val_mask,
+        &FitOptions {
+            epochs: 30,
+            patience: Some(10),
+            ..FitOptions::default()
+        },
+    );
+    println!(
+        "single-device fit: best val {:.2}% at epoch {} ({} epochs run)",
+        history.best_val * 100.0,
+        history.best_epoch,
+        history.epochs.len()
+    );
+
+    // --- Distributed Vanilla must match a 1-device run of the same system. ---
+    let cfg = |devices: usize| ExperimentConfig {
+        dataset: spec.clone(),
+        machines: 1,
+        devices_per_machine: devices,
+        method: Method::Vanilla,
+        training: TrainingConfig {
+            epochs: 10,
+            hidden: 32,
+            num_layers: 2,
+            dropout: 0.0,
+            ..TrainingConfig::default()
+        },
+        seed: 7,
+    };
+    let single = adaqp::run_experiment(&cfg(1));
+    let multi = adaqp::run_experiment(&cfg(3));
+    println!();
+    println!("epoch   loss(1 device)   loss(3 devices)   |gap|");
+    for (s, m) in single.per_epoch.iter().zip(&multi.per_epoch) {
+        println!(
+            "{:>5}   {:>14.6}   {:>15.6}   {:.2e}",
+            s.epoch,
+            s.loss,
+            m.loss,
+            (s.loss - m.loss).abs()
+        );
+    }
+    println!();
+    println!("the trajectories coincide to float precision: partitioned");
+    println!("full-graph training with lossless halo exchange computes the");
+    println!("same gradients as the single-device reference.");
+}

@@ -1,0 +1,191 @@
+//! Integration: the Adaptive Bit-width Assigner end-to-end on a live
+//! cluster — trace, gather, solve, scatter — and the structure of what it
+//! returns.
+
+use adaqp::assigner::{reassign, AssignMode, Trace, WidthAssignment};
+use adaqp::{build_partitions, TrainingConfig};
+use comm::{Cluster, CostModel};
+use gnn::ConvKind;
+use graph::DatasetSpec;
+use quant::BitWidth;
+use tensor::{Matrix, Rng};
+
+fn setup(k: usize, seed: u64) -> Vec<adaqp::DevicePartition> {
+    let ds = DatasetSpec::tiny().scaled(1.5).generate(seed);
+    let mut rng = Rng::seed_from(seed + 1);
+    let p = graph::partition::metis_like(&ds.graph, k, &mut rng);
+    build_partitions(&ds, &p, ConvKind::Gcn)
+}
+
+fn run_assign(
+    parts: &[adaqp::DevicePartition],
+    cfg: &TrainingConfig,
+    cost: &CostModel,
+    mode: AssignMode,
+) -> Vec<WidthAssignment> {
+    let k = parts.len();
+    Cluster::run(k, move |mut dev| {
+        let part = &parts[dev.rank()];
+        let dims = [16usize, 24];
+        let mut trace = Trace::new(part, &dims);
+        let x = Matrix::from_fn(part.num_local(), 16, |i, j| {
+            ((i * 13 + j * 7 + dev.rank()) % 17) as f32 * 0.25
+        });
+        trace.record_fwd(part, 0, &x);
+        trace.record_fwd(
+            part,
+            1,
+            &x.gather_rows(&(0..part.num_local()).collect::<Vec<_>>()),
+        );
+        let mut rng = Rng::seed_from(900 + dev.rank() as u64);
+        let (assign, _secs) = reassign(&mut dev, part, cost, &trace, cfg, mode, &mut rng);
+        assign
+    })
+}
+
+#[test]
+fn adaptive_assignment_has_correct_shape_everywhere() {
+    let parts = setup(3, 41);
+    let cfg = TrainingConfig {
+        group_size: 8,
+        lambda: 0.5,
+        ..TrainingConfig::default()
+    };
+    let cost = CostModel::homogeneous(3, 1e6, 1e-5);
+    let out = run_assign(&parts, &cfg, &cost, AssignMode::Adaptive);
+    for (rank, assign) in out.iter().enumerate() {
+        assert_eq!(assign.fwd.len(), 2);
+        assert_eq!(assign.bwd.len(), 2);
+        for l in 0..2 {
+            for (q, s) in parts[rank].send_sets.iter().enumerate() {
+                assert_eq!(
+                    assign.fwd[l][q].len(),
+                    s.len(),
+                    "rank {rank} layer {l} -> {q}"
+                );
+            }
+            for (q, s) in parts[rank].recv_slots.iter().enumerate() {
+                assert_eq!(assign.bwd[l][q].len(), s.len());
+            }
+        }
+    }
+}
+
+#[test]
+fn lambda_one_yields_full_precision_lambda_zero_compresses_bottleneck() {
+    let parts = setup(2, 43);
+    let cost = CostModel::homogeneous(2, 1e6, 1e-5);
+    let full = run_assign(
+        &parts,
+        &TrainingConfig {
+            lambda: 1.0,
+            group_size: 8,
+            ..TrainingConfig::default()
+        },
+        &cost,
+        AssignMode::Adaptive,
+    );
+    for a in &full {
+        let (h2, h4, _h8) = a.histogram();
+        assert_eq!(h2 + h4, 0, "lambda=1 must assign 8-bit everywhere");
+    }
+    let fast = run_assign(
+        &parts,
+        &TrainingConfig {
+            lambda: 0.0,
+            group_size: 8,
+            ..TrainingConfig::default()
+        },
+        &cost,
+        AssignMode::Adaptive,
+    );
+    let total2: usize = fast.iter().map(|a| a.histogram().0).sum();
+    assert!(
+        total2 > 0,
+        "lambda=0 should drive bottleneck messages to 2-bit"
+    );
+}
+
+#[test]
+fn uniform_mode_produces_varied_widths() {
+    let parts = setup(2, 47);
+    let cfg = TrainingConfig {
+        group_size: 4,
+        ..TrainingConfig::default()
+    };
+    let cost = CostModel::homogeneous(2, 1e6, 1e-5);
+    let out = run_assign(&parts, &cfg, &cost, AssignMode::UniformRandom);
+    // With enough groups, all three widths should appear somewhere.
+    let mut h = (0, 0, 0);
+    for a in &out {
+        let (a2, a4, a8) = a.histogram();
+        h = (h.0 + a2, h.1 + a4, h.2 + a8);
+    }
+    assert!(h.0 > 0 && h.1 > 0 && h.2 > 0, "histogram {h:?}");
+}
+
+#[test]
+fn assignment_widths_are_group_contiguous_for_uniform() {
+    let parts = setup(2, 53);
+    let cfg = TrainingConfig {
+        group_size: 4,
+        ..TrainingConfig::default()
+    };
+    let cost = CostModel::homogeneous(2, 1e6, 1e-5);
+    let out = run_assign(&parts, &cfg, &cost, AssignMode::UniformRandom);
+    for a in &out {
+        for layer in &a.fwd {
+            for per_peer in layer {
+                for chunk in per_peer.chunks(4) {
+                    assert!(chunk.iter().all(|&w| w == chunk[0]), "group not uniform");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn fixed_assignment_histogram_counts_every_message() {
+    let parts = setup(3, 59);
+    for part in &parts {
+        let a = WidthAssignment::fixed(part, 3, BitWidth::B2);
+        let (h2, h4, h8) = a.histogram();
+        let fwd_msgs: usize = part.send_sets.iter().map(Vec::len).sum::<usize>() * 3;
+        let bwd_msgs: usize = part.recv_slots.iter().map(Vec::len).sum::<usize>() * 3;
+        assert_eq!(h2, fwd_msgs + bwd_msgs);
+        assert_eq!(h4 + h8, 0);
+    }
+}
+
+#[test]
+fn receive_tables_mirror_send_tables_exactly() {
+    // Every device's fwd_recv[l][src] must equal src's fwd[l][me] (and the
+    // same for bwd) — this is the "bit-retrieval index set" contract the
+    // group-major wire format depends on.
+    let parts = setup(3, 67);
+    let cfg = TrainingConfig {
+        group_size: 8,
+        lambda: 0.5,
+        ..TrainingConfig::default()
+    };
+    let cost = CostModel::homogeneous(3, 1e6, 1e-5);
+    let assignments = run_assign(&parts, &cfg, &cost, AssignMode::Adaptive);
+    let layers = assignments[0].fwd.len();
+    for me in 0..3 {
+        for src in 0..3 {
+            if src == me {
+                continue;
+            }
+            for l in 0..layers {
+                assert_eq!(
+                    assignments[me].fwd_recv[l][src], assignments[src].fwd[l][me],
+                    "fwd mirror broken for {src} -> {me} layer {l}"
+                );
+                assert_eq!(
+                    assignments[me].bwd_recv[l][src], assignments[src].bwd[l][me],
+                    "bwd mirror broken for {src} -> {me} layer {l}"
+                );
+            }
+        }
+    }
+}

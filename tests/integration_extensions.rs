@@ -1,0 +1,188 @@
+//! Integration tests for features beyond the paper's core: the overlap
+//! ablation switch, error-feedback quantization, hyper-parameter tuning and
+//! checkpointing.
+
+use adaqp::{ExperimentConfig, Method, TrainingConfig};
+use graph::DatasetSpec;
+
+fn cfg(method: Method) -> ExperimentConfig {
+    ExperimentConfig {
+        dataset: DatasetSpec::tiny().scaled(2.0),
+        machines: 1,
+        devices_per_machine: 3,
+        method,
+        training: TrainingConfig {
+            epochs: 10,
+            hidden: 24,
+            num_layers: 2,
+            dropout: 0.0,
+            reassign_period: 4,
+            group_size: 16,
+            ..TrainingConfig::default()
+        },
+        seed: 2024,
+    }
+}
+
+#[test]
+fn disabling_overlap_slows_adaqp_without_changing_numerics() {
+    let with = adaqp::run_experiment(&cfg(Method::AdaQp));
+    let mut c = cfg(Method::AdaQp);
+    c.training.disable_overlap = true;
+    let without = adaqp::run_experiment(&c);
+    // Same numerics: identical loss curves (overlap only changes timing).
+    for (a, b) in with.per_epoch.iter().zip(&without.per_epoch) {
+        assert!(
+            (a.loss - b.loss).abs() < 1e-9,
+            "overlap flag changed numerics at epoch {}",
+            a.epoch
+        );
+    }
+    // Disabling overlap cannot make the simulated run faster. Compare the
+    // solve-free epoch compositions (the assigner's solve time is measured
+    // wall-clock and noisy; everything else is analytic and deterministic).
+    let solve_free = |r: &adaqp::RunResult| -> f64 {
+        r.per_epoch
+            .iter()
+            .map(|e| e.sim_seconds - e.breakdown.solve)
+            .sum()
+    };
+    let t_with = solve_free(&with);
+    let t_without = solve_free(&without);
+    assert!(
+        t_without >= t_with - 1e-12,
+        "no-overlap {t_without} faster than overlap {t_with}"
+    );
+    // And the overlap must actually hide something on this comm-heavy graph.
+    assert!(
+        t_without > t_with * 1.01,
+        "overlap hid nothing: {t_with} vs {t_without}"
+    );
+}
+
+#[test]
+fn error_feedback_runs_and_preserves_quality() {
+    let base = adaqp::run_experiment(&cfg(Method::AdaQp));
+    let mut c = cfg(Method::AdaQp);
+    c.training.error_feedback = true;
+    let ef = adaqp::run_experiment(&c);
+    assert!(ef.per_epoch.iter().all(|e| e.loss.is_finite()));
+    // EF must not hurt final quality (it compensates quantization error).
+    assert!(
+        ef.best_val >= base.best_val - 0.05,
+        "EF val {} vs base {}",
+        ef.best_val,
+        base.best_val
+    );
+    // Wire traffic is identical: EF changes payload *content*, not size.
+    assert_eq!(ef.total_bytes, base.total_bytes);
+}
+
+#[test]
+fn error_feedback_reduces_time_averaged_quantization_error() {
+    // Direct check on the mechanism: repeatedly quantize a fixed message set
+    // at 2-bit; the running mean of EF-decoded values converges to the truth
+    // faster than independent stochastic quantization.
+    use quant::{decode_block, encode_block, BitWidth};
+    use tensor::{Matrix, Rng};
+    let rows = 16;
+    let dim = 24;
+    let truth = Matrix::from_fn(rows, dim, |i, j| ((i * dim + j) as f32 * 0.37).sin() * 2.0);
+    let widths = vec![BitWidth::B2; rows];
+    let mut rng = Rng::seed_from(7);
+    let rounds = 50;
+
+    // Plain stochastic quantization.
+    let mut plain_sum = Matrix::zeros(rows, dim);
+    for _ in 0..rounds {
+        let block = encode_block(&truth, &widths, &mut rng);
+        plain_sum.add_assign(&decode_block(&block).expect("decode"));
+    }
+    // Error feedback.
+    let mut residual = Matrix::zeros(rows, dim);
+    let mut ef_sum = Matrix::zeros(rows, dim);
+    for _ in 0..rounds {
+        let mut compensated = truth.clone();
+        compensated.add_assign(&residual);
+        let block = encode_block(&compensated, &widths, &mut rng);
+        let decoded = decode_block(&block).expect("decode");
+        residual = compensated.clone();
+        residual.sub_assign(&decoded);
+        ef_sum.add_assign(&decoded);
+    }
+    let err = |sum: &Matrix| -> f64 {
+        let mut e = 0.0;
+        for (s, t) in sum.as_slice().iter().zip(truth.as_slice()) {
+            let d = s / rounds as f32 - t;
+            e += (d as f64) * (d as f64);
+        }
+        e
+    };
+    let plain_err = err(&plain_sum);
+    let ef_err = err(&ef_sum);
+    assert!(
+        ef_err < plain_err * 0.5,
+        "EF time-averaged error {ef_err} not clearly below plain {plain_err}"
+    );
+}
+
+#[test]
+fn grouped_wire_matches_row_major_quality_with_fewer_bytes() {
+    let row_major = adaqp::run_experiment(&cfg(Method::AdaQp));
+    let mut c = cfg(Method::AdaQp);
+    c.training.grouped_wire = true;
+    let grouped = adaqp::run_experiment(&c);
+    assert!(grouped.per_epoch.iter().all(|e| e.loss.is_finite()));
+    // Same quantization semantics, so quality must match closely.
+    assert!(
+        (grouped.best_val - row_major.best_val).abs() < 0.06,
+        "grouped val {} vs row-major {}",
+        grouped.best_val,
+        row_major.best_val
+    );
+    // The group-major format drops the per-row width byte and padding:
+    // strictly fewer bytes on the wire.
+    assert!(
+        grouped.total_bytes < row_major.total_bytes,
+        "grouped {} bytes vs row-major {}",
+        grouped.total_bytes,
+        row_major.total_bytes
+    );
+}
+
+#[test]
+fn tune_grid_search_improves_or_matches_default() {
+    let base = cfg(Method::AdaQp);
+    let default_run = adaqp::run_experiment(&base);
+    let grid = adaqp::tune::TuneGrid {
+        group_sizes: vec![8, 64],
+        lambdas: vec![0.25, 0.75],
+        periods: vec![4],
+    };
+    let report = adaqp::tune::grid_search(&base, &grid, 0.002);
+    assert_eq!(report.trials.len(), 4);
+    let best = report.best_trial();
+    assert!(
+        best.val_score >= default_run.best_val - 0.05,
+        "tuned {} much worse than default {}",
+        best.val_score,
+        default_run.best_val
+    );
+}
+
+#[test]
+fn checkpoint_roundtrip_through_disk() {
+    use adaqp::checkpoint::Checkpoint;
+    let c = cfg(Method::Vanilla);
+    let ds = c.dataset.generate(c.seed);
+    let dims = c.training.dims(ds.feature_dim(), ds.num_classes);
+    let mut rng = tensor::Rng::seed_from(c.seed);
+    let model = gnn::Gnn::with_dropout(c.training.conv_kind(), &dims, 0.0, &mut rng);
+    let cp = Checkpoint::new(c, 10, model.params_flat(), 0.91);
+    let path = std::env::temp_dir().join("adaqp-integration-checkpoint.json");
+    cp.save(&path).expect("save");
+    let loaded = Checkpoint::load(&path).expect("load");
+    let restored = loaded.restore_model().expect("restore");
+    assert_eq!(restored.params_flat(), model.params_flat());
+    assert_eq!(loaded.best_val, 0.91);
+}

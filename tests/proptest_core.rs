@@ -1,0 +1,156 @@
+#![allow(clippy::needless_range_loop)]
+//! Property-based tests over the distributed decomposition and exchange:
+//! on random community graphs, the partitioned machinery must exactly
+//! reproduce single-graph semantics.
+
+use adaqp::build_partitions;
+use gnn::{AggGraph, ConvKind};
+use graph::generators::{sbm_with_gateways, skewed_communities};
+use graph::{CsrGraph, Partition};
+use proptest::prelude::*;
+use tensor::{Matrix, Rng};
+
+/// Builds a random community graph plus a valid partition from a seed.
+fn setup(seed: u64, n: usize, k: usize) -> (graph::Dataset, Partition) {
+    let mut rng = Rng::seed_from(seed);
+    let blocks = skewed_communities(n, 4, &mut rng);
+    let g = sbm_with_gateways(&blocks, 6.0, 2.0, 0.5, &mut rng);
+    let ds = graph::Dataset {
+        name: "prop".into(),
+        features: Matrix::from_fn(n, 6, |_, _| rng.uniform(-1.0, 1.0)),
+        labels: graph::Labels::Single(blocks.clone()),
+        num_classes: 4,
+        task: graph::Task::SingleLabel,
+        train_mask: vec![true; n],
+        val_mask: vec![false; n],
+        test_mask: vec![false; n],
+        graph: g,
+    };
+    let part = graph::partition::metis_like(&ds.graph, k, &mut rng);
+    (ds, part)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn decomposition_covers_nodes_exactly_once(
+        seed in 0u64..500,
+        k in 2usize..5,
+    ) {
+        let (ds, part) = setup(seed, 160, k);
+        let parts = build_partitions(&ds, &part, ConvKind::Gcn);
+        let total: usize = parts.iter().map(|p| p.num_local()).sum();
+        prop_assert_eq!(total, ds.num_nodes());
+        let mut seen = vec![false; ds.num_nodes()];
+        for p in &parts {
+            for &g in &p.local_nodes {
+                prop_assert!(!seen[g as usize], "node owned twice");
+                seen[g as usize] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn distributed_aggregation_equals_full_graph(
+        seed in 0u64..500,
+        k in 2usize..5,
+    ) {
+        let (ds, part) = setup(seed, 140, k);
+        let parts = build_partitions(&ds, &part, ConvKind::Gcn);
+        let g = ds.graph.with_self_loops();
+        let full = AggGraph::full_graph_gcn(&g);
+        let mut rng = Rng::seed_from(seed ^ 77);
+        let x = Matrix::from_fn(ds.num_nodes(), 5, |_, _| rng.uniform(-2.0, 2.0));
+        let z_full = full.aggregate(&x);
+        for p in &parts {
+            let mut xe = Matrix::zeros(p.num_ext(), 5);
+            for (li, &gid) in p.local_nodes.iter().enumerate() {
+                xe.row_mut(li).copy_from_slice(x.row(gid as usize));
+            }
+            for (h, &gid) in p.halo_nodes.iter().enumerate() {
+                xe.row_mut(p.num_local() + h).copy_from_slice(x.row(gid as usize));
+            }
+            let z = p.agg.aggregate(&xe);
+            for (li, &gid) in p.local_nodes.iter().enumerate() {
+                for j in 0..5 {
+                    prop_assert!(
+                        (z.at(li, j) - z_full.at(gid as usize, j)).abs() < 1e-4,
+                        "rank {} node {gid}",
+                        p.rank
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn send_recv_sets_are_mutually_consistent(
+        seed in 0u64..500,
+        k in 2usize..6,
+    ) {
+        let (ds, part) = setup(seed, 150, k);
+        let parts = build_partitions(&ds, &part, ConvKind::Sage);
+        for p in &parts {
+            for q in 0..k {
+                if q == p.rank { continue; }
+                let sent: Vec<u32> = parts[q].send_sets[p.rank]
+                    .iter()
+                    .map(|&li| parts[q].local_nodes[li as usize])
+                    .collect();
+                let received: Vec<u32> = p.recv_slots[q]
+                    .iter()
+                    .map(|&h| p.halo_nodes[h as usize])
+                    .collect();
+                prop_assert_eq!(sent, received, "pair ({}, {})", p.rank, q);
+            }
+        }
+    }
+
+    #[test]
+    fn central_nodes_have_no_remote_neighbors(
+        seed in 0u64..500,
+        k in 2usize..5,
+    ) {
+        let (ds, part) = setup(seed, 120, k);
+        let parts = build_partitions(&ds, &part, ConvKind::Gcn);
+        let g = ds.graph.with_self_loops();
+        for p in &parts {
+            for &li in &p.central {
+                let gid = p.local_nodes[li as usize] as usize;
+                for &u in g.neighbors(gid) {
+                    prop_assert_eq!(
+                        part.assignment[u as usize],
+                        p.rank,
+                        "central node {} has remote neighbor {}",
+                        gid,
+                        u
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partition_stays_balanced(
+        seed in 0u64..500,
+        k in 2usize..6,
+    ) {
+        let mut rng = Rng::seed_from(seed);
+        let blocks = skewed_communities(400, 5, &mut rng);
+        let g = sbm_with_gateways(&blocks, 8.0, 2.0, 0.4, &mut rng);
+        let p = graph::partition::metis_like(&g, k, &mut rng);
+        prop_assert!(p.imbalance() < 1.25, "imbalance {}", p.imbalance());
+        prop_assert!(p.part_sizes().iter().all(|&s| s > 0), "empty part");
+    }
+
+    #[test]
+    fn empty_and_degenerate_graphs_partition(
+        k in 1usize..4,
+    ) {
+        let g = CsrGraph::from_edges(k, &[]);
+        let mut rng = Rng::seed_from(1);
+        let p = graph::partition::metis_like(&g, k, &mut rng);
+        prop_assert_eq!(p.assignment.len(), k);
+    }
+}
