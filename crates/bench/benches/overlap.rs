@@ -32,7 +32,7 @@ fn bench_epoch_real_cost(c: &mut Criterion) {
             BenchmarkId::new("method", method.name()),
             &method,
             |b, &m| {
-                b.iter(|| adaqp::run_experiment(&short_cfg(m)));
+                b.iter(|| adaqp::run_experiment(&short_cfg(m)).expect("valid config"));
             },
         );
     }
@@ -42,7 +42,7 @@ fn bench_epoch_real_cost(c: &mut Criterion) {
 fn bench_overlap_composition(c: &mut Criterion) {
     // Pure composition math on a recorded breakdown: overlapped vs serial.
     let cfg = short_cfg(Method::AdaQp);
-    let r = adaqp::run_experiment(&cfg);
+    let r = adaqp::run_experiment(&cfg).expect("valid config");
     let tb = r.total_breakdown;
     c.bench_function("epoch_time_composition", |b| {
         b.iter(|| {
@@ -55,9 +55,27 @@ fn bench_overlap_composition(c: &mut Criterion) {
     });
 }
 
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    // The structured-telemetry acceptance bar: a disabled recorder must cost
+    // <2% wall-clock against the same run with telemetry off entirely.
+    // Criterion reports both sides; compare the means in the output.
+    let mut group = c.benchmark_group("telemetry_overhead");
+    group.sample_size(10);
+    for (label, enabled) in [("disabled", false), ("enabled", true)] {
+        group.bench_with_input(BenchmarkId::new("telemetry", label), &enabled, |b, &on| {
+            b.iter(|| {
+                let mut cfg = short_cfg(Method::AdaQp);
+                cfg.training.telemetry = on;
+                adaqp::run_experiment(&cfg).expect("valid config")
+            });
+        });
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(5)).warm_up_time(std::time::Duration::from_secs(1));
-    targets = bench_epoch_real_cost, bench_overlap_composition
+    targets = bench_epoch_real_cost, bench_overlap_composition, bench_telemetry_overhead
 }
 criterion_main!(benches);

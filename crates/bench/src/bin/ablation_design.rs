@@ -48,7 +48,7 @@ fn main() {
     for (label, mutate) in variants {
         let mut cfg = base(&spec, seed);
         mutate(&mut cfg);
-        let r = adaqp::run_experiment(&cfg);
+        let r = bench::run(&cfg);
         println!(
             "{:<28} {:>9.2}% {:>11.2} ep/s {:>11.3}s",
             label,

@@ -1,6 +1,13 @@
 //! Fig. 10: time breakdown. (a) per-epoch communication / computation /
 //! quantization time of Vanilla vs AdaQP on every dataset (GCN); (b) the
 //! wall-clock split between bit-width assignment and actual training.
+//!
+//! All numbers come from the structured-telemetry aggregator: each run is
+//! executed with telemetry enabled and the per-phase times are reconstructed
+//! from the event log, so the table matches what a Chrome trace of the same
+//! run shows. The AdaQP run on the ogbn-products stand-in additionally dumps
+//! its trace to `results/fig10_products_adaqp_trace.json` (open in Perfetto
+//! or chrome://tracing).
 
 use adaqp::Method;
 
@@ -14,16 +21,16 @@ fn main() {
     bench::rule(78);
     let mut json = Vec::new();
     for spec in bench::datasets() {
-        let mut vanilla: Option<adaqp::RunResult> = None;
+        let mut vanilla: Option<(f64, comm::TimeBreakdown)> = None;
         for method in [Method::Vanilla, Method::AdaQp] {
             let cfg = bench::experiment(spec.clone(), 2, 2, method, false, seed);
-            let r = adaqp::run_experiment(&cfg);
+            let (r, agg) = bench::run_with_telemetry(&cfg);
+            let (total_s, tb) = agg.cluster_totals(cfg.method, cfg.training.disable_overlap);
             let n = r.per_epoch.len().max(1) as f64;
-            let tb = r.total_breakdown;
             let comm = tb.comm / n;
             let comp = tb.total_comp() / n;
             let quant = tb.quant / n;
-            let total = r.total_sim_seconds / n;
+            let total = total_s / n;
             println!(
                 "{:<22} {:<9} {:>10.5} {:>10.5} {:>10.5} {:>12.5}",
                 spec.name,
@@ -34,13 +41,12 @@ fn main() {
                 total
             );
             if method == Method::AdaQp {
-                let v = vanilla.as_ref().expect("vanilla ran first");
-                let vtb = v.total_breakdown;
+                let (v_total, vtb) = vanilla.expect("vanilla ran first");
                 let comm_red = 100.0 * (1.0 - tb.comm / vtb.comm.max(1e-12));
                 // AdaQP's critical-path computation excludes hidden central
                 // compute: compare marginal-only against Vanilla's total.
                 let comp_red = 100.0 * (1.0 - tb.marginal_comp / vtb.total_comp().max(1e-12));
-                let quant_share = 100.0 * tb.quant / r.total_sim_seconds.max(1e-12);
+                let quant_share = 100.0 * tb.quant / total_s.max(1e-12);
                 println!(
                     "{:<22} {:<9} comm -{comm_red:.1}%  critical-path comp -{comp_red:.1}%  quant {quant_share:.1}% of epoch",
                     "", ""
@@ -50,11 +56,26 @@ fn main() {
                     "comm_reduction_pct": comm_red,
                     "comp_reduction_pct": comp_red,
                     "quant_share_pct": quant_share,
-                    "vanilla_epoch_s": v.total_sim_seconds / n,
+                    "vanilla_epoch_s": v_total / n,
                     "adaqp_epoch_s": total,
                 }));
+                if spec.name.contains("products") && !spec.name.contains("amazon") {
+                    let dir =
+                        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+                    if std::fs::create_dir_all(&dir).is_ok() {
+                        let path = dir.join("fig10_products_adaqp_trace.json");
+                        let log = r.telemetry.as_ref().expect("telemetry enabled");
+                        match log.write_chrome_trace(&path) {
+                            Ok(()) => eprintln!(
+                                "[saved {} — open in Perfetto or chrome://tracing]",
+                                path.display()
+                            ),
+                            Err(e) => eprintln!("[trace dump failed: {e}]"),
+                        }
+                    }
+                }
             } else {
-                vanilla = Some(r);
+                vanilla = Some((total_s, tb));
             }
         }
         bench::rule(78);
@@ -72,10 +93,11 @@ fn main() {
     let mut json_b = Vec::new();
     for spec in bench::datasets() {
         let cfg = bench::experiment(spec.clone(), 2, 2, Method::AdaQp, false, seed);
-        let r = adaqp::run_experiment(&cfg);
-        let assign = r.total_breakdown.solve;
-        let train = r.total_sim_seconds - assign;
-        let share = 100.0 * assign / r.total_sim_seconds.max(1e-12);
+        let (_, agg) = bench::run_with_telemetry(&cfg);
+        let (total_s, tb) = agg.cluster_totals(cfg.method, cfg.training.disable_overlap);
+        let assign = tb.solve;
+        let train = total_s - assign;
+        let share = 100.0 * assign / total_s.max(1e-12);
         println!(
             "{:<22} {:>14.4} {:>14.4} {:>11.2}%",
             spec.name, train, assign, share

@@ -11,7 +11,7 @@ fn run_with(
 ) -> (f64, f64, f64) {
     let mut cfg = bench::experiment(spec.clone(), 2, 4, Method::AdaQp, false, seed);
     mutate(&mut cfg.training);
-    let r = adaqp::run_experiment(&cfg);
+    let r = bench::run(&cfg);
     (r.best_val * 100.0, r.throughput, r.total_breakdown.solve)
 }
 
@@ -50,7 +50,7 @@ fn main() {
     for lambda in [0.0, 0.25, 0.5, 0.75, 1.0] {
         let mut cfg = bench::experiment(spec.clone(), 2, 4, Method::AdaQp, false, seed);
         cfg.training.lambda = lambda;
-        let r = adaqp::run_experiment(&cfg);
+        let r = bench::run(&cfg);
         println!(
             "{lambda:>10.2} {:>12.2} {:>16.2} {:>14.2}",
             r.best_val * 100.0,

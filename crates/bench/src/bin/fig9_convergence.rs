@@ -18,7 +18,7 @@ fn main() {
         let mut curves: Vec<(String, Vec<f64>)> = Vec::new();
         for (method, use_sage) in methods {
             let cfg = bench::experiment(spec.clone(), 2, 2, method, use_sage, seed);
-            let r = adaqp::run_experiment(&cfg);
+            let r = bench::run(&cfg);
             let curve: Vec<f64> = r.per_epoch.iter().map(|e| e.val_score * 100.0).collect();
             let label = format!("{}{}", method.name(), if use_sage { " (SAGE)" } else { "" });
             json.push(serde_json::json!({

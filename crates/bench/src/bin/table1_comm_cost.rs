@@ -47,7 +47,7 @@ fn main() {
                 bench::seeds()[0],
             );
             cfg.training.epochs = 5;
-            let run = adaqp::run_experiment(&cfg);
+            let run = bench::run(&cfg);
             let comm_pct = run.comm_fraction() * 100.0;
 
             let ds = spec.generate(cfg.seed);

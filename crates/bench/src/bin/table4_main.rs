@@ -50,7 +50,7 @@ fn main() {
                     for &seed in &seeds {
                         let cfg =
                             bench::experiment(spec.clone(), machines, dpm, method, use_sage, seed);
-                        let r = adaqp::run_experiment(&cfg);
+                        let r = bench::run(&cfg);
                         accs.push(r.best_val * 100.0);
                         tps.push(r.throughput);
                         walls.push(r.total_sim_seconds);

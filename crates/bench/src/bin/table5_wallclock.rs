@@ -41,13 +41,17 @@ fn main() {
                         use_sage,
                         bench::seeds()[0],
                     );
-                    let r = adaqp::run_experiment(&cfg);
+                    // Wall-clock reconstructed from the telemetry event log
+                    // (matches RunResult::total_sim_seconds within float
+                    // tolerance; see the telemetry integration test).
+                    let (_, agg) = bench::run_with_telemetry(&cfg);
+                    let (wall, _) = agg.cluster_totals(cfg.method, cfg.training.disable_overlap);
                     rows.push(serde_json::json!({
                         "dataset": spec.name,
                         "setting": format!("{machines}M-{dpm}D"),
                         "model": if use_sage { "GraphSAGE" } else { "GCN" },
                         "method": method.name(),
-                        "wallclock_s": r.total_sim_seconds,
+                        "wallclock_s": wall,
                     }));
                 }
             }

@@ -26,7 +26,7 @@ fn main() {
                 // (A100s run ~1.7x faster).
                 cfg.training.device_scales =
                     Some((0..24).map(|r| if r < 8 { 1.0 } else { 1.7 }).collect());
-                let r = adaqp::run_experiment(&cfg);
+                let r = bench::run(&cfg);
                 tps.push(r.throughput);
             }
             let (tp, _) = bench::mean_std(&tps);

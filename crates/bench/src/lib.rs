@@ -78,6 +78,30 @@ pub fn experiment(
     }
 }
 
+/// Runs an experiment built by this harness, unwrapping the `Result`: every
+/// config here is constructed programmatically from known-good parts, so an
+/// `Err` is a harness bug worth aborting on.
+pub fn run(cfg: &ExperimentConfig) -> adaqp::RunResult {
+    adaqp::run_experiment(cfg).expect("harness experiment config is valid")
+}
+
+/// Runs an experiment with structured telemetry enabled and returns the
+/// result together with the aggregated per-device/per-epoch breakdowns
+/// reconstructed from the event log. The figure binaries report *these*
+/// aggregates (not the runner's internal accumulators), so the numbers shown
+/// are exactly what a Chrome trace of the run contains.
+pub fn run_with_telemetry(cfg: &ExperimentConfig) -> (adaqp::RunResult, adaqp::TelemetryAggregate) {
+    let mut cfg = cfg.clone();
+    cfg.training.telemetry = true;
+    let r = run(&cfg);
+    let agg = r
+        .telemetry
+        .as_ref()
+        .expect("telemetry was enabled")
+        .aggregate();
+    (r, agg)
+}
+
 /// Mean and population standard deviation.
 pub fn mean_std(xs: &[f64]) -> (f64, f64) {
     if xs.is_empty() {

@@ -1,6 +1,7 @@
 //! Threaded device runtime: one OS thread per simulated device, in-memory
 //! channels for payload transport, and the collectives the trainers need.
 
+use crate::telemetry::Recorder;
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::collections::HashMap;
@@ -75,6 +76,7 @@ impl Cluster {
                     pending: HashMap::new(),
                     barrier,
                     next_collective_tag: COLLECTIVE_TAG_BASE,
+                    telemetry: Recorder::disabled(),
                 };
                 joins.push(scope.spawn(move || f(handle)));
             }
@@ -99,12 +101,29 @@ pub struct DeviceHandle {
     pending: HashMap<(usize, u64), Vec<Bytes>>,
     barrier: Arc<Barrier>,
     next_collective_tag: u64,
+    telemetry: Recorder,
 }
 
 impl DeviceHandle {
     /// This device's rank.
     pub fn rank(&self) -> usize {
         self.rank
+    }
+
+    /// The device's telemetry recorder (disabled unless enabled via
+    /// [`DeviceHandle::enable_telemetry`]).
+    pub fn telemetry(&self) -> &Recorder {
+        &self.telemetry
+    }
+
+    /// Mutable access to the telemetry recorder, for emitting events.
+    pub fn telemetry_mut(&mut self) -> &mut Recorder {
+        &mut self.telemetry
+    }
+
+    /// Switches the device's recorder to collecting mode.
+    pub fn enable_telemetry(&mut self) {
+        self.telemetry = Recorder::enabled();
     }
 
     /// Total device count.

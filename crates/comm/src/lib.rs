@@ -23,7 +23,6 @@
 //! scatter to the master rank, and sum-allreduce for model gradients.
 
 #![warn(missing_docs)]
-
 // Indexed loops here typically walk several parallel arrays at once;
 // explicit indices read better than zipped iterator chains in those spots.
 #![allow(clippy::needless_range_loop)]
@@ -31,9 +30,11 @@
 pub mod cluster;
 pub mod costmodel;
 pub mod schedule;
+pub mod telemetry;
 pub mod timing;
 
 pub use cluster::{Cluster, DeviceHandle};
 pub use costmodel::{ClusterTopology, CostModel};
 pub use schedule::{per_device_ring_times, ring_all2all_time, sequential_broadcast_time};
+pub use telemetry::{Event, EventDetail, EventKind, Recorder};
 pub use timing::{TimeBreakdown, TimeCategory};

@@ -23,6 +23,40 @@ pub enum TimeCategory {
     Solve,
 }
 
+impl TimeCategory {
+    /// Every category, in bucket order (the order [`TimeBreakdown`] fields
+    /// are declared and the order trace exporters assign track ids).
+    pub const ALL: [TimeCategory; 5] = [
+        TimeCategory::Comm,
+        TimeCategory::CentralComp,
+        TimeCategory::MarginalComp,
+        TimeCategory::Quant,
+        TimeCategory::Solve,
+    ];
+
+    /// Stable index of this category in [`TimeCategory::ALL`].
+    pub fn index(self) -> usize {
+        match self {
+            TimeCategory::Comm => 0,
+            TimeCategory::CentralComp => 1,
+            TimeCategory::MarginalComp => 2,
+            TimeCategory::Quant => 3,
+            TimeCategory::Solve => 4,
+        }
+    }
+
+    /// Human-readable label (used for trace track names).
+    pub fn label(self) -> &'static str {
+        match self {
+            TimeCategory::Comm => "comm",
+            TimeCategory::CentralComp => "central_comp",
+            TimeCategory::MarginalComp => "marginal_comp",
+            TimeCategory::Quant => "quant",
+            TimeCategory::Solve => "solve",
+        }
+    }
+}
+
 /// Per-category accumulated simulated seconds.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct TimeBreakdown {
@@ -53,6 +87,17 @@ impl TimeBreakdown {
             TimeCategory::MarginalComp => self.marginal_comp += seconds,
             TimeCategory::Quant => self.quant += seconds,
             TimeCategory::Solve => self.solve += seconds,
+        }
+    }
+
+    /// Reads the bucket charged to `category`.
+    pub fn get(&self, category: TimeCategory) -> f64 {
+        match category {
+            TimeCategory::Comm => self.comm,
+            TimeCategory::CentralComp => self.central_comp,
+            TimeCategory::MarginalComp => self.marginal_comp,
+            TimeCategory::Quant => self.quant,
+            TimeCategory::Solve => self.solve,
         }
     }
 

@@ -57,7 +57,8 @@ USAGE:
   adaqp run --dataset <name> [--method <m>] [--machines N] [--devices N]
             [--epochs N] [--hidden N] [--sage] [--seed N] [--lambda X]
             [--group-size N] [--period N] [--no-overlap] [--error-feedback]
-            [--scale X] [--json]
+            [--scale X] [--json] [--telemetry] [--trace <file.json>]
+            [--events <file.jsonl>]
   adaqp compare --dataset <name> [--machines N] [--devices N] [--epochs N]
             [--scale X] [--markdown]
   adaqp tune --dataset <name> [--machines N] [--devices N] [--epochs N] [--scale X]
@@ -79,6 +80,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         "json",
         "markdown",
         "grouped-wire",
+        "telemetry",
     ];
     let mut flags = Flags::new();
     let mut i = 0;
@@ -153,6 +155,10 @@ fn experiment_from(flags: &Flags) -> Result<ExperimentConfig, String> {
     training.disable_overlap = flags.contains_key("no-overlap");
     training.error_feedback = flags.contains_key("error-feedback");
     training.grouped_wire = flags.contains_key("grouped-wire");
+    // Recording is implied by asking for an export.
+    training.telemetry = flags.contains_key("telemetry")
+        || flags.contains_key("trace")
+        || flags.contains_key("events");
     Ok(ExperimentConfig {
         dataset,
         machines: parse_num(flags, "machines", 2usize)?,
@@ -172,7 +178,17 @@ fn cmd_run(flags: &Flags) -> Result<(), String> {
         cfg.num_devices(),
         cfg.training.epochs
     );
-    let r = adaqp::run_experiment(&cfg);
+    let r = adaqp::run_experiment(&cfg).map_err(|e| e.to_string())?;
+    if let Some(log) = &r.telemetry {
+        if let Some(path) = flags.get("trace") {
+            log.write_chrome_trace(path).map_err(|e| e.to_string())?;
+            eprintln!("wrote Chrome trace to {path} (open in Perfetto or chrome://tracing)");
+        }
+        if let Some(path) = flags.get("events") {
+            log.write_jsonl(path).map_err(|e| e.to_string())?;
+            eprintln!("wrote {} telemetry events to {path}", log.num_events());
+        }
+    }
     if flags.contains_key("json") {
         println!(
             "{}",
@@ -207,7 +223,7 @@ fn cmd_compare(flags: &Flags) -> Result<(), String> {
         let mut cfg = base.clone();
         cfg.method = method;
         eprintln!("running {method}...");
-        runs.push(adaqp::run_experiment(&cfg));
+        runs.push(adaqp::run_experiment(&cfg).map_err(|e| e.to_string())?);
     }
     if flags.contains_key("markdown") {
         println!("{}", adaqp::report::markdown_table(&runs));
@@ -228,7 +244,7 @@ fn cmd_tune(flags: &Flags) -> Result<(), String> {
         grid.len(),
         base.dataset.name
     );
-    let report = adaqp::tune::grid_search(&base, &grid, 0.002);
+    let report = adaqp::tune::grid_search(&base, &grid, 0.002).map_err(|e| e.to_string())?;
     println!(
         "{:>8} {:>8} {:>8} {:>12} {:>14}",
         "group", "lambda", "period", "val acc", "throughput"

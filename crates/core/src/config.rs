@@ -1,5 +1,6 @@
 //! Experiment and training configuration (the Rust mirror of Table 8).
 
+use crate::error::Error;
 use graph::DatasetSpec;
 use serde::{Deserialize, Serialize};
 
@@ -103,6 +104,12 @@ pub struct TrainingConfig {
     /// clusters (the paper's 6M-4D testbed mixes V100 and A100 machines);
     /// length must equal the device count when set.
     pub device_scales: Option<Vec<f64>>,
+    /// Record structured telemetry events (halo transfers, quantization,
+    /// compute phases, solves) on every device's simulated clock. Off by
+    /// default; when off the recorder is a no-op and simulated numerics and
+    /// runtime are unchanged.
+    #[serde(default)]
+    pub telemetry: bool,
 }
 
 impl Default for TrainingConfig {
@@ -126,6 +133,7 @@ impl Default for TrainingConfig {
             latency: comm::costmodel::DEFAULT_LATENCY,
             compute_speedup: comm::costmodel::DEFAULT_COMPUTE_SPEEDUP,
             device_scales: None,
+            telemetry: false,
         }
     }
 }
@@ -213,6 +221,54 @@ pub struct ExperimentConfig {
 }
 
 impl ExperimentConfig {
+    /// Starts a fluent [`ExperimentConfigBuilder`] with the same defaults as
+    /// plain struct-literal construction.
+    pub fn builder() -> ExperimentConfigBuilder {
+        ExperimentConfigBuilder::new()
+    }
+
+    /// Checks the configuration for misuse that would otherwise panic deep
+    /// inside partitioning or the cluster: zero devices, zero epochs, empty
+    /// hidden layers, an empty quantization group, or a `device_scales`
+    /// vector whose length disagrees with the device count.
+    pub fn validate(&self) -> Result<(), Error> {
+        if self.machines == 0 || self.devices_per_machine == 0 {
+            return Err(Error::InvalidConfig(format!(
+                "need at least one device (got {} machines x {} devices)",
+                self.machines, self.devices_per_machine
+            )));
+        }
+        if self.training.epochs == 0 {
+            return Err(Error::InvalidConfig("epochs must be >= 1".into()));
+        }
+        if self.training.num_layers == 0 {
+            return Err(Error::InvalidConfig("num_layers must be >= 1".into()));
+        }
+        if self.training.hidden == 0 {
+            return Err(Error::InvalidConfig("hidden dimension must be > 0".into()));
+        }
+        if self.training.group_size == 0 {
+            return Err(Error::InvalidConfig(
+                "quantization group_size must be > 0".into(),
+            ));
+        }
+        if let Some(scales) = &self.training.device_scales {
+            if scales.len() != self.num_devices() {
+                return Err(Error::InvalidConfig(format!(
+                    "device_scales has {} entries but the cluster has {} devices",
+                    scales.len(),
+                    self.num_devices()
+                )));
+            }
+            if scales.iter().any(|s| *s <= 0.0 || !s.is_finite()) {
+                return Err(Error::InvalidConfig(
+                    "device_scales entries must be finite and positive".into(),
+                ));
+            }
+        }
+        Ok(())
+    }
+
     /// Total device count.
     pub fn num_devices(&self) -> usize {
         self.machines * self.devices_per_machine
@@ -240,6 +296,141 @@ impl ExperimentConfig {
             Some(scales) => cm.with_device_scales(scales.clone()),
             None => cm,
         }
+    }
+}
+
+/// Fluent constructor for [`ExperimentConfig`].
+///
+/// Struct-literal construction keeps working; the builder adds per-field
+/// defaults, the Table 8 presets as an entry point, and upfront validation:
+///
+/// ```
+/// use adaqp::{ExperimentConfig, Method};
+/// use graph::DatasetSpec;
+///
+/// let cfg = ExperimentConfig::builder()
+///     .dataset(DatasetSpec::tiny())
+///     .machines(2)
+///     .devices_per_machine(2)
+///     .method(Method::AdaQp)
+///     .epochs(3)
+///     .seed(7)
+///     .build()
+///     .expect("valid config");
+/// assert_eq!(cfg.num_devices(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ExperimentConfigBuilder {
+    cfg: ExperimentConfig,
+}
+
+impl Default for ExperimentConfigBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ExperimentConfigBuilder {
+    /// A builder seeded with the tiny dataset, a 1M-2D cluster, Vanilla
+    /// training and default hyper-parameters.
+    pub fn new() -> Self {
+        ExperimentConfigBuilder {
+            cfg: ExperimentConfig {
+                dataset: DatasetSpec::tiny(),
+                machines: 1,
+                devices_per_machine: 2,
+                method: Method::Vanilla,
+                training: TrainingConfig::default(),
+                seed: 0,
+            },
+        }
+    }
+
+    /// A builder seeded from a dataset's Table 8 preset
+    /// ([`TrainingConfig::paper_preset`] keyed on the spec's name).
+    pub fn paper_preset(dataset: DatasetSpec) -> Self {
+        let mut b = Self::new();
+        b.cfg.training = TrainingConfig::paper_preset(&dataset.name);
+        b.cfg.dataset = dataset;
+        b
+    }
+
+    /// Sets the dataset recipe.
+    pub fn dataset(mut self, dataset: DatasetSpec) -> Self {
+        self.cfg.dataset = dataset;
+        self
+    }
+
+    /// Sets the machine count (`x` of `xM-yD`).
+    pub fn machines(mut self, machines: usize) -> Self {
+        self.cfg.machines = machines;
+        self
+    }
+
+    /// Sets devices per machine (`y` of `xM-yD`).
+    pub fn devices_per_machine(mut self, devices: usize) -> Self {
+        self.cfg.devices_per_machine = devices;
+        self
+    }
+
+    /// Sets the method under test.
+    pub fn method(mut self, method: Method) -> Self {
+        self.cfg.method = method;
+        self
+    }
+
+    /// Replaces the whole hyper-parameter block.
+    pub fn training(mut self, training: TrainingConfig) -> Self {
+        self.cfg.training = training;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Sets the epoch count.
+    pub fn epochs(mut self, epochs: usize) -> Self {
+        self.cfg.training.epochs = epochs;
+        self
+    }
+
+    /// Sets the hidden dimension.
+    pub fn hidden(mut self, hidden: usize) -> Self {
+        self.cfg.training.hidden = hidden;
+        self
+    }
+
+    /// Sets the quantization message-group size.
+    pub fn group_size(mut self, group_size: usize) -> Self {
+        self.cfg.training.group_size = group_size;
+        self
+    }
+
+    /// Sets the variance/time scalarization weight (Eqn. 12).
+    pub fn lambda(mut self, lambda: f64) -> Self {
+        self.cfg.training.lambda = lambda;
+        self
+    }
+
+    /// Sets the bit-width re-assignment period in epochs.
+    pub fn reassign_period(mut self, period: usize) -> Self {
+        self.cfg.training.reassign_period = period;
+        self
+    }
+
+    /// Enables or disables structured telemetry recording.
+    pub fn telemetry(mut self, on: bool) -> Self {
+        self.cfg.training.telemetry = on;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    pub fn build(self) -> Result<ExperimentConfig, Error> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
     }
 }
 
@@ -312,5 +503,92 @@ mod tests {
             TrainingConfig::paper_preset("nope"),
             TrainingConfig::default()
         );
+    }
+
+    #[test]
+    fn validate_rejects_misuse() {
+        let ok = ExperimentConfig::builder()
+            .build()
+            .expect("default is valid");
+        assert!(ok.validate().is_ok());
+
+        let zero_dev = ExperimentConfig {
+            machines: 0,
+            ..ok.clone()
+        };
+        assert!(matches!(
+            zero_dev.validate(),
+            Err(Error::InvalidConfig(msg)) if msg.contains("device")
+        ));
+
+        let mut zero_epochs = ok.clone();
+        zero_epochs.training.epochs = 0;
+        assert!(zero_epochs.validate().is_err());
+
+        let mut zero_hidden = ok.clone();
+        zero_hidden.training.hidden = 0;
+        assert!(zero_hidden.validate().is_err());
+
+        let mut zero_group = ok.clone();
+        zero_group.training.group_size = 0;
+        assert!(zero_group.validate().is_err());
+
+        let mut bad_scales = ok.clone();
+        bad_scales.training.device_scales = Some(vec![1.0; ok.num_devices() + 1]);
+        assert!(matches!(
+            bad_scales.validate(),
+            Err(Error::InvalidConfig(msg)) if msg.contains("device_scales")
+        ));
+    }
+
+    #[test]
+    fn builder_matches_struct_literal() {
+        let built = ExperimentConfig::builder()
+            .dataset(DatasetSpec::tiny())
+            .machines(2)
+            .devices_per_machine(4)
+            .method(Method::AdaQp)
+            .seed(3)
+            .build()
+            .unwrap();
+        let literal = ExperimentConfig {
+            dataset: DatasetSpec::tiny(),
+            machines: 2,
+            devices_per_machine: 4,
+            method: Method::AdaQp,
+            training: TrainingConfig::default(),
+            seed: 3,
+        };
+        assert_eq!(built, literal);
+    }
+
+    #[test]
+    fn builder_paper_preset_seeds_training() {
+        let mut spec = DatasetSpec::tiny();
+        spec.name = "yelp-sim".into();
+        let cfg = ExperimentConfigBuilder::paper_preset(spec)
+            .method(Method::AdaQp)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.training.dropout, 0.1);
+        assert_eq!(cfg.dataset.name, "yelp-sim");
+    }
+
+    #[test]
+    fn builder_surfaces_invalid_config() {
+        let err = ExperimentConfig::builder().epochs(0).build();
+        assert!(matches!(err, Err(Error::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn telemetry_field_defaults_off_and_deserializes_when_absent() {
+        assert!(!TrainingConfig::default().telemetry);
+        // Configs serialized before the field existed still load.
+        let mut v = serde_json::to_value(&TrainingConfig::default());
+        if let Some(obj) = v.as_object_mut() {
+            obj.remove("telemetry");
+        }
+        let back: TrainingConfig = serde_json::from_value(v).expect("missing field defaults");
+        assert!(!back.telemetry);
     }
 }

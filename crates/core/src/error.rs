@@ -1,0 +1,67 @@
+//! Typed errors for the public experiment API.
+//!
+//! [`crate::runner::run_experiment`] and the configuration builder return
+//! [`Error`] instead of panicking, so config misuse is reportable by CLI
+//! tools and benches without unwinding through the cluster threads.
+
+use std::fmt;
+
+/// Everything that can go wrong setting up or running an experiment.
+#[derive(Debug)]
+pub enum Error {
+    /// A configuration field is out of range or inconsistent.
+    InvalidConfig(String),
+    /// The graph could not be partitioned onto the requested devices.
+    Partition(String),
+    /// The bit-width assigner's solver found no feasible assignment.
+    SolverInfeasible(String),
+    /// An export or checkpoint file operation failed.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            Error::Partition(msg) => write!(f, "partitioning failed: {msg}"),
+            Error::SolverInfeasible(msg) => write!(f, "solver infeasible: {msg}"),
+            Error::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context() {
+        let e = Error::InvalidConfig("epochs must be >= 1".into());
+        assert!(e.to_string().contains("epochs"));
+        let io = Error::from(std::io::Error::new(std::io::ErrorKind::NotFound, "gone"));
+        assert!(io.to_string().contains("gone"));
+    }
+
+    #[test]
+    fn io_source_is_preserved() {
+        use std::error::Error as _;
+        let e = Error::from(std::io::Error::other("disk"));
+        assert!(e.source().is_some());
+        assert!(Error::Partition("x".into()).source().is_none());
+    }
+}

@@ -37,12 +37,18 @@
 //!     training: TrainingConfig { epochs: 3, hidden: 16, ..TrainingConfig::default() },
 //!     seed: 7,
 //! };
-//! let result = adaqp::run_experiment(&cfg);
+//! let result = adaqp::run_experiment(&cfg).expect("valid config");
 //! assert_eq!(result.per_epoch.len(), 3);
+//! ```
+//!
+//! Configuration misuse is reported as a typed [`Error`] instead of a panic:
+//!
+//! ```
+//! let err = adaqp::ExperimentConfig::builder().epochs(0).build();
+//! assert!(matches!(err, Err(adaqp::Error::InvalidConfig(_))));
 //! ```
 
 #![warn(missing_docs)]
-
 // Indexed loops here typically walk several parallel arrays at once;
 // explicit indices read better than zipped iterator chains in those spots.
 #![allow(clippy::needless_range_loop)]
@@ -51,14 +57,18 @@ pub mod assigner;
 pub mod checkpoint;
 pub mod config;
 pub mod decompose;
+pub mod error;
 pub mod exchange;
 pub mod metrics;
 pub mod report;
 pub mod runner;
+pub mod telemetry;
 pub mod trainers;
 pub mod tune;
 
-pub use config::{ExperimentConfig, Method, TrainingConfig};
+pub use config::{ExperimentConfig, ExperimentConfigBuilder, Method, TrainingConfig};
 pub use decompose::{build_partitions, DevicePartition, GlobalInfo, LocalLabels};
+pub use error::Error;
 pub use metrics::{EpochMetrics, RunResult};
 pub use runner::run_experiment;
+pub use telemetry::{TelemetryAggregate, TelemetryLog};

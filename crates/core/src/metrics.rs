@@ -99,6 +99,10 @@ pub struct RunResult {
     pub total_breakdown: TimeBreakdown,
     /// Total bytes communicated over the run.
     pub total_bytes: usize,
+    /// Structured per-device event log; present only when the run was
+    /// configured with `training.telemetry = true`.
+    #[serde(default)]
+    pub telemetry: Option<crate::telemetry::TelemetryLog>,
 }
 
 impl RunResult {

@@ -134,6 +134,7 @@ mod tests {
             throughput: tp,
             total_breakdown: comm::TimeBreakdown::new(),
             total_bytes: 5000,
+            telemetry: None,
         }
     }
 

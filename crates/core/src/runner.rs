@@ -3,8 +3,11 @@
 
 use crate::config::ExperimentConfig;
 use crate::decompose::build_partitions;
+use crate::error::Error;
 use crate::metrics::{DeviceEpochRecord, EpochMetrics, MetricParts, RunResult};
+use crate::telemetry::TelemetryLog;
 use crate::trainers::DeviceTrainer;
+use comm::telemetry::Event;
 use comm::Cluster;
 use graph::Task;
 use tensor::Rng;
@@ -14,18 +17,32 @@ use tensor::Rng;
 /// Deterministic given `cfg.seed` up to kernel-time measurement noise (the
 /// numerics are exactly reproducible; only the simulated *compute* charges
 /// vary with machine load).
-pub fn run_experiment(cfg: &ExperimentConfig) -> RunResult {
+///
+/// # Errors
+///
+/// [`Error::InvalidConfig`] when [`ExperimentConfig::validate`] rejects the
+/// configuration, and [`Error::Partition`] when the graph cannot be spread
+/// over the requested device count.
+pub fn run_experiment(cfg: &ExperimentConfig) -> Result<RunResult, Error> {
+    cfg.validate()?;
     let dataset = cfg.dataset.generate(cfg.seed);
     let mut rng = Rng::seed_from(cfg.seed ^ 0x5EED_CAFE);
     let n = cfg.num_devices();
+    if n > dataset.num_nodes() {
+        return Err(Error::Partition(format!(
+            "{n} devices for a {}-node graph: every device needs at least one node",
+            dataset.num_nodes()
+        )));
+    }
     let partition = graph::partition::metis_like(&dataset.graph, n, &mut rng);
     let parts = build_partitions(&dataset, &partition, cfg.training.conv_kind());
     let cost = cfg.cost_model();
     let multi = dataset.task == Task::MultiLabel;
+    let global_train = parts[0].global.num_train;
 
     let parts_ref = &parts;
     let cost_ref = &cost;
-    let records: Vec<Vec<DeviceEpochRecord>> = Cluster::run(n, |dev| {
+    let outputs: Vec<(Vec<DeviceEpochRecord>, Vec<Event>)> = Cluster::run(n, |dev| {
         let rank = dev.rank();
         let trainer = DeviceTrainer::new(
             dev,
@@ -37,25 +54,32 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> RunResult {
         );
         trainer.run()
     });
+    let mut records = Vec::with_capacity(n);
+    let mut events = Vec::with_capacity(n);
+    for (recs, evs) in outputs {
+        records.push(recs);
+        events.push(evs);
+    }
 
-    combine(cfg, multi, dataset.num_nodes(), &records)
+    let mut result = combine(cfg, multi, global_train, &records);
+    if cfg.training.telemetry {
+        result.telemetry = Some(TelemetryLog::from_device_events(events));
+    }
+    Ok(result)
 }
 
 /// Combines per-device epoch records into cluster-level metrics.
+/// `global_train` is the cluster-wide training-node count (the loss-sum
+/// divisor), threaded through from partitioning so the dataset is not
+/// regenerated here.
 pub(crate) fn combine(
     cfg: &ExperimentConfig,
     multi: bool,
-    _num_nodes: usize,
+    global_train: usize,
     records: &[Vec<DeviceEpochRecord>],
 ) -> RunResult {
     let epochs = records.first().map_or(0, Vec::len);
-    let global_train: f64 = {
-        // loss_sum is already a per-node sum; recover the divisor from the
-        // dataset masks via the records themselves is impossible, so use the
-        // config's dataset spec deterministically.
-        let ds = cfg.dataset.generate(cfg.seed);
-        ds.train_mask.iter().filter(|&&b| b).count().max(1) as f64
-    };
+    let global_train = global_train.max(1) as f64;
     let mut per_epoch = Vec::with_capacity(epochs);
     let mut total_sim = 0.0;
     let mut total_breakdown = comm::TimeBreakdown::new();
@@ -118,6 +142,7 @@ pub(crate) fn combine(
         throughput,
         total_breakdown,
         total_bytes,
+        telemetry: None,
     }
 }
 
@@ -147,7 +172,7 @@ mod tests {
 
     #[test]
     fn vanilla_runs_and_learns_something() {
-        let result = run_experiment(&quick_cfg(Method::Vanilla, 10));
+        let result = run_experiment(&quick_cfg(Method::Vanilla, 10)).expect("valid config");
         assert_eq!(result.per_epoch.len(), 10);
         assert!(result.total_sim_seconds > 0.0);
         assert!(result.throughput > 0.0);
@@ -156,11 +181,13 @@ mod tests {
         let last = result.per_epoch[9].loss;
         assert!(last < first, "loss did not drop: {first} -> {last}");
         assert!(result.best_val > 0.4, "val score {}", result.best_val);
+        // Telemetry is opt-in: absent by default.
+        assert!(result.telemetry.is_none());
     }
 
     #[test]
     fn adaqp_runs_with_reassignment() {
-        let result = run_experiment(&quick_cfg(Method::AdaQp, 6));
+        let result = run_experiment(&quick_cfg(Method::AdaQp, 6)).expect("valid config");
         assert_eq!(result.per_epoch.len(), 6);
         // Quantization time is charged after epoch 0.
         assert!(result.total_breakdown.quant > 0.0);
@@ -171,8 +198,8 @@ mod tests {
 
     #[test]
     fn adaqp_moves_fewer_bytes_than_vanilla() {
-        let v = run_experiment(&quick_cfg(Method::Vanilla, 6));
-        let a = run_experiment(&quick_cfg(Method::AdaQp, 6));
+        let v = run_experiment(&quick_cfg(Method::Vanilla, 6)).expect("valid config");
+        let a = run_experiment(&quick_cfg(Method::AdaQp, 6)).expect("valid config");
         assert!(
             (a.total_bytes as f64) < 0.8 * v.total_bytes as f64,
             "AdaQP bytes {} vs Vanilla {}",
@@ -184,7 +211,7 @@ mod tests {
     #[test]
     fn all_methods_complete() {
         for method in Method::ALL {
-            let r = run_experiment(&quick_cfg(method, 3));
+            let r = run_experiment(&quick_cfg(method, 3)).expect("valid config");
             assert_eq!(r.per_epoch.len(), 3, "{method} failed");
             assert!(r.per_epoch.iter().all(|e| e.loss.is_finite()));
         }
@@ -194,9 +221,50 @@ mod tests {
     fn single_device_degenerates_gracefully() {
         let mut cfg = quick_cfg(Method::Vanilla, 3);
         cfg.devices_per_machine = 1;
-        let r = run_experiment(&cfg);
+        let r = run_experiment(&cfg).expect("valid config");
         assert_eq!(r.per_epoch.len(), 3);
         // No peers => no communication bytes.
         assert_eq!(r.total_bytes, 0);
+    }
+
+    #[test]
+    fn invalid_configs_error_without_panicking() {
+        let mut zero_epochs = quick_cfg(Method::Vanilla, 3);
+        zero_epochs.training.epochs = 0;
+        assert!(matches!(
+            run_experiment(&zero_epochs),
+            Err(Error::InvalidConfig(_))
+        ));
+
+        let mut no_devices = quick_cfg(Method::Vanilla, 3);
+        no_devices.machines = 0;
+        assert!(matches!(
+            run_experiment(&no_devices),
+            Err(Error::InvalidConfig(_))
+        ));
+
+        let mut too_many_devices = quick_cfg(Method::Vanilla, 1);
+        too_many_devices.dataset.num_nodes = 3;
+        too_many_devices.machines = 4;
+        assert!(matches!(
+            run_experiment(&too_many_devices),
+            Err(Error::Partition(_))
+        ));
+    }
+
+    #[test]
+    fn telemetry_opt_in_attaches_log() {
+        let mut cfg = quick_cfg(Method::AdaQp, 3);
+        cfg.training.telemetry = true;
+        let r = run_experiment(&cfg).expect("valid config");
+        let log = r.telemetry.as_ref().expect("telemetry requested");
+        assert_eq!(log.devices.len(), cfg.num_devices());
+        assert!(log.num_events() > 0);
+        // Events reconstruct the reported totals.
+        let agg = log.aggregate();
+        let (total, tb) = agg.cluster_totals(cfg.method, cfg.training.disable_overlap);
+        assert!((total - r.total_sim_seconds).abs() <= 1e-9 * r.total_sim_seconds.max(1.0));
+        assert!((tb.comm - r.total_breakdown.comm).abs() <= 1e-9);
+        assert!((tb.solve - r.total_breakdown.solve).abs() <= 1e-9);
     }
 }

@@ -1,0 +1,334 @@
+//! Run-level telemetry: collection, aggregation and export.
+//!
+//! The comm crate records per-device [`Event`] streams on the simulated
+//! clock (see [`comm::telemetry`]); this module assembles them into a
+//! [`TelemetryLog`] stored on [`crate::RunResult`], reduces them to
+//! per-epoch [`TimeBreakdown`]s via [`TelemetryAggregate`] (the structure
+//! Fig. 10 and Table 5 report), and exports two formats:
+//!
+//! * **JSONL** — one flattened event object per line, for ad-hoc analysis.
+//! * **Chrome `trace_event` JSON** — loadable in Perfetto / `chrome://tracing`;
+//!   devices become processes and [`TimeCategory`] tracks become threads, so
+//!   the comm/compute overlap is visible on the timeline.
+
+pub use comm::telemetry::{breakdown_of, Event, EventDetail, EventKind};
+
+use crate::config::Method;
+use crate::metrics::epoch_time_with_overlap;
+use comm::{TimeBreakdown, TimeCategory};
+use serde::{Deserialize, Serialize};
+use serde_json::{Map, Value};
+use std::io::Write;
+use std::path::Path;
+
+/// All events one device recorded over a run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DeviceLog {
+    /// The recording device's rank.
+    pub rank: usize,
+    /// Events in recording order (per-track simulated clocks are monotone).
+    pub events: Vec<Event>,
+}
+
+/// The whole cluster's telemetry for one run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TelemetryLog {
+    /// One log per device, in rank order.
+    pub devices: Vec<DeviceLog>,
+}
+
+impl TelemetryLog {
+    /// Builds a log from per-device event streams in rank order.
+    pub fn from_device_events(events: Vec<Vec<Event>>) -> Self {
+        TelemetryLog {
+            devices: events
+                .into_iter()
+                .enumerate()
+                .map(|(rank, events)| DeviceLog { rank, events })
+                .collect(),
+        }
+    }
+
+    /// Total event count across devices.
+    pub fn num_events(&self) -> usize {
+        self.devices.iter().map(|d| d.events.len()).sum()
+    }
+
+    /// Reduces the event streams to per-device, per-epoch breakdowns.
+    pub fn aggregate(&self) -> TelemetryAggregate {
+        let epochs = self
+            .devices
+            .iter()
+            .flat_map(|d| d.events.iter())
+            .map(|e| e.epoch as usize + 1)
+            .max()
+            .unwrap_or(0);
+        let per_device = self
+            .devices
+            .iter()
+            .map(|d| {
+                let mut tbs = vec![TimeBreakdown::new(); epochs];
+                for e in &d.events {
+                    tbs[e.epoch as usize].charge(e.kind.category(), e.duration());
+                }
+                tbs
+            })
+            .collect();
+        TelemetryAggregate { per_device }
+    }
+
+    /// Serializes to JSONL: one flattened `{rank, kind, start, ...}` object
+    /// per line.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for dev in &self.devices {
+            for e in &dev.events {
+                let mut obj = Map::new();
+                obj.insert("rank".into(), serde_json::to_value(&dev.rank));
+                if let Value::Object(fields) = serde_json::to_value(e) {
+                    for (k, v) in fields.iter() {
+                        obj.insert(k.clone(), v.clone());
+                    }
+                }
+                out.push_str(&serde_json::to_string(&Value::Object(obj)).expect("jsonl encodes"));
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// Writes [`TelemetryLog::to_jsonl`] to `path`.
+    pub fn write_jsonl(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.to_jsonl().as_bytes())
+    }
+
+    /// Renders the log in Chrome `trace_event` JSON (the format Perfetto and
+    /// `chrome://tracing` load). Each device is a process; each
+    /// [`TimeCategory`] track is a thread inside it; spans are complete
+    /// (`"ph": "X"`) events with microsecond timestamps.
+    pub fn chrome_trace(&self) -> Value {
+        let mut trace_events: Vec<Value> = Vec::with_capacity(self.num_events() + 8);
+        for dev in &self.devices {
+            trace_events.push(metadata_event(
+                "process_name",
+                dev.rank,
+                None,
+                &format!("device {}", dev.rank),
+            ));
+            for cat in TimeCategory::ALL {
+                trace_events.push(metadata_event(
+                    "thread_name",
+                    dev.rank,
+                    Some(cat.index()),
+                    cat.label(),
+                ));
+            }
+            for e in &dev.events {
+                trace_events.push(span_event(dev.rank, e));
+            }
+        }
+        let mut root = Map::new();
+        root.insert("traceEvents".into(), Value::Array(trace_events));
+        root.insert("displayTimeUnit".into(), Value::String("ms".into()));
+        Value::Object(root)
+    }
+
+    /// Writes [`TelemetryLog::chrome_trace`] to `path`.
+    pub fn write_chrome_trace(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let text = serde_json::to_string(&self.chrome_trace()).expect("trace encodes");
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(text.as_bytes())
+    }
+}
+
+fn metadata_event(name: &str, pid: usize, tid: Option<usize>, display_name: &str) -> Value {
+    let mut args = Map::new();
+    args.insert("name".into(), Value::String(display_name.into()));
+    let mut obj = Map::new();
+    obj.insert("name".into(), Value::String(name.into()));
+    obj.insert("ph".into(), Value::String("M".into()));
+    obj.insert("pid".into(), serde_json::to_value(&pid));
+    if let Some(tid) = tid {
+        obj.insert("tid".into(), serde_json::to_value(&tid));
+    }
+    obj.insert("args".into(), Value::Object(args));
+    Value::Object(obj)
+}
+
+fn span_event(rank: usize, e: &Event) -> Value {
+    let mut args = Map::new();
+    args.insert("epoch".into(), serde_json::to_value(&e.epoch));
+    if let Some(layer) = e.layer {
+        args.insert("layer".into(), serde_json::to_value(&layer));
+    }
+    if let Some(peer) = e.peer {
+        args.insert("peer".into(), serde_json::to_value(&peer));
+    }
+    if e.bytes > 0 {
+        args.insert("bytes".into(), serde_json::to_value(&e.bytes));
+    }
+    if let Some(bits) = e.width_bits {
+        args.insert("width_bits".into(), serde_json::to_value(&bits));
+    }
+    let mut obj = Map::new();
+    obj.insert("name".into(), Value::String(e.kind.name().into()));
+    obj.insert(
+        "cat".into(),
+        Value::String(e.kind.category().label().into()),
+    );
+    obj.insert("ph".into(), Value::String("X".into()));
+    obj.insert("ts".into(), serde_json::to_value(&(e.start * 1e6)));
+    obj.insert("dur".into(), serde_json::to_value(&(e.duration() * 1e6)));
+    obj.insert("pid".into(), serde_json::to_value(&rank));
+    obj.insert(
+        "tid".into(),
+        serde_json::to_value(&e.kind.category().index()),
+    );
+    obj.insert("args".into(), Value::Object(args));
+    Value::Object(obj)
+}
+
+/// Per-device, per-epoch [`TimeBreakdown`]s reconstructed from telemetry
+/// events; the in-memory reduction figure binaries consume instead of
+/// keeping ad-hoc accumulators.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TelemetryAggregate {
+    /// Breakdowns indexed `[rank][epoch]`.
+    pub per_device: Vec<Vec<TimeBreakdown>>,
+}
+
+impl TelemetryAggregate {
+    /// Number of epochs covered.
+    pub fn num_epochs(&self) -> usize {
+        self.per_device.first().map_or(0, Vec::len)
+    }
+
+    /// The slowest device's epoch time and breakdown for `epoch` under
+    /// `method`'s overlap schedule — the same straggler selection
+    /// [`crate::runner`] uses to combine device records, so these sums match
+    /// [`crate::RunResult::total_breakdown`] within float tolerance.
+    pub fn epoch_critical_path(
+        &self,
+        method: Method,
+        disable_overlap: bool,
+        epoch: usize,
+    ) -> (f64, TimeBreakdown) {
+        let mut slowest = 0.0f64;
+        let mut slowest_tb = TimeBreakdown::new();
+        for dev in &self.per_device {
+            let tb = dev[epoch];
+            let t = epoch_time_with_overlap(method, disable_overlap, &tb);
+            if t >= slowest {
+                slowest = t;
+                slowest_tb = tb;
+            }
+        }
+        (slowest, slowest_tb)
+    }
+
+    /// Sums [`TelemetryAggregate::epoch_critical_path`] over all epochs:
+    /// total simulated wall-clock and the straggler breakdown total.
+    pub fn cluster_totals(&self, method: Method, disable_overlap: bool) -> (f64, TimeBreakdown) {
+        let mut total = 0.0;
+        let mut tb = TimeBreakdown::new();
+        for e in 0..self.num_epochs() {
+            let (t, etb) = self.epoch_critical_path(method, disable_overlap, e);
+            total += t;
+            tb += etb;
+        }
+        (total, tb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_log() -> TelemetryLog {
+        let mk = |kind: EventKind, start: f64, end: f64, epoch: u32| Event {
+            kind,
+            start,
+            end,
+            epoch,
+            layer: Some(0),
+            peer: None,
+            bytes: 128,
+            width_bits: Some(32),
+        };
+        TelemetryLog::from_device_events(vec![
+            vec![
+                mk(EventKind::HaloSend, 0.0, 1.0, 0),
+                mk(EventKind::CentralCompute, 0.0, 0.5, 0),
+                mk(EventKind::MarginalCompute, 1.0, 1.25, 1),
+            ],
+            vec![mk(EventKind::HaloRecv, 0.0, 2.0, 0)],
+        ])
+    }
+
+    #[test]
+    fn aggregate_buckets_by_rank_and_epoch() {
+        let agg = sample_log().aggregate();
+        assert_eq!(agg.per_device.len(), 2);
+        assert_eq!(agg.num_epochs(), 2);
+        assert_eq!(agg.per_device[0][0].comm, 1.0);
+        assert_eq!(agg.per_device[0][0].central_comp, 0.5);
+        assert_eq!(agg.per_device[0][1].marginal_comp, 0.25);
+        assert_eq!(agg.per_device[1][0].comm, 2.0);
+    }
+
+    #[test]
+    fn critical_path_picks_straggler() {
+        let agg = sample_log().aggregate();
+        // Epoch 0: device 1 has 2.0s of comm vs device 0's 1.5s serial.
+        let (t, tb) = agg.epoch_critical_path(Method::Vanilla, false, 0);
+        assert_eq!(t, 2.0);
+        assert_eq!(tb.comm, 2.0);
+        let (total, _) = agg.cluster_totals(Method::Vanilla, false);
+        assert_eq!(total, 2.25);
+    }
+
+    #[test]
+    fn jsonl_one_line_per_event_with_rank() {
+        let log = sample_log();
+        let text = log.to_jsonl();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), log.num_events());
+        let first: Value = serde_json::from_str(lines[0]).unwrap();
+        assert_eq!(first["rank"].as_u64(), Some(0));
+        assert_eq!(first["kind"].as_str(), Some("HaloSend"));
+        let last: Value = serde_json::from_str(lines[3]).unwrap();
+        assert_eq!(last["rank"].as_u64(), Some(1));
+    }
+
+    #[test]
+    fn chrome_trace_shape() {
+        let log = sample_log();
+        let trace = log.chrome_trace();
+        let events = trace["traceEvents"].as_array().expect("array");
+        // 2 devices x (1 process_name + 5 thread_name) metadata + 4 spans.
+        assert_eq!(events.len(), 2 * 6 + 4);
+        let spans: Vec<&Value> = events
+            .iter()
+            .filter(|e| e["ph"].as_str() == Some("X"))
+            .collect();
+        assert_eq!(spans.len(), 4);
+        let s = spans[0];
+        assert_eq!(s["name"].as_str(), Some("halo_send"));
+        assert_eq!(s["ts"].as_f64(), Some(0.0));
+        assert_eq!(s["dur"].as_f64(), Some(1e6));
+        assert_eq!(s["args"]["bytes"].as_u64(), Some(128));
+        // Round-trips through the JSON text layer.
+        let text = serde_json::to_string(&trace).unwrap();
+        let back: Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(back["traceEvents"].as_array().unwrap().len(), events.len());
+    }
+
+    #[test]
+    fn log_serde_round_trip() {
+        let log = sample_log();
+        let text = serde_json::to_string(&log).unwrap();
+        let back: TelemetryLog = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, log);
+    }
+}

@@ -15,6 +15,7 @@ use crate::exchange::{
     exchange_forward_fp32, exchange_forward_grouped, exchange_forward_quant_ef, ExchangeStats,
 };
 use crate::metrics::{DeviceEpochRecord, MetricParts};
+use comm::telemetry::{Event, EventDetail, EventKind};
 use comm::{CostModel, DeviceHandle, TimeBreakdown, TimeCategory};
 use gnn::{Adam, Gnn};
 use quant::BitWidth;
@@ -57,18 +58,33 @@ pub struct DeviceTrainer<'a> {
 /// relative Frobenius distance from the last broadcast snapshot.
 const SANCUS_DRIFT_THRESHOLD: f32 = 0.25;
 
+/// The single bit-width shared by every message group in a per-peer
+/// assignment, or `None` when groups mix widths (adaptive assignments).
+fn uniform_bits(widths: &[Vec<BitWidth>]) -> Option<u8> {
+    let mut it = widths.iter().flatten();
+    let first = *it.next()?;
+    if it.all(|w| *w == first) {
+        Some(first.bits() as u8)
+    } else {
+        None
+    }
+}
+
 impl<'a> DeviceTrainer<'a> {
     /// Builds the trainer; model initialization is seeded identically on
     /// every rank so replicas start (and stay, via gradient allreduce) in
     /// sync.
     pub fn new(
-        dev: DeviceHandle,
+        mut dev: DeviceHandle,
         part: &'a DevicePartition,
         cfg: &'a TrainingConfig,
         method: Method,
         cost: CostModel,
         seed: u64,
     ) -> Self {
+        if cfg.telemetry {
+            dev.enable_telemetry();
+        }
         let dims = cfg.dims(part.features.cols(), part.global.num_classes);
         let mut init_rng = Rng::seed_from(seed);
         let model = Gnn::with_dropout(cfg.conv_kind(), &dims, cfg.dropout, &mut init_rng);
@@ -143,9 +159,13 @@ impl<'a> DeviceTrainer<'a> {
         self.dims.len() - 1
     }
 
-    /// Runs all configured epochs and returns per-epoch records.
-    pub fn run(mut self) -> Vec<DeviceEpochRecord> {
-        (0..self.cfg.epochs).map(|e| self.run_epoch(e)).collect()
+    /// Runs all configured epochs and returns per-epoch records plus the
+    /// telemetry events recorded along the way (empty unless
+    /// `cfg.telemetry`).
+    pub fn run(mut self) -> (Vec<DeviceEpochRecord>, Vec<Event>) {
+        let records = (0..self.cfg.epochs).map(|e| self.run_epoch(e)).collect();
+        let events = self.dev.telemetry_mut().take_events();
+        (records, events)
     }
 
     /// Whether this epoch's messages are traced and followed by a
@@ -162,12 +182,14 @@ impl<'a> DeviceTrainer<'a> {
         let mut bytes = 0usize;
         let trace_now = self.is_assign_epoch(epoch);
         self.model.zero_grads();
+        self.dev.telemetry_mut().start_epoch(epoch as u32);
 
         // ---- Forward ----
         let num_layers = self.num_layers();
         let mut h = self.part.features.clone();
         let mut layer_inputs: Vec<Matrix> = Vec::with_capacity(num_layers);
         for l in 0..num_layers {
+            self.dev.telemetry_mut().set_layer(Some(l as u32));
             if trace_now {
                 self.trace.record_fwd(self.part, l, &h);
             }
@@ -186,6 +208,7 @@ impl<'a> DeviceTrainer<'a> {
             h = out;
         }
         let logits = h;
+        self.dev.telemetry_mut().set_layer(None);
 
         // ---- Loss ----
         let (loss_sum, grad_logits) = self.loss_and_grad(&logits);
@@ -193,6 +216,7 @@ impl<'a> DeviceTrainer<'a> {
         // ---- Backward ----
         let mut grad_h = grad_logits;
         for l in (0..num_layers).rev() {
+            self.dev.telemetry_mut().set_layer(Some(l as u32));
             let (grad_agg, grad_self) = {
                 let layer = &mut self.model.layers_mut()[l];
                 layer.backward_dense(&grad_h)
@@ -219,17 +243,30 @@ impl<'a> DeviceTrainer<'a> {
         }
 
         // ---- Gradient allreduce + optimizer step ----
+        self.dev.telemetry_mut().set_layer(None);
         let mut grads = self.model.grads_flat();
         self.dev.allreduce_sum_f32(&mut grads);
-        tb.charge(TimeCategory::Comm, self.allreduce_seconds(grads.len() * 4));
+        let allreduce_secs = self.allreduce_seconds(grads.len() * 4);
+        tb.charge(TimeCategory::Comm, allreduce_secs);
+        self.dev.telemetry_mut().record_detail(
+            EventKind::AllReduce,
+            allreduce_secs,
+            EventDetail {
+                peer: None,
+                bytes: (grads.len() * 4) as u64,
+                width_bits: Some(32),
+            },
+        );
         let mut params = self.model.params_flat();
         self.adam.step(&mut params, &grads);
         // Adam: ~10 scalar ops per parameter.
-        tb.charge(
-            TimeCategory::MarginalComp,
-            self.cost
-                .ops_time_for(self.part.rank, params.len() as f64 * 10.0),
-        );
+        let adam_secs = self
+            .cost
+            .ops_time_for(self.part.rank, params.len() as f64 * 10.0);
+        tb.charge(TimeCategory::MarginalComp, adam_secs);
+        self.dev
+            .telemetry_mut()
+            .record(EventKind::MarginalCompute, adam_secs);
         self.model.set_params_flat(&params);
 
         // ---- Periodic bit-width reassignment ----
@@ -250,6 +287,9 @@ impl<'a> DeviceTrainer<'a> {
             );
             self.assignment = assignment;
             tb.charge(TimeCategory::Solve, solve_secs);
+            self.dev
+                .telemetry_mut()
+                .record(EventKind::AssignerSolve, solve_secs);
         }
 
         // ---- Evaluation (not charged to simulated time) ----
@@ -276,14 +316,14 @@ impl<'a> DeviceTrainer<'a> {
         match self.method {
             Method::Vanilla => {
                 let (halo, stats) = exchange_forward_fp32(&mut self.dev, self.part, h);
-                self.charge_ring(tb, bytes, &stats);
+                self.charge_ring(tb, bytes, &stats, Some(32));
                 halo
             }
             Method::AdaQp | Method::AdaQpUniform => {
                 if epoch == 0 {
                     // First epoch runs full precision while tracing.
                     let (halo, stats) = exchange_forward_fp32(&mut self.dev, self.part, h);
-                    self.charge_ring(tb, bytes, &stats);
+                    self.charge_ring(tb, bytes, &stats, Some(32));
                     halo
                 } else if self.cfg.grouped_wire && self.method == Method::AdaQp {
                     let send = self.assignment.fwd[l].clone();
@@ -296,7 +336,7 @@ impl<'a> DeviceTrainer<'a> {
                         &recv,
                         &mut self.rng,
                     );
-                    self.charge_ring(tb, bytes, &stats);
+                    self.charge_ring(tb, bytes, &stats, uniform_bits(&send));
                     halo
                 } else {
                     let widths = self.assignment.fwd[l].clone();
@@ -313,14 +353,14 @@ impl<'a> DeviceTrainer<'a> {
                         residuals,
                         &mut self.rng,
                     );
-                    self.charge_ring(tb, bytes, &stats);
+                    self.charge_ring(tb, bytes, &stats, uniform_bits(&widths));
                     halo
                 }
             }
             Method::PipeGcn => {
                 // Use last epoch's halo; refresh concurrently (pipelined).
                 let (fresh, stats) = exchange_forward_fp32(&mut self.dev, self.part, h);
-                self.charge_ring(tb, bytes, &stats);
+                self.charge_ring(tb, bytes, &stats, Some(32));
                 if epoch == 0 {
                     self.halo_cache[l] = fresh.clone();
                     fresh
@@ -402,11 +442,12 @@ impl<'a> DeviceTrainer<'a> {
                 halo.row_mut(slot as usize).copy_from_slice(m.row(r));
             }
         }
-        tb.charge(
-            TimeCategory::Comm,
-            stats.sequential_seconds(&self.cost, self.part.rank),
-        );
+        let comm_secs = stats.sequential_seconds(&self.cost, self.part.rank);
+        tb.charge(TimeCategory::Comm, comm_secs);
         *bytes += stats.total_sent();
+        if self.dev.telemetry().is_enabled() {
+            self.emit_comm_events(&stats.sent_bytes, &stats.recv_bytes, comm_secs, Some(32));
+        }
         self.halo_cache[l] = halo.clone();
         halo
     }
@@ -424,13 +465,13 @@ impl<'a> DeviceTrainer<'a> {
         match self.method {
             Method::Vanilla => {
                 let stats = exchange_backward_fp32(&mut self.dev, self.part, grad_ext, grad_local);
-                self.charge_ring(tb, bytes, &stats);
+                self.charge_ring(tb, bytes, &stats, Some(32));
             }
             Method::AdaQp | Method::AdaQpUniform => {
                 if epoch == 0 {
                     let stats =
                         exchange_backward_fp32(&mut self.dev, self.part, grad_ext, grad_local);
-                    self.charge_ring(tb, bytes, &stats);
+                    self.charge_ring(tb, bytes, &stats, Some(32));
                 } else if self.cfg.grouped_wire && self.method == Method::AdaQp {
                     let send = self.assignment.bwd[l].clone();
                     let recv = self.assignment.bwd_recv[l].clone();
@@ -443,7 +484,7 @@ impl<'a> DeviceTrainer<'a> {
                         &recv,
                         &mut self.rng,
                     );
-                    self.charge_ring(tb, bytes, &stats);
+                    self.charge_ring(tb, bytes, &stats, uniform_bits(&send));
                 } else {
                     let widths = self.assignment.bwd[l].clone();
                     let residuals = if self.cfg.error_feedback {
@@ -460,14 +501,14 @@ impl<'a> DeviceTrainer<'a> {
                         residuals,
                         &mut self.rng,
                     );
-                    self.charge_ring(tb, bytes, &stats);
+                    self.charge_ring(tb, bytes, &stats, uniform_bits(&widths));
                 }
             }
             Method::PipeGcn => {
                 // Remote gradient contributions arrive one epoch late.
                 let mut fresh = Matrix::zeros(grad_local.rows(), grad_local.cols());
                 let stats = exchange_backward_fp32(&mut self.dev, self.part, grad_ext, &mut fresh);
-                self.charge_ring(tb, bytes, &stats);
+                self.charge_ring(tb, bytes, &stats, Some(32));
                 if epoch == 0 {
                     // Warm-up epoch applies fresh gradients synchronously.
                     grad_local.add_assign(&fresh);
@@ -484,35 +525,83 @@ impl<'a> DeviceTrainer<'a> {
         }
     }
 
-    fn charge_ring(&self, tb: &mut TimeBreakdown, bytes: &mut usize, stats: &ExchangeStats) {
-        tb.charge(
-            TimeCategory::Comm,
-            stats.ring_seconds(&self.cost, self.part.rank),
-        );
-        tb.charge(
-            TimeCategory::Quant,
-            self.cost.ops_time_for(self.part.rank, stats.quant_ops),
-        );
+    fn charge_ring(
+        &mut self,
+        tb: &mut TimeBreakdown,
+        bytes: &mut usize,
+        stats: &ExchangeStats,
+        width_bits: Option<u8>,
+    ) {
+        let comm_secs = stats.ring_seconds(&self.cost, self.part.rank);
+        let quant_secs = self.cost.ops_time_for(self.part.rank, stats.quant_ops);
+        tb.charge(TimeCategory::Comm, comm_secs);
+        tb.charge(TimeCategory::Quant, quant_secs);
         *bytes += stats.total_sent();
+        if self.dev.telemetry().is_enabled() {
+            self.dev
+                .telemetry_mut()
+                .record(EventKind::QuantEncode, quant_secs);
+            self.emit_comm_events(&stats.sent_bytes, &stats.recv_bytes, comm_secs, width_bits);
+        }
+    }
+
+    /// Splits one communication charge into per-peer send/recv events,
+    /// proportional to payload bytes, so event durations sum back to the
+    /// charged seconds (within float tolerance). Byte-free but nonzero
+    /// charges (pure latency) become a single peer-less span.
+    fn emit_comm_events(
+        &mut self,
+        sent: &[usize],
+        recv: &[usize],
+        comm_secs: f64,
+        width_bits: Option<u8>,
+    ) {
+        let total: usize = sent.iter().chain(recv.iter()).sum();
+        if total == 0 {
+            if comm_secs > 0.0 {
+                self.dev
+                    .telemetry_mut()
+                    .record(EventKind::HaloSend, comm_secs);
+            }
+            return;
+        }
+        let per_byte = comm_secs / total as f64;
+        for (kind, volumes) in [(EventKind::HaloSend, sent), (EventKind::HaloRecv, recv)] {
+            for (q, &b) in volumes.iter().enumerate() {
+                if b > 0 {
+                    self.dev.telemetry_mut().record_detail(
+                        kind,
+                        b as f64 * per_byte,
+                        EventDetail {
+                            peer: Some(q as u32),
+                            bytes: b as u64,
+                            width_bits,
+                        },
+                    );
+                }
+            }
+        }
     }
 
     /// Aggregates central rows and marginal rows separately, charging each
     /// to its own bucket (analytically: 2 ops per aggregation entry per
     /// feature column), and reassembles the local target matrix.
-    fn aggregate_split(&self, xe: &Matrix, tb: &mut TimeBreakdown) -> Matrix {
+    fn aggregate_split(&mut self, xe: &Matrix, tb: &mut TimeBreakdown) -> Matrix {
         let dim = xe.cols() as f64;
         let zc = self.part.agg.aggregate_rows(xe, &self.part.central);
         let ops_c = self.part.agg.entries_for(&self.part.central) as f64 * dim * 2.0;
-        tb.charge(
-            TimeCategory::CentralComp,
-            self.cost.ops_time_for(self.part.rank, ops_c),
-        );
+        let central_secs = self.cost.ops_time_for(self.part.rank, ops_c);
+        tb.charge(TimeCategory::CentralComp, central_secs);
+        self.dev
+            .telemetry_mut()
+            .record(EventKind::CentralCompute, central_secs);
         let zm = self.part.agg.aggregate_rows(xe, &self.part.marginal);
         let ops_m = self.part.agg.entries_for(&self.part.marginal) as f64 * dim * 2.0;
-        tb.charge(
-            TimeCategory::MarginalComp,
-            self.cost.ops_time_for(self.part.rank, ops_m),
-        );
+        let marginal_secs = self.cost.ops_time_for(self.part.rank, ops_m);
+        tb.charge(TimeCategory::MarginalComp, marginal_secs);
+        self.dev
+            .telemetry_mut()
+            .record(EventKind::MarginalCompute, marginal_secs);
         let mut z = Matrix::zeros(self.part.num_local(), xe.cols());
         for (k, &li) in self.part.central.iter().enumerate() {
             z.row_mut(li as usize).copy_from_slice(zc.row(k));
@@ -525,10 +614,16 @@ impl<'a> DeviceTrainer<'a> {
 
     /// Splits an analytic dense-kernel cost between the central and marginal
     /// buckets proportionally to node counts (the kernels are row-wise).
-    fn charge_split_ops(&self, tb: &mut TimeBreakdown, ops: f64) {
+    fn charge_split_ops(&mut self, tb: &mut TimeBreakdown, ops: f64) {
         let sim = self.cost.ops_time_for(self.part.rank, ops);
         tb.charge(TimeCategory::CentralComp, sim * self.central_frac);
         tb.charge(TimeCategory::MarginalComp, sim * (1.0 - self.central_frac));
+        self.dev
+            .telemetry_mut()
+            .record(EventKind::CentralCompute, sim * self.central_frac);
+        self.dev
+            .telemetry_mut()
+            .record(EventKind::MarginalCompute, sim * (1.0 - self.central_frac));
     }
 
     /// Operation count of one dense layer application on `rows` nodes:

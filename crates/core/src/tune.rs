@@ -8,6 +8,7 @@
 //! with a throughput tie-break.
 
 use crate::config::ExperimentConfig;
+use crate::error::Error;
 use crate::metrics::RunResult;
 use serde::{Deserialize, Serialize};
 
@@ -100,11 +101,18 @@ fn better(a: &TuneTrial, b: &TuneTrial, acc_tolerance: f64) -> bool {
 /// trials plus the winner. `acc_tolerance` controls when two accuracies are
 /// considered tied (e.g. `0.002` = 0.2 points).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the grid is empty.
-pub fn grid_search(base: &ExperimentConfig, grid: &TuneGrid, acc_tolerance: f64) -> TuneReport {
-    assert!(!grid.is_empty(), "empty tuning grid");
+/// [`Error::InvalidConfig`] when the grid is empty along any axis or a grid
+/// point produces an invalid configuration.
+pub fn grid_search(
+    base: &ExperimentConfig,
+    grid: &TuneGrid,
+    acc_tolerance: f64,
+) -> Result<TuneReport, Error> {
+    if grid.is_empty() {
+        return Err(Error::InvalidConfig("empty tuning grid".into()));
+    }
     let mut trials: Vec<TuneTrial> = Vec::with_capacity(grid.len());
     let mut best = 0usize;
     for (group_size, lambda, period) in grid.combinations() {
@@ -113,7 +121,7 @@ pub fn grid_search(base: &ExperimentConfig, grid: &TuneGrid, acc_tolerance: f64)
         cfg.training.group_size = group_size;
         cfg.training.lambda = lambda;
         cfg.training.reassign_period = period;
-        let result: RunResult = crate::runner::run_experiment(&cfg);
+        let result: RunResult = crate::runner::run_experiment(&cfg)?;
         let trial = TuneTrial {
             group_size,
             lambda,
@@ -127,7 +135,7 @@ pub fn grid_search(base: &ExperimentConfig, grid: &TuneGrid, acc_tolerance: f64)
         }
         trials.push(trial);
     }
-    TuneReport { trials, best }
+    Ok(TuneReport { trials, best })
 }
 
 #[cfg(test)]
@@ -185,7 +193,7 @@ mod tests {
             lambdas: vec![0.5],
             periods: vec![2],
         };
-        let report = grid_search(&base, &grid, 0.002);
+        let report = grid_search(&base, &grid, 0.002).expect("valid grid");
         assert_eq!(report.trials.len(), 2);
         assert!(report.best < 2);
         let b = report.best_trial();
@@ -193,8 +201,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "empty tuning grid")]
-    fn empty_grid_panics() {
+    fn empty_grid_is_an_error() {
         let base = ExperimentConfig {
             dataset: DatasetSpec::tiny(),
             machines: 1,
@@ -208,6 +215,7 @@ mod tests {
             lambdas: vec![0.5],
             periods: vec![1],
         };
-        let _ = grid_search(&base, &grid, 0.002);
+        let err = grid_search(&base, &grid, 0.002);
+        assert!(matches!(err, Err(Error::InvalidConfig(msg)) if msg.contains("empty")));
     }
 }

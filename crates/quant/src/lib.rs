@@ -31,7 +31,6 @@
 //! ```
 
 #![warn(missing_docs)]
-
 // Indexed loops here typically walk several parallel arrays at once;
 // explicit indices read better than zipped iterator chains in those spots.
 #![allow(clippy::needless_range_loop)]

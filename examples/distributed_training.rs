@@ -41,7 +41,7 @@ fn main() {
             method,
             ..base.clone()
         };
-        let r = adaqp::run_experiment(&cfg);
+        let r = adaqp::run_experiment(&cfg).expect("valid config");
         let speedup = match (method, vanilla_tp) {
             (Method::Vanilla, _) => {
                 vanilla_tp = Some(r.throughput);

@@ -37,7 +37,7 @@ fn main() {
             method,
             ..base.clone()
         };
-        let r = adaqp::run_experiment(&cfg);
+        let r = adaqp::run_experiment(&cfg).expect("valid config");
         println!(
             "{:<10} {:>9.2}% {:>10.2} ep/s {:>11.1}% {:>12.2}",
             r.method,

@@ -65,8 +65,8 @@ fn main() {
         },
         seed: 7,
     };
-    let single = adaqp::run_experiment(&cfg(1));
-    let multi = adaqp::run_experiment(&cfg(3));
+    let single = adaqp::run_experiment(&cfg(1)).expect("valid config");
+    let multi = adaqp::run_experiment(&cfg(3)).expect("valid config");
     println!();
     println!("epoch   loss(1 device)   loss(3 devices)   |gap|");
     for (s, m) in single.per_epoch.iter().zip(&multi.per_epoch) {

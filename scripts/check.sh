@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Repo hygiene gate: formatting, lints, tests. Run before every push.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --all-targets -D warnings"
+cargo clippy --offline --all-targets -- -D warnings
+
+echo "==> cargo test -q"
+cargo test --offline -q
+
+echo "All checks passed."

@@ -1,0 +1,63 @@
+//! Test configuration and the deterministic per-test RNG.
+
+use rand::rngs::StdRng;
+use rand::{Rng as _, SampleUniform, SeedableRng};
+
+/// Number of random cases to run per property; set with
+/// `#![proptest_config(ProptestConfig::with_cases(n))]`.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Cases per property test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Overrides the case count.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; this shim favors fast offline test runs.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// RNG handed to strategies; seeded from the test name so runs are
+/// reproducible without an external seed file.
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Builds the generator for one named test.
+    pub fn deterministic(name: &str) -> Self {
+        // FNV-1a over the test name.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng {
+            inner: StdRng::seed_from_u64(h),
+        }
+    }
+
+    /// Uniform integer in `[0, n)`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below(0)");
+        self.inner.gen_range(0..n)
+    }
+
+    /// Uniform sample from a half-open range.
+    pub fn range<T: SampleUniform>(&mut self, r: std::ops::Range<T>) -> T {
+        self.inner.gen_range(r)
+    }
+
+    /// Uniform sample from an inclusive range.
+    pub fn range_inclusive<T: SampleUniform>(&mut self, r: std::ops::RangeInclusive<T>) -> T {
+        self.inner.gen_range(r)
+    }
+}

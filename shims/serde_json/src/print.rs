@@ -1,0 +1,132 @@
+//! Compact and pretty JSON printers.
+
+use serde::value::{Number, Value};
+
+pub(crate) fn compact(v: &Value) -> String {
+    let mut out = String::new();
+    write_value(&mut out, v, None, 0);
+    out
+}
+
+pub(crate) fn pretty(v: &Value) -> String {
+    let mut out = String::new();
+    write_value(&mut out, v, Some("  "), 0);
+    out
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<&str>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => write_number(out, n),
+        Value::String(s) => write_string(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(m) => {
+            if m.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, item)) in m.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_string(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<&str>, depth: usize) {
+    if let Some(pad) = indent {
+        out.push('\n');
+        for _ in 0..depth {
+            out.push_str(pad);
+        }
+    }
+}
+
+fn write_number(out: &mut String, n: &Number) {
+    match *n {
+        Number::I64(v) => out.push_str(&v.to_string()),
+        Number::U64(v) => out.push_str(&v.to_string()),
+        Number::F64(v) if v.is_finite() => {
+            // `{}` on f64 prints the shortest round-trippable decimal, but
+            // drops the distinction from integers (1.0 -> "1"); keep a `.0`
+            // so floats reparse as floats.
+            let s = v.to_string();
+            out.push_str(&s);
+            if !s.contains(['.', 'e', 'E']) {
+                out.push_str(".0");
+            }
+        }
+        Number::F64(_) => out.push_str("null"),
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{0008}' => out.push_str("\\b"),
+            '\u{000C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::value::Map;
+
+    #[test]
+    fn compact_layout() {
+        let mut m = Map::new();
+        m.insert(
+            "a".into(),
+            Value::Array(vec![Value::Bool(true), Value::Null]),
+        );
+        m.insert("b".into(), Value::Number(Number::F64(2.0)));
+        assert_eq!(compact(&Value::Object(m)), r#"{"a":[true,null],"b":2.0}"#);
+    }
+
+    #[test]
+    fn control_characters_escaped() {
+        let s = compact(&Value::String("x\u{0001}y".into()));
+        assert_eq!(s, "\"x\\u0001y\"");
+    }
+}

@@ -25,15 +25,15 @@ fn cfg(method: Method, epochs: usize) -> ExperimentConfig {
 
 #[test]
 fn pipegcn_trains_to_reasonable_accuracy() {
-    let r = adaqp::run_experiment(&cfg(Method::PipeGcn, 20));
+    let r = adaqp::run_experiment(&cfg(Method::PipeGcn, 20)).expect("valid config");
     assert!(r.per_epoch.iter().all(|e| e.loss.is_finite()));
     assert!(r.best_val > 0.5, "PipeGCN val {}", r.best_val);
 }
 
 #[test]
 fn sancus_skips_most_communication() {
-    let vanilla = adaqp::run_experiment(&cfg(Method::Vanilla, 8));
-    let sancus = adaqp::run_experiment(&cfg(Method::Sancus, 8));
+    let vanilla = adaqp::run_experiment(&cfg(Method::Vanilla, 8)).expect("valid config");
+    let sancus = adaqp::run_experiment(&cfg(Method::Sancus, 8)).expect("valid config");
     // SANCUS skips most broadcast rounds and all backward exchanges, but
     // each broadcast it does send carries the *full partition* (not just the
     // boundary), so the net saving is moderate.
@@ -47,7 +47,7 @@ fn sancus_skips_most_communication() {
 
 #[test]
 fn sancus_skips_broadcasts_once_embeddings_stabilize() {
-    let r = adaqp::run_experiment(&cfg(Method::Sancus, 24));
+    let r = adaqp::run_experiment(&cfg(Method::Sancus, 24)).expect("valid config");
     // Epoch 0 always broadcasts (full-partition volume).
     assert!(r.per_epoch[0].bytes_sent > 0);
     // The staleness-aware skip must fire at least somewhere: total bytes are
@@ -76,8 +76,8 @@ fn staleness_slows_convergence_relative_to_vanilla() {
     // Early-epoch loss for staleness-based methods should lag Vanilla's
     // (Fig. 9's qualitative shape). Compare mean loss over epochs 2-8.
     let epochs = 12;
-    let vanilla = adaqp::run_experiment(&cfg(Method::Vanilla, epochs));
-    let sancus = adaqp::run_experiment(&cfg(Method::Sancus, epochs));
+    let vanilla = adaqp::run_experiment(&cfg(Method::Vanilla, epochs)).expect("valid config");
+    let sancus = adaqp::run_experiment(&cfg(Method::Sancus, epochs)).expect("valid config");
     let mean = |r: &adaqp::RunResult, lo: usize, hi: usize| {
         r.per_epoch[lo..hi].iter().map(|e| e.loss).sum::<f64>() / (hi - lo) as f64
     };
@@ -91,7 +91,7 @@ fn staleness_slows_convergence_relative_to_vanilla() {
 
 #[test]
 fn pipegcn_epoch_time_hides_communication() {
-    let r = adaqp::run_experiment(&cfg(Method::PipeGcn, 5));
+    let r = adaqp::run_experiment(&cfg(Method::PipeGcn, 5)).expect("valid config");
     for e in &r.per_epoch {
         let tb = &e.breakdown;
         let expect = tb.comm.max(tb.total_comp()) + tb.quant + tb.solve;

@@ -25,8 +25,8 @@ fn cfg(method: Method, seed: u64) -> ExperimentConfig {
 
 #[test]
 fn adaqp_loss_curve_tracks_vanilla() {
-    let vanilla = adaqp::run_experiment(&cfg(Method::Vanilla, 71));
-    let adaqp_r = adaqp::run_experiment(&cfg(Method::AdaQp, 71));
+    let vanilla = adaqp::run_experiment(&cfg(Method::Vanilla, 71)).expect("valid config");
+    let adaqp_r = adaqp::run_experiment(&cfg(Method::AdaQp, 71)).expect("valid config");
     // Average absolute loss gap across the run stays small relative to the
     // loss scale.
     let scale = vanilla.per_epoch[0].loss.abs().max(1e-9);
@@ -45,8 +45,8 @@ fn adaqp_loss_curve_tracks_vanilla() {
 
 #[test]
 fn adaqp_final_accuracy_close_to_vanilla() {
-    let vanilla = adaqp::run_experiment(&cfg(Method::Vanilla, 73));
-    let adaqp_r = adaqp::run_experiment(&cfg(Method::AdaQp, 73));
+    let vanilla = adaqp::run_experiment(&cfg(Method::Vanilla, 73)).expect("valid config");
+    let adaqp_r = adaqp::run_experiment(&cfg(Method::AdaQp, 73)).expect("valid config");
     assert!(
         (adaqp_r.best_val - vanilla.best_val).abs() < 0.06,
         "val: AdaQP {} vs Vanilla {}",
@@ -57,8 +57,8 @@ fn adaqp_final_accuracy_close_to_vanilla() {
 
 #[test]
 fn uniform_sampling_also_converges_but_is_not_better() {
-    let adaptive = adaqp::run_experiment(&cfg(Method::AdaQp, 79));
-    let uniform = adaqp::run_experiment(&cfg(Method::AdaQpUniform, 79));
+    let adaptive = adaqp::run_experiment(&cfg(Method::AdaQp, 79)).expect("valid config");
+    let uniform = adaqp::run_experiment(&cfg(Method::AdaQpUniform, 79)).expect("valid config");
     assert!(uniform.per_epoch.iter().all(|e| e.loss.is_finite()));
     // Adaptive should not be meaningfully worse than uniform sampling
     // (Sec. 5.3: it is usually better).
@@ -75,7 +75,7 @@ fn losses_are_monotone_ish_downward() {
     // Smoke check on optimizer health across methods: the loss at the end
     // is well below the start for every method.
     for method in [Method::Vanilla, Method::AdaQp, Method::PipeGcn] {
-        let r = adaqp::run_experiment(&cfg(method, 83));
+        let r = adaqp::run_experiment(&cfg(method, 83)).expect("valid config");
         let first = r.per_epoch[0].loss;
         let last = r.per_epoch.last().expect("epochs ran").loss;
         assert!(

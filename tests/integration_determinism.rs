@@ -25,8 +25,8 @@ fn cfg(seed: u64) -> ExperimentConfig {
 
 #[test]
 fn same_seed_same_everything() {
-    let a = adaqp::run_experiment(&cfg(901));
-    let b = adaqp::run_experiment(&cfg(901));
+    let a = adaqp::run_experiment(&cfg(901)).expect("valid config");
+    let b = adaqp::run_experiment(&cfg(901)).expect("valid config");
     for (ea, eb) in a.per_epoch.iter().zip(&b.per_epoch) {
         assert_eq!(ea.loss, eb.loss, "loss diverged at epoch {}", ea.epoch);
         assert_eq!(ea.val_score, eb.val_score);
@@ -45,15 +45,15 @@ fn same_seed_same_everything() {
 
 #[test]
 fn different_seeds_differ() {
-    let a = adaqp::run_experiment(&cfg(901));
-    let b = adaqp::run_experiment(&cfg(902));
+    let a = adaqp::run_experiment(&cfg(901)).expect("valid config");
+    let b = adaqp::run_experiment(&cfg(902)).expect("valid config");
     // Different dataset + init => different trajectories.
     assert_ne!(a.per_epoch[2].loss, b.per_epoch[2].loss);
 }
 
 #[test]
 fn run_result_serializes_faithfully() {
-    let a = adaqp::run_experiment(&cfg(903));
+    let a = adaqp::run_experiment(&cfg(903)).expect("valid config");
     let json = serde_json::to_string(&a).expect("serializes");
     let back: adaqp::RunResult = serde_json::from_str(&json).expect("deserializes");
     // Integers and strings round-trip exactly; floats up to a ULP of JSON
@@ -91,8 +91,8 @@ fn method_only_changes_method_dependent_state() {
     cv.method = Method::Vanilla;
     let mut ca = cfg(905);
     ca.method = Method::AdaQp;
-    let v = adaqp::run_experiment(&cv);
-    let a = adaqp::run_experiment(&ca);
+    let v = adaqp::run_experiment(&cv).expect("valid config");
+    let a = adaqp::run_experiment(&ca).expect("valid config");
     assert_eq!(
         v.per_epoch[0].loss, a.per_epoch[0].loss,
         "epoch 0 must be identical (AdaQP warms up at full precision)"

@@ -24,8 +24,8 @@ fn cfg(devices: usize, epochs: usize) -> ExperimentConfig {
 
 #[test]
 fn distributed_matches_single_device_losses() {
-    let single = adaqp::run_experiment(&cfg(1, 8));
-    let multi = adaqp::run_experiment(&cfg(3, 8));
+    let single = adaqp::run_experiment(&cfg(1, 8)).expect("valid config");
+    let multi = adaqp::run_experiment(&cfg(3, 8)).expect("valid config");
     for (s, m) in single.per_epoch.iter().zip(&multi.per_epoch) {
         assert!(
             (s.loss - m.loss).abs() < 5e-3 * (1.0 + s.loss.abs()),
@@ -50,8 +50,8 @@ fn distributed_matches_single_device_sage() {
     c1.training.use_sage = true;
     let mut c4 = cfg(4, 6);
     c4.training.use_sage = true;
-    let single = adaqp::run_experiment(&c1);
-    let multi = adaqp::run_experiment(&c4);
+    let single = adaqp::run_experiment(&c1).expect("valid config");
+    let multi = adaqp::run_experiment(&c4).expect("valid config");
     for (s, m) in single.per_epoch.iter().zip(&multi.per_epoch) {
         assert!(
             (s.loss - m.loss).abs() < 5e-3 * (1.0 + s.loss.abs()),
@@ -65,8 +65,8 @@ fn distributed_matches_single_device_sage() {
 
 #[test]
 fn more_devices_means_more_communication() {
-    let two = adaqp::run_experiment(&cfg(2, 3));
-    let four = adaqp::run_experiment(&cfg(4, 3));
+    let two = adaqp::run_experiment(&cfg(2, 3)).expect("valid config");
+    let four = adaqp::run_experiment(&cfg(4, 3)).expect("valid config");
     assert!(
         four.total_bytes > two.total_bytes,
         "bytes: k=2 {} vs k=4 {}",
@@ -82,7 +82,7 @@ fn multilabel_dataset_trains_distributed() {
         task: graph::Task::MultiLabel,
         ..DatasetSpec::tiny()
     };
-    let r = adaqp::run_experiment(&c);
+    let r = adaqp::run_experiment(&c).expect("valid config");
     assert!(r.per_epoch.iter().all(|e| e.loss.is_finite()));
     // Micro-F1 should beat the ~uniform-random baseline quickly.
     assert!(r.best_val > 0.3, "micro-F1 {}", r.best_val);

@@ -26,10 +26,10 @@ fn cfg(method: Method) -> ExperimentConfig {
 
 #[test]
 fn disabling_overlap_slows_adaqp_without_changing_numerics() {
-    let with = adaqp::run_experiment(&cfg(Method::AdaQp));
+    let with = adaqp::run_experiment(&cfg(Method::AdaQp)).expect("valid config");
     let mut c = cfg(Method::AdaQp);
     c.training.disable_overlap = true;
-    let without = adaqp::run_experiment(&c);
+    let without = adaqp::run_experiment(&c).expect("valid config");
     // Same numerics: identical loss curves (overlap only changes timing).
     for (a, b) in with.per_epoch.iter().zip(&without.per_epoch) {
         assert!(
@@ -62,10 +62,10 @@ fn disabling_overlap_slows_adaqp_without_changing_numerics() {
 
 #[test]
 fn error_feedback_runs_and_preserves_quality() {
-    let base = adaqp::run_experiment(&cfg(Method::AdaQp));
+    let base = adaqp::run_experiment(&cfg(Method::AdaQp)).expect("valid config");
     let mut c = cfg(Method::AdaQp);
     c.training.error_feedback = true;
-    let ef = adaqp::run_experiment(&c);
+    let ef = adaqp::run_experiment(&c).expect("valid config");
     assert!(ef.per_epoch.iter().all(|e| e.loss.is_finite()));
     // EF must not hurt final quality (it compensates quantization error).
     assert!(
@@ -128,10 +128,10 @@ fn error_feedback_reduces_time_averaged_quantization_error() {
 
 #[test]
 fn grouped_wire_matches_row_major_quality_with_fewer_bytes() {
-    let row_major = adaqp::run_experiment(&cfg(Method::AdaQp));
+    let row_major = adaqp::run_experiment(&cfg(Method::AdaQp)).expect("valid config");
     let mut c = cfg(Method::AdaQp);
     c.training.grouped_wire = true;
-    let grouped = adaqp::run_experiment(&c);
+    let grouped = adaqp::run_experiment(&c).expect("valid config");
     assert!(grouped.per_epoch.iter().all(|e| e.loss.is_finite()));
     // Same quantization semantics, so quality must match closely.
     assert!(
@@ -153,13 +153,13 @@ fn grouped_wire_matches_row_major_quality_with_fewer_bytes() {
 #[test]
 fn tune_grid_search_improves_or_matches_default() {
     let base = cfg(Method::AdaQp);
-    let default_run = adaqp::run_experiment(&base);
+    let default_run = adaqp::run_experiment(&base).expect("valid config");
     let grid = adaqp::tune::TuneGrid {
         group_sizes: vec![8, 64],
         lambdas: vec![0.25, 0.75],
         periods: vec![4],
     };
-    let report = adaqp::tune::grid_search(&base, &grid, 0.002);
+    let report = adaqp::tune::grid_search(&base, &grid, 0.002).expect("valid grid");
     assert_eq!(report.trials.len(), 4);
     let best = report.best_trial();
     assert!(

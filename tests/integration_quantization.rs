@@ -25,8 +25,8 @@ fn cfg(method: Method) -> ExperimentConfig {
 
 #[test]
 fn adaqp_compresses_traffic() {
-    let vanilla = adaqp::run_experiment(&cfg(Method::Vanilla));
-    let adaqp_r = adaqp::run_experiment(&cfg(Method::AdaQp));
+    let vanilla = adaqp::run_experiment(&cfg(Method::Vanilla)).expect("valid config");
+    let adaqp_r = adaqp::run_experiment(&cfg(Method::AdaQp)).expect("valid config");
     // Epoch 0 of AdaQP is full precision (tracing); afterwards messages are
     // 2-8 bit, so the whole run must move far fewer bytes.
     assert!(
@@ -46,8 +46,8 @@ fn adaqp_compresses_traffic() {
 
 #[test]
 fn adaqp_preserves_accuracy() {
-    let vanilla = adaqp::run_experiment(&cfg(Method::Vanilla));
-    let adaqp_r = adaqp::run_experiment(&cfg(Method::AdaQp));
+    let vanilla = adaqp::run_experiment(&cfg(Method::Vanilla)).expect("valid config");
+    let adaqp_r = adaqp::run_experiment(&cfg(Method::AdaQp)).expect("valid config");
     assert!(
         adaqp_r.best_val >= vanilla.best_val - 0.05,
         "AdaQP val {} vs Vanilla {}",
@@ -58,8 +58,8 @@ fn adaqp_preserves_accuracy() {
 
 #[test]
 fn adaqp_comm_time_lower_than_vanilla() {
-    let vanilla = adaqp::run_experiment(&cfg(Method::Vanilla));
-    let adaqp_r = adaqp::run_experiment(&cfg(Method::AdaQp));
+    let vanilla = adaqp::run_experiment(&cfg(Method::Vanilla)).expect("valid config");
+    let adaqp_r = adaqp::run_experiment(&cfg(Method::AdaQp)).expect("valid config");
     assert!(
         adaqp_r.total_breakdown.comm < vanilla.total_breakdown.comm,
         "comm: AdaQP {} vs Vanilla {}",
@@ -81,8 +81,8 @@ fn quant_overhead_small_relative_to_comm_savings() {
         c.training.intra_bw = 2e6;
         c
     };
-    let vanilla = adaqp::run_experiment(&slow(Method::Vanilla));
-    let adaqp_r = adaqp::run_experiment(&slow(Method::AdaQp));
+    let vanilla = adaqp::run_experiment(&slow(Method::Vanilla)).expect("valid config");
+    let adaqp_r = adaqp::run_experiment(&slow(Method::AdaQp)).expect("valid config");
     let saved = vanilla.total_breakdown.comm - adaqp_r.total_breakdown.comm;
     assert!(saved > 0.0, "no communication savings at all");
     assert!(
