@@ -1,0 +1,304 @@
+//! A comment/string/raw-string-aware Rust token scanner.
+//!
+//! This is *not* a full Rust lexer: it knows exactly enough to tell code
+//! from non-code. The rule engine in [`crate::rules`] only ever needs to ask
+//! "is this identifier real code?", so the scanner's one job is to never
+//! mistake the contents of a comment, string, raw string, byte string or
+//! char literal for program tokens — and, conversely, to never let a quote
+//! character inside a comment derail the scan. Everything else (numbers,
+//! punctuation) is tokenized crudely but safely.
+//!
+//! The tricky cases it handles, each covered by a fixture test:
+//!
+//! * nested block comments (`/* a /* b */ c */`);
+//! * string escapes (`"\""`) and multi-line strings;
+//! * raw strings with arbitrary hash fences (`r##"… "# …"##`), including
+//!   byte raw strings (`br"…"`);
+//! * char literals vs. lifetimes (`'a'` vs. `<'a>`), including escaped
+//!   (`'\''`) and unicode (`'\u{1F600}'`) chars;
+//! * raw identifiers (`r#match`), which must not be mistaken for raw
+//!   strings.
+
+/// What a token is. The rule engine cares about `Ident`, `Punct` and
+/// `Comment`; the literal kinds exist so their *contents* are provably
+/// excluded from rule matching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`HashMap`, `as`, `unwrap`, …).
+    Ident,
+    /// A lifetime (`'a`, `'static`).
+    Lifetime,
+    /// A numeric literal.
+    Number,
+    /// A string, raw string, byte string or raw byte string literal.
+    Str,
+    /// A char or byte literal.
+    CharLit,
+    /// A single punctuation character.
+    Punct,
+    /// A line or block comment, text included (suppression directives live
+    /// here).
+    Comment,
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Raw text of the token (for `Comment`, the whole comment).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+impl Tok {
+    /// True when this token is the given punctuation character.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+
+    /// True when this token is the given identifier.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+}
+
+/// Tokenizes `src`. Never fails: unexpected bytes become one-char `Punct`
+/// tokens and unterminated literals/comments run to end of input.
+pub fn lex(src: &str) -> Vec<Tok> {
+    Lexer {
+        chars: src.chars().collect(),
+        i: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    out: Vec<Tok>,
+}
+
+impl Lexer {
+    fn run(mut self) -> Vec<Tok> {
+        while self.i < self.chars.len() {
+            let c = self.chars[self.i];
+            if c == '\n' {
+                self.line += 1;
+                self.i += 1;
+            } else if c.is_whitespace() {
+                self.i += 1;
+            } else if c == '/' && self.peek(1) == Some('/') {
+                self.line_comment();
+            } else if c == '/' && self.peek(1) == Some('*') {
+                self.block_comment();
+            } else if c == '"' {
+                self.string(self.i);
+            } else if c == 'b' && self.peek(1) == Some('"') {
+                self.string(self.i + 1);
+            } else if c == 'b' && self.peek(1) == Some('\'') {
+                self.char_or_lifetime(self.i + 1);
+            } else if (c == 'r' && matches!(self.peek(1), Some('"' | '#')))
+                || (c == 'b'
+                    && self.peek(1) == Some('r')
+                    && matches!(self.peek(2), Some('"' | '#')))
+            {
+                self.raw_string_or_raw_ident();
+            } else if c == '\'' {
+                self.char_or_lifetime(self.i);
+            } else if c.is_alphabetic() || c == '_' {
+                self.ident();
+            } else if c.is_ascii_digit() {
+                self.number();
+            } else {
+                self.push(TokKind::Punct, self.i, self.i + 1, self.line);
+                self.i += 1;
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokKind, start: usize, end: usize, line: u32) {
+        let text: String = self.chars[start..end.min(self.chars.len())]
+            .iter()
+            .collect();
+        self.out.push(Tok { kind, text, line });
+    }
+
+    fn line_comment(&mut self) {
+        let (start, start_line) = (self.i, self.line);
+        while self.i < self.chars.len() && self.chars[self.i] != '\n' {
+            self.i += 1;
+        }
+        self.push(TokKind::Comment, start, self.i, start_line);
+    }
+
+    fn block_comment(&mut self) {
+        let (start, start_line) = (self.i, self.line);
+        let mut depth = 1usize;
+        self.i += 2;
+        while self.i < self.chars.len() && depth > 0 {
+            match (self.chars[self.i], self.peek(1)) {
+                ('/', Some('*')) => {
+                    depth += 1;
+                    self.i += 2;
+                }
+                ('*', Some('/')) => {
+                    depth -= 1;
+                    self.i += 2;
+                }
+                ('\n', _) => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                _ => self.i += 1,
+            }
+        }
+        self.push(TokKind::Comment, start, self.i, start_line);
+    }
+
+    /// Scans a `"…"` literal whose opening quote is at `quote_at` (one past
+    /// the `b` prefix for byte strings).
+    fn string(&mut self, quote_at: usize) {
+        let (start, start_line) = (self.i, self.line);
+        self.i = quote_at + 1;
+        while self.i < self.chars.len() {
+            match self.chars[self.i] {
+                '\\' => self.i += 2, // skips the escaped char, incl. \" and \\
+                '"' => {
+                    self.i += 1;
+                    break;
+                }
+                '\n' => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                _ => self.i += 1,
+            }
+        }
+        self.push(TokKind::Str, start, self.i, start_line);
+    }
+
+    /// Disambiguates `r"…"` / `r#"…"#` / `br##"…"##` (raw strings) from
+    /// `r#ident` (raw identifiers). Positioned at the `r` or `b`.
+    fn raw_string_or_raw_ident(&mut self) {
+        let (start, start_line) = (self.i, self.line);
+        let mut j = self.i + 1; // past 'r', or at 'r' for "br"
+        if self.chars[self.i] == 'b' {
+            j += 1;
+        }
+        let mut hashes = 0usize;
+        while self.chars.get(j) == Some(&'#') {
+            hashes += 1;
+            j += 1;
+        }
+        if self.chars.get(j) != Some(&'"') {
+            // `r#ident` raw identifier (or a stray `r#`): lex as ident.
+            self.i = j;
+            while self.i < self.chars.len()
+                && (self.chars[self.i].is_alphanumeric() || self.chars[self.i] == '_')
+            {
+                self.i += 1;
+            }
+            self.push(TokKind::Ident, start, self.i, start_line);
+            return;
+        }
+        // Raw string: runs until `"` followed by `hashes` hash marks.
+        self.i = j + 1;
+        while self.i < self.chars.len() {
+            if self.chars[self.i] == '\n' {
+                self.line += 1;
+                self.i += 1;
+                continue;
+            }
+            if self.chars[self.i] == '"'
+                && (1..=hashes).all(|h| self.chars.get(self.i + h) == Some(&'#'))
+            {
+                self.i += 1 + hashes;
+                break;
+            }
+            self.i += 1;
+        }
+        self.push(TokKind::Str, start, self.i, start_line);
+    }
+
+    /// Disambiguates char literals from lifetimes. `quote_at` is the `'`
+    /// (one past the `b` prefix for byte chars).
+    fn char_or_lifetime(&mut self, quote_at: usize) {
+        let (start, start_line) = (self.i, self.line);
+        let next = self.chars.get(quote_at + 1).copied();
+        match next {
+            // Escaped char: `'\n'`, `'\''`, `'\u{1F600}'` — scan to the
+            // closing quote, honoring the escape.
+            Some('\\') => {
+                self.i = quote_at + 2;
+                if self.i < self.chars.len() {
+                    self.i += 1; // the escaped character itself
+                }
+                while self.i < self.chars.len() && self.chars[self.i] != '\'' {
+                    self.i += 1;
+                }
+                self.i = (self.i + 1).min(self.chars.len());
+                self.push(TokKind::CharLit, start, self.i, start_line);
+            }
+            // `'x'` — a plain char literal.
+            Some(_) if self.chars.get(quote_at + 2) == Some(&'\'') => {
+                self.i = quote_at + 3;
+                self.push(TokKind::CharLit, start, self.i, start_line);
+            }
+            // `'ident` — a lifetime.
+            Some(c) if c.is_alphabetic() || c == '_' => {
+                self.i = quote_at + 2;
+                while self.i < self.chars.len()
+                    && (self.chars[self.i].is_alphanumeric() || self.chars[self.i] == '_')
+                {
+                    self.i += 1;
+                }
+                self.push(TokKind::Lifetime, start, self.i, start_line);
+            }
+            // Malformed input: emit the quote as punctuation and move on.
+            _ => {
+                self.push(TokKind::Punct, start, quote_at + 1, start_line);
+                self.i = quote_at + 1;
+            }
+        }
+    }
+
+    fn ident(&mut self) {
+        let (start, start_line) = (self.i, self.line);
+        while self.i < self.chars.len()
+            && (self.chars[self.i].is_alphanumeric() || self.chars[self.i] == '_')
+        {
+            self.i += 1;
+        }
+        self.push(TokKind::Ident, start, self.i, start_line);
+    }
+
+    fn number(&mut self) {
+        let (start, start_line) = (self.i, self.line);
+        while self.i < self.chars.len() {
+            let c = self.chars[self.i];
+            if c.is_alphanumeric() || c == '_' {
+                self.i += 1;
+            } else if c == '.'
+                && self.peek(1).is_some_and(|d| d.is_ascii_digit())
+                && self.chars[start..self.i].iter().all(|&d| d != '.')
+            {
+                // `1.5` continues the number; `0..n` and `1.0.to_string()`
+                // leave the dot(s) to punctuation.
+                self.i += 1;
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Number, start, self.i, start_line);
+    }
+}

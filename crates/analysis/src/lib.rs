@@ -1,0 +1,40 @@
+//! # adaqp-lint — workspace static analysis for simulation invariants
+//!
+//! The reproduction's headline numbers rest on two invariants the compiler
+//! cannot check: all *time* must flow through the simulated clock in
+//! `comm::timing` (one stray `Instant::now()` silently corrupts every
+//! wall-clock figure), and all result-producing code must be
+//! bit-deterministic under a fixed seed (one `HashMap` iteration in the
+//! partitioner changes boundary sets, bit-width assignments, and every
+//! downstream number). This crate machine-enforces them — offline and
+//! dependency-free: with no network or registry there is no `syn`, so a
+//! hand-rolled comment/string/raw-string-aware token scanner
+//! ([`lexer`]) feeds a small rule engine ([`rules`]).
+//!
+//! Run it over the workspace:
+//!
+//! ```text
+//! cargo run -p analysis --release -- --workspace
+//! ```
+//!
+//! or over scratch files / fixtures (all token rules active):
+//!
+//! ```text
+//! cargo run -p analysis --release -- path/to/file.rs
+//! ```
+//!
+//! Exit status is nonzero when any unsuppressed violation exists; each is
+//! reported as `file:line: [rule] message`. Violations are suppressed only
+//! by `// lint:allow(<rule>): <reason>` on the offending line, so every
+//! exception carries its justification in-tree. See `DESIGN.md` §7 for the
+//! rule inventory and rationale.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod lexer;
+pub mod rules;
+pub mod workspace;
+
+pub use rules::{Finding, RULE_NAMES};
+pub use workspace::{find_root, scan_path, scan_workspace, ScanError};

@@ -1,0 +1,62 @@
+//! `adaqp-lint` CLI. See the library docs for the rule inventory.
+
+use analysis::{find_root, scan_path, scan_workspace, Finding};
+use std::path::PathBuf;
+
+const USAGE: &str = "\
+adaqp-lint: workspace static analysis enforcing simulation invariants
+
+USAGE:
+    cargo run -p analysis --release -- --workspace
+    cargo run -p analysis --release -- [PATH.rs | PATH.toml]...
+
+Rules: sim-clock, no-panic, det-iter, lossy-cast, dep-hygiene.
+Suppress with `// lint:allow(<rule>): <reason>` on the offending line.
+Exit status: 0 clean, 1 violations found, 2 usage or I/O error.";
+
+fn main() {
+    std::process::exit(run());
+}
+
+fn run() -> i32 {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return if args.is_empty() { 2 } else { 0 };
+    }
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut scanned_workspace = false;
+    for arg in &args {
+        let result = if arg == "--workspace" {
+            scanned_workspace = true;
+            find_root().and_then(|root| scan_workspace(&root))
+        } else if arg.starts_with('-') {
+            eprintln!("unknown flag `{arg}`\n{USAGE}");
+            return 2;
+        } else {
+            scan_path(&PathBuf::from(arg))
+        };
+        match result {
+            Ok(f) => findings.extend(f),
+            Err(e) => {
+                eprintln!("adaqp-lint: {e}");
+                return 2;
+            }
+        }
+    }
+    for f in &findings {
+        println!("{f}");
+    }
+    if findings.is_empty() {
+        let scope = if scanned_workspace {
+            "workspace"
+        } else {
+            "inputs"
+        };
+        eprintln!("adaqp-lint: {scope} clean (0 violations)");
+        0
+    } else {
+        eprintln!("adaqp-lint: {} violation(s)", findings.len());
+        1
+    }
+}

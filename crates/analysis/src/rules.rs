@@ -1,0 +1,424 @@
+//! The rule engine: five rules over the token stream (plus one over
+//! `Cargo.toml` text), file classification, `#[cfg(test)]` exemption and
+//! `lint:allow` suppression handling.
+//!
+//! | rule        | what it guards                                              |
+//! |-------------|-------------------------------------------------------------|
+//! | `sim-clock` | all time flows through the simulated clock (`comm::timing`) |
+//! | `no-panic`  | library code reports errors, it does not abort              |
+//! | `det-iter`  | result-producing crates iterate in deterministic order      |
+//! | `lossy-cast`| narrowing `as` casts in quant kernels are deliberate        |
+//! | `dep-hygiene`| crate deps route through `[workspace.dependencies]`        |
+//!
+//! A violation is suppressed only by `// lint:allow(<rule>): <reason>` on
+//! the offending line (or, for multi-line expressions, a standalone comment
+//! on the line directly above). The reason is mandatory: an allow without
+//! one is itself reported.
+
+use crate::lexer::{lex, Tok, TokKind};
+
+/// Names of all rules, in reporting order.
+pub const RULE_NAMES: [&str; 5] = [
+    "sim-clock",
+    "no-panic",
+    "det-iter",
+    "lossy-cast",
+    "dep-hygiene",
+];
+
+/// Files exempt from `sim-clock`: the simulated clock itself and the
+/// telemetry export paths, which legitimately timestamp host-side artifacts.
+const SIM_CLOCK_ALLOWLIST: [&str; 3] = [
+    "crates/comm/src/timing.rs",
+    "crates/comm/src/telemetry.rs",
+    "crates/core/src/telemetry.rs",
+];
+
+/// Crates whose outputs feed reported numbers: `HashMap`/`HashSet` there
+/// risk iteration-order nondeterminism leaking into results.
+const DET_ITER_CRATES: [&str; 6] = ["graph", "quant", "solver", "gnn", "comm", "core"];
+
+/// Narrowing targets flagged by `lossy-cast` inside quant kernels.
+const NARROWING_TARGETS: [&str; 5] = ["u8", "i8", "u16", "i16", "f32"];
+
+/// One diagnostic.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Path as reported (workspace-relative for `--workspace` scans).
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule name.
+    pub rule: &'static str,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// How a `.rs` file is treated by the per-file rules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FileClass {
+    /// Library source of the named crate directory (`crates/<dir>/src`,
+    /// excluding `src/bin`). All library rules apply.
+    Library {
+        /// The directory name under `crates/` (not the package name).
+        crate_dir: String,
+    },
+    /// Binary targets (`src/bin`, `src/main.rs`): `sim-clock` only —
+    /// panicking on bad CLI input is fine.
+    Bin,
+    /// Tests and benches: `sim-clock` only.
+    Test,
+    /// Examples: `sim-clock` only.
+    Example,
+    /// Explicitly-passed scratch/fixture file: every token rule applies, so
+    /// planted violations always surface.
+    Explicit,
+}
+
+impl FileClass {
+    /// Classifies a workspace-relative, `/`-separated path.
+    pub fn classify(rel: &str) -> Option<Self> {
+        if rel.starts_with("shims/") || rel.contains("/fixtures/") {
+            return None; // outside the invariant boundary / lint test data
+        }
+        if rel.contains("/tests/") || rel.contains("/benches/") || rel.starts_with("tests/") {
+            return Some(FileClass::Test);
+        }
+        if rel.contains("/examples/") || rel.starts_with("examples/") {
+            return Some(FileClass::Example);
+        }
+        if let Some(rest) = rel.strip_prefix("crates/") {
+            let (crate_dir, in_crate) = rest.split_once('/')?;
+            if in_crate.starts_with("src/bin/") || in_crate == "src/main.rs" {
+                return Some(FileClass::Bin);
+            }
+            if in_crate.starts_with("src/") {
+                return Some(FileClass::Library {
+                    crate_dir: crate_dir.to_string(),
+                });
+            }
+        }
+        None
+    }
+}
+
+/// A `lint:allow` directive parsed out of a comment.
+#[derive(Debug, Clone)]
+struct Allow {
+    rule: String,
+    line: u32,
+    has_reason: bool,
+}
+
+fn collect_allows(toks: &[Tok]) -> Vec<Allow> {
+    let mut allows = Vec::new();
+    for t in toks.iter().filter(|t| t.kind == TokKind::Comment) {
+        collect_allows_in_text(&t.text, t.line, &mut allows);
+    }
+    allows
+}
+
+/// Parses every `lint:allow(<rule>): <reason>` occurrence in `text`.
+/// Shared with the TOML scanner, where `text` is a `#` comment.
+fn collect_allows_in_text(text: &str, line: u32, out: &mut Vec<Allow>) {
+    let mut rest = text;
+    while let Some(pos) = rest.find("lint:allow(") {
+        rest = &rest[pos + "lint:allow(".len()..];
+        let Some(close) = rest.find(')') else { break };
+        let rule = rest[..close].trim().to_string();
+        // Prose *about* the syntax (`lint:allow(<rule>)`) is not a directive.
+        if rule.is_empty() || !rule.chars().all(|c| c.is_ascii_lowercase() || c == '-') {
+            rest = &rest[close + 1..];
+            continue;
+        }
+        let after = rest[close + 1..].trim_start();
+        let has_reason = after
+            .strip_prefix(':')
+            .is_some_and(|r| !r.trim().is_empty());
+        out.push(Allow {
+            rule,
+            line,
+            has_reason,
+        });
+        rest = &rest[close + 1..];
+    }
+}
+
+/// Line ranges (inclusive) covered by `#[cfg(test)]`-gated items, which
+/// `no-panic`/`det-iter`/`lossy-cast` exempt.
+fn test_exempt_ranges(code: &[&Tok]) -> Vec<(u32, u32)> {
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while i < code.len() {
+        if !(code[i].is_punct('#') && code.get(i + 1).is_some_and(|t| t.is_punct('['))) {
+            i += 1;
+            continue;
+        }
+        // Scan the attribute group for `cfg` + `test` (but not `not(test)`).
+        let attr_start = i;
+        let mut j = i + 2;
+        let mut depth = 1usize;
+        let (mut saw_cfg, mut saw_test, mut saw_not) = (false, false, false);
+        while j < code.len() && depth > 0 {
+            if code[j].is_punct('[') {
+                depth += 1;
+            } else if code[j].is_punct(']') {
+                depth -= 1;
+            } else if code[j].is_ident("cfg") {
+                saw_cfg = true;
+            } else if code[j].is_ident("test") {
+                saw_test = true;
+            } else if code[j].is_ident("not") {
+                saw_not = true;
+            }
+            j += 1;
+        }
+        i = j;
+        if !(saw_cfg && saw_test && !saw_not) {
+            continue;
+        }
+        // The gated item: skip any further attributes, then brace-match its
+        // body (a `;`-terminated item has no body to exempt).
+        let mut k = j;
+        while k < code.len() && !code[k].is_punct('{') && !code[k].is_punct(';') {
+            k += 1;
+        }
+        if k < code.len() && code[k].is_punct('{') {
+            let mut depth = 1usize;
+            let mut m = k + 1;
+            while m < code.len() && depth > 0 {
+                if code[m].is_punct('{') {
+                    depth += 1;
+                } else if code[m].is_punct('}') {
+                    depth -= 1;
+                }
+                m += 1;
+            }
+            let end = code.get(m - 1).map_or(u32::MAX, |t| t.line);
+            ranges.push((code[attr_start].line, end));
+            i = m;
+        }
+    }
+    ranges
+}
+
+fn in_ranges(line: u32, ranges: &[(u32, u32)]) -> bool {
+    ranges.iter().any(|&(a, b)| line >= a && line <= b)
+}
+
+/// Scans one Rust source file, returning unsuppressed findings (plus
+/// findings for malformed suppressions).
+pub fn scan_rust(display_path: &str, rel: &str, class: &FileClass, src: &str) -> Vec<Finding> {
+    let toks = lex(src);
+    let allows = collect_allows(&toks);
+    let code: Vec<&Tok> = toks.iter().filter(|t| t.kind != TokKind::Comment).collect();
+    let exempt = test_exempt_ranges(&code);
+
+    let mut raw = Vec::new();
+    let lib_crate = match class {
+        FileClass::Library { crate_dir } => Some(crate_dir.as_str()),
+        FileClass::Explicit => Some("explicit"),
+        _ => None,
+    };
+
+    // sim-clock: everywhere except the explicit allowlist.
+    if !SIM_CLOCK_ALLOWLIST.contains(&rel) {
+        for t in &code {
+            if t.is_ident("Instant") || t.is_ident("SystemTime") {
+                raw.push(Finding {
+                    file: display_path.to_string(),
+                    line: t.line,
+                    rule: "sim-clock",
+                    message: format!(
+                        "`{}` bypasses the simulated clock; route time through \
+                         comm::timing (allowlist: comm/src/timing.rs, telemetry exporters)",
+                        t.text
+                    ),
+                });
+            }
+        }
+    }
+
+    if let Some(crate_dir) = lib_crate {
+        // no-panic: `.unwrap(` / `.expect(` method calls and aborting macros.
+        for (idx, t) in code.iter().enumerate() {
+            if in_ranges(t.line, &exempt) {
+                continue;
+            }
+            let prev_dot = idx > 0 && code[idx - 1].is_punct('.');
+            let next_open = code.get(idx + 1).is_some_and(|n| n.is_punct('('));
+            let next_bang = code.get(idx + 1).is_some_and(|n| n.is_punct('!'));
+            if (t.is_ident("unwrap") || t.is_ident("expect")) && prev_dot && next_open {
+                raw.push(Finding {
+                    file: display_path.to_string(),
+                    line: t.line,
+                    rule: "no-panic",
+                    message: format!(
+                        "`.{}()` in library code; return a typed error instead",
+                        t.text
+                    ),
+                });
+            } else if (t.is_ident("panic") || t.is_ident("todo") || t.is_ident("unimplemented"))
+                && next_bang
+                && !prev_dot
+            {
+                raw.push(Finding {
+                    file: display_path.to_string(),
+                    line: t.line,
+                    rule: "no-panic",
+                    message: format!(
+                        "`{}!` in library code; return a typed error instead",
+                        t.text
+                    ),
+                });
+            }
+        }
+
+        // det-iter: unordered containers in result-producing crates.
+        if DET_ITER_CRATES.contains(&crate_dir) || *class == FileClass::Explicit {
+            for t in &code {
+                if in_ranges(t.line, &exempt) {
+                    continue;
+                }
+                if t.is_ident("HashMap") || t.is_ident("HashSet") {
+                    raw.push(Finding {
+                        file: display_path.to_string(),
+                        line: t.line,
+                        rule: "det-iter",
+                        message: format!(
+                            "`{}` iteration order can leak into results; use \
+                             BTreeMap/BTreeSet or sorted iteration",
+                            t.text
+                        ),
+                    });
+                }
+            }
+        }
+
+        // lossy-cast: narrowing `as` casts in quant kernels.
+        if crate_dir == "quant" || *class == FileClass::Explicit {
+            for (idx, t) in code.iter().enumerate() {
+                if in_ranges(t.line, &exempt) || !t.is_ident("as") {
+                    continue;
+                }
+                if let Some(target) = code.get(idx + 1) {
+                    if NARROWING_TARGETS.contains(&target.text.as_str()) {
+                        raw.push(Finding {
+                            file: display_path.to_string(),
+                            line: t.line,
+                            rule: "lossy-cast",
+                            message: format!(
+                                "narrowing `as {}` in a quant kernel; annotate if \
+                                 the truncation is deliberate",
+                                target.text
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    apply_allows(raw, &allows, display_path)
+}
+
+/// Scans one crate manifest for the `dep-hygiene` rule: every dependency
+/// must resolve through `[workspace.dependencies]` so the offline shim
+/// substitution stays total.
+pub fn scan_manifest(display_path: &str, src: &str) -> Vec<Finding> {
+    let mut raw = Vec::new();
+    let mut allows = Vec::new();
+    let mut in_dep_section = false;
+    for (idx, raw_line) in src.lines().enumerate() {
+        let lineno = idx as u32 + 1;
+        let line = raw_line.trim();
+        if let Some(pos) = line.find('#') {
+            collect_allows_in_text(&line[pos..], lineno, &mut allows);
+        }
+        let code = line.split('#').next().unwrap_or("").trim();
+        if code.is_empty() {
+            continue;
+        }
+        if code.starts_with('[') {
+            // `[dependencies.foo]` sub-tables count as dependency entries
+            // themselves; plain `[dependencies]` just opens the section.
+            let section = code.trim_matches(['[', ']']);
+            in_dep_section = section.ends_with("dependencies");
+            if in_dep_section && section.contains("dependencies.") {
+                raw.push(Finding {
+                    file: display_path.to_string(),
+                    line: lineno,
+                    rule: "dep-hygiene",
+                    message: format!(
+                        "dependency sub-table `{code}`; use `name = {{ workspace = true }}`"
+                    ),
+                });
+            }
+            continue;
+        }
+        if in_dep_section && code.contains('=') && !code.contains("workspace = true") {
+            raw.push(Finding {
+                file: display_path.to_string(),
+                line: lineno,
+                rule: "dep-hygiene",
+                message: format!(
+                    "dependency `{}` does not use `workspace = true`; all deps must \
+                     route through [workspace.dependencies] so the offline shim \
+                     substitution stays total",
+                    code.split('=').next().unwrap_or(code).trim()
+                ),
+            });
+        }
+    }
+    apply_allows(raw, &allows, display_path)
+}
+
+/// Drops findings covered by a well-formed allow on the same line (or the
+/// line directly above, for multi-line expressions); reports reason-less
+/// allows as violations in their own right.
+fn apply_allows(raw: Vec<Finding>, allows: &[Allow], display_path: &str) -> Vec<Finding> {
+    let mut out: Vec<Finding> = raw
+        .into_iter()
+        .filter(|f| {
+            !allows.iter().any(|a| {
+                a.rule == f.rule && a.has_reason && (a.line == f.line || a.line + 1 == f.line)
+            })
+        })
+        .collect();
+    for a in allows {
+        if !a.has_reason {
+            out.push(Finding {
+                file: display_path.to_string(),
+                line: a.line,
+                rule: "lint-allow",
+                message: format!(
+                    "lint:allow({}) without a reason; write `// lint:allow({}): <why>`",
+                    a.rule, a.rule
+                ),
+            });
+        } else if !RULE_NAMES.contains(&a.rule.as_str()) {
+            out.push(Finding {
+                file: display_path.to_string(),
+                line: a.line,
+                rule: "lint-allow",
+                message: format!(
+                    "lint:allow({}) names an unknown rule (known: {})",
+                    a.rule,
+                    RULE_NAMES.join(", ")
+                ),
+            });
+        }
+    }
+    out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    out
+}

@@ -1,0 +1,10 @@
+// Planted violation: hash containers in result-producing code.
+use std::collections::HashMap;
+
+pub fn tally(xs: &[u32]) -> Vec<(u32, usize)> {
+    let mut counts: HashMap<u32, usize> = HashMap::new();
+    for &x in xs {
+        *counts.entry(x).or_default() += 1;
+    }
+    counts.into_iter().collect()
+}

@@ -1,0 +1,10 @@
+// Clean: ordered container, deterministic iteration.
+use std::collections::BTreeMap;
+
+pub fn tally(xs: &[u32]) -> Vec<(u32, usize)> {
+    let mut counts: BTreeMap<u32, usize> = BTreeMap::new();
+    for &x in xs {
+        *counts.entry(x).or_default() += 1;
+    }
+    counts.into_iter().collect()
+}

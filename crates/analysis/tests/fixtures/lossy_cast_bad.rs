@@ -1,0 +1,4 @@
+// Planted violation: unannotated narrowing cast.
+pub fn code(x: f64) -> u8 {
+    x as u8
+}

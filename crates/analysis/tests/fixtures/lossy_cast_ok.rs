@@ -1,0 +1,10 @@
+// Clean: widening casts are unrestricted and the one narrowing cast is
+// annotated with its range argument.
+pub fn widen(x: u8) -> u64 {
+    x as u64
+}
+
+pub fn clamped_code(x: f64) -> u8 {
+    // lint:allow(lossy-cast): clamped to [0, 255] on the previous line
+    x.clamp(0.0, 255.0) as u8
+}

@@ -1,0 +1,12 @@
+// Planted violations: unwrap/expect/panic! in non-test code.
+pub fn first(v: &[u32]) -> u32 {
+    *v.first().unwrap()
+}
+
+pub fn must(opt: Option<u32>) -> u32 {
+    opt.expect("present")
+}
+
+pub fn boom() {
+    panic!("nope");
+}

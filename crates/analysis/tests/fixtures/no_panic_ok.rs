@@ -1,0 +1,18 @@
+// Clean: errors are values; the one deliberate panic carries its reason,
+// and test code may unwrap freely.
+pub fn first(v: &[u32]) -> Option<u32> {
+    v.first().copied()
+}
+
+pub fn checked(opt: Option<u32>) -> u32 {
+    // lint:allow(no-panic): fixture exercising a well-formed suppression
+    opt.expect("caller guarantees Some")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_here() {
+        assert_eq!(super::first(&[3]).unwrap(), 3);
+    }
+}

@@ -1,0 +1,5 @@
+// Planted violation: host wall-clock in simulation code.
+pub fn elapsed_secs() -> f64 {
+    let start = std::time::Instant::now();
+    start.elapsed().as_secs_f64()
+}

@@ -1,0 +1,4 @@
+// Clean: time is modeled, not measured.
+pub fn transfer_secs(bytes: usize, theta: f64, gamma: f64) -> f64 {
+    theta * bytes as f64 + gamma
+}

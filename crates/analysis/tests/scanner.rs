@@ -1,0 +1,179 @@
+//! Lexer and rule-engine tests, driven by the fixtures under
+//! `tests/fixtures/` (which the workspace walker deliberately skips).
+
+use analysis::lexer::{lex, TokKind};
+use analysis::{find_root, scan_path, scan_workspace, Finding};
+use std::path::PathBuf;
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn scan_fixture(name: &str) -> Vec<Finding> {
+    scan_path(&fixture(name)).expect("fixture readable")
+}
+
+fn rules_of(findings: &[Finding]) -> Vec<&'static str> {
+    findings.iter().map(|f| f.rule).collect()
+}
+
+// ---------------------------------------------------------------- lexer
+
+#[test]
+fn line_and_nested_block_comments_are_single_tokens() {
+    let toks = lex("a // unwrap() here\nb /* outer /* inner */ still */ c");
+    let idents: Vec<&str> = toks
+        .iter()
+        .filter(|t| t.kind == TokKind::Ident)
+        .map(|t| t.text.as_str())
+        .collect();
+    assert_eq!(idents, ["a", "b", "c"]);
+    let comments: Vec<&str> = toks
+        .iter()
+        .filter(|t| t.kind == TokKind::Comment)
+        .map(|t| t.text.as_str())
+        .collect();
+    assert_eq!(
+        comments,
+        ["// unwrap() here", "/* outer /* inner */ still */"]
+    );
+}
+
+#[test]
+fn string_escapes_do_not_terminate_the_literal() {
+    let toks = lex(r#"let s = "quote \" unwrap() inside"; done"#);
+    assert!(toks
+        .iter()
+        .any(|t| t.kind == TokKind::Str && t.text.contains("unwrap")));
+    // The unwrap inside the string must not surface as an identifier.
+    assert!(!toks.iter().any(|t| t.is_ident("unwrap")));
+    assert!(toks.iter().any(|t| t.is_ident("done")));
+}
+
+#[test]
+fn raw_strings_respect_hash_depth() {
+    let toks = lex(r###"let s = r##"has "# inside HashMap"##; after"###);
+    let strs: Vec<&str> = toks
+        .iter()
+        .filter(|t| t.kind == TokKind::Str)
+        .map(|t| t.text.as_str())
+        .collect();
+    assert_eq!(strs.len(), 1);
+    assert!(strs[0].contains("HashMap"));
+    assert!(!toks.iter().any(|t| t.is_ident("HashMap")));
+    assert!(toks.iter().any(|t| t.is_ident("after")));
+}
+
+#[test]
+fn lifetimes_are_distinguished_from_char_literals() {
+    let toks = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+    let lifetimes: Vec<&str> = toks
+        .iter()
+        .filter(|t| t.kind == TokKind::Lifetime)
+        .map(|t| t.text.as_str())
+        .collect();
+    assert_eq!(lifetimes, ["'a", "'a"]);
+    let chars: Vec<&str> = toks
+        .iter()
+        .filter(|t| t.kind == TokKind::CharLit)
+        .map(|t| t.text.as_str())
+        .collect();
+    assert_eq!(chars, ["'x'"]);
+}
+
+#[test]
+fn escaped_char_literals_lex_as_one_token() {
+    let toks = lex(r"let c = '\''; let n = '\n'; rest");
+    let chars: Vec<&str> = toks
+        .iter()
+        .filter(|t| t.kind == TokKind::CharLit)
+        .map(|t| t.text.as_str())
+        .collect();
+    assert_eq!(chars, [r"'\''", r"'\n'"]);
+    assert!(toks.iter().any(|t| t.is_ident("rest")));
+}
+
+#[test]
+fn token_lines_are_tracked_across_multiline_literals() {
+    let toks = lex("one\n\"a\nb\"\nthree");
+    let three = toks.iter().find(|t| t.is_ident("three")).expect("lexed");
+    assert_eq!(three.line, 4);
+}
+
+// ------------------------------------------------------------ rule fixtures
+
+#[test]
+fn sim_clock_fixture_pair() {
+    let bad = scan_fixture("sim_clock_bad.rs");
+    assert!(rules_of(&bad).contains(&"sim-clock"), "findings: {bad:?}");
+    assert_eq!(bad[0].line, 3, "Instant::now() is on line 3");
+    assert!(scan_fixture("sim_clock_ok.rs").is_empty());
+}
+
+#[test]
+fn no_panic_fixture_pair() {
+    let bad = scan_fixture("no_panic_bad.rs");
+    let rules = rules_of(&bad);
+    assert_eq!(
+        rules.iter().filter(|r| **r == "no-panic").count(),
+        3,
+        "unwrap + expect + panic!: {bad:?}"
+    );
+    // Suppressed expect and #[cfg(test)] unwrap must both stay silent.
+    assert!(scan_fixture("no_panic_ok.rs").is_empty());
+}
+
+#[test]
+fn det_iter_fixture_pair() {
+    let bad = scan_fixture("det_iter_bad.rs");
+    assert!(rules_of(&bad).contains(&"det-iter"), "findings: {bad:?}");
+    assert!(scan_fixture("det_iter_ok.rs").is_empty());
+}
+
+#[test]
+fn lossy_cast_fixture_pair() {
+    let bad = scan_fixture("lossy_cast_bad.rs");
+    assert!(rules_of(&bad).contains(&"lossy-cast"), "findings: {bad:?}");
+    assert!(scan_fixture("lossy_cast_ok.rs").is_empty());
+}
+
+#[test]
+fn dep_hygiene_fixture_pair() {
+    let bad = scan_fixture("dep_hygiene_bad.toml");
+    let rules = rules_of(&bad);
+    assert_eq!(
+        rules.iter().filter(|r| **r == "dep-hygiene").count(),
+        2,
+        "both non-workspace deps flagged: {bad:?}"
+    );
+    assert!(scan_fixture("dep_hygiene_ok.toml").is_empty());
+}
+
+#[test]
+fn findings_render_as_file_line_rule() {
+    let bad = scan_fixture("lossy_cast_bad.rs");
+    let line = bad[0].to_string();
+    assert!(
+        line.contains("lossy_cast_bad.rs:3: [lossy-cast]"),
+        "rendered: {line}"
+    );
+}
+
+// ------------------------------------------------------------ whole workspace
+
+#[test]
+fn workspace_scan_is_clean() {
+    let root = find_root().expect("workspace root");
+    let findings = scan_workspace(&root).expect("workspace scans");
+    assert!(
+        findings.is_empty(),
+        "workspace must stay at zero unsuppressed violations:\n{}",
+        findings
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -21,10 +21,10 @@ fn bench_aggregate(c: &mut Criterion) {
     let mut group = c.benchmark_group("aggregate");
     group.bench_function("all_rows", |b| b.iter(|| part.agg.aggregate(&xe)));
     group.bench_function("central_rows", |b| {
-        b.iter(|| part.agg.aggregate_rows(&xe, &part.central))
+        b.iter(|| part.agg.aggregate_rows(&xe, &part.central));
     });
     group.bench_function("marginal_rows", |b| {
-        b.iter(|| part.agg.aggregate_rows(&xe, &part.marginal))
+        b.iter(|| part.agg.aggregate_rows(&xe, &part.marginal));
     });
     group.finish();
 }
@@ -33,7 +33,7 @@ fn bench_backward(c: &mut Criterion) {
     let (part, _) = setup();
     let grad = Matrix::from_fn(part.num_local(), 64, |i, j| ((i + j) as f32).sin());
     c.bench_function("aggregate_backward", |b| {
-        b.iter(|| part.agg.backward(&grad))
+        b.iter(|| part.agg.backward(&grad));
     });
 }
 

@@ -6,6 +6,8 @@
 //! laptop-class CPU), seed lists, and JSON result dumps under `results/` at
 //! the repository root (consumed when updating `EXPERIMENTS.md`).
 
+#![forbid(unsafe_code)]
+
 use adaqp::{ExperimentConfig, Method, TrainingConfig};
 use graph::DatasetSpec;
 
@@ -82,6 +84,7 @@ pub fn experiment(
 /// config here is constructed programmatically from known-good parts, so an
 /// `Err` is a harness bug worth aborting on.
 pub fn run(cfg: &ExperimentConfig) -> adaqp::RunResult {
+    // lint:allow(no-panic): harness configs are built from known-good parts; an Err is a harness bug
     adaqp::run_experiment(cfg).expect("harness experiment config is valid")
 }
 
@@ -97,6 +100,7 @@ pub fn run_with_telemetry(cfg: &ExperimentConfig) -> (adaqp::RunResult, adaqp::T
     let agg = r
         .telemetry
         .as_ref()
+        // lint:allow(no-panic): telemetry flag was set three lines up; absence is a runner bug
         .expect("telemetry was enabled")
         .aggregate();
     (r, agg)

@@ -4,8 +4,47 @@
 use crate::telemetry::Recorder;
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
+// lint:allow(det-iter): pending-message map is keyed lookup only; iteration order is never observed
 use std::collections::HashMap;
 use std::sync::{Arc, Barrier};
+
+/// Failure modes of a simulated-cluster run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterError {
+    /// `Cluster::try_run` was asked to spawn zero devices.
+    NoDevices,
+    /// A device thread panicked; carries the lowest-ranked failing device
+    /// and the stringified panic payload.
+    DevicePanicked {
+        /// Rank of the failing device.
+        rank: usize,
+        /// Stringified panic payload (empty if the payload was not a string).
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NoDevices => write!(f, "cluster needs at least one device"),
+            Self::DevicePanicked { rank, message } => {
+                write!(f, "device thread {rank} panicked: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    match payload.downcast::<String>() {
+        Ok(s) => *s,
+        Err(payload) => match payload.downcast::<&'static str>() {
+            Ok(s) => (*s).to_string(),
+            Err(_) => "non-string panic payload".to_string(),
+        },
+    }
+}
 
 /// Tag space reserved for internal collectives; user tags must stay below.
 const COLLECTIVE_TAG_BASE: u64 = 1 << 62;
@@ -52,27 +91,50 @@ impl Cluster {
         T: Send,
         F: Fn(DeviceHandle) -> T + Sync,
     {
-        assert!(n > 0, "need at least one device");
+        match Self::try_run(n, f) {
+            Ok(out) => out,
+            // lint:allow(no-panic): documented panicking convenience wrapper over try_run
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible variant of [`Cluster::run`]: returns an error instead of
+    /// panicking when `n == 0` or a device thread panics. When several
+    /// devices fail (a panic on one rank typically cascades into hang-up
+    /// panics on its peers), the lowest failing rank is reported.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::NoDevices`] if `n == 0`;
+    /// [`ClusterError::DevicePanicked`] if any device thread panicked.
+    pub fn try_run<T, F>(n: usize, f: F) -> Result<Vec<T>, ClusterError>
+    where
+        T: Send,
+        F: Fn(DeviceHandle) -> T + Sync,
+    {
+        if n == 0 {
+            return Err(ClusterError::NoDevices);
+        }
         let mut senders: Vec<Sender<Envelope>> = Vec::with_capacity(n);
-        let mut receivers: Vec<Option<Receiver<Envelope>>> = Vec::with_capacity(n);
+        let mut receivers: Vec<Receiver<Envelope>> = Vec::with_capacity(n);
         for _ in 0..n {
             let (tx, rx) = unbounded();
             senders.push(tx);
-            receivers.push(Some(rx));
+            receivers.push(rx);
         }
         let barrier = Arc::new(Barrier::new(n));
         let f = &f;
         let senders = &senders;
         std::thread::scope(|scope| {
             let mut joins = Vec::with_capacity(n);
-            for (rank, rx) in receivers.iter_mut().enumerate() {
-                let rx = rx.take().expect("receiver taken once");
+            for (rank, rx) in receivers.into_iter().enumerate() {
                 let barrier = Arc::clone(&barrier);
                 let handle = DeviceHandle {
                     rank,
                     n,
                     senders: senders.clone(),
                     receiver: rx,
+                    // lint:allow(det-iter): keyed lookup only, order never observed
                     pending: HashMap::new(),
                     barrier,
                     next_collective_tag: COLLECTIVE_TAG_BASE,
@@ -80,10 +142,25 @@ impl Cluster {
                 };
                 joins.push(scope.spawn(move || f(handle)));
             }
-            joins
-                .into_iter()
-                .map(|j| j.join().expect("device thread panicked"))
-                .collect()
+            let mut out = Vec::with_capacity(n);
+            let mut first_failure: Option<ClusterError> = None;
+            for (rank, join) in joins.into_iter().enumerate() {
+                match join.join() {
+                    Ok(v) => out.push(v),
+                    Err(payload) => {
+                        if first_failure.is_none() {
+                            first_failure = Some(ClusterError::DevicePanicked {
+                                rank,
+                                message: panic_message(payload),
+                            });
+                        }
+                    }
+                }
+            }
+            match first_failure {
+                Some(e) => Err(e),
+                None => Ok(out),
+            }
         })
     }
 }
@@ -98,6 +175,7 @@ pub struct DeviceHandle {
     n: usize,
     senders: Vec<Sender<Envelope>>,
     receiver: Receiver<Envelope>,
+    // lint:allow(det-iter): keyed lookup only, order never observed
     pending: HashMap<(usize, u64), Vec<Bytes>>,
     barrier: Arc<Barrier>,
     next_collective_tag: u64,
@@ -159,6 +237,7 @@ impl DeviceHandle {
                 tag,
                 payload,
             })
+            // lint:allow(no-panic): a hung-up peer means that device panicked; try_run surfaces it as DevicePanicked
             .expect("destination device hung up");
     }
 
@@ -181,6 +260,7 @@ impl DeviceHandle {
                     return payload;
                 }
             }
+            // lint:allow(no-panic): a hung-up peer means that device panicked; try_run surfaces it as DevicePanicked
             let env = self.receiver.recv().expect("all senders hung up");
             if env.src == src && env.tag == tag {
                 return env.payload;
@@ -235,6 +315,7 @@ impl DeviceHandle {
                     return payload;
                 }
             }
+            // lint:allow(no-panic): a hung-up peer means that device panicked; try_run surfaces it as DevicePanicked
             let env = self.receiver.recv().expect("all senders hung up");
             if env.src == src && env.tag == tag {
                 return env.payload;
@@ -255,6 +336,7 @@ impl DeviceHandle {
     pub fn broadcast(&mut self, root: usize, payload: Option<Bytes>) -> Bytes {
         let tag = self.fresh_tag();
         if self.rank == root {
+            // lint:allow(no-panic): documented collective contract (see # Panics)
             let payload = payload.expect("root must provide the payload");
             for dst in 0..self.n {
                 if dst != root {
@@ -280,6 +362,7 @@ impl DeviceHandle {
                     all[src] = Some(self.recv_internal(src, tag));
                 }
             }
+            // lint:allow(no-panic): every slot is filled by the loop above; kept as an internal invariant check
             Some(all.into_iter().map(|b| b.expect("gathered all")).collect())
         } else {
             self.send_raw(root, tag, payload);
@@ -297,6 +380,7 @@ impl DeviceHandle {
     pub fn scatter(&mut self, root: usize, payloads: Option<Vec<Bytes>>) -> Bytes {
         let tag = self.fresh_tag();
         if self.rank == root {
+            // lint:allow(no-panic): documented collective contract (see # Panics)
             let payloads = payloads.expect("root must provide payloads");
             assert_eq!(payloads.len(), self.n, "one payload per rank");
             for (dst, p) in payloads.iter().enumerate() {

@@ -22,6 +22,7 @@
 //! all2all (Fig. 8), sequential broadcast (the SANCUS schedule), gather /
 //! scatter to the master rank, and sum-allreduce for model gradients.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 // Indexed loops here typically walk several parallel arrays at once;
 // explicit indices read better than zipped iterator chains in those spots.
@@ -33,7 +34,7 @@ pub mod schedule;
 pub mod telemetry;
 pub mod timing;
 
-pub use cluster::{Cluster, DeviceHandle};
+pub use cluster::{Cluster, ClusterError, DeviceHandle};
 pub use costmodel::{ClusterTopology, CostModel};
 pub use schedule::{per_device_ring_times, ring_all2all_time, sequential_broadcast_time};
 pub use telemetry::{Event, EventDetail, EventKind, Recorder};

@@ -32,7 +32,7 @@ proptest! {
             }
             // Receive phase: collect in plan order (per (src, tag) FIFO).
             let mut got = Vec::new();
-            for &(s, d, t, _) in sends_ref.iter() {
+            for &(s, d, t, _) in sends_ref {
                 if d == me {
                     let payload = dev.recv(s, t);
                     got.push((s, t, payload[0]));
@@ -45,7 +45,7 @@ proptest! {
         for (me, got) in results.iter().enumerate() {
             let mut expect_streams: std::collections::HashMap<(usize, u64), Vec<u8>> =
                 std::collections::HashMap::new();
-            for &(s, d, t, b) in sends_ref.iter() {
+            for &(s, d, t, b) in sends_ref {
                 if d == me {
                     expect_streams.entry((s, t)).or_default().push(b);
                 }

@@ -133,7 +133,7 @@ fn dataset_from(flags: &Flags) -> Result<DatasetSpec, String> {
 }
 
 fn method_from(flags: &Flags) -> Result<Method, String> {
-    match flags.get("method").map(String::as_str).unwrap_or("adaqp") {
+    match flags.get("method").map_or("adaqp", String::as_str) {
         "vanilla" => Ok(Method::Vanilla),
         "adaqp" => Ok(Method::AdaQp),
         "adaqp-uniform" => Ok(Method::AdaQpUniform),
@@ -297,6 +297,8 @@ fn cmd_partition(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+// Infallible, but keeps the signature uniform with the other subcommands.
+#[allow(clippy::unnecessary_wraps)]
 fn cmd_datasets() -> Result<(), String> {
     println!(
         "{:<22} {:>8} {:>9} {:>6} {:>8} {:>12}",

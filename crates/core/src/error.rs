@@ -17,6 +17,8 @@ pub enum Error {
     SolverInfeasible(String),
     /// An export or checkpoint file operation failed.
     Io(std::io::Error),
+    /// A simulated device thread failed mid-run.
+    Cluster(comm::ClusterError),
 }
 
 impl fmt::Display for Error {
@@ -26,6 +28,7 @@ impl fmt::Display for Error {
             Error::Partition(msg) => write!(f, "partitioning failed: {msg}"),
             Error::SolverInfeasible(msg) => write!(f, "solver infeasible: {msg}"),
             Error::Io(e) => write!(f, "i/o error: {e}"),
+            Error::Cluster(e) => write!(f, "cluster failure: {e}"),
         }
     }
 }
@@ -34,6 +37,7 @@ impl std::error::Error for Error {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             Error::Io(e) => Some(e),
+            Error::Cluster(e) => Some(e),
             _ => None,
         }
     }
@@ -42,6 +46,18 @@ impl std::error::Error for Error {
 impl From<std::io::Error> for Error {
     fn from(e: std::io::Error) -> Self {
         Error::Io(e)
+    }
+}
+
+impl From<comm::ClusterError> for Error {
+    fn from(e: comm::ClusterError) -> Self {
+        Error::Cluster(e)
+    }
+}
+
+impl From<graph::PartitionError> for Error {
+    fn from(e: graph::PartitionError) -> Self {
+        Error::Partition(e.to_string())
     }
 }
 

@@ -48,6 +48,7 @@
 //! assert!(matches!(err, Err(adaqp::Error::InvalidConfig(_))));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 // Indexed loops here typically walk several parallel arrays at once;
 // explicit indices read better than zipped iterator chains in those spots.

@@ -21,8 +21,9 @@ use tensor::Rng;
 /// # Errors
 ///
 /// [`Error::InvalidConfig`] when [`ExperimentConfig::validate`] rejects the
-/// configuration, and [`Error::Partition`] when the graph cannot be spread
-/// over the requested device count.
+/// configuration, [`Error::Partition`] when the graph cannot be spread over
+/// the requested device count, and [`Error::Cluster`] when a simulated
+/// device thread dies mid-run.
 pub fn run_experiment(cfg: &ExperimentConfig) -> Result<RunResult, Error> {
     cfg.validate()?;
     let dataset = cfg.dataset.generate(cfg.seed);
@@ -34,7 +35,7 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> Result<RunResult, Error> {
             dataset.num_nodes()
         )));
     }
-    let partition = graph::partition::metis_like(&dataset.graph, n, &mut rng);
+    let partition = graph::partition::try_metis_like(&dataset.graph, n, &mut rng)?;
     let parts = build_partitions(&dataset, &partition, cfg.training.conv_kind());
     let cost = cfg.cost_model();
     let multi = dataset.task == Task::MultiLabel;
@@ -42,7 +43,7 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> Result<RunResult, Error> {
 
     let parts_ref = &parts;
     let cost_ref = &cost;
-    let outputs: Vec<(Vec<DeviceEpochRecord>, Vec<Event>)> = Cluster::run(n, |dev| {
+    let outputs: Vec<(Vec<DeviceEpochRecord>, Vec<Event>)> = Cluster::try_run(n, |dev| {
         let rank = dev.rank();
         let trainer = DeviceTrainer::new(
             dev,
@@ -53,7 +54,7 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> Result<RunResult, Error> {
             cfg.seed,
         );
         trainer.run()
-    });
+    })?;
     let mut records = Vec::with_capacity(n);
     let mut events = Vec::with_capacity(n);
     for (recs, evs) in outputs {

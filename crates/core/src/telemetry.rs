@@ -90,6 +90,7 @@ impl TelemetryLog {
                         obj.insert(k.clone(), v.clone());
                     }
                 }
+                // lint:allow(no-panic): serializing an in-memory Value tree cannot fail
                 out.push_str(&serde_json::to_string(&Value::Object(obj)).expect("jsonl encodes"));
                 out.push('\n');
             }
@@ -136,6 +137,7 @@ impl TelemetryLog {
 
     /// Writes [`TelemetryLog::chrome_trace`] to `path`.
     pub fn write_chrome_trace(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        // lint:allow(no-panic): serializing an in-memory Value tree cannot fail
         let text = serde_json::to_string(&self.chrome_trace()).expect("trace encodes");
         let mut f = std::fs::File::create(path)?;
         f.write_all(text.as_bytes())

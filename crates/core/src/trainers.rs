@@ -198,6 +198,7 @@ impl<'a> DeviceTrainer<'a> {
             let z = self.aggregate_split(&xe, &mut tb);
             layer_inputs.push(h);
             let self_path = self.model.kind().uses_self_path();
+            // lint:allow(no-panic): the push is two lines up; last() cannot be None
             let input_ref = layer_inputs.last().expect("just pushed");
             let out = {
                 let layer = &mut self.model.layers_mut()[l];

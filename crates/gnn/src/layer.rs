@@ -148,6 +148,7 @@ impl GnnLayer {
         assert_eq!(agg.cols(), self.in_dim, "agg feature dim mismatch");
         let mut lin = agg.matmul(&self.w_neigh);
         if let Some(ws) = &self.w_self {
+            // lint:allow(no-panic): documented contract — layer kinds with a self path must be fed x_self
             let xs = x_self.expect("this layer kind requires x_self");
             assert_eq!(xs.shape(), agg.shape(), "x_self shape mismatch");
             lin.add_assign(&xs.matmul(ws));
@@ -185,14 +186,17 @@ impl GnnLayer {
         let agg = self
             .cache_agg
             .take()
+            // lint:allow(no-panic): documented contract (see # Panics) — backward requires a prior forward
             .expect("backward_dense before forward_dense");
         let mut grad = grad_out.clone();
         if !self.is_output {
             if let Some(mask) = self.cache_dropout.take() {
                 grad = dropout_backward(&grad, &mask);
             }
+            // lint:allow(no-panic): hidden-layer forward always fills this cache; absence is a model bug
             let relu_in = self.cache_relu_in.take().expect("missing relu cache");
             grad = relu_backward(&grad, &relu_in);
+            // lint:allow(no-panic): hidden-layer forward always fills this cache; absence is a model bug
             let ln_cache = self.cache_ln.take().expect("missing layernorm cache");
             let (g, ggamma, gbeta) = layer_norm_backward(&grad, &ln_cache, &self.ln_gamma);
             grad = g;
@@ -213,6 +217,7 @@ impl GnnLayer {
             (Some(ws), Some(xs)) => {
                 self.gw_self
                     .as_mut()
+                    // lint:allow(no-panic): gw_self exists iff w_self does, and w_self was just matched Some
                     .expect("sage grad buffer")
                     .add_assign(&xs.matmul_tn(&grad));
                 Some(grad.matmul_nt(ws))

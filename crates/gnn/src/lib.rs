@@ -31,6 +31,7 @@
 //! assert_eq!(logits.shape(), (4, 3));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod adam;

@@ -99,6 +99,7 @@ impl Dataset {
     pub fn single_labels(&self) -> &[usize] {
         match &self.labels {
             Labels::Single(v) => v,
+            // lint:allow(no-panic): documented accessor contract — a task-kind mismatch is caller error, not runtime state
             Labels::Multi(_) => panic!("dataset {} is multi-label", self.name),
         }
     }
@@ -111,6 +112,7 @@ impl Dataset {
     pub fn multi_targets(&self) -> &Matrix {
         match &self.labels {
             Labels::Multi(m) => m,
+            // lint:allow(no-panic): documented accessor contract — a task-kind mismatch is caller error, not runtime state
             Labels::Single(_) => panic!("dataset {} is single-label", self.name),
         }
     }

@@ -148,9 +148,11 @@ pub fn community_class_graph(
     assert!((0.0..=1.0).contains(&class_homophily), "homophily in [0,1]");
     // Base structure: gateway-localized SBM.
     let base = sbm_with_gateways(block_of, avg_in_degree, avg_out_degree, gateway_frac, rng);
-    // Index members by (block, class) cell and by block.
-    use std::collections::HashMap;
-    let mut by_cell: HashMap<(usize, usize), Vec<u32>> = HashMap::new();
+    // Index members by (block, class) cell and by block. BTreeMap: the cell
+    // index is only keyed lookups today, but generator output must stay
+    // bit-deterministic under a fixed seed, so no unordered containers here.
+    use std::collections::BTreeMap;
+    let mut by_cell: BTreeMap<(usize, usize), Vec<u32>> = BTreeMap::new();
     for v in 0..n {
         by_cell
             .entry((block_of[v], class_of[v]))

@@ -26,6 +26,7 @@
 //! assert_eq!(part.assignment.len(), 6);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod csr;
@@ -37,4 +38,4 @@ pub mod stats;
 
 pub use csr::CsrGraph;
 pub use datasets::{Dataset, DatasetSpec, Labels, Task};
-pub use partition::Partition;
+pub use partition::{Partition, PartitionError};

@@ -17,7 +17,47 @@
 
 use crate::CsrGraph;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 use tensor::Rng;
+
+/// Why a partition could not be built.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PartitionError {
+    /// `k == 0` was requested.
+    ZeroParts,
+    /// More parts than nodes: some part would be empty.
+    TooManyParts {
+        /// Requested part count.
+        k: usize,
+        /// Node count of the graph.
+        n: usize,
+    },
+    /// An explicit assignment names a part `>= k`.
+    AssignmentOutOfRange {
+        /// Offending node id.
+        node: usize,
+        /// Its (invalid) part.
+        part: usize,
+        /// The declared part count.
+        k: usize,
+    },
+}
+
+impl std::fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PartitionError::ZeroParts => write!(f, "k must be positive"),
+            PartitionError::TooManyParts { k, n } => {
+                write!(f, "cannot cut {n} nodes into {k} parts")
+            }
+            PartitionError::AssignmentOutOfRange { node, part, k } => {
+                write!(f, "node {node} assigned to part {part}, but k = {k}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PartitionError {}
 
 /// Maximum allowed part weight as a multiple of the average.
 const BALANCE_SLACK: f64 = 1.05;
@@ -52,10 +92,23 @@ impl Partition {
     ///
     /// # Panics
     ///
-    /// Panics if any entry is `>= k`.
+    /// Panics if any entry is `>= k`. Use [`Partition::try_new`] to get a
+    /// typed error instead.
     pub fn new(k: usize, assignment: Vec<usize>) -> Self {
         assert!(assignment.iter().all(|&p| p < k), "assignment out of range");
         Self { k, assignment }
+    }
+
+    /// Creates a partition from an explicit assignment, validating it.
+    ///
+    /// # Errors
+    ///
+    /// [`PartitionError::AssignmentOutOfRange`] if any entry is `>= k`.
+    pub fn try_new(k: usize, assignment: Vec<usize>) -> Result<Self, PartitionError> {
+        if let Some((node, &part)) = assignment.iter().enumerate().find(|&(_, &p)| p >= k) {
+            return Err(PartitionError::AssignmentOutOfRange { node, part, k });
+        }
+        Ok(Self { k, assignment })
     }
 
     /// Node count per part.
@@ -132,39 +185,66 @@ impl WeightedGraph {
 /// # Panics
 ///
 /// Panics if `k == 0` or `k > graph.num_nodes()` (for non-empty graphs).
+/// Use [`try_metis_like`] to get a typed error instead.
 pub fn metis_like(graph: &CsrGraph, k: usize, rng: &mut Rng) -> Partition {
-    assert!(k > 0, "k must be positive");
+    match try_metis_like(graph, k, rng) {
+        Ok(p) => p,
+        // lint:allow(no-panic): documented panicking convenience wrapper over try_metis_like
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible variant of [`metis_like`].
+///
+/// # Errors
+///
+/// [`PartitionError::ZeroParts`] when `k == 0`;
+/// [`PartitionError::TooManyParts`] when a non-empty graph has fewer nodes
+/// than requested parts.
+pub fn try_metis_like(
+    graph: &CsrGraph,
+    k: usize,
+    rng: &mut Rng,
+) -> Result<Partition, PartitionError> {
+    if k == 0 {
+        return Err(PartitionError::ZeroParts);
+    }
     let n = graph.num_nodes();
     if n == 0 {
-        return Partition::new(k, Vec::new());
+        return Ok(Partition {
+            k,
+            assignment: Vec::new(),
+        });
     }
-    assert!(k <= n, "cannot cut {n} nodes into {k} parts");
+    if k > n {
+        return Err(PartitionError::TooManyParts { k, n });
+    }
     if k == 1 {
-        return Partition::new(1, vec![0; n]);
+        return Ok(Partition {
+            k: 1,
+            assignment: vec![0; n],
+        });
     }
 
-    // Phase 1: coarsen.
-    let mut levels: Vec<WeightedGraph> = vec![WeightedGraph::from_csr(graph)];
+    // Phase 1: coarsen. `current` is always the coarsest graph built so far;
+    // `levels[i]` is the finer graph that `maps[i]` projects onto it.
+    let mut current = WeightedGraph::from_csr(graph);
+    let mut levels: Vec<WeightedGraph> = Vec::new();
     let mut maps: Vec<Vec<u32>> = Vec::new(); // fine node -> coarse node
     let target = (COARSEN_TARGET_PER_PART * k).max(2 * k);
-    loop {
-        let cur = levels.last().expect("at least one level");
-        if cur.num_nodes() <= target {
-            break;
-        }
-        let (coarse, map) = coarsen_once(cur, rng);
+    while current.num_nodes() > target {
+        let (coarse, map) = coarsen_once(&current, rng);
         // Matching degenerated (e.g. star graphs): stop to avoid looping.
-        if coarse.num_nodes() as f64 > cur.num_nodes() as f64 * 0.95 {
+        if coarse.num_nodes() as f64 > current.num_nodes() as f64 * 0.95 {
             break;
         }
-        levels.push(coarse);
+        levels.push(std::mem::replace(&mut current, coarse));
         maps.push(map);
     }
 
     // Phase 2: initial partition of the coarsest level.
-    let coarsest = levels.last().expect("at least one level");
-    let mut assignment = grow_initial(coarsest, k, rng);
-    refine(coarsest, k, &mut assignment, rng);
+    let mut assignment = grow_initial(&current, k, rng);
+    refine(&current, k, &mut assignment, rng);
 
     // Phase 3: project back and refine.
     for li in (0..maps.len()).rev() {
@@ -178,7 +258,7 @@ pub fn metis_like(graph: &CsrGraph, k: usize, rng: &mut Rng) -> Partition {
         refine(fine, k, &mut assignment, rng);
     }
 
-    Partition::new(k, assignment)
+    Partition::try_new(k, assignment)
 }
 
 /// One round of heavy-edge matching; returns the coarse graph and the
@@ -225,8 +305,9 @@ fn coarsen_once(g: &WeightedGraph, rng: &mut Rng) -> (WeightedGraph, Vec<u32>) {
     for v in 0..n {
         node_w[coarse_of[v] as usize] += g.node_w[v];
     }
-    let mut adj_maps: Vec<std::collections::HashMap<u32, u64>> =
-        vec![std::collections::HashMap::new(); cn];
+    // BTreeMap keeps the accumulated neighbor lists in sorted (and therefore
+    // deterministic) order — no post-hoc sort, no iteration-order hazard.
+    let mut adj_maps: Vec<BTreeMap<u32, u64>> = vec![BTreeMap::new(); cn];
     for v in 0..n {
         let cv = coarse_of[v];
         for &(u, w) in &g.adj[v] {
@@ -239,10 +320,8 @@ fn coarsen_once(g: &WeightedGraph, rng: &mut Rng) -> (WeightedGraph, Vec<u32>) {
     let adj: Vec<Vec<(u32, u64)>> = adj_maps
         .into_iter()
         .map(|m| {
-            let mut v: Vec<(u32, u64)> = m.into_iter().collect();
-            v.sort_unstable();
             // Each undirected edge visited from both endpoints: halve.
-            v.into_iter()
+            m.into_iter()
                 .map(|(u, w)| (u, w.div_ceil(2).max(1)))
                 .collect()
         })
@@ -270,10 +349,8 @@ fn grow_initial(g: &WeightedGraph, k: usize, rng: &mut Rng) -> Vec<usize> {
     let mut remaining: usize = assignment.iter().filter(|&&a| a == usize::MAX).count();
     let mut spare: Vec<usize> = seeds[k..].to_vec();
     while remaining > 0 {
-        // Grow the lightest part.
-        let p = (0..k)
-            .min_by(|&a, &b| part_w[a].cmp(&part_w[b]))
-            .expect("k > 0");
+        // Grow the lightest part (k >= 1, so the min always exists).
+        let p = (0..k).min_by_key(|&p| part_w[p]).unwrap_or(0);
         // Pick the unassigned frontier node most connected to part `p`
         // (gain-based growing; the coarsest graph is small enough to scan).
         let mut picked = None;

@@ -110,8 +110,10 @@ pub fn remote_neighbor_stats(graph: &CsrGraph, partition: &Partition) -> RemoteN
     let k = partition.k;
     let mut local_counts = vec![0usize; k];
     let mut marginal_counts = vec![0usize; k];
-    let mut remote_sets: Vec<std::collections::HashSet<u32>> =
-        vec![std::collections::HashSet::new(); k];
+    // BTreeSet: only `.len()` is read today, but stats feed Table 1 numbers,
+    // so keep every container here deterministically ordered.
+    let mut remote_sets: Vec<std::collections::BTreeSet<u32>> =
+        vec![std::collections::BTreeSet::new(); k];
     for v in 0..graph.num_nodes() {
         let pv = partition.assignment[v];
         local_counts[pv] += 1;

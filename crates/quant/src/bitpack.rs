@@ -42,6 +42,7 @@ pub fn unpack(bytes: &[u8], width: BitWidth, n: usize) -> Vec<u8> {
         bytes.len(),
         width.packed_len(n)
     );
+    // lint:allow(lossy-cast): max_code <= 255 for the <=8-bit widths this codec supports
     let mask = width.max_code() as u8;
     let mut out = Vec::with_capacity(n);
     for i in 0..n {
@@ -64,6 +65,7 @@ pub fn unpack_into(bytes: &[u8], width: BitWidth, dst: &mut [u8]) {
         bytes.len() >= width.packed_len(dst.len()),
         "byte stream too short"
     );
+    // lint:allow(lossy-cast): max_code <= 255 for the <=8-bit widths this codec supports
     let mask = width.max_code() as u8;
     for (i, d) in dst.iter_mut().enumerate() {
         let bit_pos = i * bits;

@@ -93,10 +93,12 @@ pub fn encode_block(messages: &Matrix, widths: &[BitWidth], rng: &mut Rng) -> En
             mx = 0.0;
         }
         let scale = if mx > mn {
+            // lint:allow(lossy-cast): max_code <= 255, exactly representable in f32
             (mx - mn) / w.max_code() as f32
         } else {
             0.0
         };
+        // lint:allow(lossy-cast): supported widths are 2/4/8 bits; always fits a u8
         buf.put_u8(w.bits() as u8);
         buf.put_f32_le(mn);
         buf.put_f32_le(scale);
@@ -137,12 +139,14 @@ pub fn encode_block(messages: &Matrix, widths: &[BitWidth], rng: &mut Rng) -> En
             let mut z = c32 ^ (c32 >> 16);
             z = z.wrapping_mul(0x85EB_CA6B);
             z ^= z >> 13;
+            // lint:allow(lossy-cast): 24-bit uniform sample is exactly representable in f32
             let u = (z >> 8) as f32 * (1.0 / 16_777_216.0);
             // x >= 0 by construction (v >= zero-point), so `as u32`
             // truncation *is* floor — one cvttss instruction instead of a
             // libm floor call. The min() handles the row maximum, where
             // x can reach max_code + u.
             let x = (v - zero) * inv_scale + u;
+            // lint:allow(lossy-cast): clamped to max_code <= 255 before the narrowing
             let code = (x as u32).min(max_code) as u8;
             acc |= code << fill;
             fill += bits;
@@ -207,11 +211,13 @@ pub fn decode_block(block: &EncodedBlock) -> Result<Matrix, DecodeError> {
         pos += plen;
         // Inline unpack + de-quantize straight into the output row.
         let bits = width.bits() as usize;
+        // lint:allow(lossy-cast): max_code <= 255 for the <=8-bit widths this codec supports
         let mask = width.max_code() as u8;
         let row = out.row_mut(i);
         let mut bitpos = 0usize;
         for r in row.iter_mut() {
             let c = (packed[bitpos >> 3] >> (bitpos & 7)) & mask;
+            // lint:allow(lossy-cast): u8 code widens exactly to f32
             *r = c as f32 * scale + zero;
             bitpos += bits;
         }

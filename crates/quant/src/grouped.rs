@@ -66,6 +66,7 @@ pub fn encode_block_grouped(messages: &Matrix, widths: &[BitWidth], rng: &mut Rn
                 mx = 0.0;
             }
             let scale = if mx > mn {
+                // lint:allow(lossy-cast): max_code <= 255, exactly representable in f32
                 (mx - mn) / w.max_code() as f32
             } else {
                 0.0
@@ -88,9 +89,11 @@ pub fn encode_block_grouped(messages: &Matrix, widths: &[BitWidth], rng: &mut Rn
                 let mut z = c32 ^ (c32 >> 16);
                 z = z.wrapping_mul(0x85EB_CA6B);
                 z ^= z >> 13;
+                // lint:allow(lossy-cast): 24-bit uniform sample is exactly representable in f32
                 let u = (z >> 8) as f32 * (1.0 / 16_777_216.0);
                 let x = (v - zero) * inv_scale + u;
                 let code = if scale > 0.0 {
+                    // lint:allow(lossy-cast): clamped to max_code <= 255 before the narrowing
                     ((x as u32).min(max_code)) as u8
                 } else {
                     0
@@ -171,6 +174,7 @@ pub fn decode_block_grouped(
         }
         pos += count * 8;
         let bits = w.bits() as usize;
+        // lint:allow(lossy-cast): max_code <= 255 for the <=8-bit widths this codec supports
         let mask = w.max_code() as u8;
         let plen = w.packed_len(count * dim);
         need(pos, plen)?;
@@ -182,6 +186,7 @@ pub fn decode_block_grouped(
             let row = out.row_mut(i);
             for r in row.iter_mut() {
                 let c = (packed[bitpos >> 3] >> (bitpos & 7)) & mask;
+                // lint:allow(lossy-cast): u8 code widens exactly to f32
                 *r = c as f32 * scale + zero;
                 bitpos += bits;
             }

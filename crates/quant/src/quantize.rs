@@ -41,6 +41,7 @@ impl QuantizedMessage {
 /// estimate unbiased (Theorem 1).
 pub fn quantize(message: &[f32], width: BitWidth, rng: &mut Rng) -> QuantizedMessage {
     let (min, max) = min_max(message);
+    // lint:allow(lossy-cast): max_code <= 255, exactly representable in f32
     let levels = width.max_code() as f32;
     let scale = if max > min { (max - min) / levels } else { 0.0 };
     let codes = if scale == 0.0 {
@@ -60,8 +61,10 @@ pub fn quantize(message: &[f32], width: BitWidth, rng: &mut Rng) -> QuantizedMes
                 state ^= state << 13;
                 state ^= state >> 7;
                 state ^= state << 17;
+                // lint:allow(lossy-cast): 24-bit uniform sample is exactly representable in f32
                 let coin = (state >> 40) as f32 * (1.0 / 16_777_216.0);
                 let up = coin < (x - floor);
+                // lint:allow(lossy-cast): clamped to max_code <= 255 before the narrowing
                 ((floor as u32 + u32::from(up)).min(max_code)) as u8
             })
             .collect()
@@ -81,6 +84,7 @@ pub fn quantize(message: &[f32], width: BitWidth, rng: &mut Rng) -> QuantizedMes
 pub fn dequantize(q: &QuantizedMessage) -> Vec<f32> {
     q.codes
         .iter()
+        // lint:allow(lossy-cast): u8 code widens exactly to f32
         .map(|&c| c as f32 * q.params.scale + q.params.zero_point)
         .collect()
 }
@@ -94,6 +98,7 @@ pub fn dequantize(q: &QuantizedMessage) -> Vec<f32> {
 pub fn dequantize_into(q: &QuantizedMessage, dst: &mut [f32]) {
     assert_eq!(dst.len(), q.dim(), "dequantize_into size mismatch");
     for (d, &c) in dst.iter_mut().zip(&q.codes) {
+        // lint:allow(lossy-cast): u8 code widens exactly to f32
         *d = c as f32 * q.params.scale + q.params.zero_point;
     }
 }

@@ -24,6 +24,7 @@
 //! A brute-force solver is provided for small instances and used by the
 //! tests to certify the heuristic's optimality gap.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod problem;

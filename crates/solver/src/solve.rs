@@ -440,6 +440,7 @@ pub fn solve(problem: &BiObjectiveProblem) -> Solution {
             best = Some(finish_with_refs(problem, widths, v_ref, t_ref));
         }
     }
+    // lint:allow(no-panic): the Z-candidate list is non-empty by construction, so a solution always exists
     best.expect("at least one candidate evaluated")
 }
 
@@ -543,6 +544,7 @@ pub fn brute_force(problem: &BiObjectiveProblem) -> Solution {
         let mut pos = 0;
         loop {
             if pos == total_groups {
+                // lint:allow(no-panic): the exhaustive counter evaluates every assignment before overflowing
                 return best.expect("at least one assignment");
             }
             counter[pos] += 1;

@@ -20,6 +20,7 @@
 //! assert_eq!(c, a);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 // Indexed loops here typically walk several parallel arrays at once;
 // explicit indices read better than zipped iterator chains in those spots.

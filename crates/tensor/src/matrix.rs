@@ -471,8 +471,7 @@ impl Matrix {
 fn matmul_into(a: &[f32], ra: usize, ca: usize, b: &[f32], cb: usize, out: &mut [f32]) {
     if ra >= PAR_ROW_THRESHOLD && cb > 0 {
         let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
+            .map_or(1, |n| n.get())
             .min(8);
         if threads > 1 {
             let chunk = ra.div_ceil(threads);
@@ -484,6 +483,7 @@ fn matmul_into(a: &[f32], ra: usize, ca: usize, b: &[f32], cb: usize, out: &mut 
                     });
                 }
             })
+            // lint:allow(no-panic): propagating a worker-thread panic; the serial kernel itself is panic-free
             .expect("matmul worker panicked");
             return;
         }

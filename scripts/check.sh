@@ -9,6 +9,9 @@ cargo fmt --all -- --check
 echo "==> cargo clippy --all-targets -D warnings"
 cargo clippy --offline --all-targets -- -D warnings
 
+echo "==> adaqp-lint (simulation invariants)"
+cargo run --offline --release -p analysis -- --workspace
+
 echo "==> cargo test -q"
 cargo test --offline -q
 

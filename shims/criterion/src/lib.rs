@@ -301,7 +301,7 @@ mod tests {
         group.sample_size(2).throughput(Throughput::Elements(8));
         group.bench_function("a", |b| b.iter(|| black_box(1)));
         group.bench_with_input(BenchmarkId::new("b", 4), &4u32, |b, &x| {
-            b.iter(|| black_box(x * 2))
+            b.iter(|| black_box(x * 2));
         });
         group.finish();
     }
