@@ -1,0 +1,134 @@
+//! Parallel-runtime scaling benchmarks: the same tall aggregation /
+//! quantization / dense kernels at 1 vs 8 worker threads. Because the
+//! runtime is deterministic, the outputs are byte-identical — only host
+//! wall-clock may differ, and the ratio between the `_t1` and `_t8` rows is
+//! the speedup `scripts/bench.sh` records in `BENCH_kernels.json`.
+//!
+//! `ADAQP_BENCH_ROWS` overrides the problem height (default 65536 rows, the
+//! "tall input" regime the paper's graphs live in); `ADAQP_BENCH_QUICK=1`
+//! shrinks sampling for smoke runs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gnn::AggGraphBuilder;
+use quant::{encode_block, BitWidth};
+use tensor::{Matrix, Rng};
+
+const DIM: usize = 64;
+
+fn rows() -> usize {
+    std::env::var("ADAQP_BENCH_ROWS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(65_536)
+}
+
+struct Setup {
+    agg: gnn::AggGraph,
+    x: Matrix,
+    grad: Matrix,
+    msgs: Matrix,
+    widths: Vec<BitWidth>,
+}
+
+/// A synthetic power-law-ish aggregation over `rows()` targets with average
+/// degree 8, plus matching feature/gradient/message matrices.
+fn setup() -> Setup {
+    let n = rows();
+    let mut rng = Rng::seed_from(77);
+    let mut b = AggGraphBuilder::with_capacity(n, n, n * 8);
+    for _ in 0..n {
+        let deg = 4 + rng.below(9);
+        for _ in 0..deg {
+            b.push_entry(rng.below(n) as u32, rng.uniform(-0.5, 0.5));
+        }
+        b.finish_row();
+    }
+    let agg = b.build();
+    let x = Matrix::from_fn(n, DIM, |_, _| rng.uniform(-1.0, 1.0));
+    let grad = Matrix::from_fn(n, DIM, |_, _| rng.uniform(-1.0, 1.0));
+    // Quant benches use a shorter block (encode is per-row independent, so
+    // n/8 rows keeps total bench time sane while staying deep in the
+    // parallel regime).
+    let qn = (n / 8).max(1);
+    let msgs = Matrix::from_fn(qn, DIM, |_, _| rng.uniform(-2.0, 2.0));
+    let widths: Vec<BitWidth> = (0..qn).map(|i| BitWidth::ALL[i % 3]).collect();
+    Setup {
+        agg,
+        x,
+        grad,
+        msgs,
+        widths,
+    }
+}
+
+fn with_threads<R>(t: usize, f: impl FnOnce() -> R) -> R {
+    tensor::par::set_threads(t);
+    let r = f();
+    tensor::par::set_threads(0);
+    r
+}
+
+fn bench_agg_parallel(c: &mut Criterion) {
+    let s = setup();
+    let mut group = c.benchmark_group("agg_parallel");
+    for t in [1usize, 8] {
+        group.bench_function(format!("forward_t{t}"), |b| {
+            with_threads(t, || b.iter(|| s.agg.aggregate(&s.x)));
+        });
+        group.bench_function(format!("backward_t{t}"), |b| {
+            with_threads(t, || b.iter(|| s.agg.backward(&s.grad)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_quant_parallel(c: &mut Criterion) {
+    let s = setup();
+    let mut group = c.benchmark_group("quant_parallel");
+    for t in [1usize, 8] {
+        group.bench_function(format!("encode_t{t}"), |b| {
+            with_threads(t, || {
+                let mut rng = Rng::seed_from(5);
+                b.iter(|| encode_block(&s.msgs, &s.widths, &mut rng));
+            });
+        });
+        group.bench_function(format!("decode_t{t}"), |b| {
+            let mut rng = Rng::seed_from(5);
+            let block = encode_block(&s.msgs, &s.widths, &mut rng);
+            with_threads(t, || {
+                b.iter(|| quant::decode_block(&block).expect("well-formed block"));
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_matmul_parallel(c: &mut Criterion) {
+    let n = rows();
+    let mut rng = Rng::seed_from(78);
+    let a = Matrix::from_fn(n, DIM, |_, _| rng.uniform(-1.0, 1.0));
+    let w = Matrix::from_fn(DIM, DIM, |_, _| rng.uniform(-1.0, 1.0));
+    let mut group = c.benchmark_group("matmul_parallel");
+    for t in [1usize, 8] {
+        group.bench_function(format!("tall_t{t}"), |b| {
+            with_threads(t, || b.iter(|| a.matmul(&w)));
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    let quick = std::env::var("ADAQP_BENCH_QUICK").is_ok_and(|v| v == "1");
+    let (samples, secs, warm_ms) = if quick { (10, 1, 200) } else { (15, 3, 500) };
+    Criterion::default()
+        .sample_size(samples)
+        .measurement_time(std::time::Duration::from_secs(secs))
+        .warm_up_time(std::time::Duration::from_millis(warm_ms))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_agg_parallel, bench_quant_parallel, bench_matmul_parallel
+}
+criterion_main!(benches);

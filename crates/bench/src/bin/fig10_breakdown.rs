@@ -77,6 +77,25 @@ fn main() {
             } else {
                 vanilla = Some((total_s, tb));
             }
+            if let Some(log) = r.telemetry.as_ref() {
+                // Measured host wall-clock of the parallel kernels behind
+                // the spans (diagnostic; the columns above stay analytic).
+                let host: f64 = log
+                    .host_kernel_summary()
+                    .iter()
+                    .map(|s| s.host_seconds)
+                    .sum();
+                let threads = log
+                    .host_kernel_summary()
+                    .iter()
+                    .filter_map(|s| s.threads)
+                    .max()
+                    .unwrap_or(1);
+                println!(
+                    "{:<22} {:<9} host kernel time {:.4}s total ({} worker threads)",
+                    "", "", host, threads
+                );
+            }
         }
         bench::rule(78);
     }

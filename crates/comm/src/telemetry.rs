@@ -87,6 +87,15 @@ pub struct Event {
     /// mixed adaptive assignments).
     #[serde(default)]
     pub width_bits: Option<u8>,
+    /// Measured host wall-clock seconds the kernel behind this span actually
+    /// took (0 when the span is purely analytic). Diagnostic only — never fed
+    /// back into the simulated clock.
+    #[serde(default)]
+    pub host_seconds: f64,
+    /// Worker-thread count of the parallel runtime while the span's kernel
+    /// ran, when the span wraps a host-side kernel.
+    #[serde(default)]
+    pub threads: Option<u32>,
 }
 
 impl Event {
@@ -105,6 +114,10 @@ pub struct EventDetail {
     pub bytes: u64,
     /// Uniform message bit-width, when one applies.
     pub width_bits: Option<u8>,
+    /// Measured host wall-clock seconds of the kernel behind the span.
+    pub host_seconds: f64,
+    /// Parallel-runtime thread count while the kernel ran.
+    pub threads: Option<u32>,
 }
 
 #[derive(Debug, Clone, Default)]
@@ -189,6 +202,8 @@ impl Recorder {
             peer: detail.peer,
             bytes: detail.bytes,
             width_bits: detail.width_bits,
+            host_seconds: detail.host_seconds,
+            threads: detail.threads,
         });
     }
 
@@ -273,6 +288,7 @@ mod tests {
                 peer: Some(1),
                 bytes: 64,
                 width_bits: Some(32),
+                ..EventDetail::default()
             },
         );
         let ev = r.take_events();
@@ -309,9 +325,21 @@ mod tests {
             peer: Some(2),
             bytes: 1024,
             width_bits: None,
+            host_seconds: 0.002,
+            threads: Some(4),
         };
         let text = serde_json::to_string(&e).unwrap();
         let back: Event = serde_json::from_str(&text).unwrap();
         assert_eq!(back, e);
+    }
+
+    #[test]
+    fn host_seconds_defaults_for_old_logs() {
+        // Events serialized before the parallel runtime existed have no
+        // host_seconds/threads fields; deserialization must still work.
+        let text = r#"{"kind":"CentralCompute","start":0.0,"end":1.0,"epoch":0}"#;
+        let e: Event = serde_json::from_str(text).unwrap();
+        assert_eq!(e.host_seconds, 0.0);
+        assert_eq!(e.threads, None);
     }
 }

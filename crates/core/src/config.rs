@@ -110,6 +110,13 @@ pub struct TrainingConfig {
     /// runtime are unchanged.
     #[serde(default)]
     pub telemetry: bool,
+    /// Worker threads for the deterministic parallel kernel runtime
+    /// (aggregation, quantization, dense ops). `0` (the default) picks the
+    /// host's available parallelism, honoring the `ADAQP_THREADS` env var.
+    /// Results are byte-identical at any setting; only host wall-clock
+    /// changes.
+    #[serde(default)]
+    pub threads: usize,
 }
 
 impl Default for TrainingConfig {
@@ -134,6 +141,7 @@ impl Default for TrainingConfig {
             compute_speedup: comm::costmodel::DEFAULT_COMPUTE_SPEEDUP,
             device_scales: None,
             telemetry: false,
+            threads: 0,
         }
     }
 }
@@ -421,6 +429,12 @@ impl ExperimentConfigBuilder {
         self
     }
 
+    /// Sets the parallel-runtime worker thread count (`0` = auto-detect).
+    pub fn threads(mut self, n: usize) -> Self {
+        self.cfg.training.threads = n;
+        self
+    }
+
     /// Enables or disables structured telemetry recording.
     pub fn telemetry(mut self, on: bool) -> Self {
         self.cfg.training.telemetry = on;
@@ -590,5 +604,18 @@ mod tests {
         }
         let back: TrainingConfig = serde_json::from_value(v).expect("missing field defaults");
         assert!(!back.telemetry);
+    }
+
+    #[test]
+    fn threads_field_defaults_to_auto_and_deserializes_when_absent() {
+        assert_eq!(TrainingConfig::default().threads, 0);
+        let mut v = serde_json::to_value(&TrainingConfig::default());
+        if let Some(obj) = v.as_object_mut() {
+            obj.remove("threads");
+        }
+        let back: TrainingConfig = serde_json::from_value(v).expect("missing field defaults");
+        assert_eq!(back.threads, 0);
+        let built = ExperimentConfig::builder().threads(4).build().expect("ok");
+        assert_eq!(built.training.threads, 4);
     }
 }

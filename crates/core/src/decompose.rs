@@ -1,7 +1,7 @@
 //! Partition decomposition: per-device local graphs, halo structure,
 //! send/receive sets and the central/marginal split (Sec. 3.1).
 
-use gnn::{AggGraph, ConvKind};
+use gnn::{AggGraph, AggGraphBuilder, ConvKind};
 use graph::{CsrGraph, Dataset, Labels, Partition};
 use tensor::Matrix;
 
@@ -262,30 +262,35 @@ pub fn build_partitions(
             }
         }
 
-        // Aggregation rows over the extended space + central/marginal split.
-        let mut rows: Vec<Vec<(u32, f32)>> = Vec::with_capacity(num_local);
+        // Aggregation structure over the extended space + central/marginal
+        // split, streamed straight into CSR form (no per-row Vec churn).
+        let local_entries: usize = local_nodes
+            .iter()
+            .map(|&g| graph.neighbors(g as usize).len())
+            .sum();
+        let mut builder =
+            AggGraphBuilder::with_capacity(num_local + halo.len(), num_local, local_entries);
         let mut central = Vec::new();
         let mut marginal = Vec::new();
         for (li, &g) in local_nodes.iter().enumerate() {
-            let mut row = Vec::new();
             let mut has_remote = false;
             for &u in graph.neighbors(g as usize) {
                 let c = coeff(u as usize, g as usize);
                 if assignment[u as usize] == rank {
-                    row.push((local_index[u as usize], c));
+                    builder.push_entry(local_index[u as usize], c);
                 } else {
                     has_remote = true;
-                    row.push((num_local as u32 + halo_pos(u), c));
+                    builder.push_entry(num_local as u32 + halo_pos(u), c);
                 }
             }
-            rows.push(row);
+            builder.finish_row();
             if has_remote {
                 marginal.push(li as u32);
             } else {
                 central.push(li as u32);
             }
         }
-        let agg = AggGraph::from_rows(num_local + halo.len(), rows);
+        let agg = builder.build();
 
         // Receiver-side sum of squared coefficients for each sent message.
         // For message (local node g -> device q): sum over q's local nodes v

@@ -72,4 +72,4 @@ pub use decompose::{build_partitions, DevicePartition, GlobalInfo, LocalLabels};
 pub use error::Error;
 pub use metrics::{EpochMetrics, RunResult};
 pub use runner::run_experiment;
-pub use telemetry::{TelemetryAggregate, TelemetryLog};
+pub use telemetry::{HostKernelSummary, TelemetryAggregate, TelemetryLog};

@@ -26,6 +26,10 @@ use tensor::Rng;
 /// device thread dies mid-run.
 pub fn run_experiment(cfg: &ExperimentConfig) -> Result<RunResult, Error> {
     cfg.validate()?;
+    // Pin the kernel runtime's worker count for this run (0 = auto-detect).
+    // Kernel results are byte-identical at any thread count, so this only
+    // affects host wall-clock, never simulated numerics.
+    tensor::par::set_threads(cfg.training.threads);
     let dataset = cfg.dataset.generate(cfg.seed);
     let mut rng = Rng::seed_from(cfg.seed ^ 0x5EED_CAFE);
     let n = cfg.num_devices();

@@ -135,6 +135,30 @@ impl TelemetryLog {
         Value::Object(root)
     }
 
+    /// Sums the measured host wall-clock seconds of the parallel kernels
+    /// behind each device's spans (aggregation, quantization codecs), along
+    /// with the runtime thread count the kernels reported. Purely
+    /// diagnostic: simulated breakdowns stay analytic; this is the "real
+    /// kernel time" column fig10/table5-style reports print next to them.
+    pub fn host_kernel_summary(&self) -> Vec<HostKernelSummary> {
+        self.devices
+            .iter()
+            .map(|d| {
+                let mut s = HostKernelSummary {
+                    rank: d.rank,
+                    ..HostKernelSummary::default()
+                };
+                for e in &d.events {
+                    s.host_seconds += e.host_seconds;
+                    if let Some(t) = e.threads {
+                        s.threads = Some(s.threads.map_or(t, |prev| prev.max(t)));
+                    }
+                }
+                s
+            })
+            .collect()
+    }
+
     /// Writes [`TelemetryLog::chrome_trace`] to `path`.
     pub fn write_chrome_trace(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
         // lint:allow(no-panic): serializing an in-memory Value tree cannot fail
@@ -173,6 +197,12 @@ fn span_event(rank: usize, e: &Event) -> Value {
     if let Some(bits) = e.width_bits {
         args.insert("width_bits".into(), serde_json::to_value(&bits));
     }
+    if e.host_seconds > 0.0 {
+        args.insert("host_seconds".into(), serde_json::to_value(&e.host_seconds));
+    }
+    if let Some(threads) = e.threads {
+        args.insert("threads".into(), serde_json::to_value(&threads));
+    }
     let mut obj = Map::new();
     obj.insert("name".into(), Value::String(e.kind.name().into()));
     obj.insert(
@@ -189,6 +219,19 @@ fn span_event(rank: usize, e: &Event) -> Value {
     );
     obj.insert("args".into(), Value::Object(args));
     Value::Object(obj)
+}
+
+/// One device's measured host kernel time over a run (see
+/// [`TelemetryLog::host_kernel_summary`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct HostKernelSummary {
+    /// The device's rank.
+    pub rank: usize,
+    /// Total measured host wall-clock seconds across the device's spans.
+    pub host_seconds: f64,
+    /// Parallel-runtime worker count the kernels reported (`None` when no
+    /// span carried one).
+    pub threads: Option<u32>,
 }
 
 /// Per-device, per-epoch [`TimeBreakdown`]s reconstructed from telemetry
@@ -257,6 +300,8 @@ mod tests {
             peer: None,
             bytes: 128,
             width_bits: Some(32),
+            host_seconds: 0.0,
+            threads: None,
         };
         TelemetryLog::from_device_events(vec![
             vec![
@@ -324,6 +369,22 @@ mod tests {
         let text = serde_json::to_string(&trace).unwrap();
         let back: Value = serde_json::from_str(&text).unwrap();
         assert_eq!(back["traceEvents"].as_array().unwrap().len(), events.len());
+    }
+
+    #[test]
+    fn host_kernel_summary_sums_and_takes_max_threads() {
+        let mut log = sample_log();
+        log.devices[0].events[0].host_seconds = 0.002;
+        log.devices[0].events[0].threads = Some(2);
+        log.devices[0].events[1].host_seconds = 0.001;
+        log.devices[0].events[1].threads = Some(8);
+        let s = log.host_kernel_summary();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].rank, 0);
+        assert!((s[0].host_seconds - 0.003).abs() < 1e-12);
+        assert_eq!(s[0].threads, Some(8));
+        assert_eq!(s[1].host_seconds, 0.0);
+        assert_eq!(s[1].threads, None);
     }
 
     #[test]

@@ -256,6 +256,7 @@ impl<'a> DeviceTrainer<'a> {
                 peer: None,
                 bytes: (grads.len() * 4) as u64,
                 width_bits: Some(32),
+                ..EventDetail::default()
             },
         );
         let mut params = self.model.params_flat();
@@ -539,9 +540,15 @@ impl<'a> DeviceTrainer<'a> {
         tb.charge(TimeCategory::Quant, quant_secs);
         *bytes += stats.total_sent();
         if self.dev.telemetry().is_enabled() {
-            self.dev
-                .telemetry_mut()
-                .record(EventKind::QuantEncode, quant_secs);
+            self.dev.telemetry_mut().record_detail(
+                EventKind::QuantEncode,
+                quant_secs,
+                EventDetail {
+                    host_seconds: stats.quant_cpu_seconds,
+                    threads: Some(tensor::par::current_threads() as u32),
+                    ..EventDetail::default()
+                },
+            );
             self.emit_comm_events(&stats.sent_bytes, &stats.recv_bytes, comm_secs, width_bits);
         }
     }
@@ -577,6 +584,7 @@ impl<'a> DeviceTrainer<'a> {
                             peer: Some(q as u32),
                             bytes: b as u64,
                             width_bits,
+                            ..EventDetail::default()
                         },
                     );
                 }
@@ -589,20 +597,39 @@ impl<'a> DeviceTrainer<'a> {
     /// feature column), and reassembles the local target matrix.
     fn aggregate_split(&mut self, xe: &Matrix, tb: &mut TimeBreakdown) -> Matrix {
         let dim = xe.cols() as f64;
-        let zc = self.part.agg.aggregate_rows(xe, &self.part.central);
+        // The simulated charge stays analytic (ops through the cost model);
+        // the measured host wall-clock of the parallel aggregation kernel
+        // rides along on the span as a diagnostic so fig10/table5 breakdowns
+        // can report real kernel time per thread count.
+        let threads = Some(tensor::par::current_threads() as u32);
+        let (zc, host_c) =
+            comm::timing::measure(|| self.part.agg.aggregate_rows(xe, &self.part.central));
         let ops_c = self.part.agg.entries_for(&self.part.central) as f64 * dim * 2.0;
         let central_secs = self.cost.ops_time_for(self.part.rank, ops_c);
         tb.charge(TimeCategory::CentralComp, central_secs);
-        self.dev
-            .telemetry_mut()
-            .record(EventKind::CentralCompute, central_secs);
-        let zm = self.part.agg.aggregate_rows(xe, &self.part.marginal);
+        self.dev.telemetry_mut().record_detail(
+            EventKind::CentralCompute,
+            central_secs,
+            EventDetail {
+                host_seconds: host_c,
+                threads,
+                ..EventDetail::default()
+            },
+        );
+        let (zm, host_m) =
+            comm::timing::measure(|| self.part.agg.aggregate_rows(xe, &self.part.marginal));
         let ops_m = self.part.agg.entries_for(&self.part.marginal) as f64 * dim * 2.0;
         let marginal_secs = self.cost.ops_time_for(self.part.rank, ops_m);
         tb.charge(TimeCategory::MarginalComp, marginal_secs);
-        self.dev
-            .telemetry_mut()
-            .record(EventKind::MarginalCompute, marginal_secs);
+        self.dev.telemetry_mut().record_detail(
+            EventKind::MarginalCompute,
+            marginal_secs,
+            EventDetail {
+                host_seconds: host_m,
+                threads,
+                ..EventDetail::default()
+            },
+        );
         let mut z = Matrix::zeros(self.part.num_local(), xe.cols());
         for (k, &li) in self.part.central.iter().enumerate() {
             z.row_mut(li as usize).copy_from_slice(zc.row(k));

@@ -4,6 +4,10 @@
 use graph::CsrGraph;
 use tensor::Matrix;
 
+/// Minimum target rows per parallel chunk; sparse rows are cheap, so chunks
+/// stay reasonably coarse and the queue balances out degree skew.
+const AGG_MIN_CHUNK: usize = 128;
+
 /// A weighted aggregation operator `Z = A X`, where `A` is
 /// `num_target x num_ext` sparse with explicit per-edge coefficients.
 ///
@@ -21,6 +25,118 @@ pub struct AggGraph {
     offsets: Vec<usize>,
     /// `(extended index, coefficient)` per entry, grouped by target row.
     entries: Vec<(u32, f32)>,
+    /// Transposed CSR: offsets into [`AggGraph::t_entries`] per extended slot.
+    t_offsets: Vec<usize>,
+    /// `(target row, coefficient)` per entry, grouped by extended slot with
+    /// targets ascending — the exact fold order of the serial scatter, which
+    /// lets [`AggGraph::backward`] run as an order-stable parallel gather.
+    t_entries: Vec<(u32, f32)>,
+}
+
+/// Streaming constructor for [`AggGraph`]: entries are appended row by row
+/// directly into the CSR arrays, with no intermediate per-row `Vec`s.
+///
+/// # Example
+///
+/// ```
+/// use gnn::AggGraphBuilder;
+///
+/// let mut b = AggGraphBuilder::new(3);
+/// b.push_entry(0, 1.0);
+/// b.push_entry(2, 0.5);
+/// b.finish_row(); // target 0 aggregates slots 0 and 2
+/// b.finish_row(); // target 1 aggregates nothing
+/// let agg = b.build();
+/// assert_eq!(agg.num_target(), 2);
+/// assert_eq!(agg.num_entries(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AggGraphBuilder {
+    num_ext: usize,
+    offsets: Vec<usize>,
+    entries: Vec<(u32, f32)>,
+}
+
+impl AggGraphBuilder {
+    /// Starts a builder over an extended space of `num_ext` slots.
+    pub fn new(num_ext: usize) -> Self {
+        Self::with_capacity(num_ext, 0, 0)
+    }
+
+    /// Like [`AggGraphBuilder::new`] with pre-sized target/entry capacity.
+    pub fn with_capacity(num_ext: usize, targets_hint: usize, entries_hint: usize) -> Self {
+        let mut offsets = Vec::with_capacity(targets_hint + 1);
+        offsets.push(0);
+        Self {
+            num_ext,
+            offsets,
+            entries: Vec::with_capacity(entries_hint),
+        }
+    }
+
+    /// Appends one weighted entry to the current target row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= num_ext`.
+    #[inline]
+    pub fn push_entry(&mut self, idx: u32, coeff: f32) {
+        assert!(
+            (idx as usize) < self.num_ext,
+            "entry {idx} out of range {}",
+            self.num_ext
+        );
+        self.entries.push((idx, coeff));
+    }
+
+    /// Closes the current target row and starts the next one.
+    #[inline]
+    pub fn finish_row(&mut self) {
+        self.offsets.push(self.entries.len());
+    }
+
+    /// Finalizes the CSR arrays (and the transpose) into an [`AggGraph`].
+    pub fn build(self) -> AggGraph {
+        let num_target = self.offsets.len() - 1;
+        let (t_offsets, t_entries) =
+            transpose_csr(num_target, self.num_ext, &self.offsets, &self.entries);
+        AggGraph {
+            num_target,
+            num_ext: self.num_ext,
+            offsets: self.offsets,
+            entries: self.entries,
+            t_offsets,
+            t_entries,
+        }
+    }
+}
+
+/// Builds the transposed CSR by counting sort: for each extended slot `u`,
+/// the `(target, coeff)` pairs appear with targets ascending, matching the
+/// serial scatter's accumulation order exactly.
+fn transpose_csr(
+    num_target: usize,
+    num_ext: usize,
+    offsets: &[usize],
+    entries: &[(u32, f32)],
+) -> (Vec<usize>, Vec<(u32, f32)>) {
+    let mut t_offsets = vec![0usize; num_ext + 1];
+    for &(u, _) in entries {
+        t_offsets[u as usize + 1] += 1;
+    }
+    for i in 1..t_offsets.len() {
+        t_offsets[i] += t_offsets[i - 1];
+    }
+    let mut cursor = t_offsets.clone();
+    let mut t_entries = vec![(0u32, 0.0f32); entries.len()];
+    for v in 0..num_target {
+        for &(u, c) in &entries[offsets[v]..offsets[v + 1]] {
+            let slot = cursor[u as usize];
+            t_entries[slot] = (v as u32, c);
+            cursor[u as usize] += 1;
+        }
+    }
+    (t_offsets, t_entries)
 }
 
 impl AggGraph {
@@ -30,65 +146,48 @@ impl AggGraph {
     ///
     /// Panics if any entry index is `>= num_ext`.
     pub fn from_rows(num_ext: usize, rows: Vec<Vec<(u32, f32)>>) -> Self {
-        let num_target = rows.len();
-        let mut offsets = Vec::with_capacity(num_target + 1);
-        offsets.push(0);
-        let mut entries = Vec::new();
+        let entries_hint = rows.iter().map(Vec::len).sum();
+        let mut b = AggGraphBuilder::with_capacity(num_ext, rows.len(), entries_hint);
         for row in rows {
-            for &(idx, _) in &row {
-                assert!(
-                    (idx as usize) < num_ext,
-                    "entry {idx} out of range {num_ext}"
-                );
+            for (idx, c) in row {
+                b.push_entry(idx, c);
             }
-            entries.extend(row);
-            offsets.push(entries.len());
+            b.finish_row();
         }
-        Self {
-            num_target,
-            num_ext,
-            offsets,
-            entries,
+        b.build()
+    }
+
+    /// Builds a full-graph operator straight from CSR adjacency, one target
+    /// row per node, with `coeff(u, v)` supplying the weight of source `u`
+    /// into target `v`. No intermediate per-row allocations.
+    pub fn from_csr_with(graph: &CsrGraph, mut coeff: impl FnMut(u32, usize) -> f32) -> Self {
+        let n = graph.num_nodes();
+        let mut b = AggGraphBuilder::with_capacity(n, n, graph.num_directed_edges());
+        for v in 0..n {
+            for &u in graph.neighbors(v) {
+                b.push_entry(u, coeff(u, v));
+            }
+            b.finish_row();
         }
+        b.build()
     }
 
     /// GCN aggregation for a whole graph: `alpha_{u,v} = 1/sqrt(d_u d_v)`
     /// over `graph` (which should already contain self loops).
     pub fn full_graph_gcn(graph: &CsrGraph) -> Self {
-        let n = graph.num_nodes();
-        let rows = (0..n)
-            .map(|v| {
-                graph
-                    .neighbors(v)
-                    .iter()
-                    .map(|&u| (u, graph.gcn_coeff(u as usize, v)))
-                    .collect()
-            })
-            .collect();
-        Self::from_rows(n, rows)
+        Self::from_csr_with(graph, |u, v| graph.gcn_coeff(u as usize, v))
     }
 
     /// GraphSAGE-mean aggregation for a whole graph: `1/d_v` over neighbors
     /// (no self loop; the layer adds the self path separately).
     pub fn full_graph_mean(graph: &CsrGraph) -> Self {
-        let n = graph.num_nodes();
-        let rows = (0..n)
-            .map(|v| {
-                let c = graph.mean_coeff(v);
-                graph.neighbors(v).iter().map(|&u| (u, c)).collect()
-            })
-            .collect();
-        Self::from_rows(n, rows)
+        Self::from_csr_with(graph, |_, v| graph.mean_coeff(v))
     }
 
     /// GIN sum aggregation for a whole graph: unit coefficients over plain
     /// neighbors (the learnable self path lives in the layer).
     pub fn full_graph_sum(graph: &CsrGraph) -> Self {
-        let n = graph.num_nodes();
-        let rows = (0..n)
-            .map(|v| graph.neighbors(v).iter().map(|&u| (u, 1.0f32)).collect())
-            .collect();
-        Self::from_rows(n, rows)
+        Self::from_csr_with(graph, |_, _| 1.0)
     }
 
     /// Number of target rows produced by [`AggGraph::aggregate`].
@@ -135,16 +234,24 @@ impl AggGraph {
             self.num_ext,
             "input rows must cover extended space"
         );
-        let mut out = Matrix::zeros(self.num_target, x.cols());
-        for v in 0..self.num_target {
-            let orow = out.row_mut(v);
-            for &(u, c) in &self.entries[self.offsets[v]..self.offsets[v + 1]] {
-                let xrow = x.row(u as usize);
-                for (o, &xv) in orow.iter_mut().zip(xrow) {
-                    *o += c * xv;
+        let cols = x.cols();
+        let mut out = Matrix::zeros(self.num_target, cols);
+        tensor::par::par_chunks_deterministic(
+            out.as_mut_slice(),
+            self.num_target,
+            AGG_MIN_CHUNK,
+            |s, e, chunk| {
+                for (local, v) in (s..e).enumerate() {
+                    let orow = &mut chunk[local * cols..(local + 1) * cols];
+                    for &(u, c) in &self.entries[self.offsets[v]..self.offsets[v + 1]] {
+                        let xrow = x.row(u as usize);
+                        for (o, &xv) in orow.iter_mut().zip(xrow) {
+                            *o += c * xv;
+                        }
+                    }
                 }
-            }
-        }
+            },
+        );
         out
     }
 
@@ -162,38 +269,59 @@ impl AggGraph {
             self.num_ext,
             "input rows must cover extended space"
         );
-        let mut out = Matrix::zeros(targets.len(), x.cols());
-        for (k, &t) in targets.iter().enumerate() {
-            let v = t as usize;
-            assert!(v < self.num_target, "target {v} out of range");
-            let orow = out.row_mut(k);
-            for &(u, c) in &self.entries[self.offsets[v]..self.offsets[v + 1]] {
-                let xrow = x.row(u as usize);
-                for (o, &xv) in orow.iter_mut().zip(xrow) {
-                    *o += c * xv;
+        let cols = x.cols();
+        let mut out = Matrix::zeros(targets.len(), cols);
+        tensor::par::par_chunks_deterministic(
+            out.as_mut_slice(),
+            targets.len(),
+            AGG_MIN_CHUNK,
+            |s, e, chunk| {
+                for (local, &t) in targets[s..e].iter().enumerate() {
+                    let v = t as usize;
+                    assert!(v < self.num_target, "target {v} out of range");
+                    let orow = &mut chunk[local * cols..(local + 1) * cols];
+                    for &(u, c) in &self.entries[self.offsets[v]..self.offsets[v + 1]] {
+                        let xrow = x.row(u as usize);
+                        for (o, &xv) in orow.iter_mut().zip(xrow) {
+                            *o += c * xv;
+                        }
+                    }
                 }
-            }
-        }
+            },
+        );
         out
     }
 
     /// Backward pass `grad_X = A^T grad_Z` over the full extended space.
+    ///
+    /// Runs as a row-parallel gather over the precomputed transpose; each
+    /// extended slot sums its incoming terms in ascending-target order, the
+    /// same fold order as a serial scatter, so the result is bitwise stable
+    /// at any thread count.
     ///
     /// # Panics
     ///
     /// Panics if `grad.rows() != num_target()`.
     pub fn backward(&self, grad: &Matrix) -> Matrix {
         assert_eq!(grad.rows(), self.num_target, "grad rows must match targets");
-        let mut out = Matrix::zeros(self.num_ext, grad.cols());
-        for v in 0..self.num_target {
-            let grow = grad.row(v);
-            for &(u, c) in &self.entries[self.offsets[v]..self.offsets[v + 1]] {
-                let orow = out.row_mut(u as usize);
-                for (o, &gv) in orow.iter_mut().zip(grow) {
-                    *o += c * gv;
+        let cols = grad.cols();
+        let mut out = Matrix::zeros(self.num_ext, cols);
+        tensor::par::par_chunks_deterministic(
+            out.as_mut_slice(),
+            self.num_ext,
+            AGG_MIN_CHUNK,
+            |s, e, chunk| {
+                for (local, u) in (s..e).enumerate() {
+                    let orow = &mut chunk[local * cols..(local + 1) * cols];
+                    for &(v, c) in &self.t_entries[self.t_offsets[u]..self.t_offsets[u + 1]] {
+                        let grow = grad.row(v as usize);
+                        for (o, &gv) in orow.iter_mut().zip(grow) {
+                            *o += c * gv;
+                        }
+                    }
                 }
-            }
-        }
+            },
+        );
         out
     }
 

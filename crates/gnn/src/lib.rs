@@ -41,7 +41,7 @@ mod model;
 pub mod train;
 
 pub use adam::Adam;
-pub use agg::AggGraph;
+pub use agg::{AggGraph, AggGraphBuilder};
 pub use layer::{ConvKind, GnnLayer};
 pub use model::Gnn;
 pub use train::{fit, FitHistory, FitLabels, FitOptions};

@@ -1,0 +1,128 @@
+//! Property-based tests pinning the parallel aggregation kernels to serial
+//! reference implementations and to the cross-thread-count determinism
+//! contract of `tensor::par`.
+
+use gnn::{AggGraph, AggGraphBuilder};
+use proptest::prelude::*;
+use tensor::Matrix;
+
+/// A randomly-shaped aggregation structure, the raw rows it was built from,
+/// and matching feature/gradient matrices.
+struct Case {
+    agg: AggGraph,
+    rows: Vec<Vec<(u32, f32)>>,
+    x: Matrix,
+    grad: Matrix,
+}
+
+/// Builds an aggregation over `num_target` rows and `num_ext` extended slots
+/// with pseudo-random sparsity from `seed`, keeping the pushed entries so
+/// the tests can fold them serially as a reference.
+fn build_case(seed: u64, num_target: usize, num_ext: usize, dim: usize) -> Case {
+    let mut rng = tensor::Rng::seed_from(seed);
+    let mut b = AggGraphBuilder::new(num_ext);
+    let mut rows = Vec::with_capacity(num_target);
+    for _ in 0..num_target {
+        let deg = rng.below(5);
+        let mut row = Vec::with_capacity(deg);
+        for _ in 0..deg {
+            let u = rng.below(num_ext) as u32;
+            let c = rng.uniform(-1.0, 1.0);
+            b.push_entry(u, c);
+            row.push((u, c));
+        }
+        b.finish_row();
+        rows.push(row);
+    }
+    let agg = b.build();
+    let x = Matrix::from_fn(num_ext, dim, |_, _| rng.uniform(-2.0, 2.0));
+    let grad = Matrix::from_fn(num_target, dim, |_, _| rng.uniform(-2.0, 2.0));
+    Case { agg, rows, x, grad }
+}
+
+/// Serial reference for `Z = A X`: fold each row's entries in stored order.
+fn forward_reference(c: &Case) -> Vec<f32> {
+    let dim = c.x.cols();
+    let mut out = vec![0.0f32; c.rows.len() * dim];
+    for (v, row) in c.rows.iter().enumerate() {
+        for &(u, coeff) in row {
+            let orow = &mut out[v * dim..(v + 1) * dim];
+            for (o, &xv) in orow.iter_mut().zip(c.x.row(u as usize)) {
+                *o += coeff * xv;
+            }
+        }
+    }
+    out
+}
+
+/// Serial reference for `grad_X = A^T grad_Z`: the old scatter formulation —
+/// walk targets ascending and accumulate into source rows. The parallel
+/// transposed-CSR gather must reproduce this bitwise (same per-slot fold
+/// order, same start from zero).
+fn backward_reference(c: &Case) -> Vec<f32> {
+    let dim = c.grad.cols();
+    let mut out = vec![0.0f32; c.agg.num_ext() * dim];
+    for (v, row) in c.rows.iter().enumerate() {
+        for &(u, coeff) in row {
+            let orow = &mut out[u as usize * dim..(u as usize + 1) * dim];
+            for (o, &gv) in orow.iter_mut().zip(c.grad.row(v)) {
+                *o += coeff * gv;
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn forward_matches_serial_reference_at_any_thread_count(
+        seed in 0u64..500,
+        num_target in 1usize..200,
+        num_ext in 1usize..220,
+        dim in 1usize..5,
+    ) {
+        let c = build_case(seed, num_target, num_ext, dim);
+        let reference = forward_reference(&c);
+        for t in [1usize, 2, 8] {
+            tensor::par::set_threads(t);
+            let z = c.agg.aggregate(&c.x);
+            prop_assert_eq!(z.as_slice(), &reference[..], "threads {}", t);
+        }
+        tensor::par::set_threads(0);
+    }
+
+    #[test]
+    fn backward_matches_serial_scatter_at_any_thread_count(
+        seed in 0u64..500,
+        num_target in 1usize..200,
+        num_ext in 1usize..220,
+        dim in 1usize..5,
+    ) {
+        let c = build_case(seed, num_target, num_ext, dim);
+        let reference = backward_reference(&c);
+        for t in [1usize, 2, 8] {
+            tensor::par::set_threads(t);
+            let gx = c.agg.backward(&c.grad);
+            prop_assert_eq!(gx.as_slice(), &reference[..], "threads {}", t);
+        }
+        tensor::par::set_threads(0);
+    }
+
+    #[test]
+    fn aggregate_rows_subset_agrees_with_full_aggregate(
+        seed in 0u64..500,
+        num_target in 1usize..160,
+        num_ext in 1usize..180,
+        dim in 1usize..5,
+    ) {
+        let c = build_case(seed, num_target, num_ext, dim);
+        let full = c.agg.aggregate(&c.x);
+        let targets: Vec<u32> = (0..num_target as u32).rev().collect();
+        let rows = c.agg.aggregate_rows(&c.x, &targets);
+        for (k, &v) in targets.iter().enumerate() {
+            prop_assert_eq!(rows.row(k), full.row(v as usize));
+        }
+    }
+}

@@ -6,14 +6,33 @@
 
 use crate::BitWidth;
 
+/// Minimum codes per parallel chunk in [`unpack_into`]; short messages stay
+/// inline.
+const PAR_MIN_CODES: usize = 32 * 1024;
+
 /// Packs `codes` (each `<= width.max_code()`) into a byte stream.
 ///
 /// # Panics
 ///
 /// Panics (debug) if any code exceeds the representable range.
 pub fn pack(codes: &[u8], width: BitWidth) -> Vec<u8> {
+    let mut out = Vec::new();
+    pack_into(codes, width, &mut out);
+    out
+}
+
+/// Packs into a caller-provided buffer (hot send path: the halo-exchange
+/// inner loop reuses one buffer per peer instead of allocating per message).
+///
+/// The buffer is cleared and resized to exactly `width.packed_len(n)` bytes.
+///
+/// # Panics
+///
+/// Panics (debug) if any code exceeds the representable range.
+pub fn pack_into(codes: &[u8], width: BitWidth, out: &mut Vec<u8>) {
     let bits = width.bits() as usize;
-    let mut out = vec![0u8; width.packed_len(codes.len())];
+    out.clear();
+    out.resize(width.packed_len(codes.len()), 0);
     for (i, &c) in codes.iter().enumerate() {
         debug_assert!(
             (c as u32) <= width.max_code(),
@@ -26,7 +45,6 @@ pub fn pack(codes: &[u8], width: BitWidth) -> Vec<u8> {
         // 2- and 4-bit codes never straddle byte boundaries (8 % bits == 0),
         // so a single write suffices.
     }
-    out
 }
 
 /// Unpacks `n` codes of the given width from a byte stream.
@@ -56,6 +74,10 @@ pub fn unpack(bytes: &[u8], width: BitWidth, n: usize) -> Vec<u8> {
 
 /// Unpacks into an existing buffer (hot receive path).
 ///
+/// Long streams unpack in parallel: every destination code depends only on
+/// its own bit position, so fixed element chunks are byte-identical at any
+/// thread count.
+///
 /// # Panics
 ///
 /// Panics if `bytes` is too short for `dst.len()` codes.
@@ -67,10 +89,13 @@ pub fn unpack_into(bytes: &[u8], width: BitWidth, dst: &mut [u8]) {
     );
     // lint:allow(lossy-cast): max_code <= 255 for the <=8-bit widths this codec supports
     let mask = width.max_code() as u8;
-    for (i, d) in dst.iter_mut().enumerate() {
-        let bit_pos = i * bits;
-        *d = (bytes[bit_pos / 8] >> (bit_pos % 8)) & mask;
-    }
+    let n = dst.len();
+    tensor::par::par_chunks_deterministic(dst, n, PAR_MIN_CODES, |s, _e, chunk| {
+        for (local, d) in chunk.iter_mut().enumerate() {
+            let bit_pos = (s + local) * bits;
+            *d = (bytes[bit_pos / 8] >> (bit_pos % 8)) & mask;
+        }
+    });
 }
 
 #[cfg(test)]
@@ -127,6 +152,16 @@ mod tests {
         let mut b = vec![0u8; 33];
         unpack_into(&packed, BitWidth::B2, &mut b);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pack_into_reuses_buffer() {
+        let mut buf = vec![0xFFu8; 3]; // stale contents must be cleared
+        pack_into(&[0, 1, 2, 3], BitWidth::B2, &mut buf);
+        assert_eq!(buf, vec![0xE4]);
+        pack_into(&[0x0A, 0x0B], BitWidth::B4, &mut buf);
+        assert_eq!(buf, vec![0xBA]);
+        assert_eq!(pack(&[0x0A, 0x0B], BitWidth::B4), buf);
     }
 
     #[test]

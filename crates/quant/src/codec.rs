@@ -15,11 +15,24 @@
 //! ```
 
 use crate::BitWidth;
-use bytes::{BufMut, Bytes, BytesMut};
+use bytes::Bytes;
 use tensor::{Matrix, Rng};
 
 /// Per-row metadata overhead on the wire: bits byte + two f32 params.
 pub const ROW_OVERHEAD_BYTES: usize = 1 + 4 + 4;
+
+/// Minimum message rows per parallel chunk when encoding/decoding a block.
+const PAR_MIN_ROWS: usize = 32;
+
+/// SplitMix64 finalizer: turns a per-row counter into an independent,
+/// well-mixed stream key so parallel rows need no serial RNG dependency.
+#[inline]
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// Fixed block header size.
 pub const HEADER_BYTES: usize = 8;
@@ -67,6 +80,11 @@ impl std::error::Error for DecodeError {}
 /// `widths[i]` is the bit-width assigned to row `i` of `messages` (by the
 /// Adaptive Bit-width Assigner, or a fixed width for the naive scheme).
 ///
+/// Rows are independent: each row's wire offset follows from a prefix sum of
+/// the packed lengths, and its rounding coins come from a counter keyed on
+/// `(block seed, row index)`, so row chunks encode in parallel on the shared
+/// runtime with byte-identical output at any thread count.
+///
 /// # Panics
 ///
 /// Panics if `widths.len() != messages.rows()`.
@@ -74,108 +92,123 @@ pub fn encode_block(messages: &Matrix, widths: &[BitWidth], rng: &mut Rng) -> En
     assert_eq!(widths.len(), messages.rows(), "one width per message row");
     let rows = messages.rows();
     let dim = messages.cols();
-    let packed_total: usize = widths.iter().map(|w| w.packed_len(dim)).sum();
-    let mut buf = BytesMut::with_capacity(HEADER_BYTES + rows * ROW_OVERHEAD_BYTES + packed_total);
-    buf.put_u32_le(rows as u32);
-    buf.put_u32_le(dim as u32);
-    // Pass 1: per-row quantization parameters.
-    let mut scales = Vec::with_capacity(rows);
-    for (i, &w) in widths.iter().enumerate() {
-        let row = messages.row(i);
-        let mut mn = f32::INFINITY;
-        let mut mx = f32::NEG_INFINITY;
-        for &v in row {
-            mn = mn.min(v);
-            mx = mx.max(v);
-        }
-        if row.is_empty() {
-            mn = 0.0;
-            mx = 0.0;
-        }
-        let scale = if mx > mn {
-            // lint:allow(lossy-cast): max_code <= 255, exactly representable in f32
-            (mx - mn) / w.max_code() as f32
-        } else {
-            0.0
-        };
-        // lint:allow(lossy-cast): supported widths are 2/4/8 bits; always fits a u8
-        buf.put_u8(w.bits() as u8);
-        buf.put_f32_le(mn);
-        buf.put_f32_le(scale);
-        scales.push((mn, scale));
+    // Prefix sum of packed code lengths: row i's codes start at offset[i]
+    // within the code region.
+    let mut code_offsets = Vec::with_capacity(rows + 1);
+    let mut acc = 0usize;
+    code_offsets.push(0);
+    for &w in widths {
+        acc += w.packed_len(dim);
+        code_offsets.push(acc);
     }
-    // Pass 2: stochastic quantization packed straight into the wire buffer.
-    // Hot path: `floor(x + u)` with `u ~ U[0,1)` *is* stochastic rounding
-    // (it rounds up with probability frac(x)), so one add + floor replaces
-    // the separate floor / coin / compare sequence; a per-row scratch buffer
-    // avoids per-byte writes into `BytesMut`; and the rounding coins come
-    // from counter-based SplitMix64 so consecutive elements have no serial
-    // RNG dependency (the loop pipelines).
-    let mut counter = rng.next_u64();
-    let mut scratch = vec![0u8; BitWidth::B8.packed_len(dim)];
-    for (i, &w) in widths.iter().enumerate() {
-        let (zero, scale) = scales[i];
-        let bits = w.bits() as usize;
-        let max_code = w.max_code();
-        let plen = w.packed_len(dim);
-        if scale == 0.0 {
-            scratch[..plen].iter_mut().for_each(|b| *b = 0);
-            buf.extend_from_slice(&scratch[..plen]);
-            continue;
-        }
-        let inv_scale = 1.0 / scale;
-        let row = messages.row(i);
-        let out = &mut scratch[..plen];
-        out.iter_mut().for_each(|b| *b = 0);
-        let mut acc: u8 = 0;
-        let mut fill = 0usize;
-        let mut byte_idx = 0usize;
-        let mut c32 = counter as u32;
-        for &v in row {
-            // Murmur-style 32-bit counter hash: independent per element,
-            // cheap enough to pipeline, and the high 24 bits are uniform —
-            // all a rounding coin needs.
-            c32 = c32.wrapping_add(0x9E37_79B9);
-            let mut z = c32 ^ (c32 >> 16);
-            z = z.wrapping_mul(0x85EB_CA6B);
-            z ^= z >> 13;
-            // lint:allow(lossy-cast): 24-bit uniform sample is exactly representable in f32
-            let u = (z >> 8) as f32 * (1.0 / 16_777_216.0);
-            // x >= 0 by construction (v >= zero-point), so `as u32`
-            // truncation *is* floor — one cvttss instruction instead of a
-            // libm floor call. The min() handles the row maximum, where
-            // x can reach max_code + u.
-            let x = (v - zero) * inv_scale + u;
-            // lint:allow(lossy-cast): clamped to max_code <= 255 before the narrowing
-            let code = (x as u32).min(max_code) as u8;
-            acc |= code << fill;
-            fill += bits;
-            if fill == 8 {
+    let header_total = rows * ROW_OVERHEAD_BYTES;
+    let mut buf = vec![0u8; HEADER_BYTES + header_total + acc];
+    buf[0..4].copy_from_slice(&(rows as u32).to_le_bytes());
+    buf[4..8].copy_from_slice(&(dim as u32).to_le_bytes());
+    let (hdr_region, code_region) = buf[HEADER_BYTES..].split_at_mut(header_total);
+    // One base draw per block keys every row's coin stream.
+    let base = rng.next_u64();
+    // Cut the header and code regions at the same fixed row-chunk boundaries;
+    // each task owns one disjoint piece of both.
+    let ranges = tensor::par::chunk_ranges(rows, PAR_MIN_ROWS);
+    let mut tasks = Vec::with_capacity(ranges.len());
+    let mut hdr_rest = hdr_region;
+    let mut code_rest = code_region;
+    for &(s, e) in &ranges {
+        let (hdr, hdr_tail) = hdr_rest.split_at_mut((e - s) * ROW_OVERHEAD_BYTES);
+        let (codes, code_tail) = code_rest.split_at_mut(code_offsets[e] - code_offsets[s]);
+        tasks.push((s, e, hdr, codes));
+        hdr_rest = hdr_tail;
+        code_rest = code_tail;
+    }
+    tensor::par::run_tasks(tasks, |(s, e, hdr, codes)| {
+        for i in s..e {
+            let w = widths[i];
+            let row = messages.row(i);
+            let mut mn = f32::INFINITY;
+            let mut mx = f32::NEG_INFINITY;
+            for &v in row {
+                mn = mn.min(v);
+                mx = mx.max(v);
+            }
+            if row.is_empty() {
+                mn = 0.0;
+                mx = 0.0;
+            }
+            let scale = if mx > mn {
+                // lint:allow(lossy-cast): max_code <= 255, exactly representable in f32
+                (mx - mn) / w.max_code() as f32
+            } else {
+                0.0
+            };
+            let h = &mut hdr[(i - s) * ROW_OVERHEAD_BYTES..(i - s + 1) * ROW_OVERHEAD_BYTES];
+            // lint:allow(lossy-cast): supported widths are 2/4/8 bits; always fits a u8
+            h[0] = w.bits() as u8;
+            h[1..5].copy_from_slice(&mn.to_le_bytes());
+            h[5..9].copy_from_slice(&scale.to_le_bytes());
+            if scale == 0.0 {
+                // Codes stay zero (the buffer is pre-zeroed).
+                continue;
+            }
+            // Stochastic quantization packed straight into the wire buffer.
+            // Hot path: `floor(x + u)` with `u ~ U[0,1)` *is* stochastic
+            // rounding (it rounds up with probability frac(x)), so one add +
+            // floor replaces the separate floor / coin / compare sequence,
+            // and the coins come from a murmur-style counter hash keyed per
+            // row — independent per element, so the loop pipelines and rows
+            // need no serial RNG chain.
+            let out = &mut codes
+                [code_offsets[i] - code_offsets[s]..code_offsets[i + 1] - code_offsets[s]];
+            let bits = w.bits() as usize;
+            let max_code = w.max_code();
+            let inv_scale = 1.0 / scale;
+            // lint:allow(lossy-cast): truncating a mixed 64-bit key to its low 32 bits
+            let mut c32 = splitmix64(base ^ (i as u64)) as u32;
+            let mut acc: u8 = 0;
+            let mut fill = 0usize;
+            let mut byte_idx = 0usize;
+            for &v in row {
+                // Murmur-style 32-bit counter hash: independent per element,
+                // cheap enough to pipeline, and the high 24 bits are uniform —
+                // all a rounding coin needs.
+                c32 = c32.wrapping_add(0x9E37_79B9);
+                let mut z = c32 ^ (c32 >> 16);
+                z = z.wrapping_mul(0x85EB_CA6B);
+                z ^= z >> 13;
+                // lint:allow(lossy-cast): 24-bit uniform sample is exactly representable in f32
+                let u = (z >> 8) as f32 * (1.0 / 16_777_216.0);
+                // x >= 0 by construction (v >= zero-point), so `as u32`
+                // truncation *is* floor — one cvttss instruction instead of a
+                // libm floor call. The min() handles the row maximum, where
+                // x can reach max_code + u.
+                let x = (v - mn) * inv_scale + u;
+                // lint:allow(lossy-cast): clamped to max_code <= 255 before the narrowing
+                let code = (x as u32).min(max_code) as u8;
+                acc |= code << fill;
+                fill += bits;
+                if fill == 8 {
+                    out[byte_idx] = acc;
+                    byte_idx += 1;
+                    acc = 0;
+                    fill = 0;
+                }
+            }
+            if fill > 0 {
                 out[byte_idx] = acc;
-                byte_idx += 1;
-                acc = 0;
-                fill = 0;
             }
         }
-        if fill > 0 {
-            out[byte_idx] = acc;
-        }
-        // LCG-style advance: never collapses to a fixed point (the previous
-        // self-XOR variant zeroed the low bits after an empty group, making
-        // the next group's coins deterministic).
-        counter = counter
-            .wrapping_mul(0x5851_F42D_4C95_7F2D)
-            .wrapping_add(u64::from(c32) | 1);
-        buf.extend_from_slice(out);
-    }
+    });
     EncodedBlock {
-        bytes: buf.freeze(),
+        bytes: Bytes::from(buf),
         rows,
         dim,
     }
 }
 
 /// Decodes a block back into a dense de-quantized matrix.
+///
+/// Headers parse serially; the unpack + de-quantize work runs row-parallel
+/// on the shared runtime with byte-identical output at any thread count.
 ///
 /// # Errors
 ///
@@ -191,7 +224,12 @@ pub fn decode_block(block: &EncodedBlock) -> Result<Matrix, DecodeError> {
     if raw.len() < HEADER_BYTES + rows * ROW_OVERHEAD_BYTES {
         return Err(DecodeError::Truncated);
     }
+    // Parse headers serially (cheap, sequential layout), accumulating the
+    // prefix-sum code offsets that make the rows independently addressable.
     let mut headers = Vec::with_capacity(rows);
+    let mut code_offsets = Vec::with_capacity(rows + 1);
+    let mut acc = 0usize;
+    code_offsets.push(0);
     let mut pos = HEADER_BYTES;
     for _ in 0..rows {
         let bits = raw[pos];
@@ -200,28 +238,33 @@ pub fn decode_block(block: &EncodedBlock) -> Result<Matrix, DecodeError> {
         pos += ROW_OVERHEAD_BYTES;
         let width = BitWidth::from_bits(bits as u32).ok_or(DecodeError::BadBitWidth(bits))?;
         headers.push((width, zero, scale));
+        acc += width.packed_len(dim);
+        code_offsets.push(acc);
     }
+    let code_base = pos;
+    if raw.len() < code_base + acc {
+        return Err(DecodeError::Truncated);
+    }
+    // Unpack + de-quantize row chunks in parallel: every row reads its own
+    // packed span and writes its own output row.
     let mut out = Matrix::zeros(rows, dim);
-    for (i, &(width, zero, scale)) in headers.iter().enumerate() {
-        let plen = width.packed_len(dim);
-        if raw.len() < pos + plen {
-            return Err(DecodeError::Truncated);
+    tensor::par::par_chunks_deterministic(out.as_mut_slice(), rows, PAR_MIN_ROWS, |s, e, chunk| {
+        for i in s..e {
+            let (width, zero, scale) = headers[i];
+            let packed = &raw[code_base + code_offsets[i]..code_base + code_offsets[i + 1]];
+            let bits = width.bits() as usize;
+            // lint:allow(lossy-cast): max_code <= 255 for the <=8-bit widths this codec supports
+            let mask = width.max_code() as u8;
+            let row = &mut chunk[(i - s) * dim..(i - s + 1) * dim];
+            let mut bitpos = 0usize;
+            for r in row.iter_mut() {
+                let c = (packed[bitpos >> 3] >> (bitpos & 7)) & mask;
+                // lint:allow(lossy-cast): u8 code widens exactly to f32
+                *r = c as f32 * scale + zero;
+                bitpos += bits;
+            }
         }
-        let packed = &raw[pos..pos + plen];
-        pos += plen;
-        // Inline unpack + de-quantize straight into the output row.
-        let bits = width.bits() as usize;
-        // lint:allow(lossy-cast): max_code <= 255 for the <=8-bit widths this codec supports
-        let mask = width.max_code() as u8;
-        let row = out.row_mut(i);
-        let mut bitpos = 0usize;
-        for r in row.iter_mut() {
-            let c = (packed[bitpos >> 3] >> (bitpos & 7)) & mask;
-            // lint:allow(lossy-cast): u8 code widens exactly to f32
-            *r = c as f32 * scale + zero;
-            bitpos += bits;
-        }
-    }
+    });
     Ok(out)
 }
 

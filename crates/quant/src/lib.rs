@@ -44,7 +44,9 @@ pub mod variance;
 
 pub use codec::{decode_block, encode_block, EncodedBlock};
 pub use grouped::{decode_block_grouped, encode_block_grouped};
-pub use quantize::{dequantize, dequantize_into, quantize, QuantParams, QuantizedMessage};
+pub use quantize::{
+    dequantize, dequantize_into, quantize, quantize_into, QuantParams, QuantizedMessage,
+};
 
 use serde::{Deserialize, Serialize};
 

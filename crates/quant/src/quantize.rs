@@ -4,6 +4,9 @@ use crate::BitWidth;
 use serde::{Deserialize, Serialize};
 use tensor::Rng;
 
+/// Minimum elements per parallel chunk in [`dequantize_into`].
+const PAR_MIN_ELEMS: usize = 32 * 1024;
+
 /// Per-message quantization parameters transmitted alongside the codes.
 ///
 /// `zero_point` is `min(h)` and `scale` is `(max(h) - min(h)) / (2^b - 1)`
@@ -40,42 +43,61 @@ impl QuantizedMessage {
 /// adjacent codes rounds up with probability `p`, making the de-quantized
 /// estimate unbiased (Theorem 1).
 pub fn quantize(message: &[f32], width: BitWidth, rng: &mut Rng) -> QuantizedMessage {
+    let mut codes = Vec::new();
+    let params = quantize_into(message, width, rng, &mut codes);
+    QuantizedMessage {
+        width,
+        params,
+        codes,
+    }
+}
+
+/// [`quantize`] into a caller-provided code buffer (hot send path: the
+/// halo-exchange inner loop reuses one buffer per peer instead of allocating
+/// per message).
+///
+/// The min/max reduction fixes the scale, then one fused pass computes the
+/// rounding coin, the shifted value and the clamped code per element
+/// (`floor(x + u)` with `u ~ U[0,1)` *is* stochastic rounding — it rounds up
+/// with probability `frac(x)` — so one add and one truncation replace the
+/// separate floor / coin / compare sequence). `codes` is cleared and resized
+/// to `message.len()`.
+pub fn quantize_into(
+    message: &[f32],
+    width: BitWidth,
+    rng: &mut Rng,
+    codes: &mut Vec<u8>,
+) -> QuantParams {
     let (min, max) = min_max(message);
     // lint:allow(lossy-cast): max_code <= 255, exactly representable in f32
     let levels = width.max_code() as f32;
     let scale = if max > min { (max - min) / levels } else { 0.0 };
-    let codes = if scale == 0.0 {
-        vec![0u8; message.len()]
-    } else {
+    codes.clear();
+    codes.resize(message.len(), 0);
+    if scale != 0.0 {
         // Hot kernel: use a fast inline xorshift stream (seeded from the
         // caller's RNG) for the rounding coin flips instead of paying the
         // full RNG per element.
         let mut state = rng.next_u64() | 1;
         let inv_scale = 1.0 / scale;
         let max_code = width.max_code();
-        message
-            .iter()
-            .map(|&v| {
-                let x = (v - min) * inv_scale;
-                let floor = x.floor();
-                state ^= state << 13;
-                state ^= state >> 7;
-                state ^= state << 17;
-                // lint:allow(lossy-cast): 24-bit uniform sample is exactly representable in f32
-                let coin = (state >> 40) as f32 * (1.0 / 16_777_216.0);
-                let up = coin < (x - floor);
-                // lint:allow(lossy-cast): clamped to max_code <= 255 before the narrowing
-                ((floor as u32 + u32::from(up)).min(max_code)) as u8
-            })
-            .collect()
-    };
-    QuantizedMessage {
-        width,
-        params: QuantParams {
-            zero_point: min,
-            scale,
-        },
-        codes,
+        for (c, &v) in codes.iter_mut().zip(message) {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            // lint:allow(lossy-cast): 24-bit uniform sample is exactly representable in f32
+            let coin = (state >> 40) as f32 * (1.0 / 16_777_216.0);
+            // x >= 0 by construction (v >= min), so `as u32` truncation is
+            // floor; min() clamps the row maximum, where x reaches
+            // max_code + coin.
+            let x = (v - min) * inv_scale + coin;
+            // lint:allow(lossy-cast): clamped to max_code <= 255 before the narrowing
+            *c = (x as u32).min(max_code) as u8;
+        }
+    }
+    QuantParams {
+        zero_point: min,
+        scale,
     }
 }
 
@@ -92,15 +114,24 @@ pub fn dequantize(q: &QuantizedMessage) -> Vec<f32> {
 /// De-quantizes straight into a destination slice (avoids allocation on the
 /// hot receive path).
 ///
+/// Long messages de-quantize in parallel over fixed element chunks; each
+/// element is independent, so the result is byte-identical at any thread
+/// count.
+///
 /// # Panics
 ///
 /// Panics if `dst.len() != q.dim()`.
 pub fn dequantize_into(q: &QuantizedMessage, dst: &mut [f32]) {
     assert_eq!(dst.len(), q.dim(), "dequantize_into size mismatch");
-    for (d, &c) in dst.iter_mut().zip(&q.codes) {
-        // lint:allow(lossy-cast): u8 code widens exactly to f32
-        *d = c as f32 * q.params.scale + q.params.zero_point;
-    }
+    let scale = q.params.scale;
+    let zero = q.params.zero_point;
+    let n = dst.len();
+    tensor::par::par_chunks_deterministic(dst, n, PAR_MIN_ELEMS, |s, e, chunk| {
+        for (d, &c) in chunk.iter_mut().zip(&q.codes[s..e]) {
+            // lint:allow(lossy-cast): u8 code widens exactly to f32
+            *d = c as f32 * scale + zero;
+        }
+    });
 }
 
 #[inline]
@@ -232,6 +263,20 @@ mod tests {
             errs.push(total);
         }
         assert!(errs[0] > errs[1] && errs[1] > errs[2], "errors {errs:?}");
+    }
+
+    #[test]
+    fn quantize_into_matches_quantize() {
+        let msg: Vec<f32> = (0..50).map(|i| (i as f32 * 0.91).cos() * 2.0).collect();
+        for w in BitWidth::ALL {
+            let mut rng_a = Rng::seed_from(11);
+            let mut rng_b = Rng::seed_from(11);
+            let q = quantize(&msg, w, &mut rng_a);
+            let mut codes = vec![0xFFu8; 3]; // stale contents must be cleared
+            let params = quantize_into(&msg, w, &mut rng_b, &mut codes);
+            assert_eq!(params, q.params);
+            assert_eq!(codes, q.codes);
+        }
     }
 
     #[test]

@@ -76,6 +76,67 @@ proptest! {
     }
 
     #[test]
+    fn quantize_roundtrip_byte_identical_across_thread_counts(
+        msg in proptest::collection::vec(-50.0f32..50.0, 1..96),
+        width in arb_width(),
+        seed in 0u64..10_000,
+    ) {
+        // The full quantize -> pack -> unpack -> dequantize chain must
+        // produce the same bytes at every runtime thread count.
+        let mut reference: Option<(Vec<u8>, Vec<u8>, Vec<f32>)> = None;
+        for t in [1usize, 2, 8] {
+            tensor::par::set_threads(t);
+            let mut rng = Rng::seed_from(seed);
+            let mut codes = Vec::new();
+            let params = quant::quantize_into(&msg, width, &mut rng, &mut codes);
+            let mut packed = Vec::new();
+            bitpack::pack_into(&codes, width, &mut packed);
+            let mut unpacked = vec![0u8; codes.len()];
+            bitpack::unpack_into(&packed, width, &mut unpacked);
+            prop_assert_eq!(&unpacked, &codes);
+            let q = quant::QuantizedMessage { width, params, codes: codes.clone() };
+            let mut deq = vec![0.0f32; msg.len()];
+            quant::dequantize_into(&q, &mut deq);
+            match &reference {
+                None => reference = Some((codes, packed, deq)),
+                Some((c0, p0, d0)) => {
+                    prop_assert_eq!(&codes, c0, "codes differ at {} threads", t);
+                    prop_assert_eq!(&packed, p0, "packed bytes differ at {} threads", t);
+                    prop_assert_eq!(&deq, d0, "dequantized differ at {} threads", t);
+                }
+            }
+        }
+        tensor::par::set_threads(0);
+    }
+
+    #[test]
+    fn codec_block_byte_identical_across_thread_counts(
+        rows in 1usize..40,
+        dim in 1usize..24,
+        seed in 0u64..10_000,
+    ) {
+        let mut seed_rng = Rng::seed_from(seed);
+        let msgs = Matrix::from_fn(rows, dim, |_, _| seed_rng.uniform(-5.0, 5.0));
+        let widths: Vec<BitWidth> = (0..rows).map(|_| BitWidth::ALL[seed_rng.below(3)]).collect();
+        let mut reference: Option<(Vec<u8>, Vec<f32>)> = None;
+        for t in [1usize, 2, 8] {
+            tensor::par::set_threads(t);
+            let mut rng = Rng::seed_from(seed ^ 0xABCD);
+            let block = encode_block(&msgs, &widths, &mut rng);
+            let decoded = decode_block(&block).expect("well-formed block");
+            let wire: Vec<u8> = block.bytes.as_ref().to_vec();
+            match &reference {
+                None => reference = Some((wire, decoded.as_slice().to_vec())),
+                Some((w0, d0)) => {
+                    prop_assert_eq!(&wire, w0, "wire bytes differ at {} threads", t);
+                    prop_assert_eq!(decoded.as_slice(), &d0[..], "decode differs at {} threads", t);
+                }
+            }
+        }
+        tensor::par::set_threads(0);
+    }
+
+    #[test]
     fn wire_size_monotone_in_bits(rows in 1usize..50, dim in 1usize..100) {
         let sizes: Vec<usize> = BitWidth::ALL
             .iter()

@@ -30,6 +30,7 @@ mod init;
 mod matrix;
 mod metrics;
 mod ops;
+pub mod par;
 mod rng;
 
 pub use init::{kaiming_uniform, xavier_uniform};

@@ -270,19 +270,41 @@ impl Matrix {
         );
         // out[c1][c2] = sum_r lhs[r][c1] * rhs[r][c2]
         let mut out = Matrix::zeros(self.cols, rhs.cols);
-        for r in 0..self.rows {
-            let lrow = self.row(r);
-            let rrow = rhs.row(r);
-            for (c1, &lv) in lrow.iter().enumerate() {
-                if lv == 0.0 {
-                    continue;
-                }
-                let orow = &mut out.data[c1 * rhs.cols..(c1 + 1) * rhs.cols];
-                for (o, &rv) in orow.iter_mut().zip(rrow) {
-                    *o += lv * rv;
+        if self.rows >= PAR_ROW_THRESHOLD && self.cols * rhs.cols > 0 {
+            // Row reduction: each fixed row chunk accumulates into its own
+            // partial buffer and the partials are merged serially in chunk
+            // order, so the result depends only on the problem-size-derived
+            // boundaries, never on the thread count. This path is taken even
+            // at one thread to keep the bytes identical across thread counts.
+            let ranges = crate::par::chunk_ranges(self.rows, PAR_ROW_THRESHOLD / 4);
+            let mut partials = vec![vec![0.0f32; self.cols * rhs.cols]; ranges.len()];
+            let tasks: Vec<((usize, usize), &mut Vec<f32>)> =
+                ranges.iter().copied().zip(partials.iter_mut()).collect();
+            crate::par::run_tasks(tasks, |((s, e), buf)| {
+                matmul_tn_serial(
+                    &self.data[s * self.cols..e * self.cols],
+                    e - s,
+                    self.cols,
+                    &rhs.data[s * rhs.cols..e * rhs.cols],
+                    rhs.cols,
+                    buf,
+                );
+            });
+            for buf in &partials {
+                for (o, v) in out.data.iter_mut().zip(buf) {
+                    *o += v;
                 }
             }
+            return out;
         }
+        matmul_tn_serial(
+            &self.data,
+            self.rows,
+            self.cols,
+            &rhs.data,
+            rhs.cols,
+            &mut out.data,
+        );
         out
     }
 
@@ -298,18 +320,34 @@ impl Matrix {
             self.rows, self.cols, rhs.rows, rhs.cols
         );
         let mut out = Matrix::zeros(self.rows, rhs.rows);
-        for i in 0..self.rows {
-            let lrow = self.row(i);
-            let orow = &mut out.data[i * rhs.rows..(i + 1) * rhs.rows];
-            for (j, o) in orow.iter_mut().enumerate() {
-                let rrow = &rhs.data[j * rhs.cols..(j + 1) * rhs.cols];
-                let mut acc = 0.0;
-                for (a, b) in lrow.iter().zip(rrow) {
-                    acc += a * b;
-                }
-                *o = acc;
-            }
+        if self.rows >= PAR_ROW_THRESHOLD && rhs.rows > 0 {
+            // Every output row is an independent set of dot products, so the
+            // row-chunked parallel run is bitwise identical to the serial one.
+            crate::par::par_chunks_deterministic(
+                &mut out.data,
+                self.rows,
+                PAR_ROW_THRESHOLD / 4,
+                |s, e, chunk| {
+                    matmul_nt_serial(
+                        &self.data[s * self.cols..e * self.cols],
+                        e - s,
+                        self.cols,
+                        &rhs.data,
+                        rhs.rows,
+                        chunk,
+                    );
+                },
+            );
+            return out;
         }
+        matmul_nt_serial(
+            &self.data,
+            self.rows,
+            self.cols,
+            &rhs.data,
+            rhs.rows,
+            &mut out.data,
+        );
         out
     }
 
@@ -466,27 +504,16 @@ impl Matrix {
 
 /// Core blocked matmul: `out += a (ra x ca) * b (ca x cb)`.
 ///
-/// `out` must already be zeroed by the caller. Splits rows across scoped
-/// threads once the left operand is tall enough to amortize thread startup.
+/// `out` must already be zeroed by the caller. Tall left operands are split
+/// into fixed row chunks on the shared runtime ([`crate::par`]); each chunk
+/// accumulates its own output rows with the serial kernel, so the result is
+/// byte-identical to a fully serial run at any thread count.
 fn matmul_into(a: &[f32], ra: usize, ca: usize, b: &[f32], cb: usize, out: &mut [f32]) {
     if ra >= PAR_ROW_THRESHOLD && cb > 0 {
-        let threads = std::thread::available_parallelism()
-            .map_or(1, |n| n.get())
-            .min(8);
-        if threads > 1 {
-            let chunk = ra.div_ceil(threads);
-            crossbeam::scope(|s| {
-                for (t, out_chunk) in out.chunks_mut(chunk * cb).enumerate() {
-                    let a_chunk = &a[t * chunk * ca..((t * chunk + out_chunk.len() / cb) * ca)];
-                    s.spawn(move |_| {
-                        matmul_serial(a_chunk, out_chunk.len() / cb, ca, b, cb, out_chunk);
-                    });
-                }
-            })
-            // lint:allow(no-panic): propagating a worker-thread panic; the serial kernel itself is panic-free
-            .expect("matmul worker panicked");
-            return;
-        }
+        crate::par::par_chunks_deterministic(out, ra, PAR_ROW_THRESHOLD / 4, |s, e, chunk| {
+            matmul_serial(&a[s * ca..e * ca], e - s, ca, b, cb, chunk);
+        });
+        return;
     }
     matmul_serial(a, ra, ca, b, cb, out);
 }
@@ -508,6 +535,39 @@ fn matmul_serial(a: &[f32], ra: usize, ca: usize, b: &[f32], cb: usize, out: &mu
                     *o += av * bv;
                 }
             }
+        }
+    }
+}
+
+/// Serial transposed-lhs accumulation: `out += a^T (rows x ca) * b (rows x cb)`.
+fn matmul_tn_serial(a: &[f32], rows: usize, ca: usize, b: &[f32], cb: usize, out: &mut [f32]) {
+    for r in 0..rows {
+        let lrow = &a[r * ca..(r + 1) * ca];
+        let rrow = &b[r * cb..(r + 1) * cb];
+        for (c1, &lv) in lrow.iter().enumerate() {
+            if lv == 0.0 {
+                continue;
+            }
+            let orow = &mut out[c1 * cb..(c1 + 1) * cb];
+            for (o, &rv) in orow.iter_mut().zip(rrow) {
+                *o += lv * rv;
+            }
+        }
+    }
+}
+
+/// Serial transposed-rhs product: `out = a (rows x ca) * b^T (rb x ca)`.
+fn matmul_nt_serial(a: &[f32], rows: usize, ca: usize, b: &[f32], rb: usize, out: &mut [f32]) {
+    for i in 0..rows {
+        let lrow = &a[i * ca..(i + 1) * ca];
+        let orow = &mut out[i * rb..(i + 1) * rb];
+        for (j, o) in orow.iter_mut().enumerate() {
+            let rrow = &b[j * ca..(j + 1) * ca];
+            let mut acc = 0.0;
+            for (x, y) in lrow.iter().zip(rrow) {
+                acc += x * y;
+            }
+            *o = acc;
         }
     }
 }

@@ -3,14 +3,28 @@
 //! All backward functions take exactly the caches their forward counterparts
 //! return, mirroring the manual-autograd style used by the `gnn` crate.
 
-use crate::{Matrix, Rng};
+use crate::{par, Matrix, Rng};
 
 /// Numerical-stability epsilon for layer norm.
 const LN_EPS: f32 = 1e-5;
 
+/// Minimum elements per chunk for flat elementwise kernels; below this the
+/// whole buffer is one chunk and runs inline.
+const ELEM_MIN_CHUNK: usize = 16 * 1024;
+
+/// Minimum rows per chunk for row-wise kernels (layer norm, softmax).
+const ROW_MIN_CHUNK: usize = 64;
+
 /// ReLU forward: `max(x, 0)` elementwise.
 pub fn relu_forward(x: &Matrix) -> Matrix {
-    x.map(|v| v.max(0.0))
+    let mut out = x.clone();
+    let n = out.len();
+    par::par_chunks_deterministic(out.as_mut_slice(), n, ELEM_MIN_CHUNK, |_, _, chunk| {
+        for v in chunk.iter_mut() {
+            *v = v.max(0.0);
+        }
+    });
+    out
 }
 
 /// ReLU backward: zeroes gradient where the forward input was non-positive.
@@ -25,11 +39,15 @@ pub fn relu_backward(grad_out: &Matrix, input: &Matrix) -> Matrix {
         "relu_backward shape mismatch"
     );
     let mut g = grad_out.clone();
-    for (gv, &xv) in g.as_mut_slice().iter_mut().zip(input.as_slice()) {
-        if xv <= 0.0 {
-            *gv = 0.0;
+    let n = g.len();
+    let xs = input.as_slice();
+    par::par_chunks_deterministic(g.as_mut_slice(), n, ELEM_MIN_CHUNK, |s, e, chunk| {
+        for (gv, &xv) in chunk.iter_mut().zip(&xs[s..e]) {
+            if xv <= 0.0 {
+                *gv = 0.0;
+            }
         }
-    }
+    });
     g
 }
 
@@ -57,6 +75,9 @@ impl DropoutMask {
 ///
 /// Returns the dropped matrix and the mask for the backward pass. With
 /// `p == 0` this is the identity (and the mask keeps everything).
+///
+/// Deliberately serial: the keep-mask consumes the RNG stream one element at
+/// a time, so splitting it across workers would change which elements drop.
 ///
 /// # Panics
 ///
@@ -119,23 +140,43 @@ pub fn layer_norm_forward(x: &Matrix, gamma: &[f32], beta: &[f32]) -> (Matrix, L
     let d = x.cols();
     assert_eq!(gamma.len(), d, "gamma length mismatch");
     assert_eq!(beta.len(), d, "beta length mismatch");
-    let mut out = Matrix::zeros(x.rows(), d);
-    let mut x_hat = Matrix::zeros(x.rows(), d);
-    let mut inv_std = Vec::with_capacity(x.rows());
-    for i in 0..x.rows() {
-        let row = x.row(i);
-        let mean = row.iter().sum::<f32>() / d as f32;
-        let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
-        let istd = 1.0 / (var + LN_EPS).sqrt();
-        inv_std.push(istd);
-        let xh = x_hat.row_mut(i);
-        let o = out.row_mut(i);
-        for j in 0..d {
-            let h = (row[j] - mean) * istd;
-            xh[j] = h;
-            o[j] = gamma[j] * h + beta[j];
-        }
+    let n = x.rows();
+    let mut out = Matrix::zeros(n, d);
+    let mut x_hat = Matrix::zeros(n, d);
+    let mut inv_std = vec![0.0f32; n];
+    // Three output buffers share the same fixed row-chunk boundaries; each
+    // task owns one disjoint chunk of all three, so the parallel run is
+    // bitwise identical to the serial one.
+    let ranges = par::chunk_ranges(n, ROW_MIN_CHUNK);
+    let mut tasks = Vec::with_capacity(ranges.len());
+    let mut o_rest = out.as_mut_slice();
+    let mut xh_rest = x_hat.as_mut_slice();
+    let mut is_rest = inv_std.as_mut_slice();
+    for &(s, e) in &ranges {
+        let (o, o_tail) = o_rest.split_at_mut((e - s) * d);
+        let (xh, xh_tail) = xh_rest.split_at_mut((e - s) * d);
+        let (ist, is_tail) = is_rest.split_at_mut(e - s);
+        tasks.push((s, e, o, xh, ist));
+        o_rest = o_tail;
+        xh_rest = xh_tail;
+        is_rest = is_tail;
     }
+    par::run_tasks(tasks, |(s, e, o, xh, ist)| {
+        for (local, i) in (s..e).enumerate() {
+            let row = x.row(i);
+            let mean = row.iter().sum::<f32>() / d as f32;
+            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+            let istd = 1.0 / (var + LN_EPS).sqrt();
+            ist[local] = istd;
+            let xh_row = &mut xh[local * d..(local + 1) * d];
+            let o_row = &mut o[local * d..(local + 1) * d];
+            for j in 0..d {
+                let h = (row[j] - mean) * istd;
+                xh_row[j] = h;
+                o_row[j] = gamma[j] * h + beta[j];
+            }
+        }
+    });
     (out, LayerNormCache { x_hat, inv_std })
 }
 
@@ -161,40 +202,59 @@ pub fn layer_norm_backward(
     let mut grad_in = Matrix::zeros(n, d);
     let mut grad_gamma = vec![0.0; d];
     let mut grad_beta = vec![0.0; d];
+    if d == 0 {
+        return (grad_in, grad_gamma, grad_beta);
+    }
+    // Parameter gradients reduce over rows; keep that a serial pass (same
+    // ascending-row order as before) so the sums stay bitwise stable.
     for i in 0..n {
         let dy = grad_out.row(i);
         let xh = cache.x_hat.row(i);
-        let istd = cache.inv_std[i];
-        let mut sum_dxhat = 0.0;
-        let mut sum_dxhat_xhat = 0.0;
         for j in 0..d {
             grad_gamma[j] += dy[j] * xh[j];
             grad_beta[j] += dy[j];
-            let dxhat = dy[j] * gamma[j];
-            sum_dxhat += dxhat;
-            sum_dxhat_xhat += dxhat * xh[j];
-        }
-        let gi = grad_in.row_mut(i);
-        let inv_d = 1.0 / d as f32;
-        for j in 0..d {
-            let dxhat = dy[j] * gamma[j];
-            gi[j] = istd * (dxhat - inv_d * sum_dxhat - xh[j] * inv_d * sum_dxhat_xhat);
         }
     }
+    // The input gradient is per-row independent: parallel over fixed chunks.
+    par::par_chunks_deterministic(grad_in.as_mut_slice(), n, ROW_MIN_CHUNK, |s, _e, chunk| {
+        for (local, gi) in chunk.chunks_mut(d).enumerate() {
+            let i = s + local;
+            let dy = grad_out.row(i);
+            let xh = cache.x_hat.row(i);
+            let istd = cache.inv_std[i];
+            let mut sum_dxhat = 0.0;
+            let mut sum_dxhat_xhat = 0.0;
+            for j in 0..d {
+                let dxhat = dy[j] * gamma[j];
+                sum_dxhat += dxhat;
+                sum_dxhat_xhat += dxhat * xh[j];
+            }
+            let inv_d = 1.0 / d as f32;
+            for j in 0..d {
+                let dxhat = dy[j] * gamma[j];
+                gi[j] = istd * (dxhat - inv_d * sum_dxhat - xh[j] * inv_d * sum_dxhat_xhat);
+            }
+        }
+    });
     (grad_in, grad_gamma, grad_beta)
 }
 
 /// Row-wise log-softmax, computed stably via the max trick.
 pub fn log_softmax(x: &Matrix) -> Matrix {
     let mut out = x.clone();
-    for i in 0..out.rows() {
-        let row = out.row_mut(i);
-        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let lse = row.iter().map(|v| (v - max).exp()).sum::<f32>().ln() + max;
-        for v in row.iter_mut() {
-            *v -= lse;
-        }
+    let (n, d) = out.shape();
+    if d == 0 {
+        return out;
     }
+    par::par_chunks_deterministic(out.as_mut_slice(), n, ROW_MIN_CHUNK, |_, _, chunk| {
+        for row in chunk.chunks_mut(d) {
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let lse = row.iter().map(|v| (v - max).exp()).sum::<f32>().ln() + max;
+            for v in row.iter_mut() {
+                *v -= lse;
+            }
+        }
+    });
     out
 }
 

@@ -1,0 +1,272 @@
+//! Deterministic shared parallel runtime.
+//!
+//! Every hot kernel in the workspace (matmul, SpMM aggregation, quantize /
+//! bit-pack, row-wise NN ops) funnels through this module instead of spawning
+//! ad-hoc scoped threads. The contract that makes this safe to use inside a
+//! *deterministic simulation* is:
+//!
+//! 1. **Chunk boundaries depend only on the problem size** ([`chunk_ranges`]
+//!    derives them from `rows` and `min_chunk`, never from the thread count),
+//!    so the work decomposition is identical at 1, 2 or 8 threads.
+//! 2. **Each chunk writes a disjoint output slice** — no shared accumulators,
+//!    no atomics-ordered reductions. Reductions (e.g. `matmul_tn`) write
+//!    per-chunk partial buffers that the caller merges in fixed chunk order.
+//! 3. **Scheduling is load-balanced but order-free**: workers pull chunks
+//!    from a shared queue, so a skewed sparse row distribution cannot idle a
+//!    thread, and because of (1)+(2) the result is byte-identical no matter
+//!    which worker ran which chunk.
+//!
+//! Worker threads are host-side compute only; the simulated device clock is
+//! charged from the analytic cost model and never observes thread count.
+//! Thread count comes from, in priority order: [`set_threads`] (wired to
+//! `TrainingConfig::threads`), the `ADAQP_THREADS` environment variable, and
+//! `std::thread::available_parallelism()`, all capped at [`MAX_THREADS`].
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Hard cap on worker threads; matches the historical cap used by matmul.
+pub const MAX_THREADS: usize = 8;
+
+/// Upper bound on the number of chunks a problem is split into. Fixing this
+/// constant (rather than deriving chunk counts from the thread count) is what
+/// pins the work decomposition — and therefore the bytes produced — across
+/// thread counts.
+const MAX_CHUNKS: usize = 64;
+
+/// Thread count explicitly configured via [`set_threads`]; 0 means "unset,
+/// fall back to the environment default".
+static CONFIGURED: AtomicUsize = AtomicUsize::new(0);
+
+fn default_threads() -> usize {
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        let from_env = std::env::var("ADAQP_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0);
+        match from_env {
+            Some(n) => n.min(MAX_THREADS),
+            None => std::thread::available_parallelism()
+                .map_or(1, std::num::NonZeroUsize::get)
+                .min(MAX_THREADS),
+        }
+    })
+}
+
+/// Sets the worker-thread count for all kernels. `0` restores the default
+/// (the `ADAQP_THREADS` environment variable, else the machine parallelism),
+/// and any value is capped at [`MAX_THREADS`].
+///
+/// Changing the thread count never changes kernel results — only how the
+/// fixed chunk decomposition is scheduled — so concurrent callers (e.g.
+/// parallel tests) are benign.
+pub fn set_threads(n: usize) {
+    CONFIGURED.store(n.min(MAX_THREADS), Ordering::Relaxed);
+}
+
+/// The worker-thread count kernels currently use (always ≥ 1).
+pub fn current_threads() -> usize {
+    match CONFIGURED.load(Ordering::Relaxed) {
+        0 => default_threads(),
+        n => n,
+    }
+}
+
+/// Splits `rows` items into half-open `(start, end)` ranges whose boundaries
+/// depend only on `rows` and `min_chunk` — never on the thread count.
+///
+/// Each range spans `max(min_chunk, ceil(rows / MAX_CHUNKS))` rows (the last
+/// may be shorter). An empty problem yields no ranges.
+pub fn chunk_ranges(rows: usize, min_chunk: usize) -> Vec<(usize, usize)> {
+    if rows == 0 {
+        return Vec::new();
+    }
+    let chunk = min_chunk.max(1).max(rows.div_ceil(MAX_CHUNKS));
+    (0..rows)
+        .step_by(chunk)
+        .map(|start| (start, (start + chunk).min(rows)))
+        .collect()
+}
+
+/// Runs `f` over every task on the shared worker pool.
+///
+/// Tasks are pulled from a queue by `current_threads()` scoped workers, so
+/// uneven task costs balance out; with one thread (or one task) the loop runs
+/// inline. Callers guarantee determinism themselves by making each task own a
+/// disjoint output slice — this function adds no ordering of its own.
+///
+/// A panic inside `f` propagates to the caller when the scope joins.
+pub fn run_tasks<T, F>(tasks: Vec<T>, f: F)
+where
+    T: Send,
+    F: Fn(T) + Sync,
+{
+    let threads = current_threads().min(tasks.len());
+    if threads <= 1 {
+        for task in tasks {
+            f(task);
+        }
+        return;
+    }
+    let (tx, rx) = crossbeam::channel::unbounded();
+    for task in tasks {
+        // Send on an unbounded channel only fails when all receivers are
+        // gone, and `rx` is still alive here.
+        let _ = tx.send(task);
+    }
+    drop(tx);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let rx = rx.clone();
+            let f = &f;
+            scope.spawn(move || {
+                while let Ok(task) = rx.recv() {
+                    f(task);
+                }
+            });
+        }
+    });
+}
+
+/// Deterministic parallel-for over the rows of a row-major buffer.
+///
+/// `out` is split at the fixed boundaries from [`chunk_ranges`] (`out.len()`
+/// must be a multiple of `rows`); `f(row_start, row_end, chunk)` receives each
+/// range together with the mutable sub-slice holding exactly those rows.
+/// Because boundaries are derived from the problem size alone and every chunk
+/// writes only its own slice, the bytes produced are identical for any thread
+/// count.
+///
+/// # Panics
+///
+/// Panics if `out.len()` is not a multiple of `rows`.
+pub fn par_chunks_deterministic<T, F>(out: &mut [T], rows: usize, min_chunk: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, usize, &mut [T]) + Sync,
+{
+    if rows == 0 {
+        return;
+    }
+    assert!(
+        out.len().is_multiple_of(rows),
+        "par_chunks_deterministic: buffer length {} not a multiple of rows {rows}",
+        out.len()
+    );
+    let width = out.len() / rows;
+    let ranges = chunk_ranges(rows, min_chunk);
+    let mut rest = out;
+    let mut tasks = Vec::with_capacity(ranges.len());
+    for &(start, end) in &ranges {
+        let (chunk, tail) = rest.split_at_mut((end - start) * width);
+        tasks.push((start, end, chunk));
+        rest = tail;
+    }
+    run_tasks(tasks, |(start, end, chunk)| f(start, end, chunk));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_ranges_cover_exactly() {
+        for rows in [0usize, 1, 7, 63, 64, 65, 1000, 100_000] {
+            for min_chunk in [1usize, 16, 256] {
+                let ranges = chunk_ranges(rows, min_chunk);
+                let mut next = 0;
+                for &(s, e) in &ranges {
+                    assert_eq!(s, next, "gap at {s} (rows={rows})");
+                    assert!(e > s);
+                    next = e;
+                }
+                assert_eq!(next, rows, "ranges must cover all rows");
+                assert!(ranges.len() <= MAX_CHUNKS + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_ranges_ignore_thread_count() {
+        let before = chunk_ranges(12_345, 32);
+        set_threads(1);
+        let at_one = chunk_ranges(12_345, 32);
+        set_threads(8);
+        let at_eight = chunk_ranges(12_345, 32);
+        set_threads(0);
+        assert_eq!(before, at_one);
+        assert_eq!(at_one, at_eight);
+    }
+
+    #[test]
+    fn set_threads_caps_and_resets() {
+        set_threads(99);
+        assert_eq!(current_threads(), MAX_THREADS);
+        set_threads(3);
+        assert_eq!(current_threads(), 3);
+        set_threads(0);
+        assert!(current_threads() >= 1);
+    }
+
+    #[test]
+    fn par_chunks_writes_every_row_once() {
+        let rows = 513;
+        let width = 3;
+        let mut out = vec![0.0f32; rows * width];
+        par_chunks_deterministic(&mut out, rows, 8, |start, end, chunk| {
+            assert_eq!(chunk.len(), (end - start) * width);
+            for (local, row) in chunk.chunks_mut(width).enumerate() {
+                for v in row.iter_mut() {
+                    *v += (start + local) as f32;
+                }
+            }
+        });
+        for (i, row) in out.chunks(width).enumerate() {
+            assert!(row.iter().all(|&v| v == i as f32), "row {i} wrong: {row:?}");
+        }
+    }
+
+    #[test]
+    fn par_chunks_identical_across_thread_counts() {
+        let rows = 777;
+        let width = 5;
+        let fill = |out: &mut Vec<f32>| {
+            par_chunks_deterministic(out, rows, 4, |start, _end, chunk| {
+                for (local, row) in chunk.chunks_mut(width).enumerate() {
+                    let i = (start + local) as f32;
+                    for (j, v) in row.iter_mut().enumerate() {
+                        *v = (i * 31.0 + j as f32).sin();
+                    }
+                }
+            });
+        };
+        let mut base = vec![0.0f32; rows * width];
+        set_threads(1);
+        fill(&mut base);
+        for threads in [2usize, 8] {
+            set_threads(threads);
+            let mut got = vec![0.0f32; rows * width];
+            fill(&mut got);
+            assert_eq!(base, got, "results differ at {threads} threads");
+        }
+        set_threads(0);
+    }
+
+    #[test]
+    fn run_tasks_executes_all() {
+        use std::sync::atomic::AtomicU64;
+        let hits = AtomicU64::new(0);
+        run_tasks((0..100u64).collect(), |i| {
+            hits.fetch_add(i + 1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 5050);
+    }
+
+    #[test]
+    fn empty_problem_is_a_noop() {
+        let mut out: Vec<f32> = Vec::new();
+        par_chunks_deterministic(&mut out, 0, 4, |_, _, _| unreachable!());
+        run_tasks(Vec::<u32>::new(), |_| unreachable!());
+    }
+}

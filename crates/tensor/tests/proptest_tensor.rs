@@ -75,6 +75,33 @@ proptest! {
     }
 
     #[test]
+    fn parallel_matmul_is_byte_identical_across_thread_counts(
+        seed in 0u64..1000,
+        rows in 250usize..300,
+        inner in 1usize..6,
+        cols in 1usize..6,
+    ) {
+        // Rows straddle the parallel threshold, so both the serial and the
+        // chunked paths are exercised; the determinism contract says every
+        // thread count yields the same bytes.
+        let mut rng = tensor::Rng::seed_from(seed);
+        let a = Matrix::from_fn(rows, inner, |_, _| rng.uniform(-1.0, 1.0));
+        let b = Matrix::from_fn(inner, cols, |_, _| rng.uniform(-1.0, 1.0));
+        let g = Matrix::from_fn(rows, cols, |_, _| rng.uniform(-1.0, 1.0));
+        let mut results = Vec::new();
+        for t in [1usize, 2, 8] {
+            tensor::par::set_threads(t);
+            results.push((a.matmul(&b), a.matmul_tn(&g), g.matmul_nt(&b)));
+        }
+        tensor::par::set_threads(0);
+        for (mm, tn, nt) in &results[1..] {
+            prop_assert_eq!(mm.as_slice(), results[0].0.as_slice());
+            prop_assert_eq!(tn.as_slice(), results[0].1.as_slice());
+            prop_assert_eq!(nt.as_slice(), results[0].2.as_slice());
+        }
+    }
+
+    #[test]
     fn scale_scales_norm(m in arb_matrix(8, 8), s in -3.0f32..3.0) {
         let before = m.frobenius_norm();
         let mut scaled = m.clone();

@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Kernel benchmark harness: runs the criterion benches that cover the
+# deterministic parallel runtime (matmul, aggregation, quant_kernels,
+# agg_parallel) in quick mode and records every reported mean into
+# results/BENCH_kernels.json as {bench -> {ns, threads}}.
+#
+# threads is parsed from the `_t<N>` suffix the agg_parallel benches encode
+# in their ids (null for thread-agnostic benches). Pass --full for the
+# longer default sampling windows, or --smoke (used by scripts/check.sh) to
+# run only agg_parallel on a tiny problem and leave the recorded JSON alone.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+QUICK=1
+SMOKE=0
+case "${1:-}" in
+--full) QUICK=0 ;;
+--smoke) SMOKE=1 ;;
+esac
+
+OUT_DIR=results
+OUT="$OUT_DIR/BENCH_kernels.json"
+if [[ "$SMOKE" == 1 ]]; then
+    export ADAQP_BENCH_ROWS="${ADAQP_BENCH_ROWS:-4096}"
+    OUT="$(mktemp)"
+fi
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+BENCHES=(matmul aggregation quant_kernels agg_parallel)
+if [[ "$SMOKE" == 1 ]]; then
+    BENCHES=(agg_parallel)
+fi
+for b in "${BENCHES[@]}"; do
+    echo "==> cargo bench -p bench --bench $b" >&2
+    ADAQP_BENCH_QUICK=$QUICK cargo bench --offline -q -p bench --bench "$b" \
+        | tee -a "$RAW"
+done
+
+mkdir -p "$OUT_DIR"
+# Shim stdout rows look like:
+#   group/name        [      min       mean        max] ns/iter
+# Keep the id and the mean; derive threads from a trailing _t<N>.
+awk '
+    /ns\/iter/ {
+        # Bench ids may contain spaces, so split on the [min mean max]
+        # bracket instead of whitespace fields.
+        if (!match($0, /\[[^\]]+\]/)) next
+        body = substr($0, RSTART + 1, RLENGTH - 2)
+        id = substr($0, 1, RSTART - 1)
+        gsub(/[ \t]+$/, "", id)
+        split(body, nums, " ")
+        mean = nums[2]
+        threads = "null"
+        if (match(id, /_t[0-9]+$/)) {
+            threads = substr(id, RSTART + 2)
+        }
+        sep = first ? "," : ""
+        first = 1
+        printf "%s\n  \"%s\": {\"ns\": %s, \"threads\": %s}", sep, id, mean, threads
+    }
+    BEGIN { printf "{" }
+    END { printf "\n}\n" }
+' "$RAW" > "$OUT"
+
+echo "wrote $OUT ($(grep -c '"ns"' "$OUT") benches)" >&2
+if [[ "$SMOKE" == 1 ]]; then
+    rm -f "$OUT"
+fi

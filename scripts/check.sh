@@ -15,4 +15,7 @@ cargo run --offline --release -p analysis -- --workspace
 echo "==> cargo test -q"
 cargo test --offline -q
 
+echo "==> kernel bench smoke (scripts/bench.sh --smoke)"
+scripts/bench.sh --smoke
+
 echo "All checks passed."
