@@ -1,4 +1,4 @@
-//! The rule engine: five rules over the token stream (plus one over
+//! The rule engine: six rules over the token stream (plus one over
 //! `Cargo.toml` text), file classification, `#[cfg(test)]` exemption and
 //! `lint:allow` suppression handling.
 //!
@@ -8,6 +8,7 @@
 //! | `no-panic`  | library code reports errors, it does not abort              |
 //! | `det-iter`  | result-producing crates iterate in deterministic order      |
 //! | `lossy-cast`| narrowing `as` casts in quant kernels are deliberate        |
+//! | `no-stray-print` | library crates stay silent; output goes through typed APIs |
 //! | `dep-hygiene`| crate deps route through `[workspace.dependencies]`        |
 //!
 //! A violation is suppressed only by `// lint:allow(<rule>): <reason>` on
@@ -18,21 +19,29 @@
 use crate::lexer::{lex, Tok, TokKind};
 
 /// Names of all rules, in reporting order.
-pub const RULE_NAMES: [&str; 5] = [
+pub const RULE_NAMES: [&str; 6] = [
     "sim-clock",
     "no-panic",
     "det-iter",
     "lossy-cast",
+    "no-stray-print",
     "dep-hygiene",
 ];
 
-/// Files exempt from `sim-clock`: the simulated clock itself and the
-/// telemetry export paths, which legitimately timestamp host-side artifacts.
-const SIM_CLOCK_ALLOWLIST: [&str; 3] = [
+/// Files exempt from `sim-clock`: the simulated clock itself, the telemetry
+/// export paths (which legitimately timestamp host-side artifacts), and the
+/// obs profiling timer (whose measurements are diagnostic-flagged and never
+/// enter simulated results).
+const SIM_CLOCK_ALLOWLIST: [&str; 4] = [
     "crates/comm/src/timing.rs",
     "crates/comm/src/telemetry.rs",
     "crates/core/src/telemetry.rs",
+    "crates/obs/src/timer.rs",
 ];
+
+/// Macros flagged by `no-stray-print` in library crates: stdout/stderr are
+/// the CLI's interface, so libraries must return data instead of printing it.
+const PRINT_MACROS: [&str; 4] = ["println", "eprintln", "print", "eprint"];
 
 /// Crates whose outputs feed reported numbers: `HashMap`/`HashSet` there
 /// risk iteration-order nondeterminism leaking into results.
@@ -278,6 +287,28 @@ pub fn scan_rust(display_path: &str, rel: &str, class: &FileClass, src: &str) ->
                     rule: "no-panic",
                     message: format!(
                         "`{}!` in library code; return a typed error instead",
+                        t.text
+                    ),
+                });
+            }
+        }
+
+        // no-stray-print: stdout/stderr writes in library code (bins,
+        // tests and examples are exempt by classification).
+        for (idx, t) in code.iter().enumerate() {
+            if in_ranges(t.line, &exempt) {
+                continue;
+            }
+            let prev_dot = idx > 0 && code[idx - 1].is_punct('.');
+            let next_bang = code.get(idx + 1).is_some_and(|n| n.is_punct('!'));
+            if PRINT_MACROS.iter().any(|m| t.is_ident(m)) && next_bang && !prev_dot {
+                raw.push(Finding {
+                    file: display_path.to_string(),
+                    line: t.line,
+                    rule: "no-stray-print",
+                    message: format!(
+                        "`{}!` in library code; return the text to the caller or \
+                         use the telemetry/metrics exporters",
                         t.text
                     ),
                 });

@@ -1,0 +1,8 @@
+// Planted violations: stdout/stderr writes in non-test library code.
+pub fn announce(x: u32) {
+    println!("x = {x}");
+}
+
+pub fn warn(msg: &str) {
+    eprintln!("warning: {msg}");
+}

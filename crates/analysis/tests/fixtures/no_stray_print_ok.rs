@@ -1,0 +1,23 @@
+// Clean: output is returned or written to a caller-supplied sink; the one
+// deliberate print is suppressed, and test code may print freely.
+use std::fmt::Write as _;
+
+pub fn render(x: u32) -> String {
+    let mut out = String::new();
+    // writeln! into a buffer is not a stray print.
+    let _ = writeln!(out, "x = {x}");
+    out
+}
+
+pub fn progress(done: usize) {
+    // lint:allow(no-stray-print): fixture exercising a well-formed suppression
+    eprintln!("{done} done");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn printing_is_fine_here() {
+        println!("debug dump: {}", super::render(3));
+    }
+}

@@ -140,6 +140,20 @@ fn lossy_cast_fixture_pair() {
 }
 
 #[test]
+fn no_stray_print_fixture_pair() {
+    let bad = scan_fixture("no_stray_print_bad.rs");
+    let rules = rules_of(&bad);
+    assert_eq!(
+        rules.iter().filter(|r| **r == "no-stray-print").count(),
+        2,
+        "println! + eprintln!: {bad:?}"
+    );
+    // Suppressed eprintln, writeln-into-buffer and #[cfg(test)] prints all
+    // stay silent.
+    assert!(scan_fixture("no_stray_print_ok.rs").is_empty());
+}
+
+#[test]
 fn dep_hygiene_fixture_pair() {
     let bad = scan_fixture("dep_hygiene_bad.toml");
     let rules = rules_of(&bad);

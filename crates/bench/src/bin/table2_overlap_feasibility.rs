@@ -66,6 +66,7 @@ fn main() {
                 recv_bytes: recv,
                 quant_cpu_seconds: 0.0,
                 quant_ops: 0.0,
+                encode_stats: quant::EncodeStats::default(),
             };
             comm_secs += stats.ring_seconds(&cost, p.rank) * passes as f64;
         }

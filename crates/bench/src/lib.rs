@@ -123,6 +123,7 @@ pub fn save_json(name: &str, value: &serde_json::Value) {
         let path = dir.join(format!("{name}.json"));
         if let Ok(s) = serde_json::to_string_pretty(value) {
             let _ = std::fs::write(&path, s);
+            // lint:allow(no-stray-print): bench harness progress note for the operator
             eprintln!("[saved {}]", path.display());
         }
     }
@@ -130,6 +131,7 @@ pub fn save_json(name: &str, value: &serde_json::Value) {
 
 /// Prints a horizontal rule sized to `width`.
 pub fn rule(width: usize) {
+    // lint:allow(no-stray-print): bench harness console formatting helper
     println!("{}", "-".repeat(width));
 }
 

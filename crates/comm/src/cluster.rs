@@ -139,6 +139,7 @@ impl Cluster {
                     barrier,
                     next_collective_tag: COLLECTIVE_TAG_BASE,
                     telemetry: Recorder::disabled(),
+                    metrics: None,
                 };
                 joins.push(scope.spawn(move || f(handle)));
             }
@@ -180,6 +181,8 @@ pub struct DeviceHandle {
     barrier: Arc<Barrier>,
     next_collective_tag: u64,
     telemetry: Recorder,
+    // Boxed to keep the handle small when metrics are off (the common case).
+    metrics: Option<Box<obs::Registry>>,
 }
 
 impl DeviceHandle {
@@ -202,6 +205,30 @@ impl DeviceHandle {
     /// Switches the device's recorder to collecting mode.
     pub fn enable_telemetry(&mut self) {
         self.telemetry = Recorder::enabled();
+    }
+
+    /// Switches the device to metric collection: every payload leaving this
+    /// rank is counted into `adaqp_comm_sent_bytes_total{src,dst}` counters.
+    /// Payload lengths are deterministic, so the counters are too.
+    pub fn enable_metrics(&mut self) {
+        self.metrics = Some(Box::new(obs::Registry::new()));
+    }
+
+    /// The device's metric registry, if metrics are enabled.
+    pub fn metrics(&self) -> Option<&obs::Registry> {
+        self.metrics.as_deref()
+    }
+
+    /// Mutable access to the metric registry, for recording trainer-side
+    /// metrics alongside the built-in comm counters.
+    pub fn metrics_mut(&mut self) -> Option<&mut obs::Registry> {
+        self.metrics.as_deref_mut()
+    }
+
+    /// Detaches the metric registry (e.g. to return it from a device
+    /// closure); subsequent sends are no longer counted.
+    pub fn take_metrics(&mut self) -> Option<obs::Registry> {
+        self.metrics.take().map(|b| *b)
     }
 
     /// Total device count.
@@ -230,7 +257,19 @@ impl DeviceHandle {
         self.send_raw(dst, tag, payload);
     }
 
-    fn send_raw(&self, dst: usize, tag: u64, payload: Bytes) {
+    fn send_raw(&mut self, dst: usize, tag: u64, payload: Bytes) {
+        if let Some(reg) = self.metrics.as_deref_mut() {
+            reg.counter_add(
+                "adaqp_comm_sent_bytes_total",
+                &[("src", &self.rank.to_string()), ("dst", &dst.to_string())],
+                payload.len() as f64,
+            );
+            reg.counter_add(
+                "adaqp_comm_messages_total",
+                &[("src", &self.rank.to_string()), ("dst", &dst.to_string())],
+                1.0,
+            );
+        }
         self.senders[dst]
             .send(Envelope {
                 src: self.rank,
@@ -620,6 +659,46 @@ mod tests {
         for per_rank in out {
             assert_eq!(per_rank, vec![vec![0.0], vec![2.0], vec![4.0]]);
         }
+    }
+
+    #[test]
+    fn metrics_count_sent_bytes_per_pair() {
+        let out = Cluster::run(2, |mut dev| {
+            dev.enable_metrics();
+            if dev.rank() == 0 {
+                dev.send(1, 5, Bytes::from_static(b"hello"));
+                dev.recv(1, 6);
+            } else {
+                dev.recv(0, 5);
+                dev.send(0, 6, Bytes::from_static(b"hi"));
+            }
+            dev.take_metrics().expect("metrics enabled")
+        });
+        let sent = out[0]
+            .get("adaqp_comm_sent_bytes_total", &[("src", "0"), ("dst", "1")])
+            .expect("rank 0 counted its send");
+        assert_eq!(sent.value, 5.0);
+        let msgs = out[1]
+            .get("adaqp_comm_messages_total", &[("src", "1"), ("dst", "0")])
+            .expect("rank 1 counted its send");
+        assert_eq!(msgs.value, 1.0);
+        // Counters only track the sender side.
+        assert!(out[0]
+            .get("adaqp_comm_sent_bytes_total", &[("src", "1"), ("dst", "0")])
+            .is_none());
+    }
+
+    #[test]
+    fn metrics_disabled_by_default_and_detachable() {
+        let out = Cluster::run(1, |mut dev| {
+            assert!(dev.metrics().is_none());
+            dev.enable_metrics();
+            assert!(dev.metrics().is_some());
+            let taken = dev.take_metrics();
+            assert!(dev.metrics().is_none());
+            taken.expect("registry was attached").len()
+        });
+        assert_eq!(out[0], 0);
     }
 
     #[test]

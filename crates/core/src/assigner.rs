@@ -192,11 +192,62 @@ struct AssignMsg {
     bwd_recv: Vec<Vec<Vec<u8>>>,
 }
 
+/// Observability record of one reassignment round, identical on every rank
+/// (the master broadcasts it alongside the measured solve time).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SolveStats {
+    /// Measured master solve time in seconds (host wall-clock; the paper
+    /// blocks workers while the master solves, so trainers charge it on
+    /// every device).
+    pub secs: f64,
+    /// Candidate assignments evaluated across all per-(layer, direction)
+    /// solver runs.
+    pub iterations: u64,
+    /// Sum of the scalarized objectives over the solved problems.
+    pub objective_sum: f64,
+    /// Number of bi-objective problems solved this round.
+    pub problems: u64,
+}
+
+impl SolveStats {
+    /// Packs the stats into the 32-byte broadcast payload.
+    fn to_bytes(self) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        out[0..8].copy_from_slice(&self.secs.to_le_bytes());
+        // lint:allow(lossy-cast): iteration counts stay far below 2^53
+        out[8..16].copy_from_slice(&(self.iterations as f64).to_le_bytes());
+        out[16..24].copy_from_slice(&self.objective_sum.to_le_bytes());
+        // lint:allow(lossy-cast): problem counts stay far below 2^53
+        out[24..32].copy_from_slice(&(self.problems as f64).to_le_bytes());
+        out
+    }
+
+    /// Parses the broadcast payload written by [`SolveStats::to_bytes`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload is shorter than 32 bytes.
+    fn from_bytes(raw: &[u8]) -> Self {
+        let f = |i: usize| {
+            // lint:allow(no-panic): callers pass the 32-byte payload produced by to_bytes
+            f64::from_le_bytes(raw[i * 8..(i + 1) * 8].try_into().expect("8-byte field"))
+        };
+        SolveStats {
+            secs: f(0),
+            // lint:allow(lossy-cast): roundtrip of a count encoded as f64 by to_bytes
+            iterations: f(1) as u64,
+            objective_sum: f(2),
+            // lint:allow(lossy-cast): roundtrip of a count encoded as f64 by to_bytes
+            problems: f(3) as u64,
+        }
+    }
+}
+
 /// Runs one reassignment round (all ranks must call this collectively).
 ///
-/// Returns the new assignment and the measured master solve time in seconds
-/// (identical on every rank; the paper blocks workers while the master
-/// solves, so trainers charge it on every device).
+/// Returns the new assignment and the round's [`SolveStats`] (identical on
+/// every rank; the paper blocks workers while the master solves, so trainers
+/// charge the solve time on every device).
 pub fn reassign(
     dev: &mut DeviceHandle,
     part: &DevicePartition,
@@ -205,7 +256,7 @@ pub fn reassign(
     cfg: &TrainingConfig,
     mode: AssignMode,
     rng: &mut Rng,
-) -> (WidthAssignment, f64) {
+) -> (WidthAssignment, SolveStats) {
     match mode {
         AssignMode::UniformRandom => {
             // No coordination needed: each device samples per-group widths
@@ -222,7 +273,7 @@ pub fn reassign(
             // samples widths locally without coordination, so peers cannot
             // know them — the row-major wire format (which carries widths)
             // must be used with this mode.
-            (assignment, 0.0)
+            (assignment, SolveStats::default())
         }
         AssignMode::Adaptive => reassign_adaptive(dev, part, cost, trace, cfg),
     }
@@ -249,7 +300,7 @@ fn reassign_adaptive(
     cost: &CostModel,
     trace: &Trace,
     cfg: &TrainingConfig,
-) -> (WidthAssignment, f64) {
+) -> (WidthAssignment, SolveStats) {
     let num_layers = trace.fwd.len();
     // Step 1-2 (Fig. 6): build and gather per-device betas.
     let msg = TraceMsg {
@@ -272,24 +323,24 @@ fn reassign_adaptive(
             // lint:allow(no-panic): same-process roundtrip of a message this crate just serialized
             .map(|b| serde_json::from_slice(b).expect("trace deserializes"))
             .collect();
-        let (replies, secs) = comm::timing::measure(|| master_solve(&all, cost, cfg));
+        let ((replies, mut stats), secs) = comm::timing::measure(|| master_solve(&all, cost, cfg));
+        stats.secs = secs;
         let payloads: Vec<Bytes> = replies
             .into_iter()
             // lint:allow(no-panic): serializing an in-memory struct of plain numbers cannot fail
             .map(|r| Bytes::from(serde_json::to_vec(&r).expect("assignment serializes")))
             .collect();
-        // Piggy-back the solve time: broadcast after scatter.
+        // Piggy-back the solve stats: broadcast after scatter.
         let own = dev.scatter(0, Some(payloads));
-        let secs_b = dev.broadcast(0, Some(Bytes::from(secs.to_le_bytes().to_vec())));
-        (own, secs_b)
+        let stats_b = dev.broadcast(0, Some(Bytes::from(stats.to_bytes().to_vec())));
+        (own, stats_b)
     } else {
         let own = dev.scatter(0, None);
-        let secs_b = dev.broadcast(0, None);
-        (own, secs_b)
+        let stats_b = dev.broadcast(0, None);
+        (own, stats_b)
     };
-    let (own, secs_bytes) = reply;
-    // lint:allow(no-panic): the broadcast two lines up sent exactly 8 bytes
-    let solve_secs = f64::from_le_bytes(secs_bytes[..8].try_into().expect("8-byte solve time"));
+    let (own, stats_bytes) = reply;
+    let solve_stats = SolveStats::from_bytes(&stats_bytes);
     // lint:allow(no-panic): same-process roundtrip of a message this crate just serialized
     let parsed: AssignMsg = serde_json::from_slice(&own).expect("assignment deserializes");
     let to_widths = |raw: &Vec<Vec<Vec<u8>>>| -> Vec<Vec<Vec<BitWidth>>> {
@@ -316,7 +367,7 @@ fn reassign_adaptive(
             fwd_recv: to_widths(&parsed.fwd_recv),
             bwd_recv: to_widths(&parsed.bwd_recv),
         },
-        solve_secs,
+        solve_stats,
     )
 }
 
@@ -352,8 +403,18 @@ fn bwd_betas(part: &DevicePartition, t: &LayerDirTrace) -> Vec<Vec<f64>> {
         .collect()
 }
 
+/// One solved (layer, direction) task: `widths[src][peer][k]` bit counts,
+/// the solver's candidate-evaluation count, and its objective value.
+type SolvedTask = (Vec<Vec<Vec<u8>>>, u64, f64);
+
 /// Builds and solves the per-(layer, direction) problems on the master.
-fn master_solve(all: &[TraceMsg], cost: &CostModel, cfg: &TrainingConfig) -> Vec<AssignMsg> {
+/// Returns the per-device replies plus aggregate solve stats (`secs` is left
+/// zero for the caller to fill in from its own timer).
+fn master_solve(
+    all: &[TraceMsg],
+    cost: &CostModel,
+    cfg: &TrainingConfig,
+) -> (Vec<AssignMsg>, SolveStats) {
     let n = all.len();
     let num_layers = all[0].dims.len();
     // Task list: (layer, is_bwd).
@@ -361,7 +422,7 @@ fn master_solve(all: &[TraceMsg], cost: &CostModel, cfg: &TrainingConfig) -> Vec
         .flat_map(|l| [(l, false), (l, true)])
         .collect();
     // Solve tasks in parallel (paper: thread pool on the master device).
-    let solutions: Vec<Vec<Vec<Vec<u8>>>> = std::thread::scope(|scope| {
+    let solutions: Vec<SolvedTask> = std::thread::scope(|scope| {
         let joins: Vec<_> = tasks
             .iter()
             .map(|&(layer, is_bwd)| scope.spawn(move || solve_one(all, cost, cfg, layer, is_bwd)))
@@ -372,6 +433,12 @@ fn master_solve(all: &[TraceMsg], cost: &CostModel, cfg: &TrainingConfig) -> Vec
             .map(|j| j.join().expect("solver task panicked"))
             .collect()
     });
+    let mut stats = SolveStats::default();
+    for (_, iterations, objective) in &solutions {
+        stats.iterations += iterations;
+        stats.objective_sum += objective;
+        stats.problems += 1;
+    }
     // Reassemble per-device replies.
     let mut replies: Vec<AssignMsg> = (0..n)
         .map(|_| AssignMsg {
@@ -382,7 +449,7 @@ fn master_solve(all: &[TraceMsg], cost: &CostModel, cfg: &TrainingConfig) -> Vec
         })
         .collect();
     for (t, &(layer, is_bwd)) in tasks.iter().enumerate() {
-        for (src, per_peer) in solutions[t].iter().enumerate() {
+        for (src, per_peer) in solutions[t].0.iter().enumerate() {
             if is_bwd {
                 replies[src].bwd[layer] = per_peer.clone();
             } else {
@@ -399,18 +466,18 @@ fn master_solve(all: &[TraceMsg], cost: &CostModel, cfg: &TrainingConfig) -> Vec
             }
         }
     }
-    replies
+    (replies, stats)
 }
 
 /// Solves one (layer, direction) problem; returns `widths[src][peer][k]` as
-/// bit counts.
+/// bit counts plus the solver's candidate-evaluation count and objective.
 fn solve_one(
     all: &[TraceMsg],
     cost: &CostModel,
     cfg: &TrainingConfig,
     layer: usize,
     is_bwd: bool,
-) -> Vec<Vec<Vec<u8>>> {
+) -> SolvedTask {
     let n = all.len();
     let dim = all[0].dims[layer] as usize;
     let group_size = cfg.group_size.max(1);
@@ -491,7 +558,7 @@ fn solve_one(
     }
     // Peers with no messages keep empty vectors (consistent with empty send
     // sets).
-    out
+    (out, sol.iterations as u64, sol.objective)
 }
 
 #[cfg(test)]
@@ -621,7 +688,7 @@ mod tests {
             });
             trace.record_fwd(part, 0, &x);
             let mut rng = Rng::seed_from(100 + dev.rank() as u64);
-            let (assign, secs) = reassign(
+            let (assign, solve) = reassign(
                 &mut dev,
                 part,
                 cost_ref,
@@ -630,10 +697,14 @@ mod tests {
                 AssignMode::Adaptive,
                 &mut rng,
             );
-            (assign, secs)
+            (assign, solve)
         });
-        for (rank, (assign, secs)) in out.iter().enumerate() {
-            assert!(*secs >= 0.0);
+        for (rank, (assign, solve)) in out.iter().enumerate() {
+            assert!(solve.secs >= 0.0);
+            assert!(solve.iterations > 0, "solver evaluated candidates");
+            // 2 layers x 2 directions.
+            assert_eq!(solve.problems, 4);
+            assert!(solve.objective_sum.is_finite());
             // Shapes line up with the partition.
             for (q, s) in parts[rank].send_sets.iter().enumerate() {
                 assert_eq!(assign.fwd[0][q].len(), s.len(), "rank {rank} -> {q}");

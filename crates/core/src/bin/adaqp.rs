@@ -58,7 +58,7 @@ USAGE:
             [--epochs N] [--hidden N] [--sage] [--seed N] [--lambda X]
             [--group-size N] [--period N] [--no-overlap] [--error-feedback]
             [--scale X] [--json] [--telemetry] [--trace <file.json>]
-            [--events <file.jsonl>]
+            [--events <file.jsonl>] [--metrics <path>]
   adaqp compare --dataset <name> [--machines N] [--devices N] [--epochs N]
             [--scale X] [--markdown]
   adaqp tune --dataset <name> [--machines N] [--devices N] [--epochs N] [--scale X]
@@ -159,6 +159,7 @@ fn experiment_from(flags: &Flags) -> Result<ExperimentConfig, String> {
     training.telemetry = flags.contains_key("telemetry")
         || flags.contains_key("trace")
         || flags.contains_key("events");
+    training.metrics = flags.contains_key("metrics");
     Ok(ExperimentConfig {
         dataset,
         machines: parse_num(flags, "machines", 2usize)?,
@@ -188,6 +189,15 @@ fn cmd_run(flags: &Flags) -> Result<(), String> {
             log.write_jsonl(path).map_err(|e| e.to_string())?;
             eprintln!("wrote {} telemetry events to {path}", log.num_events());
         }
+    }
+    if let (Some(snap), Some(path)) = (&r.metrics, flags.get("metrics")) {
+        let json = serde_json::to_string_pretty(snap).map_err(|e| e.to_string())?;
+        std::fs::write(format!("{path}.json"), json).map_err(|e| e.to_string())?;
+        std::fs::write(format!("{path}.prom"), snap.to_prometheus()).map_err(|e| e.to_string())?;
+        eprintln!(
+            "wrote {} metric series to {path}.json and {path}.prom",
+            snap.metrics.len()
+        );
     }
     if flags.contains_key("json") {
         println!(
@@ -389,6 +399,17 @@ mod tests {
         assert!(cfg.training.disable_overlap);
         assert_eq!(cfg.training.lambda, 0.25);
         assert_eq!(cfg.dataset.num_nodes, 1000); // 10_000 * 0.1
+    }
+
+    #[test]
+    fn metrics_flag_takes_a_path_and_enables_recording() {
+        let f = flags_of(&["--dataset", "tiny", "--metrics", "out/metrics"]);
+        assert_eq!(f.get("metrics").map(String::as_str), Some("out/metrics"));
+        let cfg = experiment_from(&f).expect("valid config");
+        assert!(cfg.training.metrics);
+        assert!(!cfg.training.telemetry);
+        let off = experiment_from(&flags_of(&["--dataset", "tiny"])).expect("valid config");
+        assert!(!off.training.metrics);
     }
 
     #[test]

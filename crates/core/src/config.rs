@@ -110,6 +110,15 @@ pub struct TrainingConfig {
     /// runtime are unchanged.
     #[serde(default)]
     pub telemetry: bool,
+    /// Record typed metrics (per-pair communication volume, per-width
+    /// quantization error, solver iterations, per-epoch training metrics)
+    /// into an [`obs::Registry`] on every device, merged into
+    /// [`crate::metrics::RunResult::metrics`]. Off by default; when off no
+    /// registry is allocated and nothing is recorded. The default snapshot
+    /// contains only deterministic series, byte-identical at any worker
+    /// thread count.
+    #[serde(default)]
+    pub metrics: bool,
     /// Worker threads for the deterministic parallel kernel runtime
     /// (aggregation, quantization, dense ops). `0` (the default) picks the
     /// host's available parallelism, honoring the `ADAQP_THREADS` env var.
@@ -141,6 +150,7 @@ impl Default for TrainingConfig {
             compute_speedup: comm::costmodel::DEFAULT_COMPUTE_SPEEDUP,
             device_scales: None,
             telemetry: false,
+            metrics: false,
             threads: 0,
         }
     }
@@ -441,6 +451,12 @@ impl ExperimentConfigBuilder {
         self
     }
 
+    /// Enables or disables typed metric recording.
+    pub fn metrics(mut self, on: bool) -> Self {
+        self.cfg.training.metrics = on;
+        self
+    }
+
     /// Validates and returns the configuration.
     pub fn build(self) -> Result<ExperimentConfig, Error> {
         self.cfg.validate()?;
@@ -604,6 +620,22 @@ mod tests {
         }
         let back: TrainingConfig = serde_json::from_value(v).expect("missing field defaults");
         assert!(!back.telemetry);
+    }
+
+    #[test]
+    fn metrics_field_defaults_off_and_deserializes_when_absent() {
+        assert!(!TrainingConfig::default().metrics);
+        let mut v = serde_json::to_value(&TrainingConfig::default());
+        if let Some(obj) = v.as_object_mut() {
+            obj.remove("metrics");
+        }
+        let back: TrainingConfig = serde_json::from_value(v).expect("missing field defaults");
+        assert!(!back.metrics);
+        let built = ExperimentConfig::builder()
+            .metrics(true)
+            .build()
+            .expect("ok");
+        assert!(built.training.metrics);
     }
 
     #[test]

@@ -4,7 +4,7 @@
 use crate::decompose::DevicePartition;
 use bytes::Bytes;
 use comm::{CostModel, DeviceHandle};
-use quant::{decode_block, encode_block, BitWidth, EncodedBlock};
+use quant::{decode_block, encode_block_with_stats, BitWidth, EncodedBlock};
 use tensor::{Matrix, Rng};
 
 /// Operations per element of the quantization encoder (hash coin + scale +
@@ -28,6 +28,10 @@ pub struct ExchangeStats {
     /// Elements quantized (encoder side, including error-feedback
     /// self-decodes at decoder cost).
     pub quant_ops: f64,
+    /// Per-width quantization statistics (rows, ranges, expected squared
+    /// error) from the row-major quantized exchanges; zero for fp32 and
+    /// group-major paths.
+    pub encode_stats: quant::EncodeStats,
 }
 
 impl ExchangeStats {
@@ -37,6 +41,7 @@ impl ExchangeStats {
             recv_bytes: vec![0; n],
             quant_cpu_seconds: 0.0,
             quant_ops: 0.0,
+            encode_stats: quant::EncodeStats::default(),
         }
     }
 
@@ -55,6 +60,7 @@ impl ExchangeStats {
         }
         self.quant_cpu_seconds += other.quant_cpu_seconds;
         self.quant_ops += other.quant_ops;
+        self.encode_stats.merge(&other.encode_stats);
     }
 
     /// Simulated communication seconds for this device under the
@@ -220,9 +226,11 @@ pub fn exchange_forward_quant_ef(
             assert_eq!(res[q].shape(), msgs.shape(), "residual shape for peer {q}");
             msgs.add_assign(&res[q]);
         }
-        let (block, secs) = comm::timing::measure(|| encode_block(&msgs, &widths[q], rng));
+        let ((block, enc_stats), secs) =
+            comm::timing::measure(|| encode_block_with_stats(&msgs, &widths[q], rng));
         stats.quant_cpu_seconds += secs;
         stats.quant_ops += msgs.len() as f64 * ENCODE_OPS_PER_ELEMENT;
+        stats.encode_stats.merge(&enc_stats);
         if let Some(res) = residuals.as_deref_mut() {
             // New residual = compensated message - what the receiver decodes.
             let (decoded, dsecs) =
@@ -375,9 +383,11 @@ pub fn exchange_backward_quant_ef(
             assert_eq!(res[q].shape(), msgs.shape(), "residual shape for peer {q}");
             msgs.add_assign(&res[q]);
         }
-        let (block, secs) = comm::timing::measure(|| encode_block(&msgs, &widths[q], rng));
+        let ((block, enc_stats), secs) =
+            comm::timing::measure(|| encode_block_with_stats(&msgs, &widths[q], rng));
         stats.quant_cpu_seconds += secs;
         stats.quant_ops += msgs.len() as f64 * ENCODE_OPS_PER_ELEMENT;
+        stats.encode_stats.merge(&enc_stats);
         if let Some(res) = residuals.as_deref_mut() {
             let (decoded, dsecs) =
                 // lint:allow(no-panic): decoding the block this function encoded two lines up
@@ -565,12 +575,14 @@ mod tests {
             recv_bytes: vec![3, 4],
             quant_cpu_seconds: 0.5,
             quant_ops: 100.0,
+            encode_stats: quant::EncodeStats::default(),
         };
         let b = ExchangeStats {
             sent_bytes: vec![10, 20],
             recv_bytes: vec![30, 40],
             quant_cpu_seconds: 0.25,
             quant_ops: 50.0,
+            encode_stats: quant::EncodeStats::default(),
         };
         a.merge(&b);
         assert_eq!(a.sent_bytes, vec![11, 22]);
@@ -588,6 +600,7 @@ mod tests {
             recv_bytes: vec![0, 500, 4000],
             quant_cpu_seconds: 0.0,
             quant_ops: 0.0,
+            encode_stats: quant::EncodeStats::default(),
         };
         // rank 0: round 1 -> send to 1 (1ms) / recv from 2 (4ms) => 4ms;
         //         round 2 -> send to 2 (2ms) / recv from 1 (0.5ms) => 2ms.
@@ -603,6 +616,7 @@ mod tests {
             recv_bytes: vec![0, 2000, 2000],
             quant_cpu_seconds: 0.0,
             quant_ops: 0.0,
+            encode_stats: quant::EncodeStats::default(),
         };
         // rank 0's view: own turn = 3ms + 1ms = 4ms; turn 1 broadcast 2000B
         // to 2 peers = 4ms; turn 2 likewise = 4ms.

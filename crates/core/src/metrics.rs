@@ -53,6 +53,10 @@ pub struct DeviceEpochRecord {
     pub metric: MetricParts,
     /// Bytes this device sent during training exchanges this epoch.
     pub bytes_sent: usize,
+    /// L2 norm of the allreduced parameter gradients before the Adam step
+    /// (identical on every rank).
+    #[serde(default)]
+    pub grad_norm: f64,
 }
 
 /// Cluster-level record of one epoch.
@@ -103,6 +107,12 @@ pub struct RunResult {
     /// configured with `training.telemetry = true`.
     #[serde(default)]
     pub telemetry: Option<crate::telemetry::TelemetryLog>,
+    /// Merged metric snapshot (device registries merged in rank order, plus
+    /// cluster-level per-epoch gauges); present only when the run was
+    /// configured with `training.metrics = true`. Contains only the
+    /// deterministic series — byte-identical at any worker-thread count.
+    #[serde(default)]
+    pub metrics: Option<obs::MetricsSnapshot>,
 }
 
 impl RunResult {

@@ -135,6 +135,7 @@ mod tests {
             total_breakdown: comm::TimeBreakdown::new(),
             total_bytes: 5000,
             telemetry: None,
+            metrics: None,
         }
     }
 

@@ -45,9 +45,13 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> Result<RunResult, Error> {
     let multi = dataset.task == Task::MultiLabel;
     let global_train = parts[0].global.num_train;
 
+    let train_timer = cfg.training.metrics.then(|| {
+        obs::timer::ScopedTimer::start_with_labels("adaqp_phase_seconds", &[("phase", "train")])
+    });
     let parts_ref = &parts;
     let cost_ref = &cost;
-    let outputs: Vec<(Vec<DeviceEpochRecord>, Vec<Event>)> = Cluster::try_run(n, |dev| {
+    type DeviceOutput = (Vec<DeviceEpochRecord>, Vec<Event>, Option<obs::Registry>);
+    let outputs: Vec<DeviceOutput> = Cluster::try_run(n, |dev| {
         let rank = dev.rank();
         let trainer = DeviceTrainer::new(
             dev,
@@ -61,16 +65,77 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> Result<RunResult, Error> {
     })?;
     let mut records = Vec::with_capacity(n);
     let mut events = Vec::with_capacity(n);
-    for (recs, evs) in outputs {
+    let mut registries = Vec::with_capacity(n);
+    for (recs, evs, reg) in outputs {
         records.push(recs);
         events.push(evs);
+        registries.push(reg);
     }
 
     let mut result = combine(cfg, multi, global_train, &records);
     if cfg.training.telemetry {
         result.telemetry = Some(TelemetryLog::from_device_events(events));
     }
+    if cfg.training.metrics {
+        // Merge the per-device registries in rank order (deterministic:
+        // counters add, gauges overwrite in that fixed order).
+        let mut reg = obs::Registry::new();
+        for dev_reg in registries.into_iter().flatten() {
+            reg.merge(&dev_reg);
+        }
+        record_run_metrics(&mut reg, &result, &records);
+        if let Some(t) = train_timer {
+            t.stop(&mut reg);
+        }
+        result.metrics = Some(reg.snapshot());
+    }
     Ok(result)
+}
+
+/// Records the cluster-level series into the merged registry: per-epoch
+/// training gauges from the combined result and the kernel runtime's
+/// scheduling counters (diagnostic-only — which worker served a chunk is a
+/// race by design, so those never enter the default snapshot).
+fn record_run_metrics(
+    reg: &mut obs::Registry,
+    result: &RunResult,
+    records: &[Vec<DeviceEpochRecord>],
+) {
+    for em in &result.per_epoch {
+        let epoch = em.epoch.to_string();
+        let labels = [("epoch", epoch.as_str())];
+        reg.gauge_set("adaqp_epoch_loss", &labels, em.loss);
+        reg.gauge_set("adaqp_epoch_val_score", &labels, em.val_score);
+        reg.gauge_set("adaqp_epoch_test_score", &labels, em.test_score);
+        // The allreduced gradient norm is identical on every rank; report
+        // rank 0's copy.
+        if let Some(recs) = records.first() {
+            reg.gauge_set("adaqp_epoch_grad_norm", &labels, recs[em.epoch].grad_norm);
+        }
+    }
+    reg.gauge_set("adaqp_best_val_score", &[], result.best_val);
+    reg.gauge_set("adaqp_test_at_best", &[], result.test_at_best);
+
+    let pool = tensor::par::pool_stats();
+    // lint:allow(lossy-cast): scheduling counters stay far below 2^53
+    reg.gauge_set_diag("adaqp_pool_pooled_runs", &[], pool.pooled_runs as f64);
+    // lint:allow(lossy-cast): scheduling counters stay far below 2^53
+    reg.gauge_set_diag("adaqp_pool_inline_runs", &[], pool.inline_runs as f64);
+    // lint:allow(lossy-cast): scheduling counters stay far below 2^53
+    reg.gauge_set_diag("adaqp_pool_tasks_executed", &[], pool.tasks_executed as f64);
+    // lint:allow(lossy-cast): scheduling counters stay far below 2^53
+    reg.gauge_set_diag("adaqp_pool_idle_workers", &[], pool.idle_workers as f64);
+    for (w, &tasks) in pool.worker_tasks.iter().enumerate() {
+        if tasks > 0 {
+            let worker = w.to_string();
+            reg.gauge_set_diag(
+                "adaqp_pool_worker_tasks",
+                &[("worker", worker.as_str())],
+                // lint:allow(lossy-cast): scheduling counters stay far below 2^53
+                tasks as f64,
+            );
+        }
+    }
 }
 
 /// Combines per-device epoch records into cluster-level metrics.
@@ -148,6 +213,7 @@ pub(crate) fn combine(
         total_breakdown,
         total_bytes,
         telemetry: None,
+        metrics: None,
     }
 }
 
@@ -255,6 +321,49 @@ mod tests {
             run_experiment(&too_many_devices),
             Err(Error::Partition(_))
         ));
+    }
+
+    #[test]
+    fn metrics_opt_in_attaches_snapshot() {
+        let mut cfg = quick_cfg(Method::AdaQp, 4);
+        cfg.training.metrics = true;
+        let r = run_experiment(&cfg).expect("valid config");
+        let snap = r.metrics.as_ref().expect("metrics requested");
+        // Per-pair comm volume from the comm layer.
+        assert!(snap
+            .metrics
+            .keys()
+            .any(|k| k.starts_with("adaqp_comm_sent_bytes_total")));
+        // Width-tagged halo volume and per-width quant error from the trainer.
+        assert!(snap
+            .metrics
+            .keys()
+            .any(|k| k.starts_with("adaqp_halo_sent_bytes_total")));
+        assert!(snap
+            .metrics
+            .keys()
+            .any(|k| k.starts_with("adaqp_quant_sq_error_sum")));
+        // Solver stats, recorded on the master only.
+        let iters = snap
+            .get("adaqp_solver_iterations_total", &[])
+            .expect("solver ran");
+        assert!(iters.value > 0.0);
+        // Per-epoch training gauges.
+        for e in 0..4 {
+            let labels = [("epoch", e.to_string())];
+            let labels: Vec<(&str, &str)> = labels.iter().map(|(k, v)| (*k, v.as_str())).collect();
+            assert!(snap.get("adaqp_epoch_loss", &labels).is_some());
+            assert!(snap.get("adaqp_epoch_val_score", &labels).is_some());
+            let gn = snap
+                .get("adaqp_epoch_grad_norm", &labels)
+                .expect("grad norm");
+            assert!(gn.value > 0.0);
+        }
+        // Diagnostic pool series never enter the default snapshot.
+        assert!(!snap.metrics.keys().any(|k| k.starts_with("adaqp_pool_")));
+        // Off by default.
+        let r2 = run_experiment(&quick_cfg(Method::AdaQp, 3)).expect("valid config");
+        assert!(r2.metrics.is_none());
     }
 
     #[test]

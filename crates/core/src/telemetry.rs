@@ -135,6 +135,41 @@ impl TelemetryLog {
         Value::Object(root)
     }
 
+    /// [`TelemetryLog::chrome_trace`] rendered with paired duration events
+    /// (`"ph": "B"` / `"ph": "E"`) instead of complete `"X"` spans — some
+    /// trace consumers only understand begin/end pairs. Per-track clocks are
+    /// monotone and spans on one track never overlap, so emitting each
+    /// span's begin immediately followed by its end keeps every
+    /// `(pid, tid)` stream properly nested.
+    pub fn chrome_trace_begin_end(&self) -> Value {
+        let mut trace_events: Vec<Value> = Vec::with_capacity(2 * self.num_events() + 8);
+        for dev in &self.devices {
+            trace_events.push(metadata_event(
+                "process_name",
+                dev.rank,
+                None,
+                &format!("device {}", dev.rank),
+            ));
+            for cat in TimeCategory::ALL {
+                trace_events.push(metadata_event(
+                    "thread_name",
+                    dev.rank,
+                    Some(cat.index()),
+                    cat.label(),
+                ));
+            }
+            for e in &dev.events {
+                let (begin, end) = begin_end_events(dev.rank, e);
+                trace_events.push(begin);
+                trace_events.push(end);
+            }
+        }
+        let mut root = Map::new();
+        root.insert("traceEvents".into(), Value::Array(trace_events));
+        root.insert("displayTimeUnit".into(), Value::String("ms".into()));
+        Value::Object(root)
+    }
+
     /// Sums the measured host wall-clock seconds of the parallel kernels
     /// behind each device's spans (aggregation, quantization codecs), along
     /// with the runtime thread count the kernels reported. Purely
@@ -219,6 +254,27 @@ fn span_event(rank: usize, e: &Event) -> Value {
     );
     obj.insert("args".into(), Value::Object(args));
     Value::Object(obj)
+}
+
+/// One span as a begin/end pair: the `B` event carries the span's args; the
+/// `E` event only closes it (name/pid/tid repeated for strict parsers).
+fn begin_end_events(rank: usize, e: &Event) -> (Value, Value) {
+    let span = span_event(rank, e);
+    // lint:allow(no-panic): span_event always returns an object
+    let Value::Object(mut begin) = span else {
+        unreachable!("span_event returns an object")
+    };
+    begin.remove("dur");
+    begin.insert("ph".into(), Value::String("B".into()));
+    let mut end = Map::new();
+    for key in ["name", "cat", "pid", "tid"] {
+        if let Some(v) = begin.get(key) {
+            end.insert(key.into(), v.clone());
+        }
+    }
+    end.insert("ph".into(), Value::String("E".into()));
+    end.insert("ts".into(), serde_json::to_value(&(e.end * 1e6)));
+    (Value::Object(begin), Value::Object(end))
 }
 
 /// One device's measured host kernel time over a run (see
@@ -369,6 +425,91 @@ mod tests {
         let text = serde_json::to_string(&trace).unwrap();
         let back: Value = serde_json::from_str(&text).unwrap();
         assert_eq!(back["traceEvents"].as_array().unwrap().len(), events.len());
+    }
+
+    /// A fixed log exercising float formatting: host-kernel fractions, a
+    /// value that only round-trips with 17 significant digits, and span
+    /// boundaries that are not representable exactly in binary.
+    fn golden_log() -> TelemetryLog {
+        let mut log = sample_log();
+        log.devices[0].events[0].host_seconds = 0.000_123_456_789_012_345;
+        log.devices[0].events[0].threads = Some(4);
+        log.devices[1].events[0].start = 0.1;
+        log.devices[1].events[0].end = 0.1 + 0.2; // 0.30000000000000004
+        log
+    }
+
+    fn golden_path(name: &str) -> std::path::PathBuf {
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("testdata")
+            .join(name)
+    }
+
+    /// Byte-compares `actual` against the committed golden file. Run with
+    /// `ADAQP_BLESS=1` to regenerate the goldens after an intended change.
+    fn assert_matches_golden(name: &str, actual: &str) {
+        let path = golden_path(name);
+        if std::env::var("ADAQP_BLESS").is_ok() {
+            std::fs::write(&path, actual).expect("write golden");
+        }
+        let golden = std::fs::read_to_string(&path)
+            .expect("golden file missing; regenerate with ADAQP_BLESS=1");
+        assert_eq!(
+            actual, golden,
+            "{name} drifted from the committed bytes; if intended, regenerate with ADAQP_BLESS=1"
+        );
+    }
+
+    #[test]
+    fn jsonl_bytes_match_golden_file() {
+        assert_matches_golden("telemetry_events.golden.jsonl", &golden_log().to_jsonl());
+    }
+
+    #[test]
+    fn chrome_trace_bytes_match_golden_file() {
+        let text = serde_json::to_string(&golden_log().chrome_trace()).expect("encodes");
+        assert_matches_golden("telemetry_trace.golden.json", &text);
+    }
+
+    #[test]
+    fn begin_end_trace_parses_back_with_balanced_pairs() {
+        let log = sample_log();
+        let text = serde_json::to_string(&log.chrome_trace_begin_end()).expect("encodes");
+        let back: Value = serde_json::from_str(&text).expect("parses");
+        let events = back["traceEvents"].as_array().expect("array");
+        // Per device: 1 process_name + 5 thread_name metadata; then one B
+        // and one E per span.
+        assert_eq!(events.len(), 2 * 6 + 2 * log.num_events());
+        let mut open: std::collections::HashMap<(u64, u64), Vec<f64>> =
+            std::collections::HashMap::new();
+        let mut pairs = 0;
+        for ev in events {
+            let ph = ev["ph"].as_str().expect("every event has ph");
+            if ph == "M" {
+                continue;
+            }
+            let pid = ev["pid"].as_u64().expect("span has numeric pid");
+            let tid = ev["tid"].as_u64().expect("span has numeric tid");
+            let ts = ev["ts"].as_f64().expect("span has numeric ts");
+            assert!(ts.is_finite() && ts >= 0.0, "ts well-formed");
+            assert!(pid < 2, "pid is a device rank");
+            assert!(
+                (tid as usize) < TimeCategory::ALL.len(),
+                "tid is a category track"
+            );
+            let stack = open.entry((pid, tid)).or_default();
+            match ph {
+                "B" => stack.push(ts),
+                "E" => {
+                    let begin = stack.pop().expect("E closes an open B on its track");
+                    assert!(ts >= begin, "span duration is non-negative");
+                    pairs += 1;
+                }
+                other => panic!("unexpected ph {other}"),
+            }
+        }
+        assert!(open.values().all(Vec::is_empty), "every B is closed");
+        assert_eq!(pairs, log.num_events());
     }
 
     #[test]

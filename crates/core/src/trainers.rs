@@ -85,6 +85,9 @@ impl<'a> DeviceTrainer<'a> {
         if cfg.telemetry {
             dev.enable_telemetry();
         }
+        if cfg.metrics {
+            dev.enable_metrics();
+        }
         let dims = cfg.dims(part.features.cols(), part.global.num_classes);
         let mut init_rng = Rng::seed_from(seed);
         let model = Gnn::with_dropout(cfg.conv_kind(), &dims, cfg.dropout, &mut init_rng);
@@ -159,13 +162,15 @@ impl<'a> DeviceTrainer<'a> {
         self.dims.len() - 1
     }
 
-    /// Runs all configured epochs and returns per-epoch records plus the
+    /// Runs all configured epochs and returns per-epoch records, the
     /// telemetry events recorded along the way (empty unless
-    /// `cfg.telemetry`).
-    pub fn run(mut self) -> (Vec<DeviceEpochRecord>, Vec<Event>) {
+    /// `cfg.telemetry`), and the device's metric registry (`None` unless
+    /// `cfg.metrics`).
+    pub fn run(mut self) -> (Vec<DeviceEpochRecord>, Vec<Event>, Option<obs::Registry>) {
         let records = (0..self.cfg.epochs).map(|e| self.run_epoch(e)).collect();
         let events = self.dev.telemetry_mut().take_events();
-        (records, events)
+        let metrics = self.dev.take_metrics();
+        (records, events, metrics)
     }
 
     /// Whether this epoch's messages are traced and followed by a
@@ -259,6 +264,11 @@ impl<'a> DeviceTrainer<'a> {
                 ..EventDetail::default()
             },
         );
+        let grad_norm = grads
+            .iter()
+            .map(|&g| f64::from(g) * f64::from(g))
+            .sum::<f64>()
+            .sqrt();
         let mut params = self.model.params_flat();
         self.adam.step(&mut params, &grads);
         // Adam: ~10 scalar ops per parameter.
@@ -278,7 +288,7 @@ impl<'a> DeviceTrainer<'a> {
             } else {
                 AssignMode::UniformRandom
             };
-            let (assignment, solve_secs) = reassign(
+            let (assignment, solve) = reassign(
                 &mut self.dev,
                 self.part,
                 &self.cost,
@@ -288,10 +298,26 @@ impl<'a> DeviceTrainer<'a> {
                 &mut self.rng,
             );
             self.assignment = assignment;
-            tb.charge(TimeCategory::Solve, solve_secs);
+            tb.charge(TimeCategory::Solve, solve.secs);
             self.dev
                 .telemetry_mut()
-                .record(EventKind::AssignerSolve, solve_secs);
+                .record(EventKind::AssignerSolve, solve.secs);
+            // SolveStats are identical on every rank (the master broadcasts
+            // them); record on the master only so merging per-rank
+            // registries does not multiply the counts.
+            if self.part.rank == 0 {
+                if let Some(reg) = self.dev.metrics_mut() {
+                    // lint:allow(lossy-cast): iteration counts stay far below 2^53
+                    reg.counter_add(
+                        "adaqp_solver_iterations_total",
+                        &[],
+                        solve.iterations as f64,
+                    );
+                    // lint:allow(lossy-cast): problem counts stay far below 2^53
+                    reg.counter_add("adaqp_solver_problems_total", &[], solve.problems as f64);
+                    reg.gauge_set("adaqp_solver_objective_sum", &[], solve.objective_sum);
+                }
+            }
         }
 
         // ---- Evaluation (not charged to simulated time) ----
@@ -302,6 +328,7 @@ impl<'a> DeviceTrainer<'a> {
             loss_sum,
             metric,
             bytes_sent: bytes,
+            grad_norm,
         }
     }
 
@@ -421,6 +448,7 @@ impl<'a> DeviceTrainer<'a> {
             recv_bytes: vec![0; n],
             quant_cpu_seconds: 0.0,
             quant_ops: 0.0,
+            encode_stats: quant::EncodeStats::default(),
         };
         if broadcast {
             self.sancus_snapshot[l] = Some(h.clone());
@@ -539,6 +567,7 @@ impl<'a> DeviceTrainer<'a> {
         tb.charge(TimeCategory::Comm, comm_secs);
         tb.charge(TimeCategory::Quant, quant_secs);
         *bytes += stats.total_sent();
+        self.record_ring_metrics(stats, width_bits);
         if self.dev.telemetry().is_enabled() {
             self.dev.telemetry_mut().record_detail(
                 EventKind::QuantEncode,
@@ -550,6 +579,54 @@ impl<'a> DeviceTrainer<'a> {
                 },
             );
             self.emit_comm_events(&stats.sent_bytes, &stats.recv_bytes, comm_secs, width_bits);
+        }
+    }
+
+    /// Records the deterministic observability counters for one halo
+    /// exchange: per-pair message volume tagged with the chosen bit-width
+    /// ("mixed" when groups disagree, "32" for fp32 paths) and per-width
+    /// quantization range/error statistics. Everything recorded here is a
+    /// pure function of the exchanged data, so the merged registry is
+    /// byte-identical at any worker-thread count.
+    fn record_ring_metrics(&mut self, stats: &ExchangeStats, width_bits: Option<u8>) {
+        let rank = self.part.rank;
+        let encode = stats.encode_stats;
+        let sent: Vec<(usize, usize)> = stats
+            .sent_bytes
+            .iter()
+            .enumerate()
+            .filter(|&(_, &b)| b > 0)
+            .map(|(q, &b)| (q, b))
+            .collect();
+        let Some(reg) = self.dev.metrics_mut() else {
+            return;
+        };
+        let width = match width_bits {
+            Some(b) => b.to_string(),
+            None => "mixed".to_string(),
+        };
+        let src = rank.to_string();
+        for (q, b) in sent {
+            reg.counter_add(
+                "adaqp_halo_sent_bytes_total",
+                &[("src", &src), ("dst", &q.to_string()), ("width", &width)],
+                // lint:allow(lossy-cast): payload sizes stay far below 2^53
+                b as f64,
+            );
+        }
+        for w in BitWidth::ALL {
+            let ws = encode.for_width(w);
+            if ws.rows == 0 {
+                continue;
+            }
+            let bits = (w.bits()).to_string();
+            let labels = [("width", bits.as_str())];
+            // lint:allow(lossy-cast): row counts stay far below 2^53
+            reg.counter_add("adaqp_quant_rows_total", &labels, ws.rows as f64);
+            // lint:allow(lossy-cast): element counts stay far below 2^53
+            reg.counter_add("adaqp_quant_elements_total", &labels, ws.elements as f64);
+            reg.counter_add("adaqp_quant_range_sum", &labels, ws.sum_range);
+            reg.counter_add("adaqp_quant_sq_error_sum", &labels, ws.sum_sq_err);
         }
     }
 

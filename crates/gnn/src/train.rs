@@ -55,6 +55,8 @@ pub struct FitEpoch {
     pub loss: f32,
     /// Validation score (accuracy or micro-F1).
     pub val_score: f64,
+    /// L2 norm of the flattened parameter gradients before the Adam step.
+    pub grad_norm: f64,
 }
 
 /// Result of [`fit`].
@@ -112,7 +114,13 @@ pub fn fit(
         };
         let _ = model.backward(agg, &grad);
         let mut params = model.params_flat();
-        adam.step(&mut params, &model.grads_flat());
+        let grads = model.grads_flat();
+        let grad_norm = grads
+            .iter()
+            .map(|&g| f64::from(g) * f64::from(g))
+            .sum::<f64>()
+            .sqrt();
+        adam.step(&mut params, &grads);
         model.set_params_flat(&params);
 
         // Evaluation pass (no dropout).
@@ -125,6 +133,7 @@ pub fn fit(
             epoch,
             loss,
             val_score,
+            grad_norm,
         });
         if val_score > history.best_val {
             history.best_val = val_score;
@@ -181,6 +190,8 @@ mod tests {
         assert!(history.best_val > 0.9, "val {}", history.best_val);
         // Loss decreased.
         assert!(history.epochs.last().expect("epochs").loss < history.epochs[0].loss);
+        // Gradients flowed every epoch.
+        assert!(history.epochs.iter().all(|e| e.grad_norm > 0.0));
     }
 
     #[test]

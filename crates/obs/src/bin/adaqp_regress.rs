@@ -1,0 +1,88 @@
+//! Regression gate CLI: diff a fresh metrics snapshot or kernel-bench JSON
+//! against a committed baseline and exit non-zero on any tolerance breach.
+//!
+//! Usage:
+//!   adaqp-regress <baseline.json> <current.json>
+//!                 [--tolerances <thresholds.json>] [--default-rel <f64>]
+//!
+//! The thresholds file deserializes into [`obs::regress::Thresholds`]
+//! (`{"default_rel": 1e-9, "per_metric": {"ns": 3.0}}`); `--default-rel`
+//! overrides its default tolerance. `_meta` keys are ignored on both sides.
+
+use obs::regress::{compare, Thresholds};
+use serde::value::Value;
+use std::process::ExitCode;
+
+fn load_value(path: &str) -> Result<Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+fn run(args: &[String]) -> Result<usize, String> {
+    let mut positional: Vec<&String> = Vec::new();
+    let mut thresholds = Thresholds::default();
+    let mut default_rel_override: Option<f64> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--tolerances" => {
+                let path = args
+                    .get(i + 1)
+                    .ok_or("--tolerances needs a file argument")?;
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| format!("cannot read {path}: {e}"))?;
+                thresholds =
+                    serde_json::from_str(&text).map_err(|e| format!("cannot parse {path}: {e}"))?;
+                i += 2;
+            }
+            "--default-rel" => {
+                let raw = args.get(i + 1).ok_or("--default-rel needs a value")?;
+                let v: f64 = raw
+                    .parse()
+                    .map_err(|_| format!("--default-rel: not a number: {raw}"))?;
+                default_rel_override = Some(v);
+                i += 2;
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag {other}"));
+            }
+            _ => {
+                positional.push(&args[i]);
+                i += 1;
+            }
+        }
+    }
+    if positional.len() != 2 {
+        return Err("usage: adaqp-regress <baseline.json> <current.json> \
+             [--tolerances <thresholds.json>] [--default-rel <f64>]"
+            .to_string());
+    }
+    if let Some(v) = default_rel_override {
+        thresholds.default_rel = v;
+    }
+    let baseline = load_value(positional[0])?;
+    let current = load_value(positional[1])?;
+    let regressions = compare(&baseline, &current, &thresholds);
+    for r in &regressions {
+        eprintln!("REGRESSION {r}");
+    }
+    Ok(regressions.len())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(0) => {
+            println!("adaqp-regress: no regressions");
+            ExitCode::SUCCESS
+        }
+        Ok(n) => {
+            eprintln!("adaqp-regress: {n} regression(s)");
+            ExitCode::FAILURE
+        }
+        Err(msg) => {
+            eprintln!("adaqp-regress: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

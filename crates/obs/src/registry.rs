@@ -1,0 +1,487 @@
+//! The typed metric registry and its snapshot/export forms.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Number of histogram buckets, including the final `+Inf` overflow bucket.
+/// Fixed for every histogram so bucket counts always merge elementwise.
+pub const HISTOGRAM_BUCKETS: usize = 44;
+
+/// Exponent of the first bucket's upper bound: bucket 0 covers
+/// `(-inf, 2^MIN_EXP]`, bucket `i` covers `(2^(MIN_EXP+i-1), 2^(MIN_EXP+i)]`,
+/// and the last bucket is the `+Inf` overflow. With `MIN_EXP = -30` the
+/// boundaries span ~1 ns to ~2.3 h when observations are seconds.
+const MIN_EXP: i32 = -30;
+
+/// Upper bound of histogram bucket `i`; the last bucket returns `+Inf`.
+///
+/// # Panics
+///
+/// Panics if `i >= HISTOGRAM_BUCKETS`.
+pub fn bucket_bounds(i: usize) -> f64 {
+    assert!(i < HISTOGRAM_BUCKETS, "bucket index {i} out of range");
+    if i == HISTOGRAM_BUCKETS - 1 {
+        f64::INFINITY
+    } else {
+        (2.0f64).powi(MIN_EXP + i as i32)
+    }
+}
+
+/// Bucket index an observation falls into (the smallest bucket whose upper
+/// bound is `>= v`). Non-finite and non-positive values land in bucket 0.
+pub fn bucket_index(v: f64) -> usize {
+    if v == f64::INFINITY {
+        return HISTOGRAM_BUCKETS - 1;
+    }
+    if !v.is_finite() || v <= 0.0 {
+        return 0;
+    }
+    for i in 0..HISTOGRAM_BUCKETS - 1 {
+        if v <= bucket_bounds(i) {
+            return i;
+        }
+    }
+    HISTOGRAM_BUCKETS - 1
+}
+
+/// What a metric measures and how it merges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MetricKind {
+    /// Monotone sum; merges by addition.
+    Counter,
+    /// Last-written value; merges by overwrite in merge order.
+    Gauge,
+    /// Fixed-boundary log2 histogram; merges bucketwise.
+    Histogram,
+}
+
+impl MetricKind {
+    /// Prometheus `# TYPE` name.
+    fn prom_type(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// One named metric with its labels and accumulated state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Metric {
+    /// Metric name (Prometheus-style, e.g. `adaqp_comm_pair_bytes_total`).
+    pub name: String,
+    /// Label pairs in insertion order (callers pass them pre-sorted where
+    /// identity stability matters; the registry key is built from them).
+    pub labels: Vec<(String, String)>,
+    /// Kind; determines merge semantics and the export shape.
+    pub kind: MetricKind,
+    /// Counter total, gauge value, or histogram sum of observations.
+    pub value: f64,
+    /// Histogram observation count (0 for counters and gauges).
+    #[serde(default)]
+    pub count: u64,
+    /// Histogram per-bucket counts, length [`HISTOGRAM_BUCKETS`]; empty for
+    /// counters and gauges.
+    #[serde(default)]
+    pub buckets: Vec<u64>,
+    /// True when the value depends on scheduling or host wall-clock and must
+    /// stay out of the deterministic default exports.
+    #[serde(default)]
+    pub diagnostic: bool,
+}
+
+impl Metric {
+    /// The registry key / Prometheus sample identity: `name{k="v",...}`.
+    pub fn identity(&self) -> String {
+        identity_of(&self.name, &self.labels)
+    }
+}
+
+fn identity_of(name: &str, labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return name.to_string();
+    }
+    let mut s = String::with_capacity(name.len() + 16 * labels.len());
+    s.push_str(name);
+    s.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(k);
+        s.push_str("=\"");
+        s.push_str(v);
+        s.push('"');
+    }
+    s.push('}');
+    s
+}
+
+fn owned_labels(labels: &[(&str, &str)]) -> Vec<(String, String)> {
+    labels
+        .iter()
+        .map(|(k, v)| ((*k).to_string(), (*v).to_string()))
+        .collect()
+}
+
+/// A deterministic metric registry: a map from sample identity to metric,
+/// ordered by identity so iteration, merging and export order never depend
+/// on insertion order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Registry {
+    metrics: BTreeMap<String, Metric>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True when no metric has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    /// Number of distinct metric samples.
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    fn entry(
+        &mut self,
+        name: &str,
+        labels: &[(&str, &str)],
+        kind: MetricKind,
+        diagnostic: bool,
+    ) -> &mut Metric {
+        let labels = owned_labels(labels);
+        let key = identity_of(name, &labels);
+        let m = self.metrics.entry(key).or_insert_with(|| Metric {
+            name: name.to_string(),
+            labels,
+            kind,
+            value: 0.0,
+            count: 0,
+            buckets: if kind == MetricKind::Histogram {
+                vec![0; HISTOGRAM_BUCKETS]
+            } else {
+                Vec::new()
+            },
+            diagnostic,
+        });
+        debug_assert_eq!(m.kind, kind, "metric {name} re-registered as {kind:?}");
+        m
+    }
+
+    /// Adds `v` to a counter (created at 0 on first touch).
+    pub fn counter_add(&mut self, name: &str, labels: &[(&str, &str)], v: f64) {
+        self.entry(name, labels, MetricKind::Counter, false).value += v;
+    }
+
+    /// Diagnostic-flagged variant of [`Registry::counter_add`].
+    pub fn counter_add_diag(&mut self, name: &str, labels: &[(&str, &str)], v: f64) {
+        self.entry(name, labels, MetricKind::Counter, true).value += v;
+    }
+
+    /// Sets a gauge to `v`.
+    pub fn gauge_set(&mut self, name: &str, labels: &[(&str, &str)], v: f64) {
+        self.entry(name, labels, MetricKind::Gauge, false).value = v;
+    }
+
+    /// Diagnostic-flagged variant of [`Registry::gauge_set`].
+    pub fn gauge_set_diag(&mut self, name: &str, labels: &[(&str, &str)], v: f64) {
+        self.entry(name, labels, MetricKind::Gauge, true).value = v;
+    }
+
+    /// Records one observation into a histogram.
+    pub fn observe(&mut self, name: &str, labels: &[(&str, &str)], v: f64) {
+        let m = self.entry(name, labels, MetricKind::Histogram, false);
+        m.value += v;
+        m.count += 1;
+        m.buckets[bucket_index(v)] += 1;
+    }
+
+    /// Diagnostic-flagged variant of [`Registry::observe`] (host-time
+    /// histograms and other wall-clock-dependent observations).
+    pub fn observe_diag(&mut self, name: &str, labels: &[(&str, &str)], v: f64) {
+        let m = self.entry(name, labels, MetricKind::Histogram, true);
+        m.value += v;
+        m.count += 1;
+        m.buckets[bucket_index(v)] += 1;
+    }
+
+    /// Looks a metric up by name and labels.
+    pub fn get(&self, name: &str, labels: &[(&str, &str)]) -> Option<&Metric> {
+        self.metrics.get(&identity_of(name, &owned_labels(labels)))
+    }
+
+    /// Iterates metrics in identity order.
+    pub fn iter(&self) -> impl Iterator<Item = &Metric> {
+        self.metrics.values()
+    }
+
+    /// Merges `other` into `self`: counters add, gauges take `other`'s
+    /// value, histograms merge bucketwise. Call in rank order when folding
+    /// per-device registries so gauge overwrites are deterministic.
+    pub fn merge(&mut self, other: &Registry) {
+        for (key, m) in &other.metrics {
+            match self.metrics.get_mut(key) {
+                None => {
+                    self.metrics.insert(key.clone(), m.clone());
+                }
+                Some(mine) => match m.kind {
+                    MetricKind::Counter => mine.value += m.value,
+                    MetricKind::Gauge => mine.value = m.value,
+                    MetricKind::Histogram => {
+                        mine.value += m.value;
+                        mine.count += m.count;
+                        for (a, b) in mine.buckets.iter_mut().zip(&m.buckets) {
+                            *a += b;
+                        }
+                    }
+                },
+            }
+        }
+    }
+
+    /// Deterministic snapshot: every non-diagnostic metric, identity order.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.snapshot_filtered(false)
+    }
+
+    /// Full snapshot including diagnostic (scheduling/host-time-dependent)
+    /// metrics; not byte-stable across thread counts or machines.
+    pub fn snapshot_all(&self) -> MetricsSnapshot {
+        self.snapshot_filtered(true)
+    }
+
+    fn snapshot_filtered(&self, include_diagnostic: bool) -> MetricsSnapshot {
+        MetricsSnapshot {
+            metrics: self
+                .metrics
+                .iter()
+                .filter(|(_, m)| include_diagnostic || !m.diagnostic)
+                .map(|(k, m)| (k.clone(), m.clone()))
+                .collect(),
+        }
+    }
+}
+
+/// A serializable point-in-time view of a registry, keyed by sample
+/// identity (so JSON diffs and regression tolerances address metrics by
+/// name, not by array position).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Identity -> metric, in identity order.
+    pub metrics: BTreeMap<String, Metric>,
+}
+
+impl MetricsSnapshot {
+    /// Looks a metric up by name and labels.
+    pub fn get(&self, name: &str, labels: &[(&str, &str)]) -> Option<&Metric> {
+        self.metrics.get(&identity_of(name, &owned_labels(labels)))
+    }
+
+    /// Renders the snapshot in the Prometheus text exposition format.
+    /// Histograms expand into `_bucket{le=...}`, `_sum` and `_count`
+    /// samples. Floats print shortest-roundtrip, so output is byte-stable.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_name: Option<&str> = None;
+        for m in self.metrics.values() {
+            if last_name != Some(m.name.as_str()) {
+                out.push_str("# TYPE ");
+                out.push_str(&m.name);
+                out.push(' ');
+                out.push_str(m.kind.prom_type());
+                out.push('\n');
+                last_name = Some(m.name.as_str());
+            }
+            match m.kind {
+                MetricKind::Counter | MetricKind::Gauge => {
+                    out.push_str(&m.identity());
+                    out.push(' ');
+                    out.push_str(&fmt_f64(m.value));
+                    out.push('\n');
+                }
+                MetricKind::Histogram => {
+                    let mut cumulative = 0u64;
+                    for (i, &b) in m.buckets.iter().enumerate() {
+                        cumulative += b;
+                        let mut labels = m.labels.clone();
+                        let le = if bucket_bounds(i).is_infinite() {
+                            "+Inf".to_string()
+                        } else {
+                            fmt_f64(bucket_bounds(i))
+                        };
+                        labels.push(("le".to_string(), le));
+                        out.push_str(&identity_of(&format!("{}_bucket", m.name), &labels));
+                        out.push(' ');
+                        out.push_str(&cumulative.to_string());
+                        out.push('\n');
+                    }
+                    out.push_str(&identity_of(&format!("{}_sum", m.name), &m.labels));
+                    out.push(' ');
+                    out.push_str(&fmt_f64(m.value));
+                    out.push('\n');
+                    out.push_str(&identity_of(&format!("{}_count", m.name), &m.labels));
+                    out.push(' ');
+                    out.push_str(&m.count.to_string());
+                    out.push('\n');
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Shortest-roundtrip float formatting (Rust's `Display` for `f64`), the
+/// same scheme the JSON printer shim uses; deterministic per value.
+fn fmt_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v.is_infinite() {
+        if v > 0.0 { "+Inf" } else { "-Inf" }.to_string()
+    } else {
+        v.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_bounds_are_log2_and_cover_everything() {
+        assert_eq!(bucket_bounds(0), (2.0f64).powi(MIN_EXP));
+        for i in 1..HISTOGRAM_BUCKETS - 1 {
+            assert_eq!(bucket_bounds(i), 2.0 * bucket_bounds(i - 1));
+        }
+        assert!(bucket_bounds(HISTOGRAM_BUCKETS - 1).is_infinite());
+        assert_eq!(bucket_index(0.0), 0);
+        assert_eq!(bucket_index(-5.0), 0);
+        assert_eq!(bucket_index(f64::NAN), 0);
+        assert_eq!(bucket_index(f64::INFINITY), HISTOGRAM_BUCKETS - 1);
+        assert_eq!(bucket_index(1e300), HISTOGRAM_BUCKETS - 1);
+        // Exact power-of-two boundary lands in its own bucket (le semantics).
+        let i = bucket_index(1.0);
+        assert_eq!(bucket_bounds(i), 1.0);
+    }
+
+    #[test]
+    fn counters_add_and_gauges_overwrite() {
+        let mut r = Registry::new();
+        r.counter_add("hits", &[("peer", "1")], 2.0);
+        r.counter_add("hits", &[("peer", "1")], 3.0);
+        r.gauge_set("level", &[], 7.0);
+        r.gauge_set("level", &[], 4.0);
+        assert_eq!(r.get("hits", &[("peer", "1")]).unwrap().value, 5.0);
+        assert_eq!(r.get("level", &[]).unwrap().value, 4.0);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn histogram_buckets_accumulate() {
+        let mut r = Registry::new();
+        for v in [0.5, 0.5, 2.0, 1e-12] {
+            r.observe("lat", &[], v);
+        }
+        let m = r.get("lat", &[]).unwrap();
+        assert_eq!(m.count, 4);
+        assert!((m.value - 3.000_000_000_001).abs() < 1e-9);
+        assert_eq!(m.buckets.iter().sum::<u64>(), 4);
+        assert_eq!(m.buckets[bucket_index(0.5)], 2);
+    }
+
+    #[test]
+    fn merge_semantics_per_kind() {
+        let mut a = Registry::new();
+        a.counter_add("c", &[], 1.0);
+        a.gauge_set("g", &[], 1.0);
+        a.observe("h", &[], 0.5);
+        let mut b = Registry::new();
+        b.counter_add("c", &[], 2.0);
+        b.gauge_set("g", &[], 9.0);
+        b.observe("h", &[], 0.5);
+        b.counter_add("only_b", &[], 4.0);
+        a.merge(&b);
+        assert_eq!(a.get("c", &[]).unwrap().value, 3.0);
+        assert_eq!(a.get("g", &[]).unwrap().value, 9.0);
+        let h = a.get("h", &[]).unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.buckets[bucket_index(0.5)], 2);
+        assert_eq!(a.get("only_b", &[]).unwrap().value, 4.0);
+    }
+
+    #[test]
+    fn snapshot_excludes_diagnostic_by_default() {
+        let mut r = Registry::new();
+        r.counter_add("det", &[], 1.0);
+        r.gauge_set_diag("host", &[], 0.123);
+        r.observe_diag("host_hist", &[], 0.5);
+        let snap = r.snapshot();
+        assert!(snap.get("det", &[]).is_some());
+        assert!(snap.get("host", &[]).is_none());
+        assert!(snap.get("host_hist", &[]).is_none());
+        let all = r.snapshot_all();
+        assert!(all.get("host", &[]).is_some());
+        assert!(all.get("host_hist", &[]).is_some());
+    }
+
+    #[test]
+    fn snapshot_order_is_insertion_independent() {
+        let mut a = Registry::new();
+        a.counter_add("z_metric", &[], 1.0);
+        a.counter_add("a_metric", &[("peer", "3")], 1.0);
+        a.counter_add("a_metric", &[("peer", "1")], 1.0);
+        let mut b = Registry::new();
+        b.counter_add("a_metric", &[("peer", "1")], 1.0);
+        b.counter_add("z_metric", &[], 1.0);
+        b.counter_add("a_metric", &[("peer", "3")], 1.0);
+        assert_eq!(a.snapshot(), b.snapshot());
+        let snap = a.snapshot();
+        let keys: Vec<&String> = snap.metrics.keys().collect();
+        assert_eq!(
+            keys,
+            vec!["a_metric{peer=\"1\"}", "a_metric{peer=\"3\"}", "z_metric"]
+        );
+    }
+
+    #[test]
+    fn prometheus_export_shape() {
+        let mut r = Registry::new();
+        r.counter_add("bytes_total", &[("src", "0"), ("dst", "1")], 42.0);
+        r.gauge_set("loss", &[("epoch", "0")], 0.25);
+        r.observe("lat_seconds", &[], 0.5);
+        let text = r.snapshot().to_prometheus();
+        assert!(text.contains("# TYPE bytes_total counter\n"));
+        assert!(text.contains("bytes_total{src=\"0\",dst=\"1\"} 42\n"));
+        assert!(text.contains("# TYPE loss gauge\n"));
+        assert!(text.contains("loss{epoch=\"0\"} 0.25\n"));
+        assert!(text.contains("# TYPE lat_seconds histogram\n"));
+        assert!(text.contains("lat_seconds_bucket{le=\"0.5\"} 1\n"));
+        assert!(text.contains("lat_seconds_bucket{le=\"+Inf\"} 1\n"));
+        assert!(text.contains("lat_seconds_sum 0.5\n"));
+        assert!(text.contains("lat_seconds_count 1\n"));
+        // Cumulative bucket counts never decrease.
+        let mut last = 0u64;
+        for line in text.lines().filter(|l| l.starts_with("lat_seconds_bucket")) {
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= last);
+            last = v;
+        }
+    }
+
+    #[test]
+    fn snapshot_json_roundtrip() {
+        let mut r = Registry::new();
+        r.counter_add("c", &[("k", "v")], 3.5);
+        r.observe("h", &[], 1.0);
+        let snap = r.snapshot();
+        let json = serde_json::to_string(&snap).expect("serializes");
+        let back: MetricsSnapshot = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back, snap);
+    }
+}

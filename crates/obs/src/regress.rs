@@ -1,0 +1,242 @@
+//! Regression gate: diff two JSON artifacts (a metrics snapshot or the
+//! kernel-bench record) numerically against per-metric tolerances.
+//!
+//! Both files are flattened to `path -> number` maps (object keys joined
+//! with `.`, array indices as `[i]`); keys starting with `_` (`_meta`, host
+//! metadata) are skipped. A baseline leaf missing from the current file is a
+//! regression; extra leaves in the current file are ignored (new metrics
+//! are not regressions). Tolerances are relative:
+//! `|current - baseline| <= tol * max(|baseline|, 1e-12)`, looked up by
+//! exact path first, then by the path's final segment (`ns`, `value`, ...),
+//! then the default.
+
+use serde::value::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Tolerance configuration for a regression diff.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Thresholds {
+    /// Relative tolerance applied when no per-metric override matches.
+    pub default_rel: f64,
+    /// Overrides by exact flattened path or by final path segment.
+    #[serde(default)]
+    pub per_metric: BTreeMap<String, f64>,
+}
+
+impl Default for Thresholds {
+    fn default() -> Self {
+        Thresholds {
+            default_rel: 1e-9,
+            per_metric: BTreeMap::new(),
+        }
+    }
+}
+
+impl Thresholds {
+    /// The tolerance governing `path`.
+    pub fn tolerance_for(&self, path: &str) -> f64 {
+        if let Some(&t) = self.per_metric.get(path) {
+            return t;
+        }
+        let last = path.rsplit('.').next().unwrap_or(path);
+        if let Some(&t) = self.per_metric.get(last) {
+            return t;
+        }
+        self.default_rel
+    }
+}
+
+/// One metric that moved beyond its tolerance (or disappeared).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Regression {
+    /// Flattened path of the offending leaf.
+    pub path: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Current value; `None` when the leaf vanished.
+    pub current: Option<f64>,
+    /// Observed relative deviation.
+    pub rel: f64,
+    /// Tolerance that was exceeded.
+    pub tol: f64,
+}
+
+impl std::fmt::Display for Regression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.current {
+            Some(c) => write!(
+                f,
+                "{}: baseline {} -> current {} (rel {:.3e} > tol {:.3e})",
+                self.path, self.baseline, c, self.rel, self.tol
+            ),
+            None => write!(f, "{}: baseline {} -> missing", self.path, self.baseline),
+        }
+    }
+}
+
+/// Flattens every numeric leaf of `v` into `path -> value`, skipping object
+/// keys that start with `_` (metadata by convention).
+pub fn flatten(v: &Value) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    walk(v, String::new(), &mut out);
+    out
+}
+
+fn walk(v: &Value, prefix: String, out: &mut BTreeMap<String, f64>) {
+    match v {
+        Value::Object(map) => {
+            for (k, child) in map.iter() {
+                if k.starts_with('_') {
+                    continue;
+                }
+                let path = if prefix.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{prefix}.{k}")
+                };
+                walk(child, path, out);
+            }
+        }
+        Value::Array(items) => {
+            for (i, child) in items.iter().enumerate() {
+                walk(child, format!("{prefix}[{i}]"), out);
+            }
+        }
+        Value::Number(n) => {
+            out.insert(prefix, n.as_f64());
+        }
+        _ => {}
+    }
+}
+
+/// Diffs `current` against `baseline` and returns every tolerance breach,
+/// in path order.
+pub fn compare(baseline: &Value, current: &Value, thresholds: &Thresholds) -> Vec<Regression> {
+    let base = flatten(baseline);
+    let cur = flatten(current);
+    let mut out = Vec::new();
+    for (path, &b) in &base {
+        let tol = thresholds.tolerance_for(path);
+        match cur.get(path) {
+            None => out.push(Regression {
+                path: path.clone(),
+                baseline: b,
+                current: None,
+                rel: f64::INFINITY,
+                tol,
+            }),
+            Some(&c) => {
+                let rel = (c - b).abs() / b.abs().max(1e-12);
+                if rel > tol {
+                    out.push(Regression {
+                        path: path.clone(),
+                        baseline: b,
+                        current: Some(c),
+                        rel,
+                        tol,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Value {
+        serde_json::from_str(s).expect("valid JSON")
+    }
+
+    #[test]
+    fn identical_files_pass() {
+        let v = parse(r#"{"a": {"ns": 100.0, "threads": 8}, "b": {"ns": 3.5}}"#);
+        assert!(compare(&v, &v, &Thresholds::default()).is_empty());
+    }
+
+    #[test]
+    fn doctored_value_beyond_tolerance_fails() {
+        let base = parse(r#"{"m": {"value": 100.0}}"#);
+        let bad = parse(r#"{"m": {"value": 150.0}}"#);
+        let regs = compare(&base, &bad, &Thresholds::default());
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].path, "m.value");
+        assert!((regs[0].rel - 0.5).abs() < 1e-12);
+        // Within a loose tolerance the same doctoring passes.
+        let loose = Thresholds {
+            default_rel: 1.0,
+            per_metric: BTreeMap::new(),
+        };
+        assert!(compare(&base, &bad, &loose).is_empty());
+    }
+
+    #[test]
+    fn missing_leaf_is_a_regression_and_extra_is_not() {
+        let base = parse(r#"{"a": 1.0, "b": 2.0}"#);
+        let cur = parse(r#"{"a": 1.0, "c": 9.0}"#);
+        let regs = compare(&base, &cur, &Thresholds::default());
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].path, "b");
+        assert!(regs[0].current.is_none());
+    }
+
+    #[test]
+    fn meta_keys_are_skipped() {
+        let base = parse(r#"{"a": 1.0, "_meta": {"cpus": 1}}"#);
+        let cur = parse(r#"{"a": 1.0, "_meta": {"cpus": 64}}"#);
+        assert!(compare(&base, &cur, &Thresholds::default()).is_empty());
+    }
+
+    #[test]
+    fn per_metric_override_by_segment_and_path() {
+        let base = parse(r#"{"bench": {"ns": 100.0, "threads": 8.0}}"#);
+        let cur = parse(r#"{"bench": {"ns": 250.0, "threads": 8.0}}"#);
+        // Default tolerance flags the ns drift...
+        assert_eq!(compare(&base, &cur, &Thresholds::default()).len(), 1);
+        // ...a final-segment override absorbs it...
+        let mut per = BTreeMap::new();
+        per.insert("ns".to_string(), 3.0);
+        let th = Thresholds {
+            default_rel: 1e-9,
+            per_metric: per.clone(),
+        };
+        assert!(compare(&base, &cur, &th).is_empty());
+        // ...and an exact-path override wins over the segment one.
+        per.insert("bench.ns".to_string(), 0.1);
+        let th = Thresholds {
+            default_rel: 1e-9,
+            per_metric: per,
+        };
+        let regs = compare(&base, &cur, &th);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].tol, 0.1);
+    }
+
+    #[test]
+    fn arrays_flatten_with_indices() {
+        let v = parse(r#"{"xs": [1.0, 2.0, {"y": 3.0}]}"#);
+        let flat = flatten(&v);
+        assert_eq!(flat.get("xs[0]"), Some(&1.0));
+        assert_eq!(flat.get("xs[2].y"), Some(&3.0));
+    }
+
+    #[test]
+    fn thresholds_roundtrip_json() {
+        let mut per = BTreeMap::new();
+        per.insert("ns".to_string(), 3.0);
+        let th = Thresholds {
+            default_rel: 1e-6,
+            per_metric: per,
+        };
+        let json = serde_json::to_string(&th).expect("serializes");
+        let back: Thresholds = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back, th);
+        // per_metric is optional on disk.
+        let sparse: Thresholds = serde_json::from_str(r#"{"default_rel": 0.5}"#).expect("parses");
+        assert_eq!(sparse.default_rel, 0.5);
+        assert!(sparse.per_metric.is_empty());
+    }
+}

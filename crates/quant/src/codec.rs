@@ -16,6 +16,7 @@
 
 use crate::BitWidth;
 use bytes::Bytes;
+use serde::{Deserialize, Serialize};
 use tensor::{Matrix, Rng};
 
 /// Per-row metadata overhead on the wire: bits byte + two f32 params.
@@ -36,6 +37,61 @@ fn splitmix64(seed: u64) -> u64 {
 
 /// Fixed block header size.
 pub const HEADER_BYTES: usize = 8;
+
+/// Quantization statistics for the rows of one bit-width.
+///
+/// `sum_sq_err` is the *expected* squared quantization error under
+/// stochastic rounding (`dim * S^2 / 6` per row, the Theorem-1 variance),
+/// not a sampled error — so it is a pure function of the input data and
+/// width assignment and stays byte-identical at any thread count.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct WidthStats {
+    /// Rows encoded at this width.
+    pub rows: u64,
+    /// Elements (rows * dim) encoded at this width.
+    pub elements: u64,
+    /// Sum over rows of the dynamic range `max - min` (0 for flat rows).
+    pub sum_range: f64,
+    /// Sum over rows of the expected squared error `dim * S^2 / 6`.
+    pub sum_sq_err: f64,
+}
+
+impl WidthStats {
+    /// Accumulates `other` into `self`.
+    pub fn merge(&mut self, other: &WidthStats) {
+        self.rows += other.rows;
+        self.elements += other.elements;
+        self.sum_range += other.sum_range;
+        self.sum_sq_err += other.sum_sq_err;
+    }
+}
+
+/// Per-width quantization statistics for one encoded block (or any number
+/// of blocks folded together with [`EncodeStats::merge`]).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EncodeStats {
+    /// One accumulator per candidate width, in [`BitWidth::ALL`] order.
+    pub per_width: [WidthStats; 3],
+}
+
+impl EncodeStats {
+    /// Accumulates `other` into `self`.
+    pub fn merge(&mut self, other: &EncodeStats) {
+        for (mine, theirs) in self.per_width.iter_mut().zip(&other.per_width) {
+            mine.merge(theirs);
+        }
+    }
+
+    /// The accumulator for `width`.
+    pub fn for_width(&self, width: BitWidth) -> &WidthStats {
+        &self.per_width[width.index()]
+    }
+
+    /// Total rows across all widths.
+    pub fn total_rows(&self) -> u64 {
+        self.per_width.iter().map(|w| w.rows).sum()
+    }
+}
 
 /// An encoded block ready for transmission.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -89,6 +145,24 @@ impl std::error::Error for DecodeError {}
 ///
 /// Panics if `widths.len() != messages.rows()`.
 pub fn encode_block(messages: &Matrix, widths: &[BitWidth], rng: &mut Rng) -> EncodedBlock {
+    encode_block_with_stats(messages, widths, rng).0
+}
+
+/// [`encode_block`], additionally returning per-width quantization
+/// statistics ([`EncodeStats`]).
+///
+/// Each parallel chunk accumulates into its own disjoint [`EncodeStats`]
+/// slot; the slots are folded in chunk order afterwards, so the statistics
+/// (like the wire bytes) are identical at any thread count.
+///
+/// # Panics
+///
+/// Panics if `widths.len() != messages.rows()`.
+pub fn encode_block_with_stats(
+    messages: &Matrix,
+    widths: &[BitWidth],
+    rng: &mut Rng,
+) -> (EncodedBlock, EncodeStats) {
     assert_eq!(widths.len(), messages.rows(), "one width per message row");
     let rows = messages.rows();
     let dim = messages.cols();
@@ -111,17 +185,22 @@ pub fn encode_block(messages: &Matrix, widths: &[BitWidth], rng: &mut Rng) -> En
     // Cut the header and code regions at the same fixed row-chunk boundaries;
     // each task owns one disjoint piece of both.
     let ranges = tensor::par::chunk_ranges(rows, PAR_MIN_ROWS);
+    // One disjoint statistics slot per chunk, folded in chunk order below.
+    let mut chunk_stats = vec![EncodeStats::default(); ranges.len()];
     let mut tasks = Vec::with_capacity(ranges.len());
     let mut hdr_rest = hdr_region;
     let mut code_rest = code_region;
+    let mut stat_rest = chunk_stats.as_mut_slice();
     for &(s, e) in &ranges {
         let (hdr, hdr_tail) = hdr_rest.split_at_mut((e - s) * ROW_OVERHEAD_BYTES);
         let (codes, code_tail) = code_rest.split_at_mut(code_offsets[e] - code_offsets[s]);
-        tasks.push((s, e, hdr, codes));
+        let (stat, stat_tail) = stat_rest.split_at_mut(1);
+        tasks.push((s, e, hdr, codes, &mut stat[0]));
         hdr_rest = hdr_tail;
         code_rest = code_tail;
+        stat_rest = stat_tail;
     }
-    tensor::par::run_tasks(tasks, |(s, e, hdr, codes)| {
+    tensor::par::run_tasks(tasks, |(s, e, hdr, codes, stat)| {
         for i in s..e {
             let w = widths[i];
             let row = messages.row(i);
@@ -141,6 +220,12 @@ pub fn encode_block(messages: &Matrix, widths: &[BitWidth], rng: &mut Rng) -> En
             } else {
                 0.0
             };
+            let ws = &mut stat.per_width[w.index()];
+            ws.rows += 1;
+            ws.elements += dim as u64;
+            ws.sum_range += if mx > mn { f64::from(mx - mn) } else { 0.0 };
+            // Expected squared error of stochastic rounding: dim * S^2 / 6.
+            ws.sum_sq_err += dim as f64 * f64::from(scale) * f64::from(scale) / 6.0;
             let h = &mut hdr[(i - s) * ROW_OVERHEAD_BYTES..(i - s + 1) * ROW_OVERHEAD_BYTES];
             // lint:allow(lossy-cast): supported widths are 2/4/8 bits; always fits a u8
             h[0] = w.bits() as u8;
@@ -198,11 +283,18 @@ pub fn encode_block(messages: &Matrix, widths: &[BitWidth], rng: &mut Rng) -> En
             }
         }
     });
-    EncodedBlock {
-        bytes: Bytes::from(buf),
-        rows,
-        dim,
+    let mut stats = EncodeStats::default();
+    for s in &chunk_stats {
+        stats.merge(s);
     }
+    (
+        EncodedBlock {
+            bytes: Bytes::from(buf),
+            rows,
+            dim,
+        },
+        stats,
+    )
 }
 
 /// Decodes a block back into a dense de-quantized matrix.
@@ -368,6 +460,70 @@ mod tests {
             dim: 8,
         };
         assert_eq!(decode_block(&cut), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn encode_stats_count_rows_and_expected_error() {
+        let mut rng = Rng::seed_from(7);
+        let dim = 16;
+        let msgs = sample_messages(9, dim);
+        let widths: Vec<BitWidth> = (0..9).map(|i| BitWidth::ALL[i % 3]).collect();
+        let (block, stats) = encode_block_with_stats(&msgs, &widths, &mut rng);
+        assert_eq!(block.rows, 9);
+        assert_eq!(stats.total_rows(), 9);
+        for w in BitWidth::ALL {
+            let ws = stats.for_width(w);
+            assert_eq!(ws.rows, 3);
+            assert_eq!(ws.elements, 3 * dim as u64);
+            assert!(ws.sum_range > 0.0);
+            assert!(ws.sum_sq_err > 0.0);
+        }
+        // Coarser widths have a larger scale, hence larger expected error.
+        assert!(
+            stats.for_width(BitWidth::B2).sum_sq_err > stats.for_width(BitWidth::B8).sum_sq_err
+        );
+        // A flat row contributes range 0 and error 0.
+        let flat = Matrix::from_fn(1, dim, |_, _| 2.5);
+        let (_, fs) = encode_block_with_stats(&flat, &[BitWidth::B4], &mut rng);
+        assert_eq!(fs.for_width(BitWidth::B4).sum_range, 0.0);
+        assert_eq!(fs.for_width(BitWidth::B4).sum_sq_err, 0.0);
+    }
+
+    #[test]
+    fn encode_stats_merge_adds_componentwise() {
+        let mut rng = Rng::seed_from(8);
+        let msgs = sample_messages(6, 8);
+        let widths = vec![BitWidth::B4; 6];
+        let (_, a) = encode_block_with_stats(&msgs, &widths, &mut rng);
+        let mut total = a;
+        total.merge(&a);
+        assert_eq!(total.for_width(BitWidth::B4).rows, 12);
+        assert_eq!(
+            total.for_width(BitWidth::B4).sum_range,
+            2.0 * a.for_width(BitWidth::B4).sum_range
+        );
+    }
+
+    #[test]
+    fn encode_stats_are_thread_count_invariant() {
+        // Enough rows to split into several parallel chunks.
+        let msgs = sample_messages(257, 12);
+        let widths: Vec<BitWidth> = (0..257).map(|i| BitWidth::ALL[(i * 7) % 3]).collect();
+        let baseline = tensor::par::current_threads();
+        let mut reference = None;
+        for threads in [1usize, 2, 8] {
+            tensor::par::set_threads(threads);
+            let mut rng = Rng::seed_from(9);
+            let (block, stats) = encode_block_with_stats(&msgs, &widths, &mut rng);
+            match &reference {
+                None => reference = Some((block, stats)),
+                Some((b0, s0)) => {
+                    assert_eq!(&block, b0, "wire bytes differ at {threads} threads");
+                    assert_eq!(&stats, s0, "stats differ at {threads} threads");
+                }
+            }
+        }
+        tensor::par::set_threads(baseline);
     }
 
     #[test]

@@ -42,7 +42,9 @@ pub mod grouped;
 mod quantize;
 pub mod variance;
 
-pub use codec::{decode_block, encode_block, EncodedBlock};
+pub use codec::{
+    decode_block, encode_block, encode_block_with_stats, EncodeStats, EncodedBlock, WidthStats,
+};
 pub use grouped::{decode_block_grouped, encode_block_grouped};
 pub use quantize::{
     dequantize, dequantize_into, quantize, quantize_into, QuantParams, QuantizedMessage,
@@ -97,6 +99,17 @@ impl BitWidth {
     #[inline]
     pub fn packed_len(self, n: usize) -> usize {
         (n * self.bits() as usize).div_ceil(8)
+    }
+
+    /// Position of this width in [`BitWidth::ALL`] (used to index per-width
+    /// accumulator arrays, e.g. [`codec::EncodeStats`]).
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            BitWidth::B2 => 0,
+            BitWidth::B4 => 1,
+            BitWidth::B8 => 2,
+        }
     }
 }
 

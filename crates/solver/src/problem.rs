@@ -188,6 +188,10 @@ pub struct Solution {
     pub max_time: f64,
     /// Scalarized objective.
     pub objective: f64,
+    /// Candidate assignments the solver evaluated to arrive here
+    /// (observability only; does not affect the solution).
+    #[serde(default)]
+    pub iterations: usize,
 }
 
 #[cfg(test)]

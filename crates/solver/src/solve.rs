@@ -345,6 +345,7 @@ pub fn solve(problem: &BiObjectiveProblem) -> Solution {
             variance: 0.0,
             max_time: 0.0,
             objective: 0.0,
+            iterations: 0,
         };
     }
     if problem.lambda >= 1.0 {
@@ -354,7 +355,9 @@ pub fn solve(problem: &BiObjectiveProblem) -> Solution {
             .iter()
             .map(|p| vec![BitWidth::B8; p.groups.len()])
             .collect();
-        return finish(problem, widths);
+        let mut sol = finish(problem, widths);
+        sol.iterations = 1;
+        return sol;
     }
 
     // Candidate Z values: every pair's min/max plus a grid between the
@@ -394,6 +397,8 @@ pub fn solve(problem: &BiObjectiveProblem) -> Solution {
     // to a trivial candidate.
     let v_ref = problem.variance_ref();
     let t_ref = problem.time_ref();
+    // Candidate-assignment evaluation count, reported on the solution.
+    let mut iterations = 0usize;
     let mut best: Option<Solution> = None;
     for w in BitWidth::ALL {
         let widths: Vec<Vec<BitWidth>> = problem
@@ -402,6 +407,7 @@ pub fn solve(problem: &BiObjectiveProblem) -> Solution {
             .map(|p| vec![w; p.groups.len()])
             .collect();
         let sol = finish_with_refs(problem, widths, v_ref, t_ref);
+        iterations += 1;
         if best.as_ref().is_none_or(|b| sol.objective < b.objective) {
             best = Some(sol);
         }
@@ -421,6 +427,7 @@ pub fn solve(problem: &BiObjectiveProblem) -> Solution {
             max_time = max_time.max(t);
         }
         let obj = problem.objective_from_parts(variance, max_time, v_ref, t_ref);
+        iterations += 1;
         if best_candidate.is_none_or(|(o, _, _)| obj < o) {
             best_candidate = Some((obj, variance, z));
         }
@@ -441,7 +448,9 @@ pub fn solve(problem: &BiObjectiveProblem) -> Solution {
         }
     }
     // lint:allow(no-panic): the Z-candidate list is non-empty by construction, so a solution always exists
-    best.expect("at least one candidate evaluated")
+    let mut sol = best.expect("at least one candidate evaluated");
+    sol.iterations = iterations;
+    sol
 }
 
 /// Like [`solve`] but with the exact DP inner solver
@@ -472,6 +481,7 @@ pub fn solve_exact(problem: &BiObjectiveProblem, resolution: usize) -> Solution 
         }
     }
     let mut best = solve(problem); // greedy baseline: exact never returns worse
+    let mut iterations = best.iterations;
     for &z in &candidates {
         let mut widths = Vec::with_capacity(n_pairs);
         for p in &problem.pairs {
@@ -479,10 +489,12 @@ pub fn solve_exact(problem: &BiObjectiveProblem, resolution: usize) -> Solution 
             widths.push(w);
         }
         let sol = finish(problem, widths);
+        iterations += 1;
         if sol.objective < best.objective {
             best = sol;
         }
     }
+    best.iterations = iterations;
     best
 }
 
@@ -507,6 +519,7 @@ fn finish_with_refs(
         variance,
         max_time,
         objective,
+        iterations: 0,
     }
 }
 
@@ -520,6 +533,7 @@ pub fn brute_force(problem: &BiObjectiveProblem) -> Solution {
     assert!(total_groups <= 16, "brute force limited to 16 groups");
     let shape: Vec<usize> = problem.pairs.iter().map(|p| p.groups.len()).collect();
     let mut best: Option<Solution> = None;
+    let mut iterations = 0usize;
     let mut counter = vec![0usize; total_groups];
     loop {
         // Materialize the assignment.
@@ -537,6 +551,7 @@ pub fn brute_force(problem: &BiObjectiveProblem) -> Solution {
             );
         }
         let sol = finish(problem, widths);
+        iterations += 1;
         if best.as_ref().is_none_or(|b| sol.objective < b.objective) {
             best = Some(sol);
         }
@@ -545,7 +560,9 @@ pub fn brute_force(problem: &BiObjectiveProblem) -> Solution {
         loop {
             if pos == total_groups {
                 // lint:allow(no-panic): the exhaustive counter evaluates every assignment before overflowing
-                return best.expect("at least one assignment");
+                let mut sol = best.expect("at least one assignment");
+                sol.iterations = iterations;
+                return sol;
             }
             counter[pos] += 1;
             if counter[pos] < 3 {
@@ -658,6 +675,27 @@ mod tests {
         let sol = solve(&BiObjectiveProblem::new(vec![], 0.5));
         assert!(sol.widths.is_empty());
         assert_eq!(sol.objective, 0.0);
+        assert_eq!(sol.iterations, 0);
+    }
+
+    #[test]
+    fn iterations_count_candidate_evaluations() {
+        let prob = BiObjectiveProblem::new(vec![simple_pair(&[1.0, 5.0], 100.0, 1e-6, 0.0)], 0.5);
+        // 3 uniform seeds plus at least the floor/ceil candidates.
+        let sol = solve(&prob);
+        assert!(sol.iterations >= 5, "got {}", sol.iterations);
+        // The exact solver adds its own DP sweep on top of the greedy's.
+        let exact = solve_exact(&prob, 256);
+        assert!(exact.iterations > sol.iterations);
+        // Brute force evaluates the full 3^groups grid.
+        let bf = brute_force(&prob);
+        assert_eq!(bf.iterations, 9);
+        // Pure-variance short-circuit evaluates exactly one assignment.
+        let pure = solve(&BiObjectiveProblem::new(
+            vec![simple_pair(&[1.0], 10.0, 1e-6, 0.0)],
+            1.0,
+        ));
+        assert_eq!(pure.iterations, 1);
     }
 
     #[test]

@@ -38,10 +38,20 @@ for b in "${BENCHES[@]}"; do
 done
 
 mkdir -p "$OUT_DIR"
+# Host metadata for the recorded JSON. The `_` prefix keeps these keys out
+# of adaqp-regress diffs (machine-dependent, not a regression signal).
+CPUS="$(nproc)"
+AT="${ADAQP_THREADS:-}"
+[[ "$AT" =~ ^[0-9]+$ ]] || AT=null
+# Effective worker-thread default: ADAQP_THREADS, else machine parallelism,
+# capped at the runtime's MAX_THREADS = 8 (crates/tensor/src/par.rs).
+EFFECTIVE="$CPUS"
+[[ "$AT" != null ]] && EFFECTIVE="$AT"
+((EFFECTIVE > 8)) && EFFECTIVE=8
 # Shim stdout rows look like:
 #   group/name        [      min       mean        max] ns/iter
 # Keep the id and the mean; derive threads from a trailing _t<N>.
-awk '
+awk -v cpus="$CPUS" -v adaqp_threads="$AT" -v effective="$EFFECTIVE" '
     /ns\/iter/ {
         # Bench ids may contain spaces, so split on the [min mean max]
         # bracket instead of whitespace fields.
@@ -59,7 +69,12 @@ awk '
         first = 1
         printf "%s\n  \"%s\": {\"ns\": %s, \"threads\": %s}", sep, id, mean, threads
     }
-    BEGIN { printf "{" }
+    BEGIN {
+        printf "{"
+        printf "\n  \"_meta\": {\"cpus\": %s, \"default_worker_threads\": %s, \"adaqp_threads_env\": %s}", \
+            cpus, effective, adaqp_threads
+        first = 1
+    }
     END { printf "\n}\n" }
 ' "$RAW" > "$OUT"
 

@@ -18,4 +18,7 @@ cargo test --offline -q
 echo "==> kernel bench smoke (scripts/bench.sh --smoke)"
 scripts/bench.sh --smoke
 
+echo "==> regression gate (scripts/regress.sh --smoke)"
+scripts/regress.sh --smoke
+
 echo "All checks passed."
