@@ -34,7 +34,8 @@
 
 pub mod lexer;
 pub mod rules;
+pub mod scopes;
 pub mod workspace;
 
-pub use rules::{Finding, RULE_NAMES};
+pub use rules::{to_json, Finding, RULE_NAMES};
 pub use workspace::{find_root, scan_path, scan_workspace, ScanError};

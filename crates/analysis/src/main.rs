@@ -1,17 +1,20 @@
 //! `adaqp-lint` CLI. See the library docs for the rule inventory.
 
-use analysis::{find_root, scan_path, scan_workspace, Finding};
+use analysis::{find_root, scan_path, scan_workspace, to_json, Finding};
 use std::path::PathBuf;
 
 const USAGE: &str = "\
 adaqp-lint: workspace static analysis enforcing simulation invariants
 
 USAGE:
-    cargo run -p analysis --release -- --workspace
-    cargo run -p analysis --release -- [PATH.rs | PATH.toml]...
+    cargo run -p analysis --release -- [--json] --workspace
+    cargo run -p analysis --release -- [--json] [PATH.rs | PATH.toml]...
 
-Rules: sim-clock, no-panic, det-iter, lossy-cast, dep-hygiene.
-Suppress with `// lint:allow(<rule>): <reason>` on the offending line.
+Rules: sim-clock, no-panic, det-iter, no-stray-print, lossy-cast,
+dep-hygiene, par-disjoint, unit-confusion.
+Suppress with `// lint:allow(<rule>): <reason>` on the offending line;
+stale and reason-less directives are themselves violations.
+--json prints findings as a JSON array on stdout (summary on stderr).
 Exit status: 0 clean, 1 violations found, 2 usage or I/O error.";
 
 fn main() {
@@ -24,10 +27,14 @@ fn run() -> i32 {
         println!("{USAGE}");
         return if args.is_empty() { 2 } else { 0 };
     }
+    let json = args.iter().any(|a| a == "--json");
     let mut findings: Vec<Finding> = Vec::new();
     let mut scanned_workspace = false;
+    let mut scanned_anything = false;
     for arg in &args {
-        let result = if arg == "--workspace" {
+        let result = if arg == "--json" {
+            continue;
+        } else if arg == "--workspace" {
             scanned_workspace = true;
             find_root().and_then(|root| scan_workspace(&root))
         } else if arg.starts_with('-') {
@@ -36,6 +43,7 @@ fn run() -> i32 {
         } else {
             scan_path(&PathBuf::from(arg))
         };
+        scanned_anything = true;
         match result {
             Ok(f) => findings.extend(f),
             Err(e) => {
@@ -44,8 +52,16 @@ fn run() -> i32 {
             }
         }
     }
-    for f in &findings {
-        println!("{f}");
+    if !scanned_anything {
+        eprintln!("nothing to scan\n{USAGE}");
+        return 2;
+    }
+    if json {
+        print!("{}", to_json(&findings));
+    } else {
+        for f in &findings {
+            println!("{f}");
+        }
     }
     if findings.is_empty() {
         let scope = if scanned_workspace {

@@ -1,0 +1,167 @@
+//! Brace-tree scope analysis over the lexer's token stream.
+//!
+//! The first-generation rules treated a file as a flat token sequence;
+//! that is enough for "this identifier may not appear here" rules but not
+//! for relational ones. This module adds just enough structure on top of
+//! [`crate::lexer`] to group tokens into *function scopes*: for every `fn`
+//! item (including nested ones) it records the name and the token-index
+//! range of the brace-matched body. Scope-aware rules (`par-disjoint`,
+//! `unit-confusion`) walk those ranges so that, e.g., a taint assigned to
+//! a local in one function can never leak into the analysis of another.
+//!
+//! Like the lexer, this is deliberately *not* a parser: it only matches
+//! delimiters (which the lexer guarantees are real code, never comment or
+//! string content) and knows the two places matching needs care — `->`
+//! arrows inside generic parameter lists, and `fn` the keyword vs. `fn`
+//! pointer types (the latter is never followed by an identifier).
+
+use crate::lexer::Tok;
+
+/// One `fn` item's scope: its name and the token-index range of its body.
+#[derive(Debug, Clone)]
+pub struct FnScope {
+    /// The function's name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Half-open token-index range of the body, exclusive of the braces.
+    /// Indexes into the same slice passed to [`fn_scopes`]. Nested functions
+    /// produce their own scopes whose ranges lie inside the parent's.
+    pub body: (usize, usize),
+}
+
+/// Index of the token matching the opening delimiter at `open` (`(`, `[` or
+/// `{`), counting only that delimiter pair. Returns `code.len()` when the
+/// delimiter never closes (malformed input degrades gracefully: the "scope"
+/// runs to end of file instead of derailing the scan).
+pub fn matching(code: &[&Tok], open: usize) -> usize {
+    let (o, c) = match code.get(open) {
+        Some(t) if t.is_punct('(') => ('(', ')'),
+        Some(t) if t.is_punct('[') => ('[', ']'),
+        Some(t) if t.is_punct('{') => ('{', '}'),
+        _ => return code.len(),
+    };
+    let mut depth = 1usize;
+    let mut i = open + 1;
+    while i < code.len() {
+        if code[i].is_punct(o) {
+            depth += 1;
+        } else if code[i].is_punct(c) {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+        i += 1;
+    }
+    code.len()
+}
+
+/// Collects every `fn` item's scope from a comment-free token slice.
+///
+/// Nested functions are reported as separate scopes (with overlapping body
+/// ranges); callers that attribute findings per-line should de-duplicate.
+/// Bodyless functions (trait method declarations) produce no scope.
+pub fn fn_scopes(code: &[&Tok]) -> Vec<FnScope> {
+    let mut scopes = Vec::new();
+    let mut i = 0;
+    while i < code.len() {
+        // `fn` pointer types (`fn(usize) -> usize`) have no name ident.
+        let is_fn_item = code[i].is_ident("fn")
+            && code
+                .get(i + 1)
+                .is_some_and(|t| t.kind == crate::lexer::TokKind::Ident);
+        if !is_fn_item {
+            i += 1;
+            continue;
+        }
+        let name = code[i + 1].text.clone();
+        let line = code[i].line;
+        let mut j = i + 2;
+        // Generic parameter list: angle-match, treating `->` (inside `Fn(..)
+        // -> T` bounds) as a unit so its `>` doesn't close the list.
+        if code.get(j).is_some_and(|t| t.is_punct('<')) {
+            let mut depth = 1usize;
+            j += 1;
+            while j < code.len() && depth > 0 {
+                if code[j].is_punct('<') {
+                    depth += 1;
+                } else if code[j].is_punct('>') && !code[j - 1].is_punct('-') {
+                    depth -= 1;
+                }
+                j += 1;
+            }
+        }
+        if code.get(j).is_some_and(|t| t.is_punct('(')) {
+            j = matching(code, j) + 1;
+        }
+        // Return type / where clause: the body starts at the first `{`; a
+        // `;` first means a bodyless declaration.
+        while j < code.len() && !code[j].is_punct('{') && !code[j].is_punct(';') {
+            j += 1;
+        }
+        if j < code.len() && code[j].is_punct('{') {
+            let end = matching(code, j);
+            scopes.push(FnScope {
+                name,
+                line,
+                body: (j + 1, end),
+            });
+        }
+        // Resume right after the signature so nested `fn` items inside this
+        // body are discovered too.
+        i += 2;
+    }
+    scopes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::{lex, TokKind};
+
+    fn scopes_of(src: &str) -> Vec<FnScope> {
+        let toks = lex(src);
+        let code: Vec<&Tok> = toks.iter().filter(|t| t.kind != TokKind::Comment).collect();
+        fn_scopes(&code)
+    }
+
+    #[test]
+    fn finds_top_level_and_nested_fns() {
+        let src =
+            "fn outer(x: u32) -> u32 {\n    fn inner(y: u32) -> u32 { y + 1 }\n    inner(x)\n}\n";
+        let scopes = scopes_of(src);
+        let names: Vec<&str> = scopes.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["outer", "inner"]);
+        // Inner's body range nests inside outer's.
+        assert!(scopes[1].body.0 > scopes[0].body.0);
+        assert!(scopes[1].body.1 < scopes[0].body.1);
+    }
+
+    #[test]
+    fn generics_with_fn_bounds_do_not_derail() {
+        let src = "fn apply<F: Fn(usize) -> usize>(f: F) -> usize { f(1) }\n";
+        let scopes = scopes_of(src);
+        assert_eq!(scopes.len(), 1);
+        assert_eq!(scopes[0].name, "apply");
+        assert!(scopes[0].body.1 > scopes[0].body.0);
+    }
+
+    #[test]
+    fn fn_pointer_types_and_declarations_are_skipped() {
+        let src = "trait T { fn required(&self); }\ntype Op = fn(u32) -> u32;\nfn real() {}\n";
+        let scopes = scopes_of(src);
+        assert_eq!(scopes.len(), 1);
+        assert_eq!(scopes[0].name, "real");
+    }
+
+    #[test]
+    fn matching_handles_nesting_and_malformed_input() {
+        let toks = lex("( a ( b ) c )");
+        let code: Vec<&Tok> = toks.iter().collect();
+        assert_eq!(matching(&code, 0), code.len() - 1);
+        let toks = lex("( never closed");
+        let code: Vec<&Tok> = toks.iter().collect();
+        assert_eq!(matching(&code, 0), code.len());
+    }
+}

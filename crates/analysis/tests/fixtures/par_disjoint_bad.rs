@@ -1,0 +1,9 @@
+// Bad: the output chunk is indexed by a captured cursor, not by anything
+// derived from the chunk-range parameters — chunks can alias.
+pub fn racy_fill(out: &mut [f32], offset: usize) {
+    par_chunks_deterministic(out, 1, 1, |start, end, chunk| {
+        for _i in start..end {
+            chunk[offset] += 1.0;
+        }
+    });
+}

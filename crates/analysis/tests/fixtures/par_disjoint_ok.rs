@@ -1,0 +1,12 @@
+// Clean: every output index is derived from the chunk-range parameters,
+// directly or through locals and loop bindings computed from them.
+pub fn scale_rows(out: &mut [f32], width: usize) {
+    par_chunks_deterministic(out, width, 1, |start, end, chunk| {
+        for i in start..end {
+            let base = (i - start) * width;
+            for j in 0..width {
+                chunk[base + j] *= 2.0;
+            }
+        }
+    });
+}

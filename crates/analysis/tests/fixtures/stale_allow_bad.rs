@@ -1,0 +1,6 @@
+// Bad: the allow names a real rule and carries a reason, but nothing on
+// its line or the next triggers lossy-cast — the directive is stale.
+pub fn widen(x: u8) -> u64 {
+    // lint:allow(lossy-cast): widening is always exact
+    x as u64
+}

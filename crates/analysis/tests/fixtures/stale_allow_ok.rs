@@ -1,0 +1,5 @@
+// Clean: the allow is live — it suppresses the narrowing cast below it.
+pub fn code(x: f64) -> u8 {
+    // lint:allow(lossy-cast): clamped to [0, 255] by the caller
+    x as u8
+}

@@ -1,0 +1,10 @@
+// Bad: host wall-clock seconds leak into simulated-clock arithmetic —
+// once directly, once through a tainted local binding.
+pub fn direct(total_sim_seconds: f64, host_seconds: f64) -> f64 {
+    total_sim_seconds + host_seconds
+}
+
+pub fn via_binding(total_sim_seconds: f64, wall: Wall) -> f64 {
+    let elapsed = wall.host_seconds;
+    total_sim_seconds + elapsed
+}

@@ -1,0 +1,6 @@
+// Clean: host wall-clock seconds are recorded as diagnostics next to the
+// simulated totals, but the two units never meet in arithmetic.
+pub fn record(sim_seconds: f64, host_seconds: f64, out: &mut Breakdown) {
+    out.total_sim_seconds += sim_seconds;
+    out.host_seconds = host_seconds;
+}

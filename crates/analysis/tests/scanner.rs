@@ -166,6 +166,67 @@ fn dep_hygiene_fixture_pair() {
 }
 
 #[test]
+fn par_disjoint_fixture_pair() {
+    let bad = scan_fixture("par_disjoint_bad.rs");
+    assert!(
+        rules_of(&bad).contains(&"par-disjoint"),
+        "findings: {bad:?}"
+    );
+    assert_eq!(bad[0].line, 6, "the captured-cursor index is on line 6");
+    assert!(scan_fixture("par_disjoint_ok.rs").is_empty());
+}
+
+#[test]
+fn unit_confusion_fixture_pair() {
+    let bad = scan_fixture("unit_confusion_bad.rs");
+    let rules = rules_of(&bad);
+    assert_eq!(
+        rules.iter().filter(|r| **r == "unit-confusion").count(),
+        2,
+        "direct mix + taint through a binding: {bad:?}"
+    );
+    // The message names the enclosing function.
+    assert!(bad.iter().any(|f| f.message.contains("direct")));
+    assert!(bad.iter().any(|f| f.message.contains("via_binding")));
+    assert!(scan_fixture("unit_confusion_ok.rs").is_empty());
+}
+
+#[test]
+fn stale_allow_fixture_pair() {
+    let bad = scan_fixture("stale_allow_bad.rs");
+    let rules = rules_of(&bad);
+    assert_eq!(rules, ["stale-allow"], "findings: {bad:?}");
+    assert_eq!(bad[0].line, 4, "the stale directive is on line 4");
+    assert!(scan_fixture("stale_allow_ok.rs").is_empty());
+}
+
+#[test]
+fn to_json_escapes_and_orders_findings() {
+    let findings = vec![
+        Finding {
+            file: "a.rs".into(),
+            line: 3,
+            rule: "no-panic",
+            message: "say \"no\" to panics\tplease".into(),
+        },
+        Finding {
+            file: "b\\c.rs".into(),
+            line: 7,
+            rule: "sim-clock",
+            message: "wall clock".into(),
+        },
+    ];
+    let json = analysis::to_json(&findings);
+    assert!(json.starts_with('['), "array output: {json}");
+    assert!(json.contains(r#""file": "a.rs", "line": 3, "rule": "no-panic""#));
+    assert!(json.contains(r#"say \"no\" to panics\tplease"#));
+    assert!(json.contains(r#""b\\c.rs""#));
+    // Input order is preserved (scan output is already sorted).
+    assert!(json.find("a.rs").unwrap() < json.find("sim-clock").unwrap());
+    assert_eq!(analysis::to_json(&[]), "[\n]\n");
+}
+
+#[test]
 fn findings_render_as_file_line_rule() {
     let bad = scan_fixture("lossy_cast_bad.rs");
     let line = bad[0].to_string();

@@ -214,10 +214,10 @@ impl SolveStats {
     fn to_bytes(self) -> [u8; 32] {
         let mut out = [0u8; 32];
         out[0..8].copy_from_slice(&self.secs.to_le_bytes());
-        // lint:allow(lossy-cast): iteration counts stay far below 2^53
+        // Iteration counts stay far below 2^53, so the f64 encoding is exact.
         out[8..16].copy_from_slice(&(self.iterations as f64).to_le_bytes());
         out[16..24].copy_from_slice(&self.objective_sum.to_le_bytes());
-        // lint:allow(lossy-cast): problem counts stay far below 2^53
+        // Problem counts stay far below 2^53, so the f64 encoding is exact.
         out[24..32].copy_from_slice(&(self.problems as f64).to_le_bytes());
         out
     }
@@ -234,10 +234,10 @@ impl SolveStats {
         };
         SolveStats {
             secs: f(0),
-            // lint:allow(lossy-cast): roundtrip of a count encoded as f64 by to_bytes
+            // Roundtrip of a count encoded as f64 by to_bytes; exact below 2^53.
             iterations: f(1) as u64,
             objective_sum: f(2),
-            // lint:allow(lossy-cast): roundtrip of a count encoded as f64 by to_bytes
+            // Roundtrip of a count encoded as f64 by to_bytes; exact below 2^53.
             problems: f(3) as u64,
         }
     }

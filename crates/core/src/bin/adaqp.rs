@@ -58,7 +58,7 @@ USAGE:
             [--epochs N] [--hidden N] [--sage] [--seed N] [--lambda X]
             [--group-size N] [--period N] [--no-overlap] [--error-feedback]
             [--scale X] [--json] [--telemetry] [--trace <file.json>]
-            [--events <file.jsonl>] [--metrics <path>]
+            [--events <file.jsonl>] [--metrics <path>] [--san]
   adaqp compare --dataset <name> [--machines N] [--devices N] [--epochs N]
             [--scale X] [--markdown]
   adaqp tune --dataset <name> [--machines N] [--devices N] [--epochs N] [--scale X]
@@ -81,6 +81,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         "markdown",
         "grouped-wire",
         "telemetry",
+        "san",
     ];
     let mut flags = Flags::new();
     let mut i = 0;
@@ -160,6 +161,7 @@ fn experiment_from(flags: &Flags) -> Result<ExperimentConfig, String> {
         || flags.contains_key("trace")
         || flags.contains_key("events");
     training.metrics = flags.contains_key("metrics");
+    training.sanitize = flags.contains_key("san");
     Ok(ExperimentConfig {
         dataset,
         machines: parse_num(flags, "machines", 2usize)?,
@@ -180,6 +182,14 @@ fn cmd_run(flags: &Flags) -> Result<(), String> {
         cfg.training.epochs
     );
     let r = adaqp::run_experiment(&cfg).map_err(|e| e.to_string())?;
+    if cfg.training.sanitize || tensor::san::enabled() {
+        // run_experiment fails on violations, so reaching here means clean.
+        let rep = tensor::san::report();
+        eprintln!(
+            "sanitizer:    clean ({} kernel launches, {} adversarial schedules)",
+            rep.kernels_checked, rep.schedules_checked
+        );
+    }
     if let Some(log) = &r.telemetry {
         if let Some(path) = flags.get("trace") {
             log.write_chrome_trace(path).map_err(|e| e.to_string())?;
@@ -410,6 +420,15 @@ mod tests {
         assert!(!cfg.training.telemetry);
         let off = experiment_from(&flags_of(&["--dataset", "tiny"])).expect("valid config");
         assert!(!off.training.metrics);
+    }
+
+    #[test]
+    fn san_switch_enables_the_sanitizer() {
+        let f = flags_of(&["--dataset", "tiny", "--san"]);
+        let cfg = experiment_from(&f).expect("valid config");
+        assert!(cfg.training.sanitize);
+        let off = experiment_from(&flags_of(&["--dataset", "tiny"])).expect("valid config");
+        assert!(!off.training.sanitize);
     }
 
     #[test]

@@ -126,6 +126,15 @@ pub struct TrainingConfig {
     /// changes.
     #[serde(default)]
     pub threads: usize,
+    /// Run the determinism sanitizer (`adaqp-san`, see `tensor::san`): every
+    /// instrumented parallel kernel verifies its chunk ownership claims and
+    /// re-executes under adversarial chunk orders and worker counts, and the
+    /// run fails with [`crate::Error::Sanitizer`] on any violation. Results
+    /// are unchanged (the sanitizer only verifies and re-executes); host
+    /// wall-clock is not — never benchmark sanitized runs. Off by default;
+    /// the `ADAQP_SAN` env var enables the mode independently of this flag.
+    #[serde(default)]
+    pub sanitize: bool,
 }
 
 impl Default for TrainingConfig {
@@ -152,6 +161,7 @@ impl Default for TrainingConfig {
             telemetry: false,
             metrics: false,
             threads: 0,
+            sanitize: false,
         }
     }
 }
@@ -457,6 +467,12 @@ impl ExperimentConfigBuilder {
         self
     }
 
+    /// Enables or disables the determinism sanitizer (`adaqp-san`).
+    pub fn sanitize(mut self, on: bool) -> Self {
+        self.cfg.training.sanitize = on;
+        self
+    }
+
     /// Validates and returns the configuration.
     pub fn build(self) -> Result<ExperimentConfig, Error> {
         self.cfg.validate()?;
@@ -649,5 +665,21 @@ mod tests {
         assert_eq!(back.threads, 0);
         let built = ExperimentConfig::builder().threads(4).build().expect("ok");
         assert_eq!(built.training.threads, 4);
+    }
+
+    #[test]
+    fn sanitize_field_defaults_off_and_deserializes_when_absent() {
+        assert!(!TrainingConfig::default().sanitize);
+        let mut v = serde_json::to_value(&TrainingConfig::default());
+        if let Some(obj) = v.as_object_mut() {
+            obj.remove("sanitize");
+        }
+        let back: TrainingConfig = serde_json::from_value(v).expect("missing field defaults");
+        assert!(!back.sanitize);
+        let built = ExperimentConfig::builder()
+            .sanitize(true)
+            .build()
+            .expect("ok");
+        assert!(built.training.sanitize);
     }
 }

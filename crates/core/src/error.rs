@@ -19,6 +19,9 @@ pub enum Error {
     Io(std::io::Error),
     /// A simulated device thread failed mid-run.
     Cluster(comm::ClusterError),
+    /// The determinism sanitizer (`adaqp-san`, see `tensor::san`) observed a
+    /// parallel-kernel contract violation during a sanitized run.
+    Sanitizer(String),
 }
 
 impl fmt::Display for Error {
@@ -29,6 +32,7 @@ impl fmt::Display for Error {
             Error::SolverInfeasible(msg) => write!(f, "solver infeasible: {msg}"),
             Error::Io(e) => write!(f, "i/o error: {e}"),
             Error::Cluster(e) => write!(f, "cluster failure: {e}"),
+            Error::Sanitizer(msg) => write!(f, "determinism sanitizer: {msg}"),
         }
     }
 }

@@ -22,14 +22,24 @@ use tensor::Rng;
 ///
 /// [`Error::InvalidConfig`] when [`ExperimentConfig::validate`] rejects the
 /// configuration, [`Error::Partition`] when the graph cannot be spread over
-/// the requested device count, and [`Error::Cluster`] when a simulated
-/// device thread dies mid-run.
+/// the requested device count, [`Error::Cluster`] when a simulated device
+/// thread dies mid-run, and [`Error::Sanitizer`] when a sanitized run
+/// (`TrainingConfig::sanitize` or `ADAQP_SAN=1`) observes a parallel-kernel
+/// determinism violation.
 pub fn run_experiment(cfg: &ExperimentConfig) -> Result<RunResult, Error> {
     cfg.validate()?;
     // Pin the kernel runtime's worker count for this run (0 = auto-detect).
     // Kernel results are byte-identical at any thread count, so this only
     // affects host wall-clock, never simulated numerics.
     tensor::par::set_threads(cfg.training.threads);
+    // Arm (or disarm) the determinism sanitizer. Like the thread count this
+    // is process-global; concurrent runs with different settings only change
+    // how much checking happens, never any kernel's output bytes.
+    tensor::san::set_sanitize(cfg.training.sanitize);
+    let san_active = tensor::san::enabled();
+    if san_active {
+        tensor::san::reset();
+    }
     let dataset = cfg.dataset.generate(cfg.seed);
     let mut rng = Rng::seed_from(cfg.seed ^ 0x5EED_CAFE);
     let n = cfg.num_devices();
@@ -89,6 +99,19 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> Result<RunResult, Error> {
         }
         result.metrics = Some(reg.snapshot());
     }
+    if san_active {
+        let rep = tensor::san::report();
+        if !rep.is_clean() {
+            let details: Vec<String> = rep.errors.iter().map(ToString::to_string).collect();
+            return Err(Error::Sanitizer(format!(
+                "{} violation(s) across {} kernel launches / {} adversarial schedules: {}",
+                rep.errors.len(),
+                rep.kernels_checked,
+                rep.schedules_checked,
+                details.join("; ")
+            )));
+        }
+    }
     Ok(result)
 }
 
@@ -117,13 +140,13 @@ fn record_run_metrics(
     reg.gauge_set("adaqp_test_at_best", &[], result.test_at_best);
 
     let pool = tensor::par::pool_stats();
-    // lint:allow(lossy-cast): scheduling counters stay far below 2^53
+    // Scheduling counters stay far below 2^53, so the f64 gauge is exact.
     reg.gauge_set_diag("adaqp_pool_pooled_runs", &[], pool.pooled_runs as f64);
-    // lint:allow(lossy-cast): scheduling counters stay far below 2^53
+    // Scheduling counters stay far below 2^53, so the f64 gauge is exact.
     reg.gauge_set_diag("adaqp_pool_inline_runs", &[], pool.inline_runs as f64);
-    // lint:allow(lossy-cast): scheduling counters stay far below 2^53
+    // Scheduling counters stay far below 2^53, so the f64 gauge is exact.
     reg.gauge_set_diag("adaqp_pool_tasks_executed", &[], pool.tasks_executed as f64);
-    // lint:allow(lossy-cast): scheduling counters stay far below 2^53
+    // Scheduling counters stay far below 2^53, so the f64 gauge is exact.
     reg.gauge_set_diag("adaqp_pool_idle_workers", &[], pool.idle_workers as f64);
     for (w, &tasks) in pool.worker_tasks.iter().enumerate() {
         if tasks > 0 {
@@ -131,7 +154,7 @@ fn record_run_metrics(
             reg.gauge_set_diag(
                 "adaqp_pool_worker_tasks",
                 &[("worker", worker.as_str())],
-                // lint:allow(lossy-cast): scheduling counters stay far below 2^53
+                // Scheduling counters stay far below 2^53, so the f64 gauge is exact.
                 tasks as f64,
             );
         }

@@ -260,7 +260,7 @@ fn span_event(rank: usize, e: &Event) -> Value {
 /// `E` event only closes it (name/pid/tid repeated for strict parsers).
 fn begin_end_events(rank: usize, e: &Event) -> (Value, Value) {
     let span = span_event(rank, e);
-    // lint:allow(no-panic): span_event always returns an object
+    // span_event always returns an object, so the else arm is unreachable.
     let Value::Object(mut begin) = span else {
         unreachable!("span_event returns an object")
     };

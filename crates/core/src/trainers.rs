@@ -307,13 +307,13 @@ impl<'a> DeviceTrainer<'a> {
             // registries does not multiply the counts.
             if self.part.rank == 0 {
                 if let Some(reg) = self.dev.metrics_mut() {
-                    // lint:allow(lossy-cast): iteration counts stay far below 2^53
+                    // Iteration counts stay far below 2^53, so the f64 counter is exact.
                     reg.counter_add(
                         "adaqp_solver_iterations_total",
                         &[],
                         solve.iterations as f64,
                     );
-                    // lint:allow(lossy-cast): problem counts stay far below 2^53
+                    // Problem counts stay far below 2^53, so the f64 counter is exact.
                     reg.counter_add("adaqp_solver_problems_total", &[], solve.problems as f64);
                     reg.gauge_set("adaqp_solver_objective_sum", &[], solve.objective_sum);
                 }
@@ -610,7 +610,7 @@ impl<'a> DeviceTrainer<'a> {
             reg.counter_add(
                 "adaqp_halo_sent_bytes_total",
                 &[("src", &src), ("dst", &q.to_string()), ("width", &width)],
-                // lint:allow(lossy-cast): payload sizes stay far below 2^53
+                // Payload sizes stay far below 2^53, so the f64 counter is exact.
                 b as f64,
             );
         }
@@ -621,9 +621,9 @@ impl<'a> DeviceTrainer<'a> {
             }
             let bits = (w.bits()).to_string();
             let labels = [("width", bits.as_str())];
-            // lint:allow(lossy-cast): row counts stay far below 2^53
+            // Row counts stay far below 2^53, so the f64 counter is exact.
             reg.counter_add("adaqp_quant_rows_total", &labels, ws.rows as f64);
-            // lint:allow(lossy-cast): element counts stay far below 2^53
+            // Element counts stay far below 2^53, so the f64 counter is exact.
             reg.counter_add("adaqp_quant_elements_total", &labels, ws.elements as f64);
             reg.counter_add("adaqp_quant_range_sum", &labels, ws.sum_range);
             reg.counter_add("adaqp_quant_sq_error_sum", &labels, ws.sum_sq_err);

@@ -195,94 +195,99 @@ pub fn encode_block_with_stats(
         let (hdr, hdr_tail) = hdr_rest.split_at_mut((e - s) * ROW_OVERHEAD_BYTES);
         let (codes, code_tail) = code_rest.split_at_mut(code_offsets[e] - code_offsets[s]);
         let (stat, stat_tail) = stat_rest.split_at_mut(1);
-        tasks.push((s, e, hdr, codes, &mut stat[0]));
+        tasks.push(((s, e), (hdr, codes, &mut stat[0])));
         hdr_rest = hdr_tail;
         code_rest = code_tail;
         stat_rest = stat_tail;
     }
-    tensor::par::run_tasks(tasks, |(s, e, hdr, codes, stat)| {
-        for i in s..e {
-            let w = widths[i];
-            let row = messages.row(i);
-            let mut mn = f32::INFINITY;
-            let mut mx = f32::NEG_INFINITY;
-            for &v in row {
-                mn = mn.min(v);
-                mx = mx.max(v);
-            }
-            if row.is_empty() {
-                mn = 0.0;
-                mx = 0.0;
-            }
-            let scale = if mx > mn {
-                // lint:allow(lossy-cast): max_code <= 255, exactly representable in f32
-                (mx - mn) / w.max_code() as f32
-            } else {
-                0.0
-            };
-            let ws = &mut stat.per_width[w.index()];
-            ws.rows += 1;
-            ws.elements += dim as u64;
-            ws.sum_range += if mx > mn { f64::from(mx - mn) } else { 0.0 };
-            // Expected squared error of stochastic rounding: dim * S^2 / 6.
-            ws.sum_sq_err += dim as f64 * f64::from(scale) * f64::from(scale) / 6.0;
-            let h = &mut hdr[(i - s) * ROW_OVERHEAD_BYTES..(i - s + 1) * ROW_OVERHEAD_BYTES];
-            // lint:allow(lossy-cast): supported widths are 2/4/8 bits; always fits a u8
-            h[0] = w.bits() as u8;
-            h[1..5].copy_from_slice(&mn.to_le_bytes());
-            h[5..9].copy_from_slice(&scale.to_le_bytes());
-            if scale == 0.0 {
-                // Codes stay zero (the buffer is pre-zeroed).
-                continue;
-            }
-            // Stochastic quantization packed straight into the wire buffer.
-            // Hot path: `floor(x + u)` with `u ~ U[0,1)` *is* stochastic
-            // rounding (it rounds up with probability frac(x)), so one add +
-            // floor replaces the separate floor / coin / compare sequence,
-            // and the coins come from a murmur-style counter hash keyed per
-            // row — independent per element, so the loop pipelines and rows
-            // need no serial RNG chain.
-            let out = &mut codes
-                [code_offsets[i] - code_offsets[s]..code_offsets[i + 1] - code_offsets[s]];
-            let bits = w.bits() as usize;
-            let max_code = w.max_code();
-            let inv_scale = 1.0 / scale;
-            // lint:allow(lossy-cast): truncating a mixed 64-bit key to its low 32 bits
-            let mut c32 = splitmix64(base ^ (i as u64)) as u32;
-            let mut acc: u8 = 0;
-            let mut fill = 0usize;
-            let mut byte_idx = 0usize;
-            for &v in row {
-                // Murmur-style 32-bit counter hash: independent per element,
-                // cheap enough to pipeline, and the high 24 bits are uniform —
-                // all a rounding coin needs.
-                c32 = c32.wrapping_add(0x9E37_79B9);
-                let mut z = c32 ^ (c32 >> 16);
-                z = z.wrapping_mul(0x85EB_CA6B);
-                z ^= z >> 13;
-                // lint:allow(lossy-cast): 24-bit uniform sample is exactly representable in f32
-                let u = (z >> 8) as f32 * (1.0 / 16_777_216.0);
-                // x >= 0 by construction (v >= zero-point), so `as u32`
-                // truncation *is* floor — one cvttss instruction instead of a
-                // libm floor call. The min() handles the row maximum, where
-                // x can reach max_code + u.
-                let x = (v - mn) * inv_scale + u;
-                // lint:allow(lossy-cast): clamped to max_code <= 255 before the narrowing
-                let code = (x as u32).min(max_code) as u8;
-                acc |= code << fill;
-                fill += bits;
-                if fill == 8 {
+    tensor::par::run_range_tasks(
+        "quant::encode_block",
+        rows,
+        tasks,
+        |s, e, (hdr, codes, stat)| {
+            for i in s..e {
+                let w = widths[i];
+                let row = messages.row(i);
+                let mut mn = f32::INFINITY;
+                let mut mx = f32::NEG_INFINITY;
+                for &v in row {
+                    mn = mn.min(v);
+                    mx = mx.max(v);
+                }
+                if row.is_empty() {
+                    mn = 0.0;
+                    mx = 0.0;
+                }
+                let scale = if mx > mn {
+                    // lint:allow(lossy-cast): max_code <= 255, exactly representable in f32
+                    (mx - mn) / w.max_code() as f32
+                } else {
+                    0.0
+                };
+                let ws = &mut stat.per_width[w.index()];
+                ws.rows += 1;
+                ws.elements += dim as u64;
+                ws.sum_range += if mx > mn { f64::from(mx - mn) } else { 0.0 };
+                // Expected squared error of stochastic rounding: dim * S^2 / 6.
+                ws.sum_sq_err += dim as f64 * f64::from(scale) * f64::from(scale) / 6.0;
+                let h = &mut hdr[(i - s) * ROW_OVERHEAD_BYTES..(i - s + 1) * ROW_OVERHEAD_BYTES];
+                // lint:allow(lossy-cast): supported widths are 2/4/8 bits; always fits a u8
+                h[0] = w.bits() as u8;
+                h[1..5].copy_from_slice(&mn.to_le_bytes());
+                h[5..9].copy_from_slice(&scale.to_le_bytes());
+                if scale == 0.0 {
+                    // Codes stay zero (the buffer is pre-zeroed).
+                    continue;
+                }
+                // Stochastic quantization packed straight into the wire buffer.
+                // Hot path: `floor(x + u)` with `u ~ U[0,1)` *is* stochastic
+                // rounding (it rounds up with probability frac(x)), so one add +
+                // floor replaces the separate floor / coin / compare sequence,
+                // and the coins come from a murmur-style counter hash keyed per
+                // row — independent per element, so the loop pipelines and rows
+                // need no serial RNG chain.
+                let out = &mut codes
+                    [code_offsets[i] - code_offsets[s]..code_offsets[i + 1] - code_offsets[s]];
+                let bits = w.bits() as usize;
+                let max_code = w.max_code();
+                let inv_scale = 1.0 / scale;
+                // Truncating the mixed 64-bit key to its low 32 bits is the draw itself.
+                let mut c32 = splitmix64(base ^ (i as u64)) as u32;
+                let mut acc: u8 = 0;
+                let mut fill = 0usize;
+                let mut byte_idx = 0usize;
+                for &v in row {
+                    // Murmur-style 32-bit counter hash: independent per element,
+                    // cheap enough to pipeline, and the high 24 bits are uniform —
+                    // all a rounding coin needs.
+                    c32 = c32.wrapping_add(0x9E37_79B9);
+                    let mut z = c32 ^ (c32 >> 16);
+                    z = z.wrapping_mul(0x85EB_CA6B);
+                    z ^= z >> 13;
+                    // lint:allow(lossy-cast): 24-bit uniform sample is exactly representable in f32
+                    let u = (z >> 8) as f32 * (1.0 / 16_777_216.0);
+                    // x >= 0 by construction (v >= zero-point), so `as u32`
+                    // truncation *is* floor — one cvttss instruction instead of a
+                    // libm floor call. The min() handles the row maximum, where
+                    // x can reach max_code + u.
+                    let x = (v - mn) * inv_scale + u;
+                    // lint:allow(lossy-cast): clamped to max_code <= 255 before the narrowing
+                    let code = (x as u32).min(max_code) as u8;
+                    acc |= code << fill;
+                    fill += bits;
+                    if fill == 8 {
+                        out[byte_idx] = acc;
+                        byte_idx += 1;
+                        acc = 0;
+                        fill = 0;
+                    }
+                }
+                if fill > 0 {
                     out[byte_idx] = acc;
-                    byte_idx += 1;
-                    acc = 0;
-                    fill = 0;
                 }
             }
-            if fill > 0 {
-                out[byte_idx] = acc;
-            }
-        }
-    });
+        },
+    );
     let mut stats = EncodeStats::default();
     for s in &chunk_stats {
         stats.merge(s);

@@ -32,6 +32,7 @@ mod metrics;
 mod ops;
 pub mod par;
 mod rng;
+pub mod san;
 
 pub use init::{kaiming_uniform, xavier_uniform};
 pub use matrix::Matrix;

@@ -280,7 +280,7 @@ impl Matrix {
             let mut partials = vec![vec![0.0f32; self.cols * rhs.cols]; ranges.len()];
             let tasks: Vec<((usize, usize), &mut Vec<f32>)> =
                 ranges.iter().copied().zip(partials.iter_mut()).collect();
-            crate::par::run_tasks(tasks, |((s, e), buf)| {
+            crate::par::run_range_tasks("tensor::matmul_tn", self.rows, tasks, |s, e, buf| {
                 matmul_tn_serial(
                     &self.data[s * self.cols..e * self.cols],
                     e - s,

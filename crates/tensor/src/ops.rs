@@ -156,27 +156,32 @@ pub fn layer_norm_forward(x: &Matrix, gamma: &[f32], beta: &[f32]) -> (Matrix, L
         let (o, o_tail) = o_rest.split_at_mut((e - s) * d);
         let (xh, xh_tail) = xh_rest.split_at_mut((e - s) * d);
         let (ist, is_tail) = is_rest.split_at_mut(e - s);
-        tasks.push((s, e, o, xh, ist));
+        tasks.push(((s, e), (o, xh, ist)));
         o_rest = o_tail;
         xh_rest = xh_tail;
         is_rest = is_tail;
     }
-    par::run_tasks(tasks, |(s, e, o, xh, ist)| {
-        for (local, i) in (s..e).enumerate() {
-            let row = x.row(i);
-            let mean = row.iter().sum::<f32>() / d as f32;
-            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
-            let istd = 1.0 / (var + LN_EPS).sqrt();
-            ist[local] = istd;
-            let xh_row = &mut xh[local * d..(local + 1) * d];
-            let o_row = &mut o[local * d..(local + 1) * d];
-            for j in 0..d {
-                let h = (row[j] - mean) * istd;
-                xh_row[j] = h;
-                o_row[j] = gamma[j] * h + beta[j];
+    par::run_range_tasks(
+        "tensor::layer_norm_forward",
+        n,
+        tasks,
+        |s, e, (o, xh, ist)| {
+            for (local, i) in (s..e).enumerate() {
+                let row = x.row(i);
+                let mean = row.iter().sum::<f32>() / d as f32;
+                let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+                let istd = 1.0 / (var + LN_EPS).sqrt();
+                ist[local] = istd;
+                let xh_row = &mut xh[local * d..(local + 1) * d];
+                let o_row = &mut o[local * d..(local + 1) * d];
+                for j in 0..d {
+                    let h = (row[j] - mean) * istd;
+                    xh_row[j] = h;
+                    o_row[j] = gamma[j] * h + beta[j];
+                }
             }
-        }
-    });
+        },
+    );
     (out, LayerNormCache { x_hat, inv_std })
 }
 

@@ -170,7 +170,22 @@ where
     T: Send,
     F: Fn(T) + Sync,
 {
-    let threads = current_threads().min(tasks.len());
+    run_tasks_with(tasks, None, f);
+}
+
+/// [`run_tasks`] with an optional worker-count override. The override is how
+/// the sanitizer's adversarial scheduler forces re-executions at worker
+/// counts {1, 2, max} regardless of the configured count; normal callers go
+/// through [`run_tasks`] and inherit [`current_threads`].
+fn run_tasks_with<T, F>(tasks: Vec<T>, forced_threads: Option<usize>, f: F)
+where
+    T: Send,
+    F: Fn(T) + Sync,
+{
+    let threads = forced_threads
+        .unwrap_or_else(current_threads)
+        .max(1)
+        .min(tasks.len());
     if threads <= 1 {
         INLINE_RUNS.fetch_add(1, Ordering::Relaxed);
         TASKS_EXECUTED.fetch_add(tasks.len() as u64, Ordering::Relaxed);
@@ -207,6 +222,38 @@ where
     });
 }
 
+/// Runs `f` over tasks that each carry an explicit claim on a half-open
+/// output row range, on the shared worker pool.
+///
+/// This is the entry point for kernels that build their own disjoint output
+/// slices (per-chunk partial buffers for reductions, multi-buffer row splits)
+/// instead of going through [`par_chunks_deterministic`] — their hand-built
+/// range bookkeeping is exactly what the sanitizer's shadow ownership map
+/// exists to check. Under `ADAQP_SAN` ([`crate::san`]) the claimed ranges are
+/// verified to be in-bounds, disjoint and covering all `rows`; violations are
+/// recorded in the sanitizer report (`kernel` names the call site), never
+/// panicked on. When the sanitizer is off the claims cost nothing beyond one
+/// relaxed atomic load.
+///
+/// Unlike [`par_chunks_deterministic`], tasks here own payloads the runtime
+/// cannot clone, so the adversarial scheduler does not re-execute them —
+/// callers keep the obligation that task order must not matter.
+pub fn run_range_tasks<T, F>(
+    kernel: &'static str,
+    rows: usize,
+    tasks: Vec<((usize, usize), T)>,
+    f: F,
+) where
+    T: Send,
+    F: Fn(usize, usize, T) + Sync,
+{
+    if crate::san::enabled() {
+        let claims: Vec<(usize, usize)> = tasks.iter().map(|((s, e), _)| (*s, *e)).collect();
+        crate::san::check_claims(kernel, rows, &claims);
+    }
+    run_tasks(tasks, |((start, end), payload)| f(start, end, payload));
+}
+
 /// Deterministic parallel-for over the rows of a row-major buffer.
 ///
 /// `out` is split at the fixed boundaries from [`chunk_ranges`] (`out.len()`
@@ -216,12 +263,22 @@ where
 /// writes only its own slice, the bytes produced are identical for any thread
 /// count.
 ///
+/// Under `ADAQP_SAN` ([`crate::san`]) every launch additionally (a) feeds its
+/// chunk claims through the shadow ownership map and (b) re-executes `f` on a
+/// scratch copy of the pristine buffer under reversed, rotated and
+/// seeded-shuffled chunk orders at worker counts {1, 2, [`MAX_THREADS`]},
+/// recording a `ScheduleDivergence` if any re-execution's bytes differ from
+/// the reference output. This is why `f` must be a pure function of
+/// `(row range, chunk contents)` — a closure that reads mutable external
+/// state would diverge under the adversarial scheduler even if its writes
+/// are disjoint.
+///
 /// # Panics
 ///
 /// Panics if `out.len()` is not a multiple of `rows`.
 pub fn par_chunks_deterministic<T, F>(out: &mut [T], rows: usize, min_chunk: usize, f: F)
 where
-    T: Send,
+    T: Send + Copy + PartialEq,
     F: Fn(usize, usize, &mut [T]) + Sync,
 {
     if rows == 0 {
@@ -234,14 +291,67 @@ where
     );
     let width = out.len() / rows;
     let ranges = chunk_ranges(rows, min_chunk);
+    let sanitize = crate::san::enabled();
+    let pristine = if sanitize { out.to_vec() } else { Vec::new() };
+    run_chunks(out, width, &ranges, None, None, &f);
+    if sanitize {
+        crate::san::check_claims("par_chunks_deterministic", rows, &ranges);
+        for (schedule, threads) in crate::san::ADVERSARIAL_SCHEDULES {
+            let order = crate::san::schedule_order(schedule, ranges.len(), rows);
+            let mut scratch = pristine.clone();
+            run_chunks(
+                &mut scratch,
+                width,
+                &ranges,
+                Some(&order),
+                Some(threads),
+                &f,
+            );
+            let divergence = scratch.iter().zip(out.iter()).position(|(a, b)| a != b);
+            crate::san::record_schedule(
+                "par_chunks_deterministic",
+                rows,
+                schedule,
+                threads,
+                divergence,
+            );
+        }
+    }
+}
+
+/// Splits `out` at the given row ranges and runs the chunk tasks, optionally
+/// permuting the task order and forcing the worker count (the sanitizer's
+/// adversarial levers; both `None` on the normal path).
+fn run_chunks<T, F>(
+    out: &mut [T],
+    width: usize,
+    ranges: &[(usize, usize)],
+    order: Option<&[usize]>,
+    forced_threads: Option<usize>,
+    f: &F,
+) where
+    T: Send,
+    F: Fn(usize, usize, &mut [T]) + Sync,
+{
+    // split_at_mut forces ascending construction; the permutation is applied
+    // to the built task list afterwards.
     let mut rest = out;
-    let mut tasks = Vec::with_capacity(ranges.len());
-    for &(start, end) in &ranges {
+    let mut built: Vec<Option<(usize, usize, &mut [T])>> = Vec::with_capacity(ranges.len());
+    for &(start, end) in ranges {
         let (chunk, tail) = rest.split_at_mut((end - start) * width);
-        tasks.push((start, end, chunk));
+        built.push(Some((start, end, chunk)));
         rest = tail;
     }
-    run_tasks(tasks, |(start, end, chunk)| f(start, end, chunk));
+    let tasks: Vec<(usize, usize, &mut [T])> = match order {
+        Some(order) => order
+            .iter()
+            .filter_map(|&i| built.get_mut(i).and_then(Option::take))
+            .collect(),
+        None => built.into_iter().flatten().collect(),
+    };
+    run_tasks_with(tasks, forced_threads, |(start, end, chunk)| {
+        f(start, end, chunk);
+    });
 }
 
 #[cfg(test)]

@@ -11,6 +11,14 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Sanitized runs re-execute every instrumented kernel under adversarial
+# schedules — their timings are meaningless as benchmarks. Refuse to record.
+if [[ -n "${ADAQP_SAN:-}" && "${ADAQP_SAN}" != "0" ]]; then
+    echo "bench.sh: refusing to benchmark with ADAQP_SAN set;" \
+        "sanitized runs measure the sanitizer, not the kernels" >&2
+    exit 2
+fi
+
 QUICK=1
 SMOKE=0
 case "${1:-}" in

@@ -10,7 +10,14 @@ echo "==> cargo clippy --all-targets -D warnings"
 cargo clippy --offline --all-targets -- -D warnings
 
 echo "==> adaqp-lint (simulation invariants)"
-cargo run --offline --release -p analysis -- --workspace
+mkdir -p results
+cargo run --offline --release -p analysis -- --workspace --json \
+    | tee results/LINT_findings.json
+
+echo "==> sanitizer smoke (ADAQP_SAN=1 pinned tiny run)"
+ADAQP_SAN=1 cargo run --offline -q --release -p adaqp --bin adaqp -- \
+    run --dataset tiny --method adaqp --machines 1 --devices 2 \
+    --epochs 3 --hidden 16 --period 2 --seed 7 >/dev/null
 
 echo "==> cargo test -q"
 cargo test --offline -q

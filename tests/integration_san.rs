@@ -1,0 +1,70 @@
+//! Integration: the determinism sanitizer (`adaqp-san`) is transparent —
+//! running the pinned tiny experiment under `TrainingConfig::sanitize`
+//! produces a clean report and byte-identical results.
+//!
+//! Everything lives in ONE test function: the sanitizer switch is process
+//! global (it mirrors `ADAQP_SAN`), so concurrent `#[test]` functions in
+//! this binary would observe each other's toggles.
+
+use adaqp::{ExperimentConfig, Method, TrainingConfig};
+use graph::DatasetSpec;
+
+fn cfg(method: Method, sanitize: bool) -> ExperimentConfig {
+    ExperimentConfig {
+        dataset: DatasetSpec::tiny(),
+        machines: 1,
+        devices_per_machine: 2,
+        method,
+        training: TrainingConfig {
+            epochs: 6,
+            hidden: 16,
+            num_layers: 2,
+            dropout: 0.5,
+            reassign_period: 3,
+            sanitize,
+            ..TrainingConfig::default()
+        },
+        seed: 4242,
+    }
+}
+
+#[test]
+fn sanitized_runs_are_clean_and_change_nothing() {
+    // Baseline: Vanilla without the sanitizer. Vanilla's timing is fully
+    // analytic, so its serialized results admit byte-for-byte comparison.
+    let base = adaqp::run_experiment(&cfg(Method::Vanilla, false)).expect("valid config");
+    let base_json = serde_json::to_string(&base).expect("serializes");
+
+    // Same run, sanitized: every instrumented kernel launch has its claims
+    // checked and is re-executed under adversarial schedules. A violation
+    // would surface as Err(Error::Sanitizer) from run_experiment.
+    let sanitized = adaqp::run_experiment(&cfg(Method::Vanilla, true)).expect("sanitizer clean");
+    let sanitized_json = serde_json::to_string(&sanitized).expect("serializes");
+    assert_eq!(
+        base_json, sanitized_json,
+        "sanitizer must not perturb results"
+    );
+
+    // The sanitizer actually ran: the report counts kernel launches and
+    // adversarial schedules from the run just finished (runner resets the
+    // counters at startup).
+    let report = tensor::san::report();
+    assert!(report.is_clean(), "errors: {:?}", report.errors);
+    assert!(report.kernels_checked > 0, "no kernel launches checked");
+    assert!(report.schedules_checked > 0, "no adversarial schedules run");
+
+    // AdaQP exercises the remaining instrumented kernels (quantization
+    // encode, solver broadcast paths); it must also come back clean. Its
+    // solve time is host-measured, so only the Ok matters here.
+    adaqp::run_experiment(&cfg(Method::AdaQp, true)).expect("sanitizer clean for adaqp");
+    let report = tensor::san::report();
+    assert!(report.is_clean(), "errors: {:?}", report.errors);
+
+    // Leaving sanitize off again keeps later runs (and the report) quiet.
+    let off = adaqp::run_experiment(&cfg(Method::Vanilla, false)).expect("valid config");
+    assert_eq!(
+        serde_json::to_string(&off).expect("serializes"),
+        base_json,
+        "plain rerun still reproduces the baseline"
+    );
+}
