@@ -1,4 +1,4 @@
-//! The rule engine: eight rules over the token stream (plus one over
+//! The rule engine: nine rules over the token stream (plus one over
 //! `Cargo.toml` text), file classification, `#[cfg(test)]` exemption and
 //! `lint:allow` suppression handling.
 //!
@@ -12,8 +12,9 @@
 //! | `dep-hygiene`| crate deps route through `[workspace.dependencies]`        |
 //! | `par-disjoint` | parallel-kernel closures index output by chunk-derived ids |
 //! | `unit-confusion` | host wall-clock and sim-clock seconds never meet        |
+//! | `no-host-block` | `DeviceProgram` impls yield instead of blocking the host |
 //!
-//! The last two are *scope-aware*: they consume the brace-tree pass in
+//! `par-disjoint` and `unit-confusion` are *scope-aware*: they consume the brace-tree pass in
 //! [`crate::scopes`] instead of the flat token stream, so derivation and
 //! unit taint are tracked per function or per closure body.
 //!
@@ -28,7 +29,7 @@ use crate::scopes;
 use std::collections::BTreeSet;
 
 /// Names of all rules, in reporting order.
-pub const RULE_NAMES: [&str; 8] = [
+pub const RULE_NAMES: [&str; 9] = [
     "sim-clock",
     "no-panic",
     "det-iter",
@@ -37,6 +38,7 @@ pub const RULE_NAMES: [&str; 8] = [
     "dep-hygiene",
     "par-disjoint",
     "unit-confusion",
+    "no-host-block",
 ];
 
 /// Files exempt from `sim-clock`: the simulated clock itself, the telemetry
@@ -66,6 +68,19 @@ const NARROWING_TARGETS: [&str; 5] = ["u8", "i8", "u16", "i16", "f32"];
 /// two flattened parameters are the chunk's row range, everything after is
 /// an owned output slice.
 const PAR_ENTRYPOINTS: [&str; 3] = ["par_chunks_deterministic", "run_range_tasks", "run_tasks"];
+
+/// Blocking host primitives flagged by `no-host-block` inside
+/// `DeviceProgram` impls when directly called (followed by `(`). A device
+/// state machine must express every wait as a yielded `Command`; parking the
+/// host thread inside `resume` deadlocks the single-threaded event loop.
+const HOST_BLOCK_CALLS: [&str; 6] = [
+    "sleep",
+    "park",
+    "park_timeout",
+    "recv_timeout",
+    "recv_deadline",
+    "wait_timeout",
+];
 
 /// Identifiers that never count toward an index expression's derivation
 /// status: cast keywords and primitive type names.
@@ -360,11 +375,12 @@ pub fn scan_rust(display_path: &str, rel: &str, class: &FileClass, src: &str) ->
             }
         }
 
-        // par-disjoint / unit-confusion: the scope-aware rules. They key off
+        // par-disjoint / unit-confusion / no-host-block: rules that key off
         // specific call sites / identifiers, so running them in every
         // library crate costs nothing where those never appear.
         par_disjoint(display_path, &code, &exempt, &mut raw);
         unit_confusion(display_path, &code, &exempt, &mut raw);
+        no_host_block(display_path, &code, &exempt, &mut raw);
 
         // lossy-cast: narrowing `as` casts in quant kernels.
         if crate_dir == "quant" || *class == FileClass::Explicit {
@@ -659,6 +675,65 @@ fn par_disjoint(display_path: &str, code: &[&Tok], exempt: &[(u32, u32)], raw: &
             }
             m = bracket_close;
         }
+    }
+}
+
+/// The `no-host-block` rule: inside `impl … DeviceProgram … for …` blocks,
+/// flag direct calls to host-blocking primitives ([`HOST_BLOCK_CALLS`]) and
+/// `.recv(…)` method calls (channel receives park the OS thread). A
+/// `DeviceProgram` advances under a single-threaded event loop: every wait
+/// must be expressed as a yielded `Command` so the scheduler can interleave
+/// devices; any host-side block stalls the whole cluster. Token-level
+/// approximation: an impl header mentioning both `DeviceProgram` and `for`
+/// before its `{` is treated as a trait impl.
+fn no_host_block(display_path: &str, code: &[&Tok], exempt: &[(u32, u32)], raw: &mut Vec<Finding>) {
+    let mut i = 0;
+    while i < code.len() {
+        if !code[i].is_ident("impl") {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        let (mut saw_trait, mut saw_for) = (false, false);
+        while j < code.len() && !code[j].is_punct('{') && !code[j].is_punct(';') {
+            if code[j].is_ident("DeviceProgram") {
+                saw_trait = true;
+            } else if code[j].is_ident("for") {
+                saw_for = true;
+            }
+            j += 1;
+        }
+        if j >= code.len() || !code[j].is_punct('{') || !(saw_trait && saw_for) {
+            i = j + 1;
+            continue;
+        }
+        let close = scopes::matching(code, j);
+        for k in (j + 1)..close.min(code.len()) {
+            let t = code[k];
+            if t.kind != TokKind::Ident || in_ranges(t.line, exempt) {
+                continue;
+            }
+            let prev_dot = k > 0 && code[k - 1].is_punct('.');
+            let next_open = code.get(k + 1).is_some_and(|n| n.is_punct('('));
+            if !next_open {
+                continue;
+            }
+            let blocking =
+                HOST_BLOCK_CALLS.iter().any(|n| t.is_ident(n)) || (t.is_ident("recv") && prev_dot);
+            if blocking {
+                raw.push(Finding {
+                    file: display_path.to_string(),
+                    line: t.line,
+                    rule: "no-host-block",
+                    message: format!(
+                        "`{}` blocks the host thread inside a DeviceProgram; yield a \
+                         Command and let the event loop schedule the wait",
+                        t.text
+                    ),
+                });
+            }
+        }
+        i = close + 1;
     }
 }
 

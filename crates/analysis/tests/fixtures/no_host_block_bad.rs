@@ -1,0 +1,11 @@
+// Fixture: blocking host primitives inside a DeviceProgram impl.
+struct Spinner;
+impl DeviceProgram for Spinner {
+    type Output = ();
+    fn resume(&mut self, ctx: &mut DeviceCtx, input: Resume) -> Step<()> {
+        std::thread::sleep(core::time::Duration::from_millis(1));
+        let reply = self.chan.recv();
+        drop((ctx, input, reply));
+        Step::Done(())
+    }
+}

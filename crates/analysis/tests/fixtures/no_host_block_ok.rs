@@ -1,0 +1,19 @@
+// Fixture: the same call shapes are legal outside a DeviceProgram impl
+// (scheduler-side adapters wait on behalf of devices), and a suppressed
+// rendezvous inside one is excused.
+struct Adapter;
+impl Adapter {
+    fn pump(&self) {
+        let reply = self.chan.recv();
+        drop(reply);
+    }
+}
+impl DeviceProgram for Adapter {
+    type Output = ();
+    fn resume(&mut self, ctx: &mut DeviceCtx, input: Resume) -> Step<()> {
+        // lint:allow(no-host-block): lockstep rendezvous with a paired thread
+        let reply = self.chan.recv();
+        drop((ctx, input, reply));
+        Step::Done(())
+    }
+}

@@ -192,6 +192,21 @@ fn unit_confusion_fixture_pair() {
 }
 
 #[test]
+fn no_host_block_fixture_pair() {
+    let bad = scan_fixture("no_host_block_bad.rs");
+    let rules = rules_of(&bad);
+    assert_eq!(
+        rules.iter().filter(|r| **r == "no-host-block").count(),
+        2,
+        "thread::sleep + .recv(): {bad:?}"
+    );
+    assert_eq!(bad[0].line, 6, "the sleep is on line 6");
+    assert_eq!(bad[1].line, 7, "the recv is on line 7");
+    // Inherent-impl recv and the suppressed rendezvous both stay silent.
+    assert!(scan_fixture("no_host_block_ok.rs").is_empty());
+}
+
+#[test]
 fn stale_allow_fixture_pair() {
     let bad = scan_fixture("stale_allow_bad.rs");
     let rules = rules_of(&bad);

@@ -106,6 +106,23 @@ pub fn run_with_telemetry(cfg: &ExperimentConfig) -> (adaqp::RunResult, adaqp::T
     (r, agg)
 }
 
+/// Total simulated seconds with the assigner's host-measured solve time
+/// carved out: each epoch's breakdown is re-composed under the run's
+/// method schedule with `solve` zeroed. Everything left (comm, compute,
+/// quantization) is analytic, so scalability artifacts built from this
+/// number are deterministic run-to-run; the wall-clock solve cost is the
+/// one non-analytic input and is worth reporting separately.
+pub fn analytic_sim_seconds(method: Method, r: &adaqp::RunResult) -> f64 {
+    r.per_epoch
+        .iter()
+        .map(|e| {
+            let mut tb = e.breakdown;
+            tb.solve = 0.0;
+            adaqp::metrics::epoch_time(method, &tb)
+        })
+        .sum()
+}
+
 /// Mean and population standard deviation.
 pub fn mean_std(xs: &[f64]) -> (f64, f64) {
     if xs.is_empty() {

@@ -1,25 +1,56 @@
-//! Threaded device runtime: one OS thread per simulated device, in-memory
-//! channels for payload transport, and the collectives the trainers need.
+//! The simulated cluster: the public entry points over the discrete-event
+//! core ([`crate::event`]) and the `DeviceHandle` every device talks
+//! through.
+//!
+//! Two ways to express a device:
+//!
+//! * **State machine** — implement [`crate::DeviceProgram`] and start it
+//!   with [`Cluster::run`] / [`Cluster::try_run_with`]. This is the native
+//!   form: no OS thread per device, so one process scales to thousands of
+//!   simulated devices.
+//! * **Closure** — pass an imperative `Fn(DeviceHandle) -> T` to
+//!   [`Cluster::run_fn`]. Each closure runs on a real thread held in strict
+//!   lockstep with the scheduler: every `DeviceHandle` operation is a
+//!   rendezvous that suspends the thread until the event loop satisfies
+//!   it, so results are identical to the state-machine form (and to the
+//!   retired thread backend, kept behind the `thread-backend` feature).
 
+use crate::event::{self, ClusterReport};
+use crate::program::{Command, DeviceCtx, DeviceProgram, Resume, Step};
 use crate::telemetry::Recorder;
+use crate::CostModel;
 use bytes::Bytes;
-use crossbeam::channel::{unbounded, Receiver, Sender};
-// lint:allow(det-iter): pending-message map is keyed lookup only; iteration order is never observed
-use std::collections::HashMap;
-use std::sync::{Arc, Barrier};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{mpsc, Mutex};
 
 /// Failure modes of a simulated-cluster run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ClusterError {
     /// `Cluster::try_run` was asked to spawn zero devices.
     NoDevices,
-    /// A device thread panicked; carries the lowest-ranked failing device
-    /// and the stringified panic payload.
+    /// A device panicked mid-step; carries the failing rank and the
+    /// stringified panic payload.
     DevicePanicked {
         /// Rank of the failing device.
         rank: usize,
         /// Stringified panic payload (empty if the payload was not a string).
         message: String,
+    },
+    /// The cluster deadlocked: no device is runnable, and not every device
+    /// is parked at a collective.
+    Stalled {
+        /// Lowest-ranked suspended device.
+        rank: usize,
+        /// What the device was waiting for.
+        detail: String,
+    },
+    /// Devices disagreed on the collective they entered (kind, root, or
+    /// payload shape).
+    CollectiveMismatch {
+        /// Rank whose entry command conflicts with rank 0's.
+        rank: usize,
+        /// The disagreement.
+        detail: String,
     },
 }
 
@@ -28,7 +59,13 @@ impl std::fmt::Display for ClusterError {
         match self {
             Self::NoDevices => write!(f, "cluster needs at least one device"),
             Self::DevicePanicked { rank, message } => {
-                write!(f, "device thread {rank} panicked: {message}")
+                write!(f, "device {rank} panicked: {message}")
+            }
+            Self::Stalled { rank, detail } => {
+                write!(f, "cluster stalled at device {rank}: {detail}")
+            }
+            Self::CollectiveMismatch { rank, detail } => {
+                write!(f, "collective mismatch at device {rank}: {detail}")
             }
         }
     }
@@ -36,7 +73,7 @@ impl std::fmt::Display for ClusterError {
 
 impl std::error::Error for ClusterError {}
 
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     match payload.downcast::<String>() {
         Ok(s) => *s,
         Err(payload) => match payload.downcast::<&'static str>() {
@@ -49,24 +86,18 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 /// Tag space reserved for internal collectives; user tags must stay below.
 const COLLECTIVE_TAG_BASE: u64 = 1 << 62;
 
-/// A message in flight between two ranks.
-#[derive(Debug, Clone)]
-struct Envelope {
-    src: usize,
-    tag: u64,
-    payload: Bytes,
-}
-
-/// The simulated cluster: spawns device threads and wires them together.
+/// The simulated cluster.
 ///
 /// # Example
+///
+/// The closure form; [`crate::DeviceProgram`] shows the state-machine form.
 ///
 /// ```
 /// use comm::Cluster;
 /// use bytes::Bytes;
 ///
 /// // Each device sends its rank to the right neighbor.
-/// let results = Cluster::run(3, |mut dev| {
+/// let results = Cluster::run_fn(3, |mut dev| {
 ///     let n = dev.num_devices();
 ///     let right = (dev.rank() + 1) % n;
 ///     let left = (dev.rank() + n - 1) % n;
@@ -80,34 +111,108 @@ struct Envelope {
 pub struct Cluster;
 
 impl Cluster {
-    /// Spawns `n` device threads running `f` and returns their outputs in
-    /// rank order.
+    /// Runs one [`DeviceProgram`] per rank (built by `factory`) under the
+    /// discrete-event scheduler and returns the outputs in rank order.
     ///
     /// # Panics
     ///
-    /// Panics if `n == 0` or if any device thread panics.
-    pub fn run<T, F>(n: usize, f: F) -> Vec<T>
+    /// Panics if `n == 0` or if any program fails (panics, deadlocks, or
+    /// mismatches a collective).
+    pub fn run<P, F>(n: usize, factory: F) -> Vec<P::Output>
     where
-        T: Send,
-        F: Fn(DeviceHandle) -> T + Sync,
+        P: DeviceProgram,
+        F: FnMut(usize) -> P,
     {
-        match Self::try_run(n, f) {
+        match Self::try_run(n, factory) {
             Ok(out) => out,
             // lint:allow(no-panic): documented panicking convenience wrapper over try_run
             Err(e) => panic!("{e}"),
         }
     }
 
-    /// Fallible variant of [`Cluster::run`]: returns an error instead of
-    /// panicking when `n == 0` or a device thread panics. When several
-    /// devices fail (a panic on one rank typically cascades into hang-up
-    /// panics on its peers), the lowest failing rank is reported.
+    /// Fallible variant of [`Cluster::run`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Cluster::try_run_with`] (this is the same run without a cost
+    /// model: transfers are instantaneous and only ordering is simulated).
+    pub fn try_run<P, F>(n: usize, factory: F) -> Result<Vec<P::Output>, ClusterError>
+    where
+        P: DeviceProgram,
+        F: FnMut(usize) -> P,
+    {
+        Self::try_run_with(n, None, factory).map(|report| report.outputs)
+    }
+
+    /// Runs one [`DeviceProgram`] per rank with link events charged by
+    /// `cost`, returning the full [`ClusterReport`] (outputs plus simulated
+    /// clocks and event counts).
     ///
     /// # Errors
     ///
     /// [`ClusterError::NoDevices`] if `n == 0`;
-    /// [`ClusterError::DevicePanicked`] if any device thread panicked.
-    pub fn try_run<T, F>(n: usize, f: F) -> Result<Vec<T>, ClusterError>
+    /// [`ClusterError::DevicePanicked`] if a program panics;
+    /// [`ClusterError::Stalled`] on deadlock;
+    /// [`ClusterError::CollectiveMismatch`] when ranks disagree on a
+    /// collective.
+    pub fn try_run_with<P, F>(
+        n: usize,
+        cost: Option<&CostModel>,
+        mut factory: F,
+    ) -> Result<ClusterReport<P::Output>, ClusterError>
+    where
+        P: DeviceProgram,
+        F: FnMut(usize) -> P,
+    {
+        let programs: Vec<P> = (0..n).map(&mut factory).collect();
+        event::run_programs(programs, cost)
+    }
+
+    /// Runs an imperative closure per device on the event core and returns
+    /// the outputs in rank order. See the struct example.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or if any device fails.
+    pub fn run_fn<T, F>(n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(DeviceHandle) -> T + Sync,
+    {
+        match Self::try_run_fn(n, f) {
+            Ok(out) => out,
+            // lint:allow(no-panic): documented panicking convenience wrapper over try_run_fn
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible variant of [`Cluster::run_fn`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Cluster::try_run_with`]; a panic inside `f` surfaces as
+    /// [`ClusterError::DevicePanicked`] for the first rank the scheduler
+    /// steps into the failure.
+    pub fn try_run_fn<T, F>(n: usize, f: F) -> Result<Vec<T>, ClusterError>
+    where
+        T: Send,
+        F: Fn(DeviceHandle) -> T + Sync,
+    {
+        Self::try_run_fn_with(n, None, f).map(|report| report.outputs)
+    }
+
+    /// Closure form of [`Cluster::try_run_with`]: runs `f` per device in
+    /// scheduler lockstep, charging link events to `cost`, and returns the
+    /// full [`ClusterReport`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Cluster::try_run_with`].
+    pub fn try_run_fn_with<T, F>(
+        n: usize,
+        cost: Option<&CostModel>,
+        f: F,
+    ) -> Result<ClusterReport<T>, ClusterError>
     where
         T: Send,
         F: Fn(DeviceHandle) -> T + Sync,
@@ -115,70 +220,204 @@ impl Cluster {
         if n == 0 {
             return Err(ClusterError::NoDevices);
         }
-        let mut senders: Vec<Sender<Envelope>> = Vec::with_capacity(n);
-        let mut receivers: Vec<Receiver<Envelope>> = Vec::with_capacity(n);
-        for _ in 0..n {
-            let (tx, rx) = unbounded();
-            senders.push(tx);
-            receivers.push(rx);
-        }
-        let barrier = Arc::new(Barrier::new(n));
         let f = &f;
-        let senders = &senders;
-        std::thread::scope(|scope| {
-            let mut joins = Vec::with_capacity(n);
-            for (rank, rx) in receivers.into_iter().enumerate() {
-                let barrier = Arc::clone(&barrier);
-                let handle = DeviceHandle {
-                    rank,
-                    n,
-                    senders: senders.clone(),
-                    receiver: rx,
-                    // lint:allow(det-iter): keyed lookup only, order never observed
-                    pending: HashMap::new(),
-                    barrier,
-                    next_collective_tag: COLLECTIVE_TAG_BASE,
-                    telemetry: Recorder::disabled(),
-                    metrics: None,
-                };
-                joins.push(scope.spawn(move || f(handle)));
-            }
-            let mut out = Vec::with_capacity(n);
-            let mut first_failure: Option<ClusterError> = None;
-            for (rank, join) in joins.into_iter().enumerate() {
-                match join.join() {
-                    Ok(v) => out.push(v),
-                    Err(payload) => {
-                        if first_failure.is_none() {
-                            first_failure = Some(ClusterError::DevicePanicked {
-                                rank,
-                                message: panic_message(payload),
-                            });
+        let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let report = {
+            let slots = &slots;
+            std::thread::scope(|scope| {
+                let mut stubs = Vec::with_capacity(n);
+                let mut joins = Vec::with_capacity(n);
+                for rank in 0..n {
+                    let (cmd_tx, cmd_rx) = mpsc::channel();
+                    let (resume_tx, resume_rx) = mpsc::channel();
+                    stubs.push(FnProgram {
+                        cmd_rx,
+                        resume_tx,
+                        started: false,
+                    });
+                    joins.push(scope.spawn(move || {
+                        let done_tx = cmd_tx.clone();
+                        let handle = DeviceHandle::with_event_port(rank, n, cmd_tx, resume_rx);
+                        match catch_unwind(AssertUnwindSafe(|| f(handle))) {
+                            Ok(v) => {
+                                if let Ok(mut slot) = slots[rank].lock() {
+                                    *slot = Some(v);
+                                }
+                                let _ = done_tx.send(FnEvent::Done);
+                            }
+                            Err(payload) => {
+                                let _ = done_tx.send(FnEvent::Panicked(panic_message(payload)));
+                            }
                         }
-                    }
+                    }));
+                }
+                let report = event::run_programs(stubs, cost);
+                // On error the scheduler drops the stub programs, which
+                // closes their channels; device threads still parked at a
+                // rendezvous unwind internally and are swallowed here (the
+                // scope would otherwise re-raise them on implicit join).
+                for join in joins {
+                    let _ = join.join();
+                }
+                report
+            })
+        }?;
+        let mut outputs = Vec::with_capacity(n);
+        for (rank, slot) in slots.into_iter().enumerate() {
+            match slot.into_inner().ok().flatten() {
+                Some(v) => outputs.push(v),
+                // A program only reports Done after its thread stored the
+                // output, so an empty slot means the thread died unseen.
+                None => {
+                    return Err(ClusterError::DevicePanicked {
+                        rank,
+                        message: "device produced no output".to_string(),
+                    });
                 }
             }
-            match first_failure {
-                Some(e) => Err(e),
-                None => Ok(out),
-            }
+        }
+        Ok(ClusterReport {
+            outputs,
+            clocks: report.clocks,
+            messages: report.messages,
+            collectives: report.collectives,
         })
+    }
+
+    /// [`Cluster::run_fn`] on the retired thread-per-device backend.
+    ///
+    /// Kept for one release for cross-backend equivalence tests; the event
+    /// core is the default and produces byte-identical results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or if any device thread panics.
+    #[cfg(feature = "thread-backend")]
+    pub fn run_fn_threaded<T, F>(n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(DeviceHandle) -> T + Sync,
+    {
+        match Self::try_run_fn_threaded(n, f) {
+            Ok(out) => out,
+            // lint:allow(no-panic): documented panicking convenience wrapper over try_run_fn_threaded
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible variant of [`Cluster::run_fn_threaded`].
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::NoDevices`] if `n == 0`;
+    /// [`ClusterError::DevicePanicked`] if any device thread panicked (the
+    /// lowest failing rank is reported).
+    #[cfg(feature = "thread-backend")]
+    pub fn try_run_fn_threaded<T, F>(n: usize, f: F) -> Result<Vec<T>, ClusterError>
+    where
+        T: Send,
+        F: Fn(DeviceHandle) -> T + Sync,
+    {
+        crate::thread::try_run_threaded(n, f)
     }
 }
 
-/// Handle held by one device thread: its mailbox plus collectives.
+/// Scheduler-side view of one closure device: commands flow out of the
+/// device thread, resume values flow back in.
+enum FnEvent {
+    Yield(Command),
+    Done,
+    Panicked(String),
+}
+
+/// The adapter that turns a closure device into a [`DeviceProgram`]: each
+/// `resume` forwards the answer to the device thread and blocks until the
+/// thread reaches its next yield point. The blocking wait lives on the
+/// *scheduler* side of the rendezvous — the device thread itself only ever
+/// waits for the scheduler, never for host time.
+struct FnProgram {
+    cmd_rx: mpsc::Receiver<FnEvent>,
+    resume_tx: mpsc::Sender<Resume>,
+    started: bool,
+}
+
+impl DeviceProgram for FnProgram {
+    type Output = ();
+
+    fn resume(&mut self, _ctx: &mut DeviceCtx, input: Resume) -> Step<()> {
+        if self.started {
+            // A closed channel means the device thread already failed; the
+            // Panicked event is waiting in cmd_rx below.
+            let _ = self.resume_tx.send(input);
+        } else {
+            // The device thread starts running at spawn; Resume::Start has
+            // no consumer.
+            self.started = true;
+        }
+        // lint:allow(no-host-block): lockstep rendezvous with the paired device thread — scheduler-side wait, not a device-side one
+        match self.cmd_rx.recv() {
+            Ok(FnEvent::Yield(cmd)) => Step::Yield(cmd),
+            Ok(FnEvent::Done) => Step::Done(()),
+            Ok(FnEvent::Panicked(msg)) => std::panic::resume_unwind(Box::new(msg)),
+            Err(_) => std::panic::resume_unwind(Box::new(
+                "device thread exited without completing".to_string(),
+            )),
+        }
+    }
+}
+
+/// The device thread's endpoint of the lockstep rendezvous.
+#[derive(Debug)]
+struct EventPort {
+    cmd_tx: mpsc::Sender<FnEvent>,
+    resume_rx: mpsc::Receiver<Resume>,
+}
+
+impl EventPort {
+    /// Yields `cmd` to the scheduler and blocks until it answers.
+    fn roundtrip(&mut self, cmd: Command) -> Resume {
+        if self.cmd_tx.send(FnEvent::Yield(cmd)).is_err() {
+            scheduler_terminated();
+        }
+        match self.resume_rx.recv() {
+            Ok(resume) => resume,
+            Err(_) => scheduler_terminated(),
+        }
+    }
+}
+
+fn scheduler_terminated() -> ! {
+    // lint:allow(no-panic): the scheduler aborted because another device failed; unwind this device thread too (swallowed at join)
+    panic!("cluster scheduler terminated")
+}
+
+fn protocol_violation(expected: &'static str, got: &Resume) -> ! {
+    // The scheduler answers every command with its matching Resume variant.
+    unreachable!("scheduler protocol violation: expected {expected}, got {got:?}")
+}
+
+/// Which transport a handle drives.
+#[derive(Debug)]
+enum Port {
+    /// Lockstep rendezvous with the discrete-event scheduler.
+    Event(EventPort),
+    /// The retired thread-per-device transport.
+    #[cfg(feature = "thread-backend")]
+    Thread(crate::thread::ThreadPort),
+}
+
+/// Handle held by one device: point-to-point messaging plus collectives.
 ///
 /// All collectives must be entered by every rank (they are synchronizing),
-/// with matching arguments where noted.
+/// with matching arguments where noted. The handle behaves identically over
+/// the event core and the retired thread backend: metric counting, payload
+/// routing, and collective results are transport-independent.
 #[derive(Debug)]
 pub struct DeviceHandle {
     rank: usize,
     n: usize,
-    senders: Vec<Sender<Envelope>>,
-    receiver: Receiver<Envelope>,
-    // lint:allow(det-iter): keyed lookup only, order never observed
-    pending: HashMap<(usize, u64), Vec<Bytes>>,
-    barrier: Arc<Barrier>,
+    port: Port,
+    #[cfg(feature = "thread-backend")]
     next_collective_tag: u64,
     telemetry: Recorder,
     // Boxed to keep the handle small when metrics are off (the common case).
@@ -186,6 +425,35 @@ pub struct DeviceHandle {
 }
 
 impl DeviceHandle {
+    fn with_event_port(
+        rank: usize,
+        n: usize,
+        cmd_tx: mpsc::Sender<FnEvent>,
+        resume_rx: mpsc::Receiver<Resume>,
+    ) -> Self {
+        Self {
+            rank,
+            n,
+            port: Port::Event(EventPort { cmd_tx, resume_rx }),
+            #[cfg(feature = "thread-backend")]
+            next_collective_tag: COLLECTIVE_TAG_BASE,
+            telemetry: Recorder::disabled(),
+            metrics: None,
+        }
+    }
+
+    #[cfg(feature = "thread-backend")]
+    pub(crate) fn with_thread_port(rank: usize, n: usize, port: crate::thread::ThreadPort) -> Self {
+        Self {
+            rank,
+            n,
+            port: Port::Thread(port),
+            next_collective_tag: COLLECTIVE_TAG_BASE,
+            telemetry: Recorder::disabled(),
+            metrics: None,
+        }
+    }
+
     /// This device's rank.
     pub fn rank(&self) -> usize {
         self.rank
@@ -242,27 +510,15 @@ impl DeviceHandle {
         self.rank == 0
     }
 
-    /// Sends `payload` to `dst` with a user `tag`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `dst` is out of range, if `tag` collides with the reserved
-    /// collective tag space, or if the destination thread has exited.
-    pub fn send(&mut self, dst: usize, tag: u64, payload: Bytes) {
-        assert!(dst < self.n, "dst {dst} out of range");
-        assert!(
-            tag < COLLECTIVE_TAG_BASE,
-            "tag collides with reserved space"
-        );
-        self.send_raw(dst, tag, payload);
-    }
-
-    fn send_raw(&mut self, dst: usize, tag: u64, payload: Bytes) {
+    /// Counts one outgoing payload on the sender side; both transports
+    /// share this accounting, which keeps the metric snapshots byte-
+    /// identical across backends.
+    fn count_send(&mut self, dst: usize, bytes: usize) {
         if let Some(reg) = self.metrics.as_deref_mut() {
             reg.counter_add(
                 "adaqp_comm_sent_bytes_total",
                 &[("src", &self.rank.to_string()), ("dst", &dst.to_string())],
-                payload.len() as f64,
+                bytes as f64,
             );
             reg.counter_add(
                 "adaqp_comm_messages_total",
@@ -270,56 +526,84 @@ impl DeviceHandle {
                 1.0,
             );
         }
-        self.senders[dst]
-            .send(Envelope {
-                src: self.rank,
-                tag,
-                payload,
-            })
-            // lint:allow(no-panic): a hung-up peer means that device panicked; try_run surfaces it as DevicePanicked
-            .expect("destination device hung up");
     }
 
-    /// Receives the next payload from `src` with `tag`, blocking. Messages
-    /// for other `(src, tag)` pairs that arrive in the meantime are buffered.
+    /// Sends `payload` to `dst` with a user `tag` (sends never block).
     ///
     /// # Panics
     ///
-    /// Panics if `src` is out of range or every sender hung up.
+    /// Panics if `dst` is out of range, if `tag` collides with the reserved
+    /// collective tag space, or if the run was aborted.
+    pub fn send(&mut self, dst: usize, tag: u64, payload: Bytes) {
+        assert!(dst < self.n, "dst {dst} out of range");
+        assert!(
+            tag < COLLECTIVE_TAG_BASE,
+            "tag collides with reserved space"
+        );
+        self.count_send(dst, payload.len());
+        match &mut self.port {
+            Port::Event(p) => match p.roundtrip(Command::Send { dst, tag, payload }) {
+                Resume::Sent => {}
+                other => protocol_violation("Sent", &other),
+            },
+            #[cfg(feature = "thread-backend")]
+            Port::Thread(p) => p.send(dst, tag, payload),
+        }
+    }
+
+    /// Receives the next payload from `src` with `tag` (per-`(src, tag)`
+    /// FIFO order), suspending this device until it arrives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` is out of range or the run was aborted.
     pub fn recv(&mut self, src: usize, tag: u64) -> Bytes {
         assert!(src < self.n, "src {src} out of range");
-        let key = (src, tag);
-        loop {
-            if let Some(queue) = self.pending.get_mut(&key) {
-                if !queue.is_empty() {
-                    let payload = queue.remove(0);
-                    if queue.is_empty() {
-                        self.pending.remove(&key);
-                    }
-                    return payload;
-                }
-            }
-            // lint:allow(no-panic): a hung-up peer means that device panicked; try_run surfaces it as DevicePanicked
-            let env = self.receiver.recv().expect("all senders hung up");
-            if env.src == src && env.tag == tag {
-                return env.payload;
-            }
-            self.pending
-                .entry((env.src, env.tag))
-                .or_default()
-                .push(env.payload);
+        match &mut self.port {
+            Port::Event(p) => match p.roundtrip(Command::Recv { src, tag }) {
+                Resume::Received(payload) => payload,
+                other => protocol_violation("Received", &other),
+            },
+            #[cfg(feature = "thread-backend")]
+            Port::Thread(p) => p.recv(src, tag),
         }
     }
 
     /// Synchronizes all devices.
-    pub fn barrier(&self) {
-        self.barrier.wait();
+    pub fn barrier(&mut self) {
+        match &mut self.port {
+            Port::Event(p) => match p.roundtrip(Command::Barrier) {
+                Resume::BarrierDone => {}
+                other => protocol_violation("BarrierDone", &other),
+            },
+            #[cfg(feature = "thread-backend")]
+            Port::Thread(p) => p.barrier(),
+        }
     }
 
+    #[cfg(feature = "thread-backend")]
     fn fresh_tag(&mut self) -> u64 {
         let t = self.next_collective_tag;
         self.next_collective_tag += 1;
         t
+    }
+
+    #[cfg(feature = "thread-backend")]
+    fn thread_send(&mut self, dst: usize, tag: u64, payload: Bytes) {
+        let Port::Thread(p) = &mut self.port else {
+            // Threaded helpers are only reached from Port::Thread arms.
+            unreachable!("thread transport required");
+        };
+        p.send(dst, tag, payload);
+    }
+
+    #[cfg(feature = "thread-backend")]
+    fn thread_recv(&mut self, src: usize, tag: u64) -> Bytes {
+        let Port::Thread(p) = &mut self.port else {
+            // Threaded helpers are only reached from Port::Thread arms.
+            unreachable!("thread transport required");
+        };
+        p.recv(src, tag)
     }
 
     /// Ring all2all (Fig. 8): sends `payloads[dst]` to every other device in
@@ -331,39 +615,31 @@ impl DeviceHandle {
     /// Panics unless `payloads.len() == num_devices()`.
     pub fn ring_all2all(&mut self, payloads: Vec<Bytes>) -> Vec<Option<Bytes>> {
         assert_eq!(payloads.len(), self.n, "one payload per destination");
+        for round in 1..self.n {
+            let dst = (self.rank + round) % self.n;
+            self.count_send(dst, payloads[dst].len());
+        }
+        match &mut self.port {
+            Port::Event(p) => match p.roundtrip(Command::RingAll2All { payloads }) {
+                Resume::RingDone(received) => received,
+                other => protocol_violation("RingDone", &other),
+            },
+            #[cfg(feature = "thread-backend")]
+            Port::Thread(_) => self.threaded_ring(payloads),
+        }
+    }
+
+    #[cfg(feature = "thread-backend")]
+    fn threaded_ring(&mut self, payloads: Vec<Bytes>) -> Vec<Option<Bytes>> {
         let tag = self.fresh_tag();
         let mut received: Vec<Option<Bytes>> = (0..self.n).map(|_| None).collect();
         for round in 1..self.n {
             let dst = (self.rank + round) % self.n;
             let src = (self.rank + self.n - round) % self.n;
-            self.send_raw(dst, tag, payloads[dst].clone());
-            received[src] = Some(self.recv_internal(src, tag));
+            self.thread_send(dst, tag, payloads[dst].clone());
+            received[src] = Some(self.thread_recv(src, tag));
         }
         received
-    }
-
-    fn recv_internal(&mut self, src: usize, tag: u64) -> Bytes {
-        let key = (src, tag);
-        loop {
-            if let Some(queue) = self.pending.get_mut(&key) {
-                if !queue.is_empty() {
-                    let payload = queue.remove(0);
-                    if queue.is_empty() {
-                        self.pending.remove(&key);
-                    }
-                    return payload;
-                }
-            }
-            // lint:allow(no-panic): a hung-up peer means that device panicked; try_run surfaces it as DevicePanicked
-            let env = self.receiver.recv().expect("all senders hung up");
-            if env.src == src && env.tag == tag {
-                return env.payload;
-            }
-            self.pending
-                .entry((env.src, env.tag))
-                .or_default()
-                .push(env.payload);
-        }
     }
 
     /// Broadcast from `root`: the root passes `Some(payload)`, everyone else
@@ -373,38 +649,86 @@ impl DeviceHandle {
     ///
     /// Panics if the root passes `None` or a non-root passes `Some`.
     pub fn broadcast(&mut self, root: usize, payload: Option<Bytes>) -> Bytes {
-        let tag = self.fresh_tag();
         if self.rank == root {
             // lint:allow(no-panic): documented collective contract (see # Panics)
             let payload = payload.expect("root must provide the payload");
             for dst in 0..self.n {
                 if dst != root {
-                    self.send_raw(dst, tag, payload.clone());
+                    self.count_send(dst, payload.len());
                 }
             }
-            payload
+            match &mut self.port {
+                Port::Event(p) => match p.roundtrip(Command::Broadcast {
+                    root,
+                    payload: Some(payload),
+                }) {
+                    Resume::BroadcastDone(out) => out,
+                    other => protocol_violation("BroadcastDone", &other),
+                },
+                #[cfg(feature = "thread-backend")]
+                Port::Thread(_) => self.threaded_broadcast_root(root, payload),
+            }
         } else {
             assert!(payload.is_none(), "non-root rank passed a payload");
-            self.recv_internal(root, tag)
+            match &mut self.port {
+                Port::Event(p) => match p.roundtrip(Command::Broadcast {
+                    root,
+                    payload: None,
+                }) {
+                    Resume::BroadcastDone(out) => out,
+                    other => protocol_violation("BroadcastDone", &other),
+                },
+                #[cfg(feature = "thread-backend")]
+                Port::Thread(_) => {
+                    let tag = self.fresh_tag();
+                    self.thread_recv(root, tag)
+                }
+            }
         }
+    }
+
+    #[cfg(feature = "thread-backend")]
+    fn threaded_broadcast_root(&mut self, root: usize, payload: Bytes) -> Bytes {
+        let tag = self.fresh_tag();
+        for dst in 0..self.n {
+            if dst != root {
+                self.thread_send(dst, tag, payload.clone());
+            }
+        }
+        payload
     }
 
     /// Gather to `root`: every rank contributes `payload`; the root returns
     /// `Some(all payloads by rank)`, others return `None`.
     pub fn gather(&mut self, root: usize, payload: Bytes) -> Option<Vec<Bytes>> {
+        if self.rank != root {
+            self.count_send(root, payload.len());
+        }
+        match &mut self.port {
+            Port::Event(p) => match p.roundtrip(Command::Gather { root, payload }) {
+                Resume::GatherDone(result) => result,
+                other => protocol_violation("GatherDone", &other),
+            },
+            #[cfg(feature = "thread-backend")]
+            Port::Thread(_) => self.threaded_gather(root, payload),
+        }
+    }
+
+    #[cfg(feature = "thread-backend")]
+    fn threaded_gather(&mut self, root: usize, payload: Bytes) -> Option<Vec<Bytes>> {
         let tag = self.fresh_tag();
         if self.rank == root {
             let mut all: Vec<Option<Bytes>> = (0..self.n).map(|_| None).collect();
             all[root] = Some(payload);
             for src in 0..self.n {
                 if src != root {
-                    all[src] = Some(self.recv_internal(src, tag));
+                    all[src] = Some(self.thread_recv(src, tag));
                 }
             }
             // lint:allow(no-panic): every slot is filled by the loop above; kept as an internal invariant check
             Some(all.into_iter().map(|b| b.expect("gathered all")).collect())
         } else {
-            self.send_raw(root, tag, payload);
+            self.thread_send(root, tag, payload);
             None
         }
     }
@@ -417,21 +741,54 @@ impl DeviceHandle {
     /// Panics if the root's vector has the wrong length or a non-root
     /// passes `Some`.
     pub fn scatter(&mut self, root: usize, payloads: Option<Vec<Bytes>>) -> Bytes {
-        let tag = self.fresh_tag();
         if self.rank == root {
             // lint:allow(no-panic): documented collective contract (see # Panics)
             let payloads = payloads.expect("root must provide payloads");
             assert_eq!(payloads.len(), self.n, "one payload per rank");
             for (dst, p) in payloads.iter().enumerate() {
                 if dst != root {
-                    self.send_raw(dst, tag, p.clone());
+                    self.count_send(dst, p.len());
                 }
             }
-            payloads[root].clone()
+            match &mut self.port {
+                Port::Event(p) => match p.roundtrip(Command::Scatter {
+                    root,
+                    payloads: Some(payloads),
+                }) {
+                    Resume::ScatterDone(own) => own,
+                    other => protocol_violation("ScatterDone", &other),
+                },
+                #[cfg(feature = "thread-backend")]
+                Port::Thread(_) => self.threaded_scatter_root(root, payloads),
+            }
         } else {
             assert!(payloads.is_none(), "non-root rank passed payloads");
-            self.recv_internal(root, tag)
+            match &mut self.port {
+                Port::Event(p) => match p.roundtrip(Command::Scatter {
+                    root,
+                    payloads: None,
+                }) {
+                    Resume::ScatterDone(own) => own,
+                    other => protocol_violation("ScatterDone", &other),
+                },
+                #[cfg(feature = "thread-backend")]
+                Port::Thread(_) => {
+                    let tag = self.fresh_tag();
+                    self.thread_recv(root, tag)
+                }
+            }
         }
+    }
+
+    #[cfg(feature = "thread-backend")]
+    fn threaded_scatter_root(&mut self, root: usize, payloads: Vec<Bytes>) -> Bytes {
+        let tag = self.fresh_tag();
+        for (dst, p) in payloads.iter().enumerate() {
+            if dst != root {
+                self.thread_send(dst, tag, p.clone());
+            }
+        }
+        payloads[root].clone()
     }
 
     /// Sum-allreduce over `f32` buffers of identical length on every rank
@@ -504,13 +861,13 @@ mod tests {
 
     #[test]
     fn single_device_runs() {
-        let out = Cluster::run(1, |dev| dev.rank() * 10 + dev.num_devices());
+        let out = Cluster::run_fn(1, |dev| dev.rank() * 10 + dev.num_devices());
         assert_eq!(out, vec![1]);
     }
 
     #[test]
     fn point_to_point_roundtrip() {
-        let out = Cluster::run(2, |mut dev| {
+        let out = Cluster::run_fn(2, |mut dev| {
             if dev.rank() == 0 {
                 dev.send(1, 5, Bytes::from_static(b"hello"));
                 dev.recv(1, 6)
@@ -526,7 +883,7 @@ mod tests {
 
     #[test]
     fn out_of_order_tags_are_buffered() {
-        let out = Cluster::run(2, |mut dev| {
+        let out = Cluster::run_fn(2, |mut dev| {
             if dev.rank() == 0 {
                 dev.send(1, 2, Bytes::from_static(b"second"));
                 dev.send(1, 1, Bytes::from_static(b"first"));
@@ -543,14 +900,12 @@ mod tests {
 
     #[test]
     fn same_tag_messages_keep_fifo_order() {
-        let out = Cluster::run(2, |mut dev| {
+        let out = Cluster::run_fn(2, |mut dev| {
             if dev.rank() == 0 {
                 dev.send(1, 1, Bytes::from_static(b"a"));
                 dev.send(1, 1, Bytes::from_static(b"b"));
                 Bytes::new()
             } else {
-                // Force buffering by first waiting on a later tag? Instead
-                // receive both and check order.
                 let a = dev.recv(0, 1);
                 let b = dev.recv(0, 1);
                 Bytes::from([a.as_ref(), b.as_ref()].concat())
@@ -562,7 +917,7 @@ mod tests {
     #[test]
     fn ring_all2all_delivers_everything() {
         let n = 4;
-        let out = Cluster::run(n, |mut dev| {
+        let out = Cluster::run_fn(n, |mut dev| {
             let payloads: Vec<Bytes> = (0..n)
                 .map(|dst| Bytes::from(vec![dev.rank() as u8, dst as u8]))
                 .collect();
@@ -583,7 +938,7 @@ mod tests {
     #[test]
     fn repeated_ring_all2all_does_not_cross_rounds() {
         let n = 3;
-        let out = Cluster::run(n, |mut dev| {
+        let out = Cluster::run_fn(n, |mut dev| {
             let mut sums = Vec::new();
             for iter in 0..5u8 {
                 let payloads: Vec<Bytes> = (0..n).map(|_| Bytes::from(vec![iter])).collect();
@@ -600,7 +955,7 @@ mod tests {
 
     #[test]
     fn broadcast_from_nonzero_root() {
-        let out = Cluster::run(3, |mut dev| {
+        let out = Cluster::run_fn(3, |mut dev| {
             let payload = if dev.rank() == 2 {
                 Some(Bytes::from_static(b"root2"))
             } else {
@@ -615,7 +970,7 @@ mod tests {
 
     #[test]
     fn gather_collects_in_rank_order() {
-        let out = Cluster::run(4, |mut dev| {
+        let out = Cluster::run_fn(4, |mut dev| {
             dev.gather(0, Bytes::from(vec![dev.rank() as u8 * 3]))
         });
         let at_root = out[0].as_ref().expect("root has all");
@@ -628,7 +983,7 @@ mod tests {
 
     #[test]
     fn scatter_distributes() {
-        let out = Cluster::run(3, |mut dev| {
+        let out = Cluster::run_fn(3, |mut dev| {
             let payloads = if dev.is_master() {
                 Some((0..3).map(|r| Bytes::from(vec![r as u8 + 10])).collect())
             } else {
@@ -643,7 +998,7 @@ mod tests {
 
     #[test]
     fn allreduce_sums_across_ranks() {
-        let out = Cluster::run(3, |mut dev| {
+        let out = Cluster::run_fn(3, |mut dev| {
             let mut data = vec![dev.rank() as f32, 1.0];
             dev.allreduce_sum_f32(&mut data);
             data
@@ -655,7 +1010,7 @@ mod tests {
 
     #[test]
     fn allgather_returns_per_rank_vectors() {
-        let out = Cluster::run(3, |mut dev| dev.allgather_f64(&[dev.rank() as f64 * 2.0]));
+        let out = Cluster::run_fn(3, |mut dev| dev.allgather_f64(&[dev.rank() as f64 * 2.0]));
         for per_rank in out {
             assert_eq!(per_rank, vec![vec![0.0], vec![2.0], vec![4.0]]);
         }
@@ -663,7 +1018,7 @@ mod tests {
 
     #[test]
     fn metrics_count_sent_bytes_per_pair() {
-        let out = Cluster::run(2, |mut dev| {
+        let out = Cluster::run_fn(2, |mut dev| {
             dev.enable_metrics();
             if dev.rank() == 0 {
                 dev.send(1, 5, Bytes::from_static(b"hello"));
@@ -690,7 +1045,7 @@ mod tests {
 
     #[test]
     fn metrics_disabled_by_default_and_detachable() {
-        let out = Cluster::run(1, |mut dev| {
+        let out = Cluster::run_fn(1, |mut dev| {
             assert!(dev.metrics().is_none());
             dev.enable_metrics();
             assert!(dev.metrics().is_some());
@@ -705,7 +1060,7 @@ mod tests {
     fn barrier_synchronizes() {
         use std::sync::atomic::{AtomicUsize, Ordering};
         static COUNT: AtomicUsize = AtomicUsize::new(0);
-        let out = Cluster::run(4, |dev| {
+        let out = Cluster::run_fn(4, |mut dev| {
             COUNT.fetch_add(1, Ordering::SeqCst);
             dev.barrier();
             // After the barrier all 4 increments must be visible.
@@ -714,5 +1069,163 @@ mod tests {
         for seen in out {
             assert_eq!(seen, 4);
         }
+    }
+
+    // ---- event-core specifics: clocks, reports, failure modes ----
+
+    #[test]
+    fn report_counts_messages_and_collectives() {
+        let report = Cluster::try_run_fn_with(2, None, |mut dev| {
+            if dev.rank() == 0 {
+                dev.send(1, 1, Bytes::from_static(b"x"));
+            } else {
+                dev.recv(0, 1);
+            }
+            dev.barrier();
+        })
+        .expect("run succeeds");
+        assert_eq!(report.messages, 1);
+        assert_eq!(report.collectives, 1);
+    }
+
+    #[test]
+    fn clocks_follow_the_cost_model() {
+        // theta = 1/bw = 1e-6 s/B, gamma = 1e-3 s; 100 bytes -> 1.1e-3 s.
+        let cost = CostModel::homogeneous(2, 1e6, 1e-3);
+        let report = Cluster::try_run_fn_with(2, Some(&cost), |mut dev| {
+            if dev.rank() == 0 {
+                dev.send(1, 1, Bytes::from(vec![0u8; 100]));
+            } else {
+                dev.recv(0, 1);
+            }
+        })
+        .expect("run succeeds");
+        assert_eq!(report.clocks[0], 0.0);
+        assert!((report.clocks[1] - 1.1e-3).abs() < 1e-12);
+        assert_eq!(report.makespan(), report.clocks[1]);
+    }
+
+    #[test]
+    fn unmatched_recv_reports_a_stall() {
+        let err = Cluster::try_run_fn(2, |mut dev| {
+            if dev.rank() == 0 {
+                let _ = dev.recv(1, 9); // rank 1 never sends
+            }
+        })
+        .expect_err("deadlock must be detected");
+        assert!(
+            matches!(err, ClusterError::Stalled { rank: 0, .. }),
+            "got {err}"
+        );
+    }
+
+    #[test]
+    fn mismatched_collectives_are_rejected() {
+        let err = Cluster::try_run_fn(2, |mut dev| {
+            if dev.rank() == 0 {
+                dev.barrier();
+            } else {
+                let _ = dev.broadcast(0, None);
+            }
+        })
+        .expect_err("kind mismatch must be detected");
+        assert!(
+            matches!(err, ClusterError::CollectiveMismatch { .. }),
+            "got {err}"
+        );
+    }
+
+    #[test]
+    fn device_panic_is_reported_with_rank() {
+        let err = Cluster::try_run_fn(2, |dev| {
+            if dev.rank() == 1 {
+                panic!("boom on 1");
+            }
+        })
+        .expect_err("panic must surface");
+        let ClusterError::DevicePanicked { rank, message } = err else {
+            panic!("expected DevicePanicked");
+        };
+        assert_eq!(rank, 1);
+        assert!(message.contains("boom on 1"), "message: {message}");
+    }
+
+    #[test]
+    fn zero_devices_is_an_error() {
+        assert_eq!(
+            Cluster::try_run_fn(0, |dev| dev.rank()).expect_err("no devices"),
+            ClusterError::NoDevices
+        );
+    }
+
+    /// Native state-machine form: each device sends its rank right and
+    /// receives from the left, without any OS thread per device.
+    enum Shift {
+        Sending,
+        Receiving,
+    }
+
+    impl DeviceProgram for Shift {
+        type Output = usize;
+        fn resume(&mut self, ctx: &mut DeviceCtx, input: Resume) -> Step<usize> {
+            match self {
+                Shift::Sending => {
+                    let right = (ctx.rank() + 1) % ctx.num_devices();
+                    *self = Shift::Receiving;
+                    Step::Yield(Command::Send {
+                        dst: right,
+                        tag: 3,
+                        payload: Bytes::from(vec![(ctx.rank() % 251) as u8]),
+                    })
+                }
+                Shift::Receiving => match input {
+                    Resume::Sent => {
+                        let n = ctx.num_devices();
+                        let left = (ctx.rank() + n - 1) % n;
+                        Step::Yield(Command::Recv { src: left, tag: 3 })
+                    }
+                    Resume::Received(payload) => Step::Done(payload[0] as usize),
+                    // The scheduler honors the yield contract.
+                    _ => unreachable!("unexpected resume"),
+                },
+            }
+        }
+    }
+
+    #[test]
+    fn scales_to_1024_devices_in_one_process() {
+        let n = 1024;
+        let out = Cluster::run(n, |_rank| Shift::Sending);
+        assert_eq!(out.len(), n);
+        for (rank, got) in out.iter().enumerate() {
+            let left = (rank + n - 1) % n;
+            assert_eq!(*got, left % 251);
+        }
+    }
+
+    #[cfg(feature = "thread-backend")]
+    #[test]
+    fn thread_backend_matches_event_core() {
+        let run = |backend_threaded: bool| {
+            let f = |mut dev: DeviceHandle| {
+                dev.enable_metrics();
+                let n = dev.num_devices();
+                let payloads: Vec<Bytes> = (0..n)
+                    .map(|dst| Bytes::from(vec![dev.rank() as u8; dst + 1]))
+                    .collect();
+                let ring = dev.ring_all2all(payloads);
+                let mut data = vec![dev.rank() as f32];
+                dev.allreduce_sum_f32(&mut data);
+                let reg = dev.take_metrics().expect("metrics enabled");
+                let sum: usize = ring.iter().flatten().map(|b| b.len()).sum();
+                (sum, data[0] as usize, reg.snapshot().to_prometheus())
+            };
+            if backend_threaded {
+                Cluster::run_fn_threaded(3, f)
+            } else {
+                Cluster::run_fn(3, f)
+            }
+        };
+        assert_eq!(run(false), run(true));
     }
 }

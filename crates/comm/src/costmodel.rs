@@ -272,6 +272,80 @@ impl CostModel {
         ops / (BASE_CPU_OPS_PER_SEC * self.compute_speedup * scale)
     }
 
+    /// Total ring-all2all time for a byte matrix `bytes[src][dst]` (Fig. 8).
+    ///
+    /// Each of the `N-1` rounds costs the max over devices of the transfer
+    /// on the links active that round — rounds are synchronized, so each one
+    /// waits for its slowest link (the straggler effect behind the minimax
+    /// term of Eqn. 10).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is not `n x n` for the model's device count.
+    pub fn ring_all2all_seconds(&self, bytes: &[Vec<usize>]) -> f64 {
+        let n = self.n;
+        assert_eq!(bytes.len(), n, "bytes matrix row count");
+        let mut total = 0.0;
+        for round in 1..n {
+            let mut round_max: f64 = 0.0;
+            for src in 0..n {
+                let dst = (src + round) % n;
+                assert_eq!(bytes[src].len(), n, "bytes matrix col count");
+                round_max = round_max.max(self.transfer_time(src, dst, bytes[src][dst]));
+            }
+            total += round_max;
+        }
+        total
+    }
+
+    /// Per-device ring-all2all time: device `d` spends, in round `r`, the
+    /// max of its own send and its own receive (full-duplex links); unlike
+    /// [`CostModel::ring_all2all_seconds`] this does *not* synchronize
+    /// rounds globally, which is how per-device communication times end up
+    /// unequal (Table 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is not `n x n` for the model's device count.
+    pub fn per_device_ring_seconds(&self, bytes: &[Vec<usize>]) -> Vec<f64> {
+        let n = self.n;
+        assert_eq!(bytes.len(), n, "bytes matrix row count");
+        let mut times = vec![0.0; n];
+        for round in 1..n {
+            for dev in 0..n {
+                let dst = (dev + round) % n;
+                let src = (dev + n - round % n) % n;
+                let send = self.transfer_time(dev, dst, bytes[dev][dst]);
+                let recv = self.transfer_time(src, dev, bytes[src][dev]);
+                times[dev] += send.max(recv);
+            }
+        }
+        times
+    }
+
+    /// Total time for sequential one-by-one broadcasts (the SANCUS
+    /// schedule): device `i` broadcasts `bytes[i][dst]` to every other
+    /// device in parallel, devices take turns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is not `n x n` for the model's device count.
+    pub fn sequential_broadcast_seconds(&self, bytes: &[Vec<usize>]) -> f64 {
+        let n = self.n;
+        assert_eq!(bytes.len(), n, "bytes matrix row count");
+        let mut total = 0.0;
+        for src in 0..n {
+            let mut bcast: f64 = 0.0;
+            for dst in 0..n {
+                if dst != src {
+                    bcast = bcast.max(self.transfer_time(src, dst, bytes[src][dst]));
+                }
+            }
+            total += bcast;
+        }
+        total
+    }
+
     fn zero_diagonal(&mut self) {
         for i in 0..self.n {
             self.theta[i * self.n + i] = 0.0;

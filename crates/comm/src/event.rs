@@ -1,0 +1,492 @@
+//! The deterministic discrete-event scheduler behind [`crate::Cluster`].
+//!
+//! One host thread advances every device program: devices are state
+//! machines ([`crate::DeviceProgram`]) suspended at explicit yield points,
+//! and links are events charged by the per-pair `theta * bytes + gamma`
+//! cost model. The loop invariants (DESIGN.md §10):
+//!
+//! * **Run-to-block.** The scheduler resumes one device and keeps stepping
+//!   it until it blocks (a recv with an empty mailbox, a collective) or
+//!   finishes. Point-to-point sends never block the sender.
+//! * **Deterministic pick order.** Among runnable devices the scheduler
+//!   always picks the one with the smallest `(simulated clock, rank)` key.
+//!   Outputs do not depend on this choice — with per-`(src, tag)` FIFO
+//!   channels and blocking receives as the only message-ordering
+//!   constraint, device outputs are schedule-independent (Kahn process
+//!   network semantics) — but a fixed order makes every run, including its
+//!   event interleaving, bit-reproducible.
+//! * **Messages carry arrival times.** A payload sent at sender time `t`
+//!   arrives at `t + theta * bytes + gamma`; the receiver's clock advances
+//!   to at least the arrival time when it consumes the message. Without a
+//!   cost model every transfer is instantaneous and the clocks measure
+//!   nothing (the pure Kahn execution used by unit tests).
+//! * **Collectives are rendezvous events.** A collective fires only when
+//!   all `n` devices have yielded it; kinds and roots must match. Entry
+//!   time is the max of the participants' clocks, and per-rank exit times
+//!   follow the schedule models in `costmodel`/`schedule` (the ring charges
+//!   each device its unsynchronized per-round `max(send, recv)` time).
+
+use crate::cluster::{panic_message, ClusterError};
+use crate::program::{Command, DeviceCtx, DeviceProgram, Resume, Step};
+use crate::CostModel;
+use bytes::Bytes;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// What a device is doing between scheduler steps.
+enum Status {
+    /// Runnable: the next `resume` call gets this value.
+    Ready(Resume),
+    /// Suspended on an empty mailbox key.
+    RecvWait {
+        /// Awaited source rank.
+        src: usize,
+        /// Awaited tag.
+        tag: u64,
+    },
+    /// Suspended at a collective, holding its entry command.
+    CollectiveWait(Command),
+    /// Currently being stepped (transient).
+    Running,
+    /// Finished; its output is recorded.
+    Done,
+}
+
+/// The result of an event-core run: per-rank outputs plus the simulated
+/// clocks and event counts the thread backend could never report.
+#[derive(Debug, Clone)]
+pub struct ClusterReport<T> {
+    /// Per-rank program outputs, in rank order.
+    pub outputs: Vec<T>,
+    /// Per-rank final simulated clocks, seconds.
+    pub clocks: Vec<f64>,
+    /// Point-to-point messages delivered (collective-internal traffic is
+    /// accounted by the collective event, not here).
+    pub messages: u64,
+    /// Collective rendezvous events executed (barriers included).
+    pub collectives: u64,
+}
+
+impl<T> ClusterReport<T> {
+    /// The cluster makespan: the largest per-device clock.
+    pub fn makespan(&self) -> f64 {
+        self.clocks.iter().cloned().fold(0.0, f64::max)
+    }
+}
+
+/// Total order on simulated timestamps: clocks are finite and
+/// non-negative, where `f64::to_bits` is monotonic.
+fn clock_key(t: f64) -> u64 {
+    t.to_bits()
+}
+
+/// In-flight payload with its modeled arrival time at the receiver.
+type Mailbox = BTreeMap<(usize, u64), VecDeque<(f64, Bytes)>>;
+
+/// Runs `programs` (one per rank) to completion under the event loop.
+///
+/// `cost` charges link events; `None` makes every transfer instantaneous
+/// (outputs are identical either way — only the reported clocks change).
+///
+/// # Errors
+///
+/// [`ClusterError::NoDevices`] for an empty program list,
+/// [`ClusterError::DevicePanicked`] when a program panics mid-step,
+/// [`ClusterError::Stalled`] on deadlock (a recv that can never be
+/// satisfied, or a collective some rank never enters), and
+/// [`ClusterError::CollectiveMismatch`] when ranks disagree on the
+/// collective they are entering.
+pub fn run_programs<P: DeviceProgram>(
+    programs: Vec<P>,
+    cost: Option<&CostModel>,
+) -> Result<ClusterReport<P::Output>, ClusterError> {
+    let n = programs.len();
+    if n == 0 {
+        return Err(ClusterError::NoDevices);
+    }
+    let mut programs = programs;
+    let mut ctxs: Vec<DeviceCtx> = (0..n).map(|r| DeviceCtx::new(r, n)).collect();
+    let mut statuses: Vec<Status> = (0..n).map(|_| Status::Ready(Resume::Start)).collect();
+    let mut mailboxes: Vec<Mailbox> = (0..n).map(|_| Mailbox::new()).collect();
+    let mut outputs: Vec<Option<P::Output>> = (0..n).map(|_| None).collect();
+    let mut ready: BTreeSet<(u64, usize)> = (0..n).map(|r| (clock_key(0.0), r)).collect();
+    let mut done = 0usize;
+    let mut waiting_collective = 0usize;
+    let mut messages = 0u64;
+    let mut collectives = 0u64;
+
+    while done < n {
+        let Some(&(key, rank)) = ready.iter().next() else {
+            // Nobody is runnable. Either every rank is parked at a
+            // collective (fire it) or the cluster is deadlocked.
+            if waiting_collective == n {
+                collectives += 1;
+                run_collective(&mut statuses, &mut ctxs, cost)?;
+                waiting_collective = 0;
+                for (r, ctx) in ctxs.iter().enumerate() {
+                    ready.insert((clock_key(ctx.now()), r));
+                }
+                continue;
+            }
+            return Err(stall_error(&statuses));
+        };
+        ready.remove(&(key, rank));
+
+        // Run-to-block: keep stepping this device until it suspends.
+        let Status::Ready(mut input) = std::mem::replace(&mut statuses[rank], Status::Running)
+        else {
+            // The ready set only holds Ready devices.
+            unreachable!("scheduled a non-ready device")
+        };
+        loop {
+            let step = {
+                let prog = &mut programs[rank];
+                let ctx = &mut ctxs[rank];
+                catch_unwind(AssertUnwindSafe(|| prog.resume(ctx, input)))
+            };
+            match step {
+                Err(payload) => {
+                    return Err(ClusterError::DevicePanicked {
+                        rank,
+                        message: panic_message(payload),
+                    });
+                }
+                Ok(Step::Done(out)) => {
+                    outputs[rank] = Some(out);
+                    statuses[rank] = Status::Done;
+                    done += 1;
+                    break;
+                }
+                Ok(Step::Yield(Command::Send { dst, tag, payload })) => {
+                    if dst >= n {
+                        return Err(ClusterError::DevicePanicked {
+                            rank,
+                            message: format!("send dst {dst} out of range (n = {n})"),
+                        });
+                    }
+                    messages += 1;
+                    let arrival = ctxs[rank].now()
+                        + cost.map_or(0.0, |c| c.transfer_time(rank, dst, payload.len()));
+                    mailboxes[dst]
+                        .entry((rank, tag))
+                        .or_default()
+                        .push_back((arrival, payload));
+                    // Wake the receiver if it is parked on exactly this key.
+                    if let Status::RecvWait { src, tag: want } = &statuses[dst] {
+                        let (src, want) = (*src, *want);
+                        if src == rank && want == tag {
+                            let (at, msg) = pop_message(&mut mailboxes[dst], (src, want));
+                            ctxs[dst].advance_to(at);
+                            statuses[dst] = Status::Ready(Resume::Received(msg));
+                            ready.insert((clock_key(ctxs[dst].now()), dst));
+                        }
+                    }
+                    input = Resume::Sent;
+                }
+                Ok(Step::Yield(Command::Recv { src, tag })) => {
+                    if src >= n {
+                        return Err(ClusterError::DevicePanicked {
+                            rank,
+                            message: format!("recv src {src} out of range (n = {n})"),
+                        });
+                    }
+                    let key = (src, tag);
+                    if mailboxes[rank].get(&key).is_some_and(|q| !q.is_empty()) {
+                        let (at, msg) = pop_message(&mut mailboxes[rank], key);
+                        ctxs[rank].advance_to(at);
+                        input = Resume::Received(msg);
+                    } else {
+                        statuses[rank] = Status::RecvWait { src, tag };
+                        break;
+                    }
+                }
+                Ok(Step::Yield(cmd)) => {
+                    statuses[rank] = Status::CollectiveWait(cmd);
+                    waiting_collective += 1;
+                    break;
+                }
+            }
+        }
+    }
+
+    Ok(ClusterReport {
+        // Every device reached Done, so every output slot is filled.
+        outputs: outputs.into_iter().flatten().collect(),
+        clocks: ctxs.iter().map(DeviceCtx::now).collect(),
+        messages,
+        collectives,
+    })
+}
+
+fn pop_message(mailbox: &mut Mailbox, key: (usize, u64)) -> (f64, Bytes) {
+    let queue = mailbox.entry(key).or_default();
+    let front = queue.pop_front();
+    if queue.is_empty() {
+        mailbox.remove(&key);
+    }
+    match front {
+        Some(msg) => msg,
+        // Callers check non-emptiness before popping.
+        None => unreachable!("popped an empty mailbox key"),
+    }
+}
+
+fn stall_error(statuses: &[Status]) -> ClusterError {
+    for (rank, s) in statuses.iter().enumerate() {
+        let detail = match s {
+            Status::RecvWait { src, tag } => {
+                format!("blocked on recv(src = {src}, tag = {tag}) with no sender left")
+            }
+            Status::CollectiveWait(cmd) => format!(
+                "entered a `{}` collective that some rank never joins",
+                cmd.kind_name()
+            ),
+            _ => continue,
+        };
+        return ClusterError::Stalled { rank, detail };
+    }
+    // `stall_error` is only called when at least one device is suspended.
+    unreachable!("stall without a suspended device")
+}
+
+/// Fires the collective every rank is parked at: validates that the entry
+/// commands agree, computes per-rank results, and advances the clocks.
+fn run_collective(
+    statuses: &mut [Status],
+    ctxs: &mut [DeviceCtx],
+    cost: Option<&CostModel>,
+) -> Result<(), ClusterError> {
+    let n = statuses.len();
+    let mut cmds: Vec<Command> = Vec::with_capacity(n);
+    for s in statuses.iter_mut() {
+        match std::mem::replace(s, Status::Running) {
+            Status::CollectiveWait(cmd) => cmds.push(cmd),
+            // The caller checked that all n devices are collective-parked.
+            _ => unreachable!("collective fired with a non-parked device"),
+        }
+    }
+    let kind = cmds[0].kind_name();
+    for (rank, cmd) in cmds.iter().enumerate() {
+        if cmd.kind_name() != kind {
+            return Err(ClusterError::CollectiveMismatch {
+                rank,
+                detail: format!(
+                    "rank 0 entered `{kind}` but rank {rank} entered `{}`",
+                    cmd.kind_name()
+                ),
+            });
+        }
+    }
+    let t0 = ctxs.iter().map(DeviceCtx::now).fold(0.0, f64::max);
+    let transfer = |src: usize, dst: usize, bytes: usize| {
+        cost.map_or(0.0, |c| c.transfer_time(src, dst, bytes))
+    };
+
+    /// The agreed collective shape, extracted from rank 0's entry command
+    /// so the command list itself can be consumed per-branch.
+    enum Shape {
+        Barrier,
+        Ring,
+        Broadcast(usize),
+        Gather(usize),
+        Scatter(usize),
+    }
+    let shape = match &cmds[0] {
+        Command::Barrier => Shape::Barrier,
+        Command::RingAll2All { .. } => Shape::Ring,
+        Command::Broadcast { root, .. } => Shape::Broadcast(*root),
+        Command::Gather { root, .. } => Shape::Gather(*root),
+        Command::Scatter { root, .. } => Shape::Scatter(*root),
+        // Send/Recv never park a device in CollectiveWait.
+        Command::Send { .. } | Command::Recv { .. } => {
+            unreachable!("point-to-point command parked as a collective")
+        }
+    };
+
+    match shape {
+        Shape::Barrier => {
+            for (rank, ctx) in ctxs.iter_mut().enumerate() {
+                ctx.advance_to(t0);
+                statuses[rank] = Status::Ready(Resume::BarrierDone);
+            }
+        }
+        Shape::Ring => {
+            let mut matrix: Vec<Vec<Bytes>> = Vec::with_capacity(n);
+            for (rank, cmd) in cmds.into_iter().enumerate() {
+                let Command::RingAll2All { payloads } = cmd else {
+                    // Kind agreement was validated above.
+                    unreachable!("ring collective with a non-ring command");
+                };
+                if payloads.len() != n {
+                    return Err(ClusterError::CollectiveMismatch {
+                        rank,
+                        detail: format!(
+                            "ring_all2all needs one payload per rank: got {} for n = {n}",
+                            payloads.len()
+                        ),
+                    });
+                }
+                matrix.push(payloads);
+            }
+            for rank in 0..n {
+                let mut result: Vec<Option<Bytes>> = (0..n).map(|_| None).collect();
+                // Per-device unsynchronized ring time: each of the N-1
+                // rounds costs max(own send, own recv) on full-duplex links
+                // (the Table 2 model; see `CostModel::per_device_ring_seconds`).
+                let mut elapsed = 0.0f64;
+                for round in 1..n {
+                    let dst = (rank + round) % n;
+                    let src = (rank + n - round) % n;
+                    result[src] = Some(matrix[src][rank].clone());
+                    let send = transfer(rank, dst, matrix[rank][dst].len());
+                    let recv = transfer(src, rank, matrix[src][rank].len());
+                    elapsed += send.max(recv);
+                }
+                ctxs[rank].advance_to(t0 + elapsed);
+                statuses[rank] = Status::Ready(Resume::RingDone(result));
+            }
+        }
+        Shape::Broadcast(root) => {
+            let payload = validate_rooted_payload(&cmds, root, n)?;
+            for rank in 0..n {
+                let exit = if rank == root {
+                    t0
+                } else {
+                    t0 + transfer(root, rank, payload.len())
+                };
+                ctxs[rank].advance_to(exit);
+                statuses[rank] = Status::Ready(Resume::BroadcastDone(payload.clone()));
+            }
+        }
+        Shape::Gather(root) => {
+            if root >= n {
+                return Err(root_range_error(root, n));
+            }
+            let mut all: Vec<Bytes> = Vec::with_capacity(n);
+            let mut slowest = 0.0f64;
+            for (rank, cmd) in cmds.into_iter().enumerate() {
+                let Command::Gather { root: r, payload } = cmd else {
+                    unreachable!("gather collective with a non-gather command");
+                };
+                if r != root {
+                    return Err(root_mismatch_error(rank, root, r));
+                }
+                slowest = slowest.max(transfer(rank, root, payload.len()));
+                all.push(payload);
+            }
+            for rank in 0..n {
+                let (exit, resume) = if rank == root {
+                    (t0 + slowest, Resume::GatherDone(Some(all.clone())))
+                } else {
+                    (t0, Resume::GatherDone(None))
+                };
+                ctxs[rank].advance_to(exit);
+                statuses[rank] = Status::Ready(resume);
+            }
+        }
+        Shape::Scatter(root) => {
+            if root >= n {
+                return Err(root_range_error(root, n));
+            }
+            let mut slices: Option<Vec<Bytes>> = None;
+            for (rank, cmd) in cmds.into_iter().enumerate() {
+                let Command::Scatter { root: r, payloads } = cmd else {
+                    unreachable!("scatter collective with a non-scatter command");
+                };
+                if r != root {
+                    return Err(root_mismatch_error(rank, root, r));
+                }
+                match (rank == root, payloads) {
+                    (true, Some(p)) if p.len() == n => slices = Some(p),
+                    (true, Some(p)) => {
+                        return Err(ClusterError::CollectiveMismatch {
+                            rank,
+                            detail: format!(
+                                "scatter root provided {} payloads for n = {n}",
+                                p.len()
+                            ),
+                        });
+                    }
+                    (true, None) => {
+                        return Err(ClusterError::CollectiveMismatch {
+                            rank,
+                            detail: "scatter root provided no payloads".into(),
+                        });
+                    }
+                    (false, Some(_)) => {
+                        return Err(ClusterError::CollectiveMismatch {
+                            rank,
+                            detail: "non-root rank provided scatter payloads".into(),
+                        });
+                    }
+                    (false, None) => {}
+                }
+            }
+            // The root's slot was filled above (it is one of the n ranks).
+            let Some(slices) = slices else {
+                unreachable!("scatter root produced no payloads after validation");
+            };
+            for (rank, payload) in slices.into_iter().enumerate() {
+                let exit = if rank == root {
+                    t0
+                } else {
+                    t0 + transfer(root, rank, payload.len())
+                };
+                ctxs[rank].advance_to(exit);
+                statuses[rank] = Status::Ready(Resume::ScatterDone(payload));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn validate_rooted_payload(cmds: &[Command], root: usize, n: usize) -> Result<Bytes, ClusterError> {
+    if root >= n {
+        return Err(root_range_error(root, n));
+    }
+    let mut found: Option<Bytes> = None;
+    for (rank, cmd) in cmds.iter().enumerate() {
+        let Command::Broadcast { root: r, payload } = cmd else {
+            unreachable!("broadcast collective with a non-broadcast command");
+        };
+        if *r != root {
+            return Err(root_mismatch_error(rank, root, *r));
+        }
+        match (rank == root, payload) {
+            (true, Some(p)) => found = Some(p.clone()),
+            (true, None) => {
+                return Err(ClusterError::CollectiveMismatch {
+                    rank,
+                    detail: "broadcast root provided no payload".into(),
+                });
+            }
+            (false, Some(_)) => {
+                return Err(ClusterError::CollectiveMismatch {
+                    rank,
+                    detail: "non-root rank provided a broadcast payload".into(),
+                });
+            }
+            (false, None) => {}
+        }
+    }
+    // The root's rank is in 0..n, so the loop above either filled `found`
+    // or returned an error.
+    match found {
+        Some(p) => Ok(p),
+        None => unreachable!("broadcast root missing after validation"),
+    }
+}
+
+fn root_range_error(root: usize, n: usize) -> ClusterError {
+    ClusterError::CollectiveMismatch {
+        rank: 0,
+        detail: format!("collective root {root} out of range (n = {n})"),
+    }
+}
+
+fn root_mismatch_error(rank: usize, expected: usize, got: usize) -> ClusterError {
+    ClusterError::CollectiveMismatch {
+        rank,
+        detail: format!("rank 0 used root {expected} but rank {rank} used root {got}"),
+    }
+}

@@ -3,16 +3,20 @@
 //! The paper runs on multi-GPU, multi-machine clusters. This crate replaces
 //! that hardware with a faithful *functional* simulation:
 //!
-//! * **Devices are OS threads.** Each worker runs real kernels on its real
-//!   graph partition; a [`Cluster`] spawns one [`DeviceHandle`] per rank.
-//! * **Links are in-memory channels.** Payloads (quantized byte streams)
-//!   actually move between threads, so numerics are end-to-end real.
+//! * **Devices are state machines.** Each device implements
+//!   [`DeviceProgram`] (or runs as an imperative closure through the
+//!   lockstep adapter of [`Cluster::run_fn`]) and is advanced by one
+//!   deterministic discrete-event scheduler — no OS thread per device, so a
+//!   single process simulates thousands of ranks.
+//! * **Links are events.** Payloads (quantized byte streams) actually move
+//!   between devices, so numerics are end-to-end real; each transfer is an
+//!   event charged `theta * bytes + gamma` on the simulated clock.
 //! * **Time is modeled, not measured, for transfers.** A [`CostModel`]
-//!   charges `theta * bytes + gamma` per point-to-point transfer — the same
-//!   affine cost model the paper's bit-width assigner uses (Eqn. 10,
-//!   citing Sarvotham et al.) — with distinct intra-/inter-machine
-//!   parameters. Compute time *is* measured (CPU time of the kernels) and
-//!   divided by a configurable GPU-speedup factor.
+//!   carries the per-pair affine parameters — the same cost model the
+//!   paper's bit-width assigner uses (Eqn. 10, citing Sarvotham et al.) —
+//!   and the [`Topology`] builder lowers hierarchical machine/rack/spine
+//!   bandwidth tiers onto it. Compute time is charged analytically from
+//!   kernel operation counts.
 //! * **[`TimeBreakdown`]** accumulates per-category simulated seconds
 //!   (communication / central computation / marginal computation /
 //!   quantization / solver), which is exactly the decomposition Fig. 10
@@ -21,6 +25,10 @@
 //! Collectives provided: tagged point-to-point send/recv, barrier, ring
 //! all2all (Fig. 8), sequential broadcast (the SANCUS schedule), gather /
 //! scatter to the master rank, and sum-allreduce for model gradients.
+//!
+//! The pre-event-core execution model (one OS thread per device, crossbeam
+//! channels) is kept for one release behind the `thread-backend` feature so
+//! equivalence tests can pin the event core against it byte-for-byte.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,12 +38,45 @@
 
 pub mod cluster;
 pub mod costmodel;
+pub mod event;
+pub mod program;
 pub mod schedule;
 pub mod telemetry;
+#[cfg(feature = "thread-backend")]
+mod thread;
 pub mod timing;
+pub mod topology;
 
 pub use cluster::{Cluster, ClusterError, DeviceHandle};
 pub use costmodel::{ClusterTopology, CostModel};
+pub use event::ClusterReport;
+pub use program::{Command, DeviceCtx, DeviceProgram, Resume, Step};
+#[allow(deprecated)]
 pub use schedule::{per_device_ring_times, ring_all2all_time, sequential_broadcast_time};
 pub use telemetry::{Event, EventDetail, EventKind, Recorder};
 pub use timing::{TimeBreakdown, TimeCategory};
+pub use topology::Topology;
+
+/// The one-stop import for cluster simulations: the event-core entry
+/// points, the device API (both forms), and the cost/topology surface.
+///
+/// ```
+/// use comm::prelude::*;
+///
+/// let cm = Topology::new(2, 2).cost_model();
+/// let report = Cluster::try_run_fn_with(4, Some(&cm), |mut dev| {
+///     dev.barrier();
+///     dev.rank()
+/// })
+/// .unwrap();
+/// assert_eq!(report.outputs, vec![0, 1, 2, 3]);
+/// ```
+pub mod prelude {
+    pub use crate::cluster::{Cluster, ClusterError, DeviceHandle};
+    pub use crate::costmodel::{ClusterTopology, CostModel};
+    pub use crate::event::ClusterReport;
+    pub use crate::program::{Command, DeviceCtx, DeviceProgram, Resume, Step};
+    pub use crate::telemetry::Recorder;
+    pub use crate::timing::{TimeBreakdown, TimeCategory};
+    pub use crate::topology::Topology;
+}

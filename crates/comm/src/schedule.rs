@@ -1,4 +1,4 @@
-//! Communication-schedule time models.
+//! Communication-schedule time models (deprecated free-function surface).
 //!
 //! Two schedules matter in the paper:
 //!
@@ -10,69 +10,43 @@
 //! * **Sequential broadcast** — SANCUS's schedule: devices broadcast one
 //!   after another, so the total is the sum of per-device broadcast times.
 //!   The paper points out this is why SANCUS can be slower than Vanilla.
+//!
+//! The implementations now live as methods on [`CostModel`]
+//! ([`CostModel::ring_all2all_seconds`], [`CostModel::per_device_ring_seconds`],
+//! [`CostModel::sequential_broadcast_seconds`]) so the schedule math sits on
+//! the same surface as the link parameters it reads; these free functions
+//! are thin deprecated wrappers kept for one release.
 
 use crate::CostModel;
 
 /// Total ring-all2all time for a byte matrix `bytes[src][dst]`.
 ///
-/// Each of the `N-1` rounds costs the max over devices of the transfer on
-/// the links active that round.
+/// # Panics
+///
+/// Panics if `bytes` is not `n x n` for the model's device count.
+#[deprecated(since = "0.6.0", note = "use CostModel::ring_all2all_seconds")]
+pub fn ring_all2all_time(cost: &CostModel, bytes: &[Vec<usize>]) -> f64 {
+    cost.ring_all2all_seconds(bytes)
+}
+
+/// Per-device ring-all2all time (unsynchronized rounds, Table 2).
 ///
 /// # Panics
 ///
 /// Panics if `bytes` is not `n x n` for the model's device count.
-pub fn ring_all2all_time(cost: &CostModel, bytes: &[Vec<usize>]) -> f64 {
-    let n = cost.num_devices();
-    assert_eq!(bytes.len(), n, "bytes matrix row count");
-    let mut total = 0.0;
-    for round in 1..n {
-        let mut round_max: f64 = 0.0;
-        for src in 0..n {
-            let dst = (src + round) % n;
-            assert_eq!(bytes[src].len(), n, "bytes matrix col count");
-            round_max = round_max.max(cost.transfer_time(src, dst, bytes[src][dst]));
-        }
-        total += round_max;
-    }
-    total
-}
-
-/// Per-device ring-all2all time: device `d` spends, in round `r`, the max of
-/// its own send and its own receive (full-duplex links); unlike
-/// [`ring_all2all_time`] this does *not* synchronize rounds globally, which
-/// is how per-device communication times end up unequal (Table 2).
+#[deprecated(since = "0.6.0", note = "use CostModel::per_device_ring_seconds")]
 pub fn per_device_ring_times(cost: &CostModel, bytes: &[Vec<usize>]) -> Vec<f64> {
-    let n = cost.num_devices();
-    assert_eq!(bytes.len(), n, "bytes matrix row count");
-    let mut times = vec![0.0; n];
-    for round in 1..n {
-        for dev in 0..n {
-            let dst = (dev + round) % n;
-            let src = (dev + n - round % n) % n;
-            let send = cost.transfer_time(dev, dst, bytes[dev][dst]);
-            let recv = cost.transfer_time(src, dev, bytes[src][dev]);
-            times[dev] += send.max(recv);
-        }
-    }
-    times
+    cost.per_device_ring_seconds(bytes)
 }
 
-/// Total time for sequential one-by-one broadcasts: device `i` broadcasts
-/// `bytes[i][dst]` to every other device in parallel, devices take turns.
+/// Total time for sequential one-by-one broadcasts (the SANCUS schedule).
+///
+/// # Panics
+///
+/// Panics if `bytes` is not `n x n` for the model's device count.
+#[deprecated(since = "0.6.0", note = "use CostModel::sequential_broadcast_seconds")]
 pub fn sequential_broadcast_time(cost: &CostModel, bytes: &[Vec<usize>]) -> f64 {
-    let n = cost.num_devices();
-    assert_eq!(bytes.len(), n, "bytes matrix row count");
-    let mut total = 0.0;
-    for src in 0..n {
-        let mut bcast: f64 = 0.0;
-        for dst in 0..n {
-            if dst != src {
-                bcast = bcast.max(cost.transfer_time(src, dst, bytes[src][dst]));
-            }
-        }
-        total += bcast;
-    }
-    total
+    cost.sequential_broadcast_seconds(bytes)
 }
 
 #[cfg(test)]
@@ -90,7 +64,7 @@ mod tests {
         let cm = CostModel::homogeneous(4, 1e6, 0.0);
         let bytes = uniform_bytes(4, 1000);
         // 3 rounds, each 1ms.
-        let t = ring_all2all_time(&cm, &bytes);
+        let t = cm.ring_all2all_seconds(&bytes);
         assert!((t - 3e-3).abs() < 1e-9);
     }
 
@@ -99,7 +73,7 @@ mod tests {
         let cm = CostModel::homogeneous(4, 1e6, 0.0);
         let mut bytes = uniform_bytes(4, 1000);
         bytes[0][1] = 100_000; // one heavy link in round 1
-        let t = ring_all2all_time(&cm, &bytes);
+        let t = cm.ring_all2all_seconds(&bytes);
         assert!((t - (0.1 + 2e-3)).abs() < 1e-9, "t = {t}");
     }
 
@@ -108,7 +82,7 @@ mod tests {
         let cm = CostModel::homogeneous(4, 1e6, 0.0);
         let mut bytes = uniform_bytes(4, 1000);
         bytes[0][1] = 50_000;
-        let times = per_device_ring_times(&cm, &bytes);
+        let times = cm.per_device_ring_seconds(&bytes);
         // Device 0 (sender) and device 1 (receiver) are slower than 2, 3.
         assert!(times[0] > times[2]);
         assert!(times[1] > times[3]);
@@ -122,8 +96,8 @@ mod tests {
         let mut bytes = uniform_bytes(5, 2000);
         bytes[2][4] = 77_000;
         bytes[3][0] = 9_000;
-        let sync = ring_all2all_time(&cm, &bytes);
-        let per = per_device_ring_times(&cm, &bytes);
+        let sync = cm.ring_all2all_seconds(&bytes);
+        let per = cm.per_device_ring_seconds(&bytes);
         for (d, t) in per.iter().enumerate() {
             assert!(sync >= *t - 1e-12, "device {d}: sync {sync} < per {t}");
         }
@@ -134,7 +108,7 @@ mod tests {
         let cm = CostModel::homogeneous(3, 1e6, 0.0);
         let bytes = uniform_bytes(3, 1000);
         // Each broadcast costs 1ms (parallel to 2 peers), 3 turns.
-        let t = sequential_broadcast_time(&cm, &bytes);
+        let t = cm.sequential_broadcast_seconds(&bytes);
         assert!((t - 3e-3).abs() < 1e-9);
     }
 
@@ -144,8 +118,8 @@ mod tests {
         // broadcast serializes device turns and loses.
         let cm = CostModel::homogeneous(8, 1e6, 1e-4);
         let bytes = uniform_bytes(8, 10_000);
-        let ring = ring_all2all_time(&cm, &bytes);
-        let seq = sequential_broadcast_time(&cm, &bytes);
+        let ring = cm.ring_all2all_seconds(&bytes);
+        let seq = cm.sequential_broadcast_seconds(&bytes);
         // Ring: 7 rounds x 10ms; sequential: 8 turns x 10ms (+latency) —
         // and the gap widens because a real broadcast of k messages on one
         // NIC would serialize further. Here we at least check ordering.
@@ -156,8 +130,28 @@ mod tests {
     fn zero_traffic_costs_nothing() {
         let cm = CostModel::homogeneous(4, 1e6, 1e-4);
         let bytes = uniform_bytes(4, 0);
-        assert_eq!(ring_all2all_time(&cm, &bytes), 0.0);
-        assert_eq!(sequential_broadcast_time(&cm, &bytes), 0.0);
-        assert!(per_device_ring_times(&cm, &bytes).iter().all(|&t| t == 0.0));
+        assert_eq!(cm.ring_all2all_seconds(&bytes), 0.0);
+        assert_eq!(cm.sequential_broadcast_seconds(&bytes), 0.0);
+        assert!(cm.per_device_ring_seconds(&bytes).iter().all(|&t| t == 0.0));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_delegate() {
+        let cm = CostModel::homogeneous(4, 1e6, 1e-5);
+        let mut bytes = uniform_bytes(4, 500);
+        bytes[1][3] = 9000;
+        assert_eq!(
+            ring_all2all_time(&cm, &bytes),
+            cm.ring_all2all_seconds(&bytes)
+        );
+        assert_eq!(
+            per_device_ring_times(&cm, &bytes),
+            cm.per_device_ring_seconds(&bytes)
+        );
+        assert_eq!(
+            sequential_broadcast_time(&cm, &bytes),
+            cm.sequential_broadcast_seconds(&bytes)
+        );
     }
 }

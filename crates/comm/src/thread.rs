@@ -1,0 +1,136 @@
+//! The retired thread-per-device transport, kept behind the
+//! `thread-backend` feature for one release so the cross-backend
+//! equivalence tests can pin the event core against it.
+//!
+//! One OS thread per simulated device, crossbeam channels for payload
+//! transport, a host barrier for synchronization. The event core
+//! ([`crate::event`]) replaces this wholesale; `DeviceHandle` routes its
+//! collectives over either transport so device code is identical on both.
+
+use crate::cluster::{panic_message, ClusterError, DeviceHandle};
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+// lint:allow(det-iter): pending-message map is keyed lookup only; iteration order is never observed
+use std::collections::HashMap;
+use std::sync::{Arc, Barrier};
+
+/// A message in flight between two ranks.
+#[derive(Debug, Clone)]
+struct Envelope {
+    src: usize,
+    tag: u64,
+    payload: Bytes,
+}
+
+/// One device's endpoint of the threaded transport: its mailbox, the
+/// senders to every peer, and the shared barrier.
+#[derive(Debug)]
+pub(crate) struct ThreadPort {
+    rank: usize,
+    senders: Vec<Sender<Envelope>>,
+    receiver: Receiver<Envelope>,
+    // lint:allow(det-iter): keyed lookup only, order never observed
+    pending: HashMap<(usize, u64), Vec<Bytes>>,
+    barrier: Arc<Barrier>,
+}
+
+impl ThreadPort {
+    /// Queues `payload` for `dst` (unbounded channels: never blocks).
+    pub(crate) fn send(&mut self, dst: usize, tag: u64, payload: Bytes) {
+        self.senders[dst]
+            .send(Envelope {
+                src: self.rank,
+                tag,
+                payload,
+            })
+            // lint:allow(no-panic): a hung-up peer means that device panicked; try_run_fn_threaded surfaces it as DevicePanicked
+            .expect("destination device hung up");
+    }
+
+    /// Blocking receive in per-`(src, tag)` FIFO order; messages for other
+    /// keys that arrive in the meantime are buffered.
+    pub(crate) fn recv(&mut self, src: usize, tag: u64) -> Bytes {
+        let key = (src, tag);
+        loop {
+            if let Some(queue) = self.pending.get_mut(&key) {
+                if !queue.is_empty() {
+                    let payload = queue.remove(0);
+                    if queue.is_empty() {
+                        self.pending.remove(&key);
+                    }
+                    return payload;
+                }
+            }
+            // lint:allow(no-panic): a hung-up peer means that device panicked; try_run_fn_threaded surfaces it as DevicePanicked
+            let env = self.receiver.recv().expect("all senders hung up");
+            if env.src == src && env.tag == tag {
+                return env.payload;
+            }
+            self.pending
+                .entry((env.src, env.tag))
+                .or_default()
+                .push(env.payload);
+        }
+    }
+
+    /// Host-barrier synchronization across all device threads.
+    pub(crate) fn barrier(&self) {
+        self.barrier.wait();
+    }
+}
+
+/// Runs `f` on `n` real OS threads wired with in-memory channels — the
+/// pre-event-core execution model, verbatim.
+pub(crate) fn try_run_threaded<T, F>(n: usize, f: F) -> Result<Vec<T>, ClusterError>
+where
+    T: Send,
+    F: Fn(DeviceHandle) -> T + Sync,
+{
+    if n == 0 {
+        return Err(ClusterError::NoDevices);
+    }
+    let mut senders: Vec<Sender<Envelope>> = Vec::with_capacity(n);
+    let mut receivers: Vec<Receiver<Envelope>> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = unbounded();
+        senders.push(tx);
+        receivers.push(rx);
+    }
+    let barrier = Arc::new(Barrier::new(n));
+    let f = &f;
+    let senders = &senders;
+    std::thread::scope(|scope| {
+        let mut joins = Vec::with_capacity(n);
+        for (rank, rx) in receivers.into_iter().enumerate() {
+            let port = ThreadPort {
+                rank,
+                senders: senders.clone(),
+                receiver: rx,
+                // lint:allow(det-iter): keyed lookup only, order never observed
+                pending: HashMap::new(),
+                barrier: Arc::clone(&barrier),
+            };
+            let handle = DeviceHandle::with_thread_port(rank, n, port);
+            joins.push(scope.spawn(move || f(handle)));
+        }
+        let mut out = Vec::with_capacity(n);
+        let mut first_failure: Option<ClusterError> = None;
+        for (rank, join) in joins.into_iter().enumerate() {
+            match join.join() {
+                Ok(v) => out.push(v),
+                Err(payload) => {
+                    if first_failure.is_none() {
+                        first_failure = Some(ClusterError::DevicePanicked {
+                            rank,
+                            message: panic_message(payload),
+                        });
+                    }
+                }
+            }
+        }
+        match first_failure {
+            Some(e) => Err(e),
+            None => Ok(out),
+        }
+    })
+}

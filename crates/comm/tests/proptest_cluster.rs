@@ -1,6 +1,7 @@
-//! Property tests for the threaded cluster runtime: random message
-//! schedules must deliver every payload exactly once, in order, regardless
-//! of interleaving.
+//! Property tests for the cluster runtime: random message schedules must
+//! deliver every payload exactly once, in order, regardless of
+//! interleaving — and the event core must agree with the retired thread
+//! backend on every schedule.
 
 use bytes::Bytes;
 use comm::Cluster;
@@ -22,7 +23,7 @@ proptest! {
             .filter(|&(s, d, _, _)| s != d)
             .collect();
         let sends_ref = &sends;
-        let results = Cluster::run(n, move |mut dev| {
+        let results = Cluster::run_fn(n, move |mut dev| {
             let me = dev.rank();
             // Send phase: everything this rank must send, in plan order.
             for (i, &(s, d, t, b)) in sends_ref.iter().enumerate() {
@@ -65,7 +66,7 @@ proptest! {
         rounds in 1usize..5,
         seed in 0u64..1000,
     ) {
-        let results = Cluster::run(n, move |mut dev| {
+        let device = move |mut dev: comm::DeviceHandle| {
             let mut acc = Vec::new();
             for round in 0..rounds {
                 // Interleave different collectives in a fixed order.
@@ -83,7 +84,11 @@ proptest! {
                 acc.push((sum, bcast[0], reduced[0] as u32, reduced[1] as u32));
             }
             acc
-        });
+        };
+        let results = Cluster::run_fn(n, device);
+        // The retired thread backend must agree on every schedule.
+        #[cfg(feature = "thread-backend")]
+        prop_assert_eq!(&results, &Cluster::run_fn_threaded(n, device));
         // Every device computed identical collective results.
         let expected_sum: u32 = (0..n as u32).sum::<u32>();
         for (rank, acc) in results.iter().enumerate() {

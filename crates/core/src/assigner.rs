@@ -678,7 +678,7 @@ mod tests {
         let parts_ref = &parts;
         let cfg_ref = &cfg;
         let cost_ref = &cost;
-        let out = comm::Cluster::run(2, move |mut dev| {
+        let out = comm::Cluster::run_fn(2, move |mut dev| {
             let part = &parts_ref[dev.rank()];
             let dims = [16usize, 8];
             let mut trace = Trace::new(part, &dims);

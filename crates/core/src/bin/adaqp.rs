@@ -10,7 +10,7 @@
 //! Argument parsing is hand-rolled (the workspace's dependency budget has no
 //! room for clap); see `adaqp help` for the full surface.
 
-use adaqp::{ExperimentConfig, Method, TrainingConfig};
+use adaqp::{ExperimentConfig, Method, TopologySpec, TrainingConfig};
 use graph::DatasetSpec;
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -57,10 +57,11 @@ USAGE:
   adaqp run --dataset <name> [--method <m>] [--machines N] [--devices N]
             [--epochs N] [--hidden N] [--sage] [--seed N] [--lambda X]
             [--group-size N] [--period N] [--no-overlap] [--error-feedback]
-            [--scale X] [--json] [--telemetry] [--trace <file.json>]
-            [--events <file.jsonl>] [--metrics <path>] [--san]
+            [--rack-size N] [--oversub X] [--scale X] [--json] [--telemetry]
+            [--trace <file.json>] [--events <file.jsonl>] [--metrics <path>]
+            [--san]
   adaqp compare --dataset <name> [--machines N] [--devices N] [--epochs N]
-            [--scale X] [--markdown]
+            [--rack-size N] [--oversub X] [--scale X] [--markdown]
   adaqp tune --dataset <name> [--machines N] [--devices N] [--epochs N] [--scale X]
   adaqp partition --dataset <name> [--parts N] [--scale X] [--seed N]
   adaqp datasets
@@ -162,6 +163,23 @@ fn experiment_from(flags: &Flags) -> Result<ExperimentConfig, String> {
         || flags.contains_key("events");
     training.metrics = flags.contains_key("metrics");
     training.sanitize = flags.contains_key("san");
+    // `--rack-size 0` (or leaving both flags off) keeps the flat
+    // single-rack network; any other value installs a topology section.
+    let rack_size = parse_num(flags, "rack-size", 0usize)?;
+    let oversub = parse_num(flags, "oversub", 1.0f64)?;
+    if oversub < 1.0 {
+        return Err("--oversub must be >= 1".into());
+    }
+    if rack_size > 0 || oversub > 1.0 {
+        let mut spec = TopologySpec::from_training(&training);
+        if rack_size > 0 {
+            spec.machines_per_rack = Some(rack_size);
+        }
+        if oversub > 1.0 {
+            spec = spec.oversubscription(oversub);
+        }
+        training.topology = Some(spec);
+    }
     Ok(ExperimentConfig {
         dataset,
         machines: parse_num(flags, "machines", 2usize)?,
@@ -429,6 +447,27 @@ mod tests {
         assert!(cfg.training.sanitize);
         let off = experiment_from(&flags_of(&["--dataset", "tiny"])).expect("valid config");
         assert!(!off.training.sanitize);
+    }
+
+    #[test]
+    fn rack_and_oversub_flags_install_a_topology_section() {
+        let f = flags_of(&["--dataset", "tiny", "--machines", "8", "--rack-size", "2"]);
+        let cfg = experiment_from(&f).expect("valid config");
+        let spec = cfg.training.topology.as_ref().expect("section installed");
+        assert_eq!(spec.machines_per_rack, Some(2));
+        assert_eq!(spec.spine_bw, None);
+        assert_eq!(cfg.network_topology().num_racks(), 4);
+
+        let f = flags_of(&["--dataset", "tiny", "--oversub", "4"]);
+        let cfg = experiment_from(&f).expect("valid config");
+        let spec = cfg.training.topology.as_ref().expect("section installed");
+        assert_eq!(spec.spine_bw, Some(spec.inter_bw() / 4.0));
+
+        let off = experiment_from(&flags_of(&["--dataset", "tiny"])).expect("valid config");
+        assert!(off.training.topology.is_none());
+
+        let bad = flags_of(&["--dataset", "tiny", "--oversub", "0.5"]);
+        assert!(experiment_from(&bad).is_err());
     }
 
     #[test]

@@ -135,6 +135,13 @@ pub struct TrainingConfig {
     /// the `ADAQP_SAN` env var enables the mode independently of this flag.
     #[serde(default)]
     pub sanitize: bool,
+    /// Optional three-tier network section (racks + oversubscribable spine).
+    /// `None` (the default) keeps the flat two-tier model built from
+    /// `inter_bw` / `intra_bw` / `latency` above, float-identical to the
+    /// historical per-pair plumbing. When set, the spec's link parameters
+    /// replace those three fields entirely.
+    #[serde(default)]
+    pub topology: Option<TopologySpec>,
 }
 
 impl Default for TrainingConfig {
@@ -162,7 +169,138 @@ impl Default for TrainingConfig {
             metrics: false,
             threads: 0,
             sanitize: false,
+            topology: None,
         }
+    }
+}
+
+/// Declarative three-tier network description: devices within a machine
+/// (`intra_bw`), machines within a rack (`inter_bw`), racks across a spine
+/// (`spine_bw`). Lowered through [`comm::Topology`] by
+/// [`ExperimentConfig::network_topology`]; machine and device counts come
+/// from the owning [`ExperimentConfig`], so the spec stays valid across
+/// cluster sizes.
+///
+/// Every field is optional and falls back to the paper-preset network, so a
+/// config file can say `"topology": {}` and get the Table 8 testbed, or
+/// override only the knob under study (e.g. `{"spine_bw": 16.25e6}` for an
+/// 8:1 oversubscribed spine).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TopologySpec {
+    /// Machines per rack; `None` keeps the whole cluster in one rack (no
+    /// spine tier, exactly the historical flat model).
+    #[serde(default)]
+    pub machines_per_rack: Option<usize>,
+    /// Intra-machine (NVLink/PCIe-class) bandwidth, bytes/second; `None`
+    /// uses [`comm::costmodel::DEFAULT_INTRA_BW`].
+    #[serde(default)]
+    pub intra_bw: Option<f64>,
+    /// Intra-rack machine-to-machine bandwidth, bytes/second; `None` uses
+    /// [`comm::costmodel::DEFAULT_INTER_BW`].
+    #[serde(default)]
+    pub inter_bw: Option<f64>,
+    /// Cross-rack spine bandwidth, bytes/second; `None` keeps the spine at
+    /// the effective `inter_bw` (a non-blocking fabric).
+    #[serde(default)]
+    pub spine_bw: Option<f64>,
+    /// Per-transfer latency, seconds, applied to every tier; `None` uses
+    /// [`comm::costmodel::DEFAULT_LATENCY`].
+    #[serde(default)]
+    pub latency: Option<f64>,
+}
+
+impl TopologySpec {
+    /// A spec pinning the legacy flat link parameters of `training`
+    /// (single rack, spine at `inter_bw`) — the exact model configurations
+    /// without a `topology` section have always used.
+    pub fn from_training(training: &TrainingConfig) -> Self {
+        Self {
+            machines_per_rack: None,
+            intra_bw: Some(training.intra_bw),
+            inter_bw: Some(training.inter_bw),
+            spine_bw: None,
+            latency: Some(training.latency),
+        }
+    }
+
+    /// Effective intra-machine bandwidth, bytes/second.
+    pub fn intra_bw(&self) -> f64 {
+        self.intra_bw.unwrap_or(comm::costmodel::DEFAULT_INTRA_BW)
+    }
+
+    /// Effective intra-rack bandwidth, bytes/second.
+    pub fn inter_bw(&self) -> f64 {
+        self.inter_bw.unwrap_or(comm::costmodel::DEFAULT_INTER_BW)
+    }
+
+    /// Effective spine bandwidth, bytes/second (falls back to
+    /// [`TopologySpec::inter_bw`]).
+    pub fn spine_bw(&self) -> f64 {
+        self.spine_bw.unwrap_or_else(|| self.inter_bw())
+    }
+
+    /// Effective per-transfer latency, seconds.
+    pub fn latency(&self) -> f64 {
+        self.latency.unwrap_or(comm::costmodel::DEFAULT_LATENCY)
+    }
+
+    /// Sets the spine as an oversubscription ratio over the effective
+    /// `inter_bw`: ratio `k` gives cross-rack pairs `inter_bw / k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ratio < 1.0`.
+    pub fn oversubscription(mut self, ratio: f64) -> Self {
+        assert!(ratio >= 1.0, "oversubscription ratio must be >= 1");
+        self.spine_bw = Some(self.inter_bw() / ratio);
+        self
+    }
+
+    /// Checks the spec for values the [`comm::Topology`] builders would
+    /// reject at lowering time.
+    pub fn validate(&self) -> Result<(), Error> {
+        if self.machines_per_rack == Some(0) {
+            return Err(Error::InvalidConfig(
+                "topology: machines_per_rack must be >= 1".into(),
+            ));
+        }
+        for (name, bw) in [
+            ("intra_bw", self.intra_bw()),
+            ("inter_bw", self.inter_bw()),
+            ("spine_bw", self.spine_bw()),
+        ] {
+            if !bw.is_finite() || bw <= 0.0 {
+                return Err(Error::InvalidConfig(format!(
+                    "topology: {name} must be finite and positive (got {bw})"
+                )));
+            }
+        }
+        let latency = self.latency();
+        if !latency.is_finite() || latency < 0.0 {
+            return Err(Error::InvalidConfig(format!(
+                "topology: latency must be finite and non-negative (got {latency})"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Lowers the spec onto a concrete cluster shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics on values [`TopologySpec::validate`] rejects.
+    pub fn to_topology(&self, machines: usize, devices_per_machine: usize) -> comm::Topology {
+        let mut topo = comm::Topology::new(machines, devices_per_machine)
+            .intra_bw(self.intra_bw())
+            .inter_bw(self.inter_bw())
+            .latency(self.latency());
+        if let Some(mpr) = self.machines_per_rack {
+            topo = topo.machines_per_rack(mpr);
+        }
+        if let Some(spine) = self.spine_bw {
+            topo = topo.spine_bw(spine);
+        }
+        topo
     }
 }
 
@@ -280,6 +418,9 @@ impl ExperimentConfig {
                 "quantization group_size must be > 0".into(),
             ));
         }
+        if let Some(topology) = &self.training.topology {
+            topology.validate()?;
+        }
         if let Some(scales) = &self.training.device_scales {
             if scales.len() != self.num_devices() {
                 return Err(Error::InvalidConfig(format!(
@@ -307,19 +448,31 @@ impl ExperimentConfig {
         format!("{}M-{}D", self.machines, self.devices_per_machine)
     }
 
-    /// The cost model implied by this configuration.
+    /// The three-tier network topology implied by this configuration: the
+    /// `topology` section when present, otherwise the legacy flat link
+    /// parameters lifted into a single-rack [`comm::Topology`].
+    pub fn network_topology(&self) -> comm::Topology {
+        let spec = match &self.training.topology {
+            Some(spec) => spec.clone(),
+            None => TopologySpec::from_training(&self.training),
+        };
+        spec.to_topology(self.machines, self.devices_per_machine)
+    }
+
+    /// The cost model implied by this configuration, lowered through
+    /// [`ExperimentConfig::network_topology`]. Without a `topology` section
+    /// this is float-identical to the historical
+    /// [`comm::CostModel::two_tier`] construction.
     ///
     /// # Panics
     ///
-    /// Panics if `device_scales` is set with the wrong length.
+    /// Panics if `device_scales` is set with the wrong length or the
+    /// `topology` section fails [`TopologySpec::validate`].
     pub fn cost_model(&self) -> comm::CostModel {
-        let cm = comm::CostModel::two_tier(
-            comm::ClusterTopology::new(self.machines, self.devices_per_machine),
-            self.training.inter_bw,
-            self.training.intra_bw,
-            self.training.latency,
-        )
-        .with_compute_speedup(self.training.compute_speedup);
+        let cm = self
+            .network_topology()
+            .cost_model()
+            .with_compute_speedup(self.training.compute_speedup);
         match &self.training.device_scales {
             Some(scales) => cm.with_device_scales(scales.clone()),
             None => cm,
@@ -471,6 +624,48 @@ impl ExperimentConfigBuilder {
     pub fn sanitize(mut self, on: bool) -> Self {
         self.cfg.training.sanitize = on;
         self
+    }
+
+    /// Installs a full three-tier `topology` section ([`build`] validates
+    /// it).
+    ///
+    /// [`build`]: ExperimentConfigBuilder::build
+    pub fn topology(mut self, spec: TopologySpec) -> Self {
+        self.cfg.training.topology = Some(spec);
+        self
+    }
+
+    /// Convenience: groups machines into racks of `machines` each, seeding
+    /// the `topology` section from the current flat link parameters if none
+    /// exists yet.
+    pub fn rack_size(mut self, machines: usize) -> Self {
+        self.topology_mut().machines_per_rack = Some(machines);
+        self
+    }
+
+    /// Convenience: oversubscribes the spine by `ratio` (cross-rack pairs
+    /// get `inter_bw / ratio`), seeding the `topology` section from the
+    /// current flat link parameters if none exists yet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ratio < 1.0`.
+    pub fn oversubscription(mut self, ratio: f64) -> Self {
+        assert!(ratio >= 1.0, "oversubscription ratio must be >= 1");
+        let spec = self.topology_mut();
+        spec.spine_bw = Some(spec.inter_bw() / ratio);
+        self
+    }
+
+    fn topology_mut(&mut self) -> &mut TopologySpec {
+        if self.cfg.training.topology.is_none() {
+            let seed = TopologySpec::from_training(&self.cfg.training);
+            self.cfg.training.topology = Some(seed);
+        }
+        match &mut self.cfg.training.topology {
+            Some(spec) => spec,
+            None => unreachable!("topology section was just seeded"),
+        }
     }
 
     /// Validates and returns the configuration.
@@ -665,6 +860,116 @@ mod tests {
         assert_eq!(back.threads, 0);
         let built = ExperimentConfig::builder().threads(4).build().expect("ok");
         assert_eq!(built.training.threads, 4);
+    }
+
+    #[test]
+    fn topology_section_defaults_absent_and_deserializes_when_absent() {
+        assert!(TrainingConfig::default().topology.is_none());
+        let mut v = serde_json::to_value(&TrainingConfig::default());
+        if let Some(obj) = v.as_object_mut() {
+            obj.remove("topology");
+        }
+        let back: TrainingConfig = serde_json::from_value(v).expect("missing field defaults");
+        assert!(back.topology.is_none());
+        // An empty section gets the paper-preset network.
+        let spec: TopologySpec = serde_json::from_str("{}").expect("all fields default");
+        assert_eq!(spec, TopologySpec::default());
+        assert_eq!(spec.inter_bw(), comm::costmodel::DEFAULT_INTER_BW);
+    }
+
+    #[test]
+    fn cost_model_without_topology_matches_legacy_two_tier_exactly() {
+        // Byte-identity of the pinned runs depends on this: routing through
+        // comm::Topology must not move a single float.
+        let cfg = ExperimentConfig::builder()
+            .machines(2)
+            .devices_per_machine(4)
+            .build()
+            .unwrap();
+        let legacy = comm::CostModel::two_tier(
+            comm::ClusterTopology::new(2, 4),
+            cfg.training.inter_bw,
+            cfg.training.intra_bw,
+            cfg.training.latency,
+        )
+        .with_compute_speedup(cfg.training.compute_speedup);
+        assert_eq!(cfg.cost_model(), legacy);
+    }
+
+    #[test]
+    fn topology_section_orders_the_tiers() {
+        let cfg = ExperimentConfig::builder()
+            .machines(4)
+            .devices_per_machine(2)
+            .rack_size(2)
+            .oversubscription(4.0)
+            .build()
+            .unwrap();
+        let topo = cfg.network_topology();
+        assert_eq!(topo.num_racks(), 2);
+        assert_eq!(topo.label(), "2R-4M-2D");
+        let cm = cfg.cost_model();
+        let mb = 1 << 20;
+        assert!(cm.transfer_time(0, 1, mb) < cm.transfer_time(0, 2, mb));
+        assert!(cm.transfer_time(0, 2, mb) < cm.transfer_time(0, 4, mb));
+    }
+
+    #[test]
+    fn oversubscription_seeds_from_custom_inter_bw() {
+        let training = TrainingConfig {
+            inter_bw: 1e8,
+            ..TrainingConfig::default()
+        };
+        let cfg = ExperimentConfig::builder()
+            .machines(4)
+            .devices_per_machine(1)
+            .training(training)
+            .rack_size(2)
+            .oversubscription(2.0)
+            .build()
+            .unwrap();
+        let spec = cfg.training.topology.as_ref().expect("section installed");
+        assert_eq!(spec.inter_bw, Some(1e8));
+        assert_eq!(spec.spine_bw, Some(5e7));
+    }
+
+    #[test]
+    fn validate_rejects_bad_topology() {
+        let ok = ExperimentConfig::builder().build().unwrap();
+
+        let mut zero_rack = ok.clone();
+        zero_rack.training.topology = Some(TopologySpec {
+            machines_per_rack: Some(0),
+            ..Default::default()
+        });
+        assert!(matches!(
+            zero_rack.validate(),
+            Err(Error::InvalidConfig(msg)) if msg.contains("machines_per_rack")
+        ));
+
+        let mut bad_bw = ok.clone();
+        bad_bw.training.topology = Some(TopologySpec {
+            inter_bw: Some(0.0),
+            ..Default::default()
+        });
+        assert!(matches!(
+            bad_bw.validate(),
+            Err(Error::InvalidConfig(msg)) if msg.contains("inter_bw")
+        ));
+
+        let mut bad_spine = ok.clone();
+        bad_spine.training.topology = Some(TopologySpec {
+            spine_bw: Some(f64::NAN),
+            ..Default::default()
+        });
+        assert!(bad_spine.validate().is_err());
+
+        let mut bad_latency = ok;
+        bad_latency.training.topology = Some(TopologySpec {
+            latency: Some(-1.0),
+            ..Default::default()
+        });
+        assert!(bad_latency.validate().is_err());
     }
 
     #[test]

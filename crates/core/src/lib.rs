@@ -67,9 +67,11 @@ pub mod telemetry;
 pub mod trainers;
 pub mod tune;
 
-pub use config::{ExperimentConfig, ExperimentConfigBuilder, Method, TrainingConfig};
+pub use config::{ExperimentConfig, ExperimentConfigBuilder, Method, TopologySpec, TrainingConfig};
 pub use decompose::{build_partitions, DevicePartition, GlobalInfo, LocalLabels};
 pub use error::Error;
 pub use metrics::{EpochMetrics, RunResult};
 pub use runner::run_experiment;
+#[cfg(feature = "thread-backend")]
+pub use runner::run_experiment_threaded;
 pub use telemetry::{HostKernelSummary, TelemetryAggregate, TelemetryLog};

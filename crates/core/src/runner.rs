@@ -1,5 +1,6 @@
-//! Experiment runner: builds the dataset and partitions, spawns the device
-//! threads and combines their records into a [`RunResult`].
+//! Experiment runner: builds the dataset and partitions, drives the device
+//! programs on the discrete-event cluster core and combines their records
+//! into a [`RunResult`].
 
 use crate::config::ExperimentConfig;
 use crate::decompose::build_partitions;
@@ -12,21 +13,50 @@ use comm::Cluster;
 use graph::Task;
 use tensor::Rng;
 
-/// Runs one experiment end-to-end and returns its result.
+/// Which cluster execution core drives the device trainers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Backend {
+    /// The deterministic discrete-event scheduler (the default).
+    Event,
+    /// The retired thread-per-device backend, kept one release for
+    /// cross-backend equivalence tests.
+    #[cfg(feature = "thread-backend")]
+    Thread,
+}
+
+/// Runs one experiment end-to-end on the discrete-event cluster core and
+/// returns its result.
 ///
-/// Deterministic given `cfg.seed` up to kernel-time measurement noise (the
-/// numerics are exactly reproducible; only the simulated *compute* charges
-/// vary with machine load).
+/// Deterministic given `cfg.seed`: the numerics, the simulated times, and
+/// the metric snapshots are exactly reproducible.
 ///
 /// # Errors
 ///
 /// [`Error::InvalidConfig`] when [`ExperimentConfig::validate`] rejects the
 /// configuration, [`Error::Partition`] when the graph cannot be spread over
 /// the requested device count, [`Error::Cluster`] when a simulated device
-/// thread dies mid-run, and [`Error::Sanitizer`] when a sanitized run
+/// dies mid-run, and [`Error::Sanitizer`] when a sanitized run
 /// (`TrainingConfig::sanitize` or `ADAQP_SAN=1`) observes a parallel-kernel
 /// determinism violation.
 pub fn run_experiment(cfg: &ExperimentConfig) -> Result<RunResult, Error> {
+    run_experiment_on(cfg, Backend::Event)
+}
+
+/// [`run_experiment`] on the retired thread-per-device backend.
+///
+/// Exists so equivalence tests can pin the event core against the old
+/// execution model byte-for-byte; it will leave with the `thread-backend`
+/// feature after one release.
+///
+/// # Errors
+///
+/// As [`run_experiment`].
+#[cfg(feature = "thread-backend")]
+pub fn run_experiment_threaded(cfg: &ExperimentConfig) -> Result<RunResult, Error> {
+    run_experiment_on(cfg, Backend::Thread)
+}
+
+fn run_experiment_on(cfg: &ExperimentConfig, backend: Backend) -> Result<RunResult, Error> {
     cfg.validate()?;
     // Pin the kernel runtime's worker count for this run (0 = auto-detect).
     // Kernel results are byte-identical at any thread count, so this only
@@ -61,7 +91,7 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> Result<RunResult, Error> {
     let parts_ref = &parts;
     let cost_ref = &cost;
     type DeviceOutput = (Vec<DeviceEpochRecord>, Vec<Event>, Option<obs::Registry>);
-    let outputs: Vec<DeviceOutput> = Cluster::try_run(n, |dev| {
+    let device = |dev: comm::DeviceHandle| {
         let rank = dev.rank();
         let trainer = DeviceTrainer::new(
             dev,
@@ -72,7 +102,12 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> Result<RunResult, Error> {
             cfg.seed,
         );
         trainer.run()
-    })?;
+    };
+    let outputs: Vec<DeviceOutput> = match backend {
+        Backend::Event => Cluster::try_run_fn(n, device)?,
+        #[cfg(feature = "thread-backend")]
+        Backend::Thread => Cluster::try_run_fn_threaded(n, device)?,
+    };
     let mut records = Vec::with_capacity(n);
     let mut events = Vec::with_capacity(n);
     let mut registries = Vec::with_capacity(n);

@@ -886,7 +886,7 @@ mod tests {
         let parts_ref = &parts;
         let cfg_ref = &cfg;
         let f_ref = &f;
-        let mut out = comm::Cluster::run(1, move |dev| {
+        let mut out = comm::Cluster::run_fn(1, move |dev| {
             let cost = comm::CostModel::homogeneous(1, 1e9, 1e-5);
             let mut t = DeviceTrainer::new(dev, &parts_ref[0], cfg_ref, method, cost, 17);
             f_ref(&mut t)

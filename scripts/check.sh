@@ -22,6 +22,11 @@ ADAQP_SAN=1 cargo run --offline -q --release -p adaqp --bin adaqp -- \
 echo "==> cargo test -q"
 cargo test --offline -q
 
+echo "==> scalability smoke (64 devices on the event core, racks + oversub)"
+cargo run --offline -q --release -p adaqp --bin adaqp -- \
+    run --dataset tiny --method adaqp --machines 16 --devices 4 \
+    --epochs 2 --hidden 8 --seed 11 --rack-size 2 --oversub 4 >/dev/null
+
 echo "==> kernel bench smoke (scripts/bench.sh --smoke)"
 scripts/bench.sh --smoke
 

@@ -24,7 +24,7 @@ fn run_assign(
     mode: AssignMode,
 ) -> Vec<WidthAssignment> {
     let k = parts.len();
-    Cluster::run(k, move |mut dev| {
+    Cluster::run_fn(k, move |mut dev| {
         let part = &parts[dev.rank()];
         let dims = [16usize, 24];
         let mut trace = Trace::new(part, &dims);

@@ -1,0 +1,87 @@
+//! Cross-backend equivalence: the retired thread-per-device transport
+//! (kept behind the test-only `thread-backend` feature for one release) and
+//! the discrete-event core must produce byte-identical results JSON and
+//! metrics snapshots on the pinned tiny run, at every worker-thread count.
+//!
+//! This is the executable form of the Kahn-network argument in DESIGN.md:
+//! with per-(src, tag) FIFO delivery and blocking receives, device outputs
+//! are independent of how device steps interleave, so the single-threaded
+//! event loop and the free-running OS threads must agree bit for bit.
+#![cfg(feature = "thread-backend")]
+
+use adaqp::{ExperimentConfig, Method};
+use graph::DatasetSpec;
+
+/// Serializes a result with the assigner's host-measured solve wall-clock
+/// canonicalized out. Everything else in a run is analytic and must match
+/// bit for bit; solve time is the one measured quantity and differs between
+/// any two runs on the same backend (the same carve-out
+/// `tests/integration_determinism.rs` makes).
+fn canonical_json(mut r: adaqp::RunResult) -> String {
+    let mut total = 0.0;
+    for e in &mut r.per_epoch {
+        e.breakdown.solve = 0.0;
+        e.sim_seconds = e.breakdown.overlapped_total();
+        total += e.sim_seconds;
+    }
+    r.total_breakdown.solve = 0.0;
+    r.total_sim_seconds = total;
+    r.throughput = r.per_epoch.len() as f64 / total;
+    serde_json::to_string_pretty(&r).expect("result serializes")
+}
+
+/// The pinned tiny configuration of `scripts/regress.sh`, with the kernel
+/// worker-thread count forced (equivalent to running under
+/// `ADAQP_THREADS=<n>`).
+fn pinned_cfg(threads: usize) -> ExperimentConfig {
+    ExperimentConfig::builder()
+        .dataset(DatasetSpec::tiny())
+        .machines(1)
+        .devices_per_machine(2)
+        .method(Method::AdaQp)
+        .epochs(6)
+        .hidden(16)
+        .reassign_period(3)
+        .seed(4242)
+        .metrics(true)
+        .threads(threads)
+        .build()
+        .expect("pinned config is valid")
+}
+
+#[test]
+fn thread_and_event_backends_are_byte_identical_on_the_pinned_run() {
+    let mut reference: Option<String> = None;
+    for threads in [1usize, 2, 8] {
+        let cfg = pinned_cfg(threads);
+        let event = adaqp::run_experiment(&cfg).expect("event-core run");
+        let threaded = adaqp::run_experiment_threaded(&cfg).expect("threaded run");
+
+        let event_prom = event.metrics.as_ref().expect("metrics on").to_prometheus();
+        let threaded_prom = threaded
+            .metrics
+            .as_ref()
+            .expect("metrics on")
+            .to_prometheus();
+        assert_eq!(
+            event_prom, threaded_prom,
+            "metrics snapshot diverged between backends at {threads} worker threads"
+        );
+
+        let event_json = canonical_json(event);
+        let threaded_json = canonical_json(threaded);
+        assert_eq!(
+            event_json, threaded_json,
+            "results JSON diverged between backends at {threads} worker threads"
+        );
+
+        // The pinned result is also invariant across worker-thread counts.
+        match &reference {
+            None => reference = Some(event_json),
+            Some(first) => assert_eq!(
+                first, &event_json,
+                "results JSON diverged across worker-thread counts"
+            ),
+        }
+    }
+}
