@@ -32,10 +32,14 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod explain;
 pub mod lexer;
+pub mod protocol;
 pub mod rules;
 pub mod scopes;
 pub mod workspace;
 
+pub use explain::{explain_rule, RuleDoc};
+pub use protocol::{extract_skeletons, Skeleton};
 pub use rules::{to_json, Finding, RULE_NAMES};
 pub use workspace::{find_root, scan_path, scan_workspace, ScanError};

@@ -1,6 +1,6 @@
 //! `adaqp-lint` CLI. See the library docs for the rule inventory.
 
-use analysis::{find_root, scan_path, scan_workspace, to_json, Finding};
+use analysis::{explain_rule, find_root, scan_path, scan_workspace, to_json, Finding};
 use std::path::PathBuf;
 
 const USAGE: &str = "\
@@ -9,11 +9,14 @@ adaqp-lint: workspace static analysis enforcing simulation invariants
 USAGE:
     cargo run -p analysis --release -- [--json] --workspace
     cargo run -p analysis --release -- [--json] [PATH.rs | PATH.toml]...
+    cargo run -p analysis --release -- --explain <rule>
 
-Rules: sim-clock, no-panic, det-iter, no-stray-print, lossy-cast,
-dep-hygiene, par-disjoint, unit-confusion.
+Rules: sim-clock, no-panic, det-iter, lossy-cast, no-stray-print,
+dep-hygiene, par-disjoint, unit-confusion, no-host-block,
+collective-divergence, unmatched-comm.
 Suppress with `// lint:allow(<rule>): <reason>` on the offending line;
 stale and reason-less directives are themselves violations.
+--explain <rule> prints the rule's rationale with a minimal bad/good pair.
 --json prints findings as a JSON array on stdout (summary on stderr).
 Exit status: 0 clean, 1 violations found, 2 usage or I/O error.";
 
@@ -26,6 +29,21 @@ fn run() -> i32 {
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
         println!("{USAGE}");
         return if args.is_empty() { 2 } else { 0 };
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--explain") {
+        let Some(rule) = args.get(pos + 1) else {
+            eprintln!("--explain needs a rule name\n{USAGE}");
+            return 2;
+        };
+        let Some(doc) = explain_rule(rule) else {
+            eprintln!(
+                "unknown rule `{rule}` (known: {})",
+                analysis::RULE_NAMES.join(", ")
+            );
+            return 2;
+        };
+        println!("{}", analysis::explain::render(doc));
+        return 0;
     }
     let json = args.iter().any(|a| a == "--json");
     let mut findings: Vec<Finding> = Vec::new();

@@ -1,0 +1,966 @@
+//! Communication-skeleton extraction and protocol-conformance rules.
+//!
+//! Every [`crate::rules`] rule so far asks a *local* question ("may this
+//! identifier appear here?"). Deadlocks are not local: a `DeviceProgram`
+//! whose ring exchange flips a peer expression, or whose `Barrier` hides
+//! under a rank-dependent branch, compiles fine and only fails at runtime
+//! as a `ClusterError::Deadlock`. This module extracts a per-impl
+//! **communication skeleton** — a small control-flow tree over the yield
+//! points (`Command::{Send,Recv,Barrier,…}` constructions), branches and
+//! loops of each `impl … DeviceProgram for …` block — and checks it as two
+//! rules:
+//!
+//! * **`collective-divergence`** — a collective yield reachable under a
+//!   branch or loop whose condition is tainted by rank-local data (`rank`,
+//!   `is_master`, or a `let` derived from them), so some ranks may never
+//!   join the rendezvous. Exhaustive branches whose arms all yield the
+//!   same collective trace are exempt (the master/worker `Gather` idiom
+//!   diverges in payload, not in protocol). A rank-tainted early exit
+//!   poisons the rest of the sequence: ranks that returned cannot join a
+//!   later collective.
+//! * **`unmatched-comm`** — within a lockstep phase (one program on all
+//!   ranks), a `Recv { src, tag }` whose peer normalizes to rank-offset
+//!   arithmetic (`(rank + k) % n`) that no reachable `Send` mirrors with
+//!   the opposite offset and the same tag — catching reversed rings and
+//!   tag typos — plus a first-yield pass: if *every* first-resume path
+//!   yields a `Recv`, no rank can ever produce the first message
+//!   (recv-before-send cycle).
+//!
+//! Both rules are deliberately conservative. Peers that do not normalize
+//! to `rank ± k (mod n)` with `|k| <= 2` are unverifiable and never
+//! flagged; impls with no `Send` at all are assumed to be one half of a
+//! heterogeneous pairing and skipped by the mirror check; anything the
+//! extractor cannot see (commands built outside the impl, trait-object
+//! indirection) yields an empty skeleton, which is always clean. The
+//! escape hatch is the standard `// lint:allow(<rule>): <reason>`. The
+//! runtime twin of this pass is `comm::waitgraph` — the wait-for graph a
+//! real deadlock produces names the same ranks these rules predict
+//! (`examples/deadlock_gallery.rs` pins the pairing).
+
+use crate::lexer::{Tok, TokKind};
+use crate::rules::Finding;
+use crate::scopes;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// `Resume` variants that answer a previous yield: a match arm naming one
+/// of these (and not `Start`) cannot be taken on the first resumption.
+const RESPONSE_VARIANTS: [&str; 7] = [
+    "Sent",
+    "Received",
+    "BarrierDone",
+    "RingDone",
+    "BroadcastDone",
+    "GatherDone",
+    "ScatterDone",
+];
+
+/// Command kinds that park every rank at a rendezvous.
+const COLLECTIVE_KINDS: [&str; 5] = ["Barrier", "RingAll2All", "Broadcast", "Gather", "Scatter"];
+
+/// A peer expression, normalized for mirror-matching.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Peer {
+    /// `(rank + k) % n` for `|k| <= 2` (`n`-multiples contribute 0).
+    Offset(i64),
+    /// A constant rank (roots, masters).
+    Literal(i64),
+    /// Anything the normalizer cannot verify; never flagged.
+    Other(String),
+}
+
+/// One yield point of the skeleton.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommOp {
+    /// `Command::Send { dst, tag, .. }` construction.
+    Send {
+        /// Normalized destination.
+        peer: Peer,
+        /// Tag expression text (after one `let` resolution).
+        tag: String,
+        /// 1-based source line.
+        line: u32,
+    },
+    /// `Command::Recv { src, tag }` construction.
+    Recv {
+        /// Normalized source.
+        peer: Peer,
+        /// Tag expression text (after one `let` resolution).
+        tag: String,
+        /// 1-based source line.
+        line: u32,
+    },
+    /// A collective construction (`Barrier`, `RingAll2All`, …).
+    Collective {
+        /// The command kind identifier.
+        kind: String,
+        /// 1-based source line.
+        line: u32,
+    },
+}
+
+/// One node of the communication skeleton.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// A yield point.
+    Yield(CommOp),
+    /// An `if`/`else` chain or `match`.
+    Branch(Branch),
+    /// A `for`/`while`/`loop` body.
+    Loop(LoopNode),
+}
+
+/// A branch over arms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Branch {
+    /// 1-based line of the branch keyword.
+    pub line: u32,
+    /// Condition/scrutinee mentions rank-local data.
+    pub rank_tainted: bool,
+    /// Every control path goes through an arm (`match`, or `if` with a
+    /// final `else`).
+    pub exhaustive: bool,
+    /// The branch dispatches on the `Resume` input (so at the first
+    /// resumption exactly one arm — the one matching `Start` — is live).
+    pub resume_match: bool,
+    /// The arms, in source order.
+    pub arms: Vec<Arm>,
+}
+
+/// One branch arm.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Arm {
+    /// This arm can be taken on the very first resumption.
+    pub live_at_first: bool,
+    /// The arm body mentions `return` or `Done` (it may end the program
+    /// or exit `resume` early).
+    pub has_exit: bool,
+    /// Nested skeleton nodes.
+    pub nodes: Vec<Node>,
+}
+
+/// A loop body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopNode {
+    /// 1-based line of the loop keyword.
+    pub line: u32,
+    /// The bound/condition mentions rank-local data.
+    pub rank_tainted: bool,
+    /// Nested skeleton nodes.
+    pub nodes: Vec<Node>,
+}
+
+/// The communication skeleton of one `DeviceProgram` impl.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Skeleton {
+    /// The implementing type's name.
+    pub impl_name: String,
+    /// 1-based line of the `impl` keyword.
+    pub line: u32,
+    /// Top-level nodes in source order.
+    pub nodes: Vec<Node>,
+}
+
+/// Extracts the communication skeleton of every `impl … DeviceProgram …
+/// for …` block in a comment-free token slice.
+pub fn extract_skeletons(code: &[&Tok]) -> Vec<Skeleton> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < code.len() {
+        if !code[i].is_ident("impl") {
+            i += 1;
+            continue;
+        }
+        let impl_line = code[i].line;
+        let mut j = i + 1;
+        let (mut saw_trait, mut for_at) = (false, None);
+        while j < code.len() && !code[j].is_punct('{') && !code[j].is_punct(';') {
+            if code[j].is_ident("DeviceProgram") {
+                saw_trait = true;
+            } else if code[j].is_ident("for") && for_at.is_none() {
+                for_at = Some(j);
+            }
+            j += 1;
+        }
+        let (Some(for_at), true) = (for_at, saw_trait) else {
+            i = j + 1;
+            continue;
+        };
+        if j >= code.len() || !code[j].is_punct('{') {
+            i = j + 1;
+            continue;
+        }
+        let impl_name = code[(for_at + 1)..j]
+            .iter()
+            .find(|t| t.kind == TokKind::Ident)
+            .map_or_else(|| "?".to_string(), |t| t.text.clone());
+        let close = scopes::matching(code, j);
+        let mut parser = Parser {
+            code,
+            taint: BTreeSet::new(),
+            defs: BTreeMap::new(),
+        };
+        out.push(Skeleton {
+            impl_name,
+            line: impl_line,
+            nodes: parser.parse_seq(j + 1, close.min(code.len())),
+        });
+        i = close + 1;
+    }
+    out
+}
+
+/// True when `text` is intrinsically rank-local.
+fn is_rank_marker(text: &str) -> bool {
+    text == "rank" || text == "is_master"
+}
+
+struct Parser<'a> {
+    code: &'a [&'a Tok],
+    /// Identifiers carrying rank-local values (markers plus `let` taint).
+    taint: BTreeSet<String>,
+    /// Single-binding `let` initializers, for peer/tag resolution.
+    defs: BTreeMap<String, Vec<String>>,
+}
+
+impl Parser<'_> {
+    fn mentions_rank(&self, lo: usize, hi: usize) -> bool {
+        self.code[lo..hi.min(self.code.len())].iter().any(|t| {
+            t.kind == TokKind::Ident && (is_rank_marker(&t.text) || self.taint.contains(&t.text))
+        })
+    }
+
+    fn mentions_ident(&self, lo: usize, hi: usize, name: &str) -> bool {
+        self.code[lo..hi.min(self.code.len())]
+            .iter()
+            .any(|t| t.is_ident(name))
+    }
+
+    fn mentions_response_variant(&self, lo: usize, hi: usize) -> bool {
+        self.code[lo..hi.min(self.code.len())]
+            .iter()
+            .any(|t| RESPONSE_VARIANTS.iter().any(|v| t.is_ident(v)))
+    }
+
+    /// Scans forward to the first occurrence of `c` at delimiter depth 0,
+    /// starting at `lo`; returns `hi` if not found.
+    fn find_at_depth(&self, lo: usize, hi: usize, c: char) -> usize {
+        let mut depth = 0usize;
+        for (k, t) in self
+            .code
+            .iter()
+            .enumerate()
+            .take(hi.min(self.code.len()))
+            .skip(lo)
+        {
+            if t.is_punct('(') || t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') {
+                depth = depth.saturating_sub(1);
+            } else if depth == 0 && t.is_punct(c) {
+                return k;
+            }
+        }
+        hi
+    }
+
+    /// Parses a statement/expression sequence into skeleton nodes. Plain
+    /// braces are transparent; `let`, branches, loops and `Command`
+    /// constructions are structured.
+    fn parse_seq(&mut self, lo: usize, hi: usize) -> Vec<Node> {
+        let mut nodes = Vec::new();
+        let mut i = lo;
+        while i < hi.min(self.code.len()) {
+            let t = self.code[i];
+            if t.is_ident("let") {
+                i = self.handle_let(i, hi);
+            } else if t.is_ident("if") {
+                let (branch, next) = self.parse_if(i, hi);
+                nodes.push(Node::Branch(branch));
+                i = next;
+            } else if t.is_ident("match") {
+                let (branch, next) = self.parse_match(i, hi);
+                nodes.push(Node::Branch(branch));
+                i = next;
+            } else if t.is_ident("for") || t.is_ident("while") || t.is_ident("loop") {
+                let (lp, next) = self.parse_loop(i, hi);
+                nodes.push(Node::Loop(lp));
+                i = next;
+            } else if t.is_ident("Command")
+                && self.code.get(i + 1).is_some_and(|t| t.is_punct(':'))
+                && self.code.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            {
+                let (op, next) = self.parse_command(i, hi);
+                if let Some(op) = op {
+                    nodes.push(Node::Yield(op));
+                }
+                i = next;
+            } else {
+                i += 1;
+            }
+        }
+        nodes
+    }
+
+    /// Records a `let` binding's taint and (for single-ident patterns) its
+    /// initializer tokens, then resumes the walk *inside* the initializer
+    /// so commands and branches there are still seen.
+    fn handle_let(&mut self, i: usize, hi: usize) -> usize {
+        let mut pat = Vec::new();
+        let mut j = i + 1;
+        let mut in_type = false;
+        while j < hi && !self.code[j].is_punct('=') && !self.code[j].is_punct(';') {
+            let t = self.code[j];
+            if t.is_punct(':') {
+                in_type = true;
+            } else if !in_type
+                && t.kind == TokKind::Ident
+                && !matches!(t.text.as_str(), "mut" | "ref")
+            {
+                pat.push(t.text.clone());
+            }
+            j += 1;
+        }
+        if j >= hi || !self.code[j].is_punct('=') {
+            return j + 1;
+        }
+        // Read ahead over the initializer (to the `;` at depth 0) without
+        // consuming it: the caller re-walks it for nested structure.
+        let mut depth = 0usize;
+        let mut k = j + 1;
+        let mut texts = Vec::new();
+        let mut tainted = false;
+        while k < hi.min(self.code.len()) {
+            let t = self.code[k];
+            if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                depth = depth.saturating_sub(1);
+            } else if depth == 0 && t.is_punct(';') {
+                break;
+            }
+            if t.kind == TokKind::Ident && (is_rank_marker(&t.text) || self.taint.contains(&t.text))
+            {
+                tainted = true;
+            }
+            texts.push(t.text.clone());
+            k += 1;
+        }
+        if tainted {
+            self.taint.extend(pat.iter().cloned());
+        }
+        if pat.len() == 1 && !texts.is_empty() {
+            self.defs.insert(pat.remove(0), texts);
+        }
+        j + 1
+    }
+
+    fn parse_if(&mut self, i: usize, hi: usize) -> (Branch, usize) {
+        let line = self.code[i].line;
+        let open = self.find_at_depth(i + 1, hi, '{');
+        let cond = (i + 1, open);
+        let mut branch = Branch {
+            line,
+            rank_tainted: self.mentions_rank(cond.0, cond.1),
+            exhaustive: false,
+            resume_match: false,
+            arms: Vec::new(),
+        };
+        if open >= hi {
+            return (branch, hi);
+        }
+        // An arm guarded by a response-variant condition (and not `Start`)
+        // cannot be taken on the first resumption.
+        let then_live = !self.mentions_response_variant(cond.0, cond.1)
+            || self.mentions_ident(cond.0, cond.1, "Start");
+        let close = scopes::matching(self.code, open);
+        branch.arms.push(self.parse_arm(open + 1, close, then_live));
+        let mut next = close + 1;
+        if self.code.get(next).is_some_and(|t| t.is_ident("else")) {
+            if self.code.get(next + 1).is_some_and(|t| t.is_ident("if")) {
+                // Flatten the `else if` chain into one arm list.
+                let (rest, after) = self.parse_if(next + 1, hi);
+                branch.rank_tainted |= rest.rank_tainted;
+                branch.exhaustive = rest.exhaustive;
+                branch.arms.extend(rest.arms);
+                next = after;
+            } else if self.code.get(next + 1).is_some_and(|t| t.is_punct('{')) {
+                let eclose = scopes::matching(self.code, next + 1);
+                branch.arms.push(self.parse_arm(next + 2, eclose, true));
+                branch.exhaustive = true;
+                next = eclose + 1;
+            }
+        }
+        (branch, next)
+    }
+
+    fn parse_match(&mut self, i: usize, hi: usize) -> (Branch, usize) {
+        let line = self.code[i].line;
+        let open = self.find_at_depth(i + 1, hi, '{');
+        let scrutinee = (i + 1, open);
+        let mut branch = Branch {
+            line,
+            rank_tainted: self.mentions_rank(scrutinee.0, scrutinee.1),
+            // A Rust `match` is exhaustive by construction.
+            exhaustive: true,
+            resume_match: self.mentions_ident(scrutinee.0, scrutinee.1, "input"),
+            arms: Vec::new(),
+        };
+        if open >= hi {
+            return (branch, hi);
+        }
+        let close = scopes::matching(self.code, open);
+        let mut patterns: Vec<(usize, usize)> = Vec::new();
+        let mut k = open + 1;
+        while k < close.min(self.code.len()) {
+            // Pattern: tokens to the `=>` arrow (lexed as `=` `>`) at depth 0.
+            let pat_lo = k;
+            let mut depth = 0usize;
+            while k < close {
+                let t = self.code[k];
+                if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                    depth += 1;
+                } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                    depth = depth.saturating_sub(1);
+                } else if depth == 0
+                    && t.is_punct('=')
+                    && self.code.get(k + 1).is_some_and(|n| n.is_punct('>'))
+                {
+                    break;
+                }
+                k += 1;
+            }
+            if k >= close {
+                break;
+            }
+            let pat = (pat_lo, k);
+            k += 2; // past `=>`
+            let (body_lo, body_hi, after) = if self.code.get(k).is_some_and(|t| t.is_punct('{')) {
+                let bclose = scopes::matching(self.code, k);
+                let after = if self.code.get(bclose + 1).is_some_and(|t| t.is_punct(',')) {
+                    bclose + 2
+                } else {
+                    bclose + 1
+                };
+                (k + 1, bclose, after)
+            } else {
+                let end = self.find_at_depth_all(k, close, ',');
+                (k, end, end + 1)
+            };
+            branch.rank_tainted |=
+                self.mentions_rank(pat.0, pat.1) && self.mentions_ident(pat.0, pat.1, "if");
+            if !branch.resume_match && self.mentions_ident(pat.0, pat.1, "Resume") {
+                branch.resume_match = true;
+            }
+            patterns.push(pat);
+            branch.arms.push(self.parse_arm(body_lo, body_hi, true));
+            k = after;
+        }
+        if branch.resume_match {
+            // First-match semantics: the first arm whose pattern can match
+            // `Start` (names it, or names no response variant — wildcards
+            // and bindings) is the only arm live at the first resumption.
+            let mut start_taken = false;
+            for (arm, pat) in branch.arms.iter_mut().zip(&patterns) {
+                let can_match_start = self.mentions_ident(pat.0, pat.1, "Start")
+                    || !self.mentions_response_variant(pat.0, pat.1);
+                arm.live_at_first = can_match_start && !start_taken;
+                start_taken |= can_match_start;
+            }
+        }
+        (branch, close + 1)
+    }
+
+    /// Like [`Self::find_at_depth`] but also depth-tracks braces (for match
+    /// arm expressions containing struct literals).
+    fn find_at_depth_all(&self, lo: usize, hi: usize, c: char) -> usize {
+        let mut depth = 0usize;
+        for (k, t) in self
+            .code
+            .iter()
+            .enumerate()
+            .take(hi.min(self.code.len()))
+            .skip(lo)
+        {
+            if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                depth = depth.saturating_sub(1);
+            } else if depth == 0 && t.is_punct(c) {
+                return k;
+            }
+        }
+        hi
+    }
+
+    fn parse_arm(&mut self, lo: usize, hi: usize, live_at_first: bool) -> Arm {
+        let has_exit = self.code[lo..hi.min(self.code.len())]
+            .iter()
+            .any(|t| t.is_ident("return") || t.is_ident("Done"));
+        Arm {
+            live_at_first,
+            has_exit,
+            nodes: self.parse_seq(lo, hi),
+        }
+    }
+
+    fn parse_loop(&mut self, i: usize, hi: usize) -> (LoopNode, usize) {
+        let line = self.code[i].line;
+        let open = self.find_at_depth(i + 1, hi, '{');
+        // `for pat in bound {` / `while cond {` / `loop {`: the taint source
+        // is everything between the keyword and the block (for `for`, the
+        // binding left of `in` is harmless to include — `rank` there is
+        // rank-dependent anyway).
+        let rank_tainted = self.mentions_rank(i + 1, open);
+        if open >= hi {
+            return (
+                LoopNode {
+                    line,
+                    rank_tainted,
+                    nodes: Vec::new(),
+                },
+                hi,
+            );
+        }
+        let close = scopes::matching(self.code, open);
+        let nodes = self.parse_seq(open + 1, close);
+        (
+            LoopNode {
+                line,
+                rank_tainted,
+                nodes,
+            },
+            close + 1,
+        )
+    }
+
+    /// Parses a `Command::Kind { … }` construction at `i` (`i` indexes the
+    /// `Command` ident). Returns `None` for non-command paths and for
+    /// shapes that look like patterns (missing peer field).
+    fn parse_command(&mut self, i: usize, hi: usize) -> (Option<CommOp>, usize) {
+        let Some(kind_tok) = self.code.get(i + 3) else {
+            return (None, i + 3);
+        };
+        let kind = kind_tok.text.clone();
+        let line = kind_tok.line;
+        let braced = self.code.get(i + 4).is_some_and(|t| t.is_punct('{'));
+        if COLLECTIVE_KINDS.contains(&kind.as_str()) {
+            let next = if braced {
+                scopes::matching(self.code, i + 4) + 1
+            } else {
+                i + 4
+            };
+            return (Some(CommOp::Collective { kind, line }), next);
+        }
+        if kind != "Send" && kind != "Recv" {
+            return (None, i + 4);
+        }
+        if !braced {
+            // A bare `Command::Send` path (e.g. in a `matches!`) is not a
+            // construction.
+            return (None, i + 4);
+        }
+        let close = scopes::matching(self.code, i + 4);
+        let fields = self.parse_fields(i + 5, close.min(hi.min(self.code.len())));
+        let peer_field = if kind == "Send" { "dst" } else { "src" };
+        let Some(peer_texts) = fields.get(peer_field) else {
+            // No peer field: a `..` rest pattern or a malformed shape.
+            return (None, close + 1);
+        };
+        let peer = self.normalize_peer(peer_texts);
+        let tag = self.resolve_tag(fields.get("tag").cloned().unwrap_or_default());
+        let op = if kind == "Send" {
+            CommOp::Send { peer, tag, line }
+        } else {
+            CommOp::Recv { peer, tag, line }
+        };
+        (Some(op), close + 1)
+    }
+
+    /// Splits a brace-enclosed field list into `name -> expression tokens`
+    /// (shorthand fields map to their own name).
+    fn parse_fields(&self, lo: usize, hi: usize) -> BTreeMap<String, Vec<String>> {
+        let mut fields = BTreeMap::new();
+        let mut k = lo;
+        while k < hi {
+            let end = self.find_at_depth_all(k, hi, ',');
+            let slice = &self.code[k..end.min(self.code.len())];
+            if let Some(name_tok) = slice.first().filter(|t| t.kind == TokKind::Ident) {
+                let expr: Vec<String> = if slice.get(1).is_some_and(|t| t.is_punct(':'))
+                    && !slice.get(2).is_some_and(|t| t.is_punct(':'))
+                {
+                    slice[2..].iter().map(|t| t.text.clone()).collect()
+                } else {
+                    vec![name_tok.text.clone()]
+                };
+                if !expr.is_empty() {
+                    fields.insert(name_tok.text.clone(), expr);
+                }
+            }
+            k = end + 1;
+        }
+        fields
+    }
+
+    /// Resolves a single-identifier expression through the `let` map, up to
+    /// three hops (`let n = ctx.num_devices(); let right = (rank + 1) % n;`).
+    fn resolve_texts(&self, texts: &[String], depth: usize) -> Vec<String> {
+        if depth == 0 || texts.len() != 1 {
+            return texts.to_vec();
+        }
+        match self.defs.get(&texts[0]) {
+            Some(def) => self.resolve_texts(def, depth - 1),
+            None => texts.to_vec(),
+        }
+    }
+
+    fn resolve_tag(&self, texts: Vec<String>) -> String {
+        self.resolve_texts(&texts, 1).join(" ")
+    }
+
+    /// Normalizes a peer expression to [`Peer`]. The evaluator understands
+    /// `rank`/`ctx.rank()` terms, integer constants, and `n`-multiples
+    /// (`n`, `num_devices`, and `% n` wraps contribute 0 mod n); `ctx` and
+    /// `self` receivers are transparent. Anything else — or a net offset
+    /// with magnitude above 2, which real neighbor exchanges never use —
+    /// degrades to `Other` and is never flagged.
+    fn normalize_peer(&self, texts: &[String]) -> Peer {
+        let texts = self.resolve_texts(texts, 3);
+        let joined = texts.join(" ");
+        let mut sign = 1i64;
+        let mut rank_terms = 0i64;
+        let mut konst = 0i64;
+        let mut unknown = false;
+        for t in &texts {
+            match t.as_str() {
+                "(" | ")" | "." => {}
+                "+" | "%" => sign = 1,
+                "-" => sign = -1,
+                "rank" => rank_terms += sign,
+                "n" | "num_devices" => {} // ≡ 0 (mod n)
+                "ctx" | "self" | "as" | "usize" | "i64" | "u64" | "u32" | "i32" => {}
+                s if s.chars().next().is_some_and(|c| c.is_ascii_digit()) => {
+                    match s.replace('_', "").parse::<i64>() {
+                        Ok(v) => konst += sign * v,
+                        Err(_) => unknown = true,
+                    }
+                }
+                _ => unknown = true,
+            }
+        }
+        if unknown {
+            Peer::Other(joined)
+        } else if rank_terms == 1 && konst.abs() <= 2 {
+            Peer::Offset(konst)
+        } else if rank_terms == 0 {
+            Peer::Literal(konst)
+        } else {
+            Peer::Other(joined)
+        }
+    }
+}
+
+// --------------------------------------------------------------- the rules
+
+/// Runs both protocol rules over every `DeviceProgram` impl in `code`,
+/// appending raw findings (suppression is the caller's job). Impls whose
+/// header line falls in a `#[cfg(test)]` range are skipped, consistent
+/// with the other structural rules.
+pub fn check(display_path: &str, code: &[&Tok], exempt: &[(u32, u32)], raw: &mut Vec<Finding>) {
+    for sk in extract_skeletons(code) {
+        if exempt.iter().any(|&(a, b)| sk.line >= a && sk.line <= b) {
+            continue;
+        }
+        check_divergence(display_path, &sk, raw);
+        check_unmatched(display_path, &sk, raw);
+    }
+}
+
+/// The collectives a node sequence yields, rendered as a structural trace
+/// string for arm-symmetry comparison.
+fn collective_trace(nodes: &[Node]) -> String {
+    let mut out = String::new();
+    for node in nodes {
+        match node {
+            Node::Yield(CommOp::Collective { kind, .. }) => {
+                out.push_str(kind);
+                out.push(';');
+            }
+            Node::Yield(_) => {}
+            Node::Branch(b) => {
+                let arms: Vec<String> = b.arms.iter().map(|a| collective_trace(&a.nodes)).collect();
+                out.push('(');
+                out.push_str(&arms.join("|"));
+                out.push(')');
+            }
+            Node::Loop(l) => {
+                out.push_str("loop(");
+                out.push_str(&collective_trace(&l.nodes));
+                out.push(')');
+            }
+        }
+    }
+    out
+}
+
+/// Walks the skeleton flagging collective yields reachable under
+/// rank-divergent control flow.
+fn check_divergence(display_path: &str, sk: &Skeleton, raw: &mut Vec<Finding>) {
+    walk_divergence(display_path, &sk.impl_name, &sk.nodes, false, raw);
+}
+
+fn walk_divergence(
+    display_path: &str,
+    impl_name: &str,
+    nodes: &[Node],
+    diverged: bool,
+    raw: &mut Vec<Finding>,
+) {
+    let mut diverged = diverged;
+    for node in nodes {
+        match node {
+            Node::Yield(CommOp::Collective { kind, line }) if diverged => {
+                raw.push(Finding {
+                    file: display_path.to_string(),
+                    line: *line,
+                    rule: "collective-divergence",
+                    message: format!(
+                        "`{kind}` yield in impl `{impl_name}` is guarded by rank-dependent \
+                         control flow; ranks that skip it never join the rendezvous \
+                         and the cluster deadlocks"
+                    ),
+                });
+            }
+            Node::Yield(_) => {}
+            Node::Branch(b) => {
+                let any_exit = b.arms.iter().any(|a| a.has_exit);
+                let all_exit = b.arms.iter().all(|a| a.has_exit);
+                // Master/worker symmetry: an exhaustive rank-branch whose
+                // arms all yield the same collective trace (and none exits)
+                // keeps every rank at the same rendezvous — payloads
+                // diverge, the protocol does not.
+                let symmetric = b.rank_tainted
+                    && b.exhaustive
+                    && !any_exit
+                    && !b.arms.is_empty()
+                    && b.arms
+                        .windows(2)
+                        .all(|w| collective_trace(&w[0].nodes) == collective_trace(&w[1].nodes));
+                let arm_diverged = diverged || (b.rank_tainted && !symmetric);
+                for arm in &b.arms {
+                    walk_divergence(display_path, impl_name, &arm.nodes, arm_diverged, raw);
+                }
+                // Early-exit poison: if rank decides who returns, ranks
+                // that exited cannot join any later collective.
+                if b.rank_tainted && any_exit && !(b.exhaustive && all_exit) {
+                    diverged = true;
+                }
+            }
+            Node::Loop(l) => {
+                let body_diverged = diverged || l.rank_tainted;
+                walk_divergence(display_path, impl_name, &l.nodes, body_diverged, raw);
+            }
+        }
+    }
+}
+
+fn collect_ops<'a>(nodes: &'a [Node], sends: &mut Vec<&'a CommOp>, recvs: &mut Vec<&'a CommOp>) {
+    for node in nodes {
+        match node {
+            Node::Yield(op @ CommOp::Send { .. }) => sends.push(op),
+            Node::Yield(op @ CommOp::Recv { .. }) => recvs.push(op),
+            Node::Yield(CommOp::Collective { .. }) => {}
+            Node::Branch(b) => {
+                for arm in &b.arms {
+                    collect_ops(&arm.nodes, sends, recvs);
+                }
+            }
+            Node::Loop(l) => collect_ops(&l.nodes, sends, recvs),
+        }
+    }
+}
+
+/// First-yield summary of a node sequence: the yields any rank's *first*
+/// `resume` call can produce, whether some path falls through without
+/// yielding, and whether some path exits without yielding.
+struct FirstYield<'a> {
+    ops: Vec<&'a CommOp>,
+    may_pass: bool,
+    may_exit: bool,
+}
+
+fn first_yields(nodes: &[Node]) -> FirstYield<'_> {
+    let mut ops = Vec::new();
+    let mut may_exit = false;
+    for node in nodes {
+        match node {
+            Node::Yield(op) => {
+                ops.push(op);
+                return FirstYield {
+                    ops,
+                    may_pass: false,
+                    may_exit,
+                };
+            }
+            Node::Branch(b) => {
+                let mut pass = !b.exhaustive;
+                for arm in b.arms.iter().filter(|a| a.live_at_first) {
+                    let f = first_yields(&arm.nodes);
+                    ops.extend(f.ops);
+                    may_exit |= f.may_exit;
+                    if f.may_pass {
+                        if arm.has_exit {
+                            // The fall-through contains a `return`/`Done`
+                            // the extractor cannot place; treat it as an
+                            // exit path (conservative: suppresses, never
+                            // invents, a finding).
+                            may_exit = true;
+                        } else {
+                            pass = true;
+                        }
+                    }
+                }
+                if !pass {
+                    return FirstYield {
+                        ops,
+                        may_pass: false,
+                        may_exit,
+                    };
+                }
+            }
+            Node::Loop(l) => {
+                // The loop body may run on the first resumption — or not at
+                // all (zero iterations), so the sequence continues.
+                let f = first_yields(&l.nodes);
+                ops.extend(f.ops);
+                may_exit |= f.may_exit;
+            }
+        }
+    }
+    FirstYield {
+        ops,
+        may_pass: true,
+        may_exit,
+    }
+}
+
+fn peer_desc(peer: &Peer) -> String {
+    match peer {
+        Peer::Offset(k) if *k >= 0 => format!("rank+{k}"),
+        Peer::Offset(k) => format!("rank{k}"),
+        Peer::Literal(v) => format!("rank {v}"),
+        Peer::Other(s) => format!("`{s}`"),
+    }
+}
+
+/// Mirror-matching over rank-offset peers plus the first-yield cycle check.
+fn check_unmatched(display_path: &str, sk: &Skeleton, raw: &mut Vec<Finding>) {
+    let mut sends = Vec::new();
+    let mut recvs = Vec::new();
+    collect_ops(&sk.nodes, &mut sends, &mut recvs);
+
+    // (a) Every offset recv needs a send with the opposite offset and the
+    // same tag. Skipped entirely for send-less impls (one half of a
+    // heterogeneous pairing) and for unverifiable peers.
+    if !sends.is_empty() {
+        for op in &recvs {
+            let CommOp::Recv {
+                peer: Peer::Offset(d),
+                tag,
+                line,
+            } = op
+            else {
+                continue;
+            };
+            let same_tag: Vec<&&CommOp> = sends
+                .iter()
+                .filter(|s| matches!(s, CommOp::Send { tag: st, .. } if st == tag))
+                .collect();
+            if same_tag.is_empty() {
+                let send_tags: BTreeSet<&str> = sends
+                    .iter()
+                    .filter_map(|s| match s {
+                        CommOp::Send { tag, .. } => Some(tag.as_str()),
+                        _ => None,
+                    })
+                    .collect();
+                raw.push(Finding {
+                    file: display_path.to_string(),
+                    line: *line,
+                    rule: "unmatched-comm",
+                    message: format!(
+                        "recv with tag `{tag}` in impl `{}` has no send using that tag \
+                         (sends use {}); a tag typo leaves the message unclaimed forever",
+                        sk.impl_name,
+                        send_tags
+                            .iter()
+                            .map(|t| format!("`{t}`"))
+                            .collect::<Vec<_>>()
+                            .join(", "),
+                    ),
+                });
+                continue;
+            }
+            let mirrored = same_tag.iter().any(|s| match s {
+                CommOp::Send {
+                    peer: Peer::Offset(e),
+                    ..
+                } => *e == -d,
+                // Literal/unverifiable send targets may reach anyone.
+                CommOp::Send { .. } => true,
+                _ => false,
+            });
+            if !mirrored {
+                let offsets: Vec<String> = same_tag
+                    .iter()
+                    .filter_map(|s| match s {
+                        CommOp::Send { peer, .. } => Some(peer_desc(peer)),
+                        _ => None,
+                    })
+                    .collect();
+                raw.push(Finding {
+                    file: display_path.to_string(),
+                    line: *line,
+                    rule: "unmatched-comm",
+                    message: format!(
+                        "recv from {} (tag `{tag}`) in impl `{}` is never mirrored: \
+                         sends with that tag target {}, but delivery needs a send to {} \
+                         (reversed ring?)",
+                        peer_desc(&Peer::Offset(*d)),
+                        sk.impl_name,
+                        offsets.join(", "),
+                        peer_desc(&Peer::Offset(-d)),
+                    ),
+                });
+            }
+        }
+    }
+
+    // (b) Recv-before-send cycle: if every first-resume path yields a Recv,
+    // no rank can ever produce the message another is waiting for.
+    let first = first_yields(&sk.nodes);
+    if !first.may_pass && !first.may_exit && !first.ops.is_empty() {
+        let all_recv = first.ops.iter().all(|op| matches!(op, CommOp::Recv { .. }));
+        if all_recv {
+            let line = first
+                .ops
+                .iter()
+                .map(|op| match op {
+                    CommOp::Recv { line, .. } => *line,
+                    _ => u32::MAX,
+                })
+                .min()
+                .unwrap_or(sk.line);
+            raw.push(Finding {
+                file: display_path.to_string(),
+                line,
+                rule: "unmatched-comm",
+                message: format!(
+                    "every first-resume path of impl `{}` yields `Recv` before any \
+                     `Send`; with one program on all ranks nobody can produce the \
+                     first message (recv-before-send cycle)",
+                    sk.impl_name
+                ),
+            });
+        }
+    }
+}

@@ -1,4 +1,4 @@
-//! The rule engine: nine rules over the token stream (plus one over
+//! The rule engine: eleven rules over the token stream (plus one over
 //! `Cargo.toml` text), file classification, `#[cfg(test)]` exemption and
 //! `lint:allow` suppression handling.
 //!
@@ -13,10 +13,15 @@
 //! | `par-disjoint` | parallel-kernel closures index output by chunk-derived ids |
 //! | `unit-confusion` | host wall-clock and sim-clock seconds never meet        |
 //! | `no-host-block` | `DeviceProgram` impls yield instead of blocking the host |
+//! | `collective-divergence` | collectives are not guarded by rank-local branches |
+//! | `unmatched-comm` | every offset `Recv` has a mirrored `Send` (peer and tag) |
 //!
 //! `par-disjoint` and `unit-confusion` are *scope-aware*: they consume the brace-tree pass in
 //! [`crate::scopes`] instead of the flat token stream, so derivation and
-//! unit taint are tracked per function or per closure body.
+//! unit taint are tracked per function or per closure body. The two
+//! protocol rules go further: [`crate::protocol`] extracts a communication
+//! *skeleton* (a control-flow tree over yield points) from each
+//! `DeviceProgram` impl and checks it for deadlock-shaped defects.
 //!
 //! A violation is suppressed only by `// lint:allow(<rule>): <reason>` on
 //! the offending line (or, for multi-line expressions, a standalone comment
@@ -25,11 +30,12 @@
 //! (`stale-allow`), so suppressions cannot outlive the code they excused.
 
 use crate::lexer::{lex, Tok, TokKind};
+use crate::protocol;
 use crate::scopes;
 use std::collections::BTreeSet;
 
 /// Names of all rules, in reporting order.
-pub const RULE_NAMES: [&str; 9] = [
+pub const RULE_NAMES: [&str; 11] = [
     "sim-clock",
     "no-panic",
     "det-iter",
@@ -39,6 +45,8 @@ pub const RULE_NAMES: [&str; 9] = [
     "par-disjoint",
     "unit-confusion",
     "no-host-block",
+    "collective-divergence",
+    "unmatched-comm",
 ];
 
 /// Files exempt from `sim-clock`: the simulated clock itself, the telemetry
@@ -121,12 +129,13 @@ pub enum FileClass {
         /// The directory name under `crates/` (not the package name).
         crate_dir: String,
     },
-    /// Binary targets (`src/bin`, `src/main.rs`): `sim-clock` only —
-    /// panicking on bad CLI input is fine.
+    /// Binary targets (`src/bin`, `src/main.rs`): `sim-clock` plus the
+    /// protocol rules — panicking on bad CLI input is fine.
     Bin,
-    /// Tests and benches: `sim-clock` only.
+    /// Tests and benches: `sim-clock` plus the protocol rules (a
+    /// `DeviceProgram` deadlocks the same way wherever it lives).
     Test,
-    /// Examples: `sim-clock` only.
+    /// Examples: `sim-clock` plus the protocol rules.
     Example,
     /// Explicitly-passed scratch/fixture file: every token rule applies, so
     /// planted violations always surface.
@@ -405,6 +414,13 @@ pub fn scan_rust(display_path: &str, rel: &str, class: &FileClass, src: &str) ->
             }
         }
     }
+
+    // collective-divergence / unmatched-comm: the protocol pass runs on
+    // every file class — a `DeviceProgram` in an example, test or bin
+    // deadlocks the cluster just as hard as a library one. `#[cfg(test)]`
+    // impls are exempted inside the pass, consistent with the other
+    // structural rules.
+    protocol::check(display_path, &code, &exempt, &mut raw);
 
     apply_allows(raw, &allows, display_path)
 }

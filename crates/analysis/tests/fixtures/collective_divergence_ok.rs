@@ -1,0 +1,32 @@
+// Fixture: rank-dependent *payloads* with rank-independent protocol. The
+// master/worker Gather idiom keeps every rank at the same rendezvous, and
+// a uniform loop bound keeps iteration counts equal — neither diverges.
+struct SymmetricGather;
+impl DeviceProgram for SymmetricGather {
+    type Output = ();
+    fn resume(&mut self, ctx: &mut DeviceCtx, input: Resume) -> Step<()> {
+        match input {
+            Resume::Start => {
+                if ctx.is_master() {
+                    Step::Yield(Command::Gather { root: 0, payload: Bytes::new() })
+                } else {
+                    Step::Yield(Command::Gather { root: 0, payload: self.chunk() })
+                }
+            }
+            Resume::GatherDone(_) => Step::Done(()),
+            _ => Step::Done(()),
+        }
+    }
+}
+struct UniformRounds;
+impl DeviceProgram for UniformRounds {
+    type Output = ();
+    fn resume(&mut self, ctx: &mut DeviceCtx, input: Resume) -> Step<()> {
+        drop((ctx, input));
+        while self.round < ROUNDS {
+            self.round += 1;
+            return Step::Yield(Command::Barrier);
+        }
+        Step::Done(())
+    }
+}

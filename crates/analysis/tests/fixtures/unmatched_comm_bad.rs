@@ -1,0 +1,44 @@
+// Fixture: the three unmatched-comm shapes — a reversed ring (recv names
+// the same neighbor the send targets), a tag typo, and a recv-before-send
+// cycle (every first-resume path waits for a message nobody ever sends).
+struct ReversedRing;
+impl DeviceProgram for ReversedRing {
+    type Output = ();
+    fn resume(&mut self, ctx: &mut DeviceCtx, input: Resume) -> Step<()> {
+        let n = ctx.num_devices();
+        let right = (ctx.rank() + 1) % n;
+        match input {
+            Resume::Start => Step::Yield(Command::Send { dst: right, tag: 7, payload: Bytes::new() }),
+            Resume::Sent => Step::Yield(Command::Recv { src: right, tag: 7 }),
+            _ => Step::Done(()),
+        }
+    }
+}
+struct TagTypo;
+impl DeviceProgram for TagTypo {
+    type Output = ();
+    fn resume(&mut self, ctx: &mut DeviceCtx, input: Resume) -> Step<()> {
+        let n = ctx.num_devices();
+        let right = (ctx.rank() + 1) % n;
+        let left = (ctx.rank() + n - 1) % n;
+        match input {
+            Resume::Start => Step::Yield(Command::Send { dst: right, tag: 7, payload: Bytes::new() }),
+            Resume::Sent => Step::Yield(Command::Recv { src: left, tag: 8 }),
+            _ => Step::Done(()),
+        }
+    }
+}
+struct RecvFirst;
+impl DeviceProgram for RecvFirst {
+    type Output = ();
+    fn resume(&mut self, ctx: &mut DeviceCtx, input: Resume) -> Step<()> {
+        let n = ctx.num_devices();
+        let right = (ctx.rank() + 1) % n;
+        let left = (ctx.rank() + n - 1) % n;
+        match input {
+            Resume::Start => Step::Yield(Command::Recv { src: left, tag: 3 }),
+            Resume::Received(_) => Step::Yield(Command::Send { dst: right, tag: 3, payload: Bytes::new() }),
+            _ => Step::Done(()),
+        }
+    }
+}

@@ -1,0 +1,42 @@
+// Fixture: a correct ring (send-first, mirrored offsets through let-bound
+// peers), an impl whose peers are assigned data (unverifiable, so never
+// flagged), and a deliberate asymmetry excused with the standard allow.
+struct RingOk;
+impl DeviceProgram for RingOk {
+    type Output = ();
+    fn resume(&mut self, ctx: &mut DeviceCtx, input: Resume) -> Step<()> {
+        let n = ctx.num_devices();
+        let right = (ctx.rank() + 1) % n;
+        let left = (ctx.rank() + n - 1) % n;
+        match input {
+            Resume::Start => Step::Yield(Command::Send { dst: right, tag: 3, payload: Bytes::new() }),
+            Resume::Sent => Step::Yield(Command::Recv { src: left, tag: 3 }),
+            _ => Step::Done(()),
+        }
+    }
+}
+struct Assigned;
+impl DeviceProgram for Assigned {
+    type Output = ();
+    fn resume(&mut self, ctx: &mut DeviceCtx, input: Resume) -> Step<()> {
+        match input {
+            Resume::Start => Step::Yield(Command::Send { dst: self.peer_of(ctx.rank()), tag: 5, payload: Bytes::new() }),
+            Resume::Sent => Step::Yield(Command::Recv { src: self.assigned_peer, tag: 5 }),
+            _ => Step::Done(()),
+        }
+    }
+}
+struct DeliberateReversal;
+impl DeviceProgram for DeliberateReversal {
+    type Output = ();
+    fn resume(&mut self, ctx: &mut DeviceCtx, input: Resume) -> Step<()> {
+        let n = ctx.num_devices();
+        let right = (ctx.rank() + 1) % n;
+        match input {
+            Resume::Start => Step::Yield(Command::Send { dst: right, tag: 7, payload: Bytes::new() }),
+            // lint:allow(unmatched-comm): heterogeneous pairing — the mirrored send lives in a sibling impl
+            Resume::Sent => Step::Yield(Command::Recv { src: right, tag: 7 }),
+            _ => Step::Done(()),
+        }
+    }
+}

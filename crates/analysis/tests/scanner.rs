@@ -102,6 +102,93 @@ fn token_lines_are_tracked_across_multiline_literals() {
     assert_eq!(three.line, 4);
 }
 
+// --------------------------------------------------- skeleton extraction
+// Edge cases where sloppy tokenization would corrupt brace matching or
+// invent phantom yields: raw strings, nested block comments, and char/byte
+// literals that contain braces or Command-construction text.
+
+fn skeletons_of(src: &str) -> Vec<analysis::Skeleton> {
+    let toks = lex(src);
+    let code: Vec<&analysis::lexer::Tok> =
+        toks.iter().filter(|t| t.kind != TokKind::Comment).collect();
+    analysis::extract_skeletons(&code)
+}
+
+#[test]
+fn raw_strings_with_braces_do_not_corrupt_the_skeleton() {
+    let src = r####"
+impl DeviceProgram for RawStr {
+    type Output = ();
+    fn resume(&mut self, ctx: &mut DeviceCtx, input: Resume) -> Step<()> {
+        let banner = r#"{ Command::Send { dst: 0, tag: 1 } } }"#;
+        drop((banner, ctx, input));
+        Step::Yield(Command::Barrier)
+    }
+}
+"####;
+    let skels = skeletons_of(src);
+    assert_eq!(skels.len(), 1);
+    assert_eq!(skels[0].impl_name, "RawStr");
+    // Only the real Barrier yield survives; the Send text inside the raw
+    // string (with its unbalanced braces) is inert.
+    assert_eq!(
+        skels[0].nodes,
+        [analysis::protocol::Node::Yield(
+            analysis::protocol::CommOp::Collective {
+                kind: "Barrier".into(),
+                line: 7,
+            }
+        )]
+    );
+}
+
+#[test]
+fn nested_block_comments_with_braces_are_invisible_to_the_skeleton() {
+    let src = "
+impl DeviceProgram for Commented {
+    type Output = ();
+    fn resume(&mut self, ctx: &mut DeviceCtx, input: Resume) -> Step<()> {
+        /* outer { /* inner Command::Recv { src: 9, tag: 9 } } */ still } */
+        drop((ctx, input));
+        Step::Yield(Command::Barrier)
+    }
+}
+";
+    let skels = skeletons_of(src);
+    assert_eq!(skels.len(), 1);
+    assert_eq!(skels[0].nodes.len(), 1, "only the real yield: {skels:?}");
+    assert!(matches!(
+        skels[0].nodes[0],
+        analysis::protocol::Node::Yield(analysis::protocol::CommOp::Collective { ref kind, .. })
+            if kind == "Barrier"
+    ));
+}
+
+#[test]
+fn char_and_byte_literals_with_braces_do_not_shift_scopes() {
+    let src = "
+impl DeviceProgram for CharBraces {
+    type Output = ();
+    fn resume(&mut self, ctx: &mut DeviceCtx, input: Resume) -> Step<()> {
+        let open = '{';
+        let close = b'}';
+        drop((open, close, ctx, input));
+        Step::Yield(Command::RingAll2All { payload: Bytes::new() })
+    }
+}
+fn after() {}
+";
+    let skels = skeletons_of(src);
+    assert_eq!(skels.len(), 1, "impl body ends where it should: {skels:?}");
+    assert_eq!(skels[0].impl_name, "CharBraces");
+    assert_eq!(skels[0].nodes.len(), 1);
+    assert!(matches!(
+        skels[0].nodes[0],
+        analysis::protocol::Node::Yield(analysis::protocol::CommOp::Collective { ref kind, .. })
+            if kind == "RingAll2All"
+    ));
+}
+
 // ------------------------------------------------------------ rule fixtures
 
 #[test]
@@ -207,6 +294,47 @@ fn no_host_block_fixture_pair() {
 }
 
 #[test]
+fn collective_divergence_fixture_pair() {
+    let bad = scan_fixture("collective_divergence_bad.rs");
+    let rules = rules_of(&bad);
+    assert_eq!(
+        rules
+            .iter()
+            .filter(|r| **r == "collective-divergence")
+            .count(),
+        3,
+        "gated Barrier + gated Gather + tainted-loop Barrier: {bad:?}"
+    );
+    let lines: Vec<u32> = bad.iter().map(|f| f.line).collect();
+    assert_eq!(lines, [13, 26, 42], "one finding per collective yield");
+    assert!(bad[0].message.contains("SkipBarrier"));
+    assert!(bad[1].message.contains("GatedGather"));
+    assert!(bad[2].message.contains("LoopBarrier"));
+    // Symmetric master/worker Gather and a uniform loop bound stay silent.
+    assert!(scan_fixture("collective_divergence_ok.rs").is_empty());
+}
+
+#[test]
+fn unmatched_comm_fixture_pair() {
+    let bad = scan_fixture("unmatched_comm_bad.rs");
+    let rules = rules_of(&bad);
+    assert_eq!(
+        rules.iter().filter(|r| **r == "unmatched-comm").count(),
+        3,
+        "reversed ring + tag typo + recv-before-send cycle: {bad:?}"
+    );
+    assert_eq!(bad[0].line, 12, "ReversedRing recv is on line 12");
+    assert!(bad[0].message.contains("reversed ring"));
+    assert_eq!(bad[1].line, 26, "TagTypo recv is on line 26");
+    assert!(bad[1].message.contains("tag typo"));
+    assert_eq!(bad[2].line, 39, "RecvFirst first recv is on line 39");
+    assert!(bad[2].message.contains("recv-before-send cycle"));
+    // Correct ring, data-assigned peers, and the allow-annotated reversal
+    // all stay silent.
+    assert!(scan_fixture("unmatched_comm_ok.rs").is_empty());
+}
+
+#[test]
 fn stale_allow_fixture_pair() {
     let bad = scan_fixture("stale_allow_bad.rs");
     let rules = rules_of(&bad);
@@ -242,6 +370,33 @@ fn to_json_escapes_and_orders_findings() {
 }
 
 #[test]
+fn protocol_findings_round_trip_through_json() {
+    let mut findings = scan_fixture("collective_divergence_bad.rs");
+    findings.extend(scan_fixture("unmatched_comm_bad.rs"));
+    let json = analysis::to_json(&findings);
+    // Minimal round-trip: pull each {"file": …, "line": …, "rule": …}
+    // record back out and compare against the scan results field by field.
+    let records: Vec<&str> = json
+        .lines()
+        .filter(|l| l.trim_start().starts_with('{'))
+        .collect();
+    assert_eq!(records.len(), findings.len());
+    for (rec, f) in records.iter().zip(&findings) {
+        let field = |key: &str| -> &str {
+            let start = rec.find(&format!("\"{key}\": ")).expect(key) + key.len() + 4;
+            let rest = &rec[start..];
+            let end = rest.find(", \"").or_else(|| rest.rfind('}')).expect(key);
+            rest[..end].trim().trim_matches('"')
+        };
+        assert!(field("file").ends_with(&f.file), "{rec}");
+        assert_eq!(field("line"), f.line.to_string(), "{rec}");
+        assert_eq!(field("rule"), f.rule, "{rec}");
+    }
+    assert!(json.contains(r#""rule": "collective-divergence""#));
+    assert!(json.contains(r#""rule": "unmatched-comm""#));
+}
+
+#[test]
 fn findings_render_as_file_line_rule() {
     let bad = scan_fixture("lossy_cast_bad.rs");
     let line = bad[0].to_string();
@@ -249,6 +404,49 @@ fn findings_render_as_file_line_rule() {
         line.contains("lossy_cast_bad.rs:3: [lossy-cast]"),
         "rendered: {line}"
     );
+}
+
+// ------------------------------------------------------------ deadlock gallery
+
+/// Every exhibit in `examples/deadlock_gallery.rs` must be rediscovered by
+/// the scanner once its `lint:allow` escape is stripped — same rule, and a
+/// span on the line directly below where the (removed) allow sat. This pins
+/// the static half of the static/dynamic pairing; the example binary itself
+/// pins the runtime half.
+#[test]
+fn gallery_is_flagged_statically() {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../examples/deadlock_gallery.rs");
+    let src = std::fs::read_to_string(&path).expect("gallery example exists");
+    let mut expected: Vec<(u32, &str)> = Vec::new();
+    let mut stripped = String::new();
+    for (i, line) in src.lines().enumerate() {
+        if let Some(rest) = line.trim_start().strip_prefix("// lint:allow(") {
+            let rule = rest.split(')').next().expect("allow names a rule");
+            expected.push((
+                i as u32 + 2, // the flagged yield sits on the next line
+                match rule {
+                    "unmatched-comm" => "unmatched-comm",
+                    "collective-divergence" => "collective-divergence",
+                    other => panic!("unexpected gallery rule {other}"),
+                },
+            ));
+            stripped.push_str("// (allow stripped for the static test)\n");
+        } else {
+            stripped.push_str(line);
+            stripped.push('\n');
+        }
+    }
+    assert_eq!(expected.len(), 4, "four exhibits in the gallery");
+    // Example class, not Explicit: proves the protocol rules run on the
+    // file class the real workspace walk assigns to examples/.
+    let findings = analysis::rules::scan_rust(
+        "examples/deadlock_gallery.rs",
+        "examples/deadlock_gallery.rs",
+        &analysis::rules::FileClass::Example,
+        &stripped,
+    );
+    let got: Vec<(u32, &str)> = findings.iter().map(|f| (f.line, f.rule)).collect();
+    assert_eq!(got, expected, "findings: {findings:#?}");
 }
 
 // ------------------------------------------------------------ whole workspace

@@ -24,7 +24,10 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{mpsc, Mutex};
 
 /// Failure modes of a simulated-cluster run.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// `Eq` is not derived because [`ClusterError::Deadlock`] carries per-rank
+/// `f64` clocks; `PartialEq` is enough for test assertions.
+#[derive(Debug, Clone, PartialEq)]
 pub enum ClusterError {
     /// `Cluster::try_run` was asked to spawn zero devices.
     NoDevices,
@@ -36,13 +39,26 @@ pub enum ClusterError {
         /// Stringified panic payload (empty if the payload was not a string).
         message: String,
     },
-    /// The cluster deadlocked: no device is runnable, and not every device
-    /// is parked at a collective.
-    Stalled {
-        /// Lowest-ranked suspended device.
+    /// A `Send`/`Recv` named a peer rank outside `0..n`. Nothing panicked —
+    /// the program yielded a structurally invalid command.
+    InvalidPeer {
+        /// Rank that yielded the bad command.
         rank: usize,
-        /// What the device was waiting for.
-        detail: String,
+        /// The out-of-range peer it named.
+        peer: usize,
+        /// Cluster size.
+        n: usize,
+        /// Which operation named it: `"send"` or `"recv"`.
+        op: &'static str,
+    },
+    /// The cluster deadlocked: no device is runnable, and not every device
+    /// is parked at a collective. Carries the full wait-for graph — every
+    /// suspended rank and its cause, the collective frontier, and any
+    /// unclaimed mailbox keys (see [`crate::waitgraph`]).
+    Deadlock {
+        /// The wait-for graph at the moment of the stall (boxed so the
+        /// error stays small on the `Ok` path).
+        graph: Box<crate::waitgraph::WaitGraph>,
     },
     /// Devices disagreed on the collective they entered (kind, root, or
     /// payload shape).
@@ -61,8 +77,11 @@ impl std::fmt::Display for ClusterError {
             Self::DevicePanicked { rank, message } => {
                 write!(f, "device {rank} panicked: {message}")
             }
-            Self::Stalled { rank, detail } => {
-                write!(f, "cluster stalled at device {rank}: {detail}")
+            Self::InvalidPeer { rank, peer, n, op } => {
+                write!(f, "device {rank}: {op} peer {peer} out of range (n = {n})")
+            }
+            Self::Deadlock { graph } => {
+                write!(f, "cluster deadlocked: {}", graph.summary())
             }
             Self::CollectiveMismatch { rank, detail } => {
                 write!(f, "collective mismatch at device {rank}: {detail}")
@@ -152,7 +171,9 @@ impl Cluster {
     ///
     /// [`ClusterError::NoDevices`] if `n == 0`;
     /// [`ClusterError::DevicePanicked`] if a program panics;
-    /// [`ClusterError::Stalled`] on deadlock;
+    /// [`ClusterError::InvalidPeer`] if a `Send`/`Recv` names a rank
+    /// outside `0..n`;
+    /// [`ClusterError::Deadlock`] on a stall, carrying the wait-for graph;
     /// [`ClusterError::CollectiveMismatch`] when ranks disagree on a
     /// collective.
     pub fn try_run_with<P, F>(
@@ -1106,17 +1127,23 @@ mod tests {
     }
 
     #[test]
-    fn unmatched_recv_reports_a_stall() {
+    fn unmatched_recv_reports_a_deadlock() {
         let err = Cluster::try_run_fn(2, |mut dev| {
             if dev.rank() == 0 {
                 let _ = dev.recv(1, 9); // rank 1 never sends
             }
         })
         .expect_err("deadlock must be detected");
-        assert!(
-            matches!(err, ClusterError::Stalled { rank: 0, .. }),
-            "got {err}"
+        let ClusterError::Deadlock { graph } = &err else {
+            panic!("expected a deadlock, got {err}");
+        };
+        assert_eq!(graph.blocked.len(), 1);
+        assert_eq!(graph.blocked[0].rank, 0);
+        assert_eq!(
+            graph.blocked[0].cause,
+            crate::waitgraph::WaitCause::Recv { src: 1, tag: 9 }
         );
+        assert_eq!(graph.finished, vec![1]);
     }
 
     #[test]

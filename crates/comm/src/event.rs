@@ -28,6 +28,7 @@
 
 use crate::cluster::{panic_message, ClusterError};
 use crate::program::{Command, DeviceCtx, DeviceProgram, Resume, Step};
+use crate::waitgraph::{BlockedRank, CollectiveFront, UnclaimedMessage, WaitCause, WaitGraph};
 use crate::CostModel;
 use bytes::Bytes;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
@@ -92,8 +93,10 @@ type Mailbox = BTreeMap<(usize, u64), VecDeque<(f64, Bytes)>>;
 ///
 /// [`ClusterError::NoDevices`] for an empty program list,
 /// [`ClusterError::DevicePanicked`] when a program panics mid-step,
-/// [`ClusterError::Stalled`] on deadlock (a recv that can never be
-/// satisfied, or a collective some rank never enters), and
+/// [`ClusterError::InvalidPeer`] when a `Send`/`Recv` names a peer outside
+/// `0..n`, [`ClusterError::Deadlock`] on a stall (a recv that can never be
+/// satisfied, or a collective some rank never enters) carrying the full
+/// [`WaitGraph`] of suspended ranks, and
 /// [`ClusterError::CollectiveMismatch`] when ranks disagree on the
 /// collective they are entering.
 pub fn run_programs<P: DeviceProgram>(
@@ -128,7 +131,9 @@ pub fn run_programs<P: DeviceProgram>(
                 }
                 continue;
             }
-            return Err(stall_error(&statuses));
+            return Err(ClusterError::Deadlock {
+                graph: Box::new(build_wait_graph(&statuses, &ctxs, &mailboxes)),
+            });
         };
         ready.remove(&(key, rank));
 
@@ -159,9 +164,11 @@ pub fn run_programs<P: DeviceProgram>(
                 }
                 Ok(Step::Yield(Command::Send { dst, tag, payload })) => {
                     if dst >= n {
-                        return Err(ClusterError::DevicePanicked {
+                        return Err(ClusterError::InvalidPeer {
                             rank,
-                            message: format!("send dst {dst} out of range (n = {n})"),
+                            peer: dst,
+                            n,
+                            op: "send",
                         });
                     }
                     messages += 1;
@@ -185,9 +192,11 @@ pub fn run_programs<P: DeviceProgram>(
                 }
                 Ok(Step::Yield(Command::Recv { src, tag })) => {
                     if src >= n {
-                        return Err(ClusterError::DevicePanicked {
+                        return Err(ClusterError::InvalidPeer {
                             rank,
-                            message: format!("recv src {src} out of range (n = {n})"),
+                            peer: src,
+                            n,
+                            op: "recv",
                         });
                     }
                     let key = (src, tag);
@@ -231,22 +240,66 @@ fn pop_message(mailbox: &mut Mailbox, key: (usize, u64)) -> (f64, Bytes) {
     }
 }
 
-fn stall_error(statuses: &[Status]) -> ClusterError {
+/// Builds the full wait-for graph of a stalled cluster: every suspended
+/// rank with its cause (not just the first — a reversed ring suspends all
+/// of them), the collective frontier, and any undelivered mailbox keys (the
+/// runtime signature of a reversed peer expression or a tag typo).
+fn build_wait_graph(statuses: &[Status], ctxs: &[DeviceCtx], mailboxes: &[Mailbox]) -> WaitGraph {
+    let mut blocked = Vec::new();
+    let mut finished = Vec::new();
+    let mut reached = Vec::new();
+    let mut kind: Option<&'static str> = None;
     for (rank, s) in statuses.iter().enumerate() {
-        let detail = match s {
-            Status::RecvWait { src, tag } => {
-                format!("blocked on recv(src = {src}, tag = {tag}) with no sender left")
+        match s {
+            Status::RecvWait { src, tag } => blocked.push(BlockedRank {
+                rank,
+                cause: WaitCause::Recv {
+                    src: *src,
+                    tag: *tag,
+                },
+                clock: ctxs[rank].now(),
+            }),
+            Status::CollectiveWait(cmd) => {
+                reached.push(rank);
+                kind.get_or_insert(cmd.kind_name());
+                blocked.push(BlockedRank {
+                    rank,
+                    cause: WaitCause::Collective {
+                        kind: cmd.kind_name(),
+                    },
+                    clock: ctxs[rank].now(),
+                });
             }
-            Status::CollectiveWait(cmd) => format!(
-                "entered a `{}` collective that some rank never joins",
-                cmd.kind_name()
-            ),
-            _ => continue,
-        };
-        return ClusterError::Stalled { rank, detail };
+            Status::Done => finished.push(rank),
+            Status::Ready(_) | Status::Running => {}
+        }
     }
-    // `stall_error` is only called when at least one device is suspended.
-    unreachable!("stall without a suspended device")
+    let collective = kind.map(|kind| CollectiveFront {
+        kind,
+        absent: (0..statuses.len())
+            .filter(|r| !reached.contains(r))
+            .collect(),
+        reached,
+    });
+    let mut unclaimed = Vec::new();
+    for (dst, mailbox) in mailboxes.iter().enumerate() {
+        for (&(src, tag), queue) in mailbox {
+            if !queue.is_empty() {
+                unclaimed.push(UnclaimedMessage {
+                    dst,
+                    src,
+                    tag,
+                    queued: queue.len(),
+                });
+            }
+        }
+    }
+    WaitGraph {
+        blocked,
+        finished,
+        collective,
+        unclaimed,
+    }
 }
 
 /// Fires the collective every rank is parked at: validates that the entry

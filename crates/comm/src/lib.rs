@@ -46,6 +46,7 @@ pub mod telemetry;
 mod thread;
 pub mod timing;
 pub mod topology;
+pub mod waitgraph;
 
 pub use cluster::{Cluster, ClusterError, DeviceHandle};
 pub use costmodel::{ClusterTopology, CostModel};
@@ -56,6 +57,7 @@ pub use schedule::{per_device_ring_times, ring_all2all_time, sequential_broadcas
 pub use telemetry::{Event, EventDetail, EventKind, Recorder};
 pub use timing::{TimeBreakdown, TimeCategory};
 pub use topology::Topology;
+pub use waitgraph::{BlockedRank, CollectiveFront, UnclaimedMessage, WaitCause, WaitGraph};
 
 /// The one-stop import for cluster simulations: the event-core entry
 /// points, the device API (both forms), and the cost/topology surface.
@@ -79,4 +81,5 @@ pub mod prelude {
     pub use crate::telemetry::Recorder;
     pub use crate::timing::{TimeBreakdown, TimeCategory};
     pub use crate::topology::Topology;
+    pub use crate::waitgraph::{WaitCause, WaitGraph};
 }

@@ -1,0 +1,343 @@
+//! Deadlock diagnostics: the wait-for graph the event scheduler constructs
+//! when the cluster stalls.
+//!
+//! A stall means no device is runnable and not every device is parked at a
+//! collective. The old diagnostic named only the lowest suspended rank,
+//! which misattributes multi-rank stalls (a reversed ring suspends *every*
+//! rank; blaming rank 0 sends the reader to the wrong line of the wrong
+//! program). [`WaitGraph`] instead captures the whole frontier at the
+//! moment of the stall:
+//!
+//! * every suspended rank and what it waits on ([`BlockedRank`]);
+//! * every mailbox key holding undelivered payloads ([`UnclaimedMessage`]
+//!   — a message that arrived under a `(src, tag)` key nobody ever
+//!   receives on is the signature of a reversed peer expression or a tag
+//!   typo);
+//! * which ranks already reached a collective and which never will
+//!   ([`CollectiveFront`]);
+//! * which ranks finished outright (a rank that returns without joining a
+//!   barrier is how `collective-divergence` bugs present at runtime).
+//!
+//! The graph renders as DOT ([`WaitGraph::to_dot`]) for visual inspection
+//! and as JSON ([`WaitGraph::to_json`]) for tooling; its [`WaitGraph::summary`]
+//! is what [`crate::ClusterError::Deadlock`] displays. The static side of
+//! this contract is adaqp-lint's `collective-divergence` / `unmatched-comm`
+//! rules (`crates/analysis`), which flag the same defect shapes before the
+//! program ever runs; `examples/deadlock_gallery.rs` pins the pairing.
+
+/// What one suspended rank is waiting for.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WaitCause {
+    /// Parked on an empty `(src, tag)` mailbox key.
+    Recv {
+        /// Awaited source rank.
+        src: usize,
+        /// Awaited tag.
+        tag: u64,
+    },
+    /// Parked at a collective some rank never joins.
+    Collective {
+        /// The collective's kind name (`barrier`, `ring_all2all`, …).
+        kind: &'static str,
+    },
+}
+
+impl std::fmt::Display for WaitCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WaitCause::Recv { src, tag } => write!(f, "recv(src = {src}, tag = {tag})"),
+            WaitCause::Collective { kind } => write!(f, "collective `{kind}`"),
+        }
+    }
+}
+
+/// One suspended rank in the wait-for graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockedRank {
+    /// The suspended rank.
+    pub rank: usize,
+    /// What it waits on.
+    pub cause: WaitCause,
+    /// Its simulated clock at the stall, seconds.
+    pub clock: f64,
+}
+
+/// A mailbox key with queued payloads no receive ever claimed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnclaimedMessage {
+    /// Rank whose mailbox holds the payloads.
+    pub dst: usize,
+    /// Sender rank of the key.
+    pub src: usize,
+    /// Tag of the key.
+    pub tag: u64,
+    /// Number of queued payloads under the key.
+    pub queued: usize,
+}
+
+/// The collective frontier at the stall: who reached it, who never will.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CollectiveFront {
+    /// Kind name of the collective the lowest parked rank entered.
+    pub kind: &'static str,
+    /// Ranks parked at a collective, ascending.
+    pub reached: Vec<usize>,
+    /// Ranks not parked at any collective (blocked elsewhere, or already
+    /// finished), ascending — the ranks the collective is waiting for.
+    pub absent: Vec<usize>,
+}
+
+/// The full wait-for graph of a stalled cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WaitGraph {
+    /// Every suspended rank, ascending by rank.
+    pub blocked: Vec<BlockedRank>,
+    /// Ranks that finished before the stall, ascending.
+    pub finished: Vec<usize>,
+    /// The collective frontier, when any rank is collective-parked.
+    pub collective: Option<CollectiveFront>,
+    /// Undelivered mailbox contents, ascending by `(dst, src, tag)`.
+    pub unclaimed: Vec<UnclaimedMessage>,
+}
+
+impl WaitGraph {
+    /// The ranks `rank` waits on: the awaited sender for a recv, every
+    /// absent rank for a collective. Empty for ranks that are not blocked.
+    pub fn waits_on(&self, rank: usize) -> Vec<usize> {
+        for b in &self.blocked {
+            if b.rank != rank {
+                continue;
+            }
+            return match &b.cause {
+                WaitCause::Recv { src, .. } => vec![*src],
+                WaitCause::Collective { .. } => self
+                    .collective
+                    .as_ref()
+                    .map(|c| c.absent.clone())
+                    .unwrap_or_default(),
+            };
+        }
+        Vec::new()
+    }
+
+    /// One-line-per-fact prose rendering, used by the `Deadlock` error
+    /// display. Names every blocked rank — never just the first.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        let causes: Vec<String> = self
+            .blocked
+            .iter()
+            .map(|b| format!("rank {} waits on {}", b.rank, b.cause))
+            .collect();
+        out.push_str(&format!(
+            "{} rank(s) blocked [{}]",
+            self.blocked.len(),
+            causes.join("; ")
+        ));
+        if !self.finished.is_empty() {
+            out.push_str(&format!("; finished ranks {:?}", self.finished));
+        }
+        if let Some(c) = &self.collective {
+            out.push_str(&format!(
+                "; `{}` reached by ranks {:?}, never by ranks {:?}",
+                c.kind, c.reached, c.absent
+            ));
+        }
+        if !self.unclaimed.is_empty() {
+            let keys: Vec<String> = self
+                .unclaimed
+                .iter()
+                .map(|u| {
+                    format!(
+                        "{} queued at rank {} under (src = {}, tag = {})",
+                        u.queued, u.dst, u.src, u.tag
+                    )
+                })
+                .collect();
+            out.push_str(&format!("; unclaimed messages: {}", keys.join(", ")));
+        }
+        out
+    }
+
+    /// Graphviz DOT rendering: one node per rank, one edge per wait-for
+    /// dependency (recv edges labeled with their tag, collective edges with
+    /// the collective kind).
+    pub fn to_dot(&self) -> String {
+        let mut out = String::from("digraph wait_for {\n");
+        for b in &self.blocked {
+            out.push_str(&format!(
+                "  r{} [label=\"rank {}\\n{}\"];\n",
+                b.rank, b.rank, b.cause
+            ));
+        }
+        for rank in &self.finished {
+            out.push_str(&format!(
+                "  r{rank} [label=\"rank {rank}\\nfinished\", style=dashed];\n"
+            ));
+        }
+        for b in &self.blocked {
+            match &b.cause {
+                WaitCause::Recv { src, tag } => {
+                    out.push_str(&format!(
+                        "  r{} -> r{} [label=\"tag {}\"];\n",
+                        b.rank, src, tag
+                    ));
+                }
+                WaitCause::Collective { kind } => {
+                    for absent in self.collective.iter().flat_map(|c| c.absent.iter()) {
+                        out.push_str(&format!(
+                            "  r{} -> r{} [label=\"{}\", style=dotted];\n",
+                            b.rank, absent, kind
+                        ));
+                    }
+                }
+            }
+        }
+        for u in &self.unclaimed {
+            out.push_str(&format!(
+                "  m_{}_{}_{} [label=\"{} unclaimed\\n(src = {}, tag = {})\", shape=box];\n",
+                u.dst, u.src, u.tag, u.queued, u.src, u.tag
+            ));
+            out.push_str(&format!(
+                "  m_{}_{}_{} -> r{};\n",
+                u.dst, u.src, u.tag, u.dst
+            ));
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// JSON rendering (stable field order, no external dependencies), for
+    /// machine consumption of deadlock reports.
+    pub fn to_json(&self) -> String {
+        fn ranks(list: &[usize]) -> String {
+            let items: Vec<String> = list.iter().map(ToString::to_string).collect();
+            format!("[{}]", items.join(", "))
+        }
+        let blocked: Vec<String> = self
+            .blocked
+            .iter()
+            .map(|b| {
+                let cause = match &b.cause {
+                    WaitCause::Recv { src, tag } => {
+                        format!("{{\"kind\": \"recv\", \"src\": {src}, \"tag\": {tag}}}")
+                    }
+                    WaitCause::Collective { kind } => {
+                        format!("{{\"kind\": \"collective\", \"collective\": \"{kind}\"}}")
+                    }
+                };
+                format!(
+                    "{{\"rank\": {}, \"cause\": {}, \"clock\": {}}}",
+                    b.rank,
+                    cause,
+                    // The debug float form keeps a trailing `.0`, so the
+                    // field stays a float in every JSON parser.
+                    format_args!("{:?}", b.clock)
+                )
+            })
+            .collect();
+        let collective = match &self.collective {
+            Some(c) => format!(
+                "{{\"kind\": \"{}\", \"reached\": {}, \"absent\": {}}}",
+                c.kind,
+                ranks(&c.reached),
+                ranks(&c.absent)
+            ),
+            None => "null".to_string(),
+        };
+        let unclaimed: Vec<String> = self
+            .unclaimed
+            .iter()
+            .map(|u| {
+                format!(
+                    "{{\"dst\": {}, \"src\": {}, \"tag\": {}, \"queued\": {}}}",
+                    u.dst, u.src, u.tag, u.queued
+                )
+            })
+            .collect();
+        format!(
+            "{{\"blocked\": [{}], \"finished\": {}, \"collective\": {}, \"unclaimed\": [{}]}}",
+            blocked.join(", "),
+            ranks(&self.finished),
+            collective,
+            unclaimed.join(", ")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> WaitGraph {
+        WaitGraph {
+            blocked: vec![
+                BlockedRank {
+                    rank: 1,
+                    cause: WaitCause::Recv { src: 2, tag: 7 },
+                    clock: 0.5,
+                },
+                BlockedRank {
+                    rank: 2,
+                    cause: WaitCause::Collective { kind: "barrier" },
+                    clock: 1.0,
+                },
+            ],
+            finished: vec![0],
+            collective: Some(CollectiveFront {
+                kind: "barrier",
+                reached: vec![2],
+                absent: vec![0, 1],
+            }),
+            unclaimed: vec![UnclaimedMessage {
+                dst: 1,
+                src: 0,
+                tag: 7,
+                queued: 2,
+            }],
+        }
+    }
+
+    #[test]
+    fn waits_on_follows_cause_edges() {
+        let g = sample();
+        assert_eq!(g.waits_on(1), vec![2]);
+        assert_eq!(g.waits_on(2), vec![0, 1]);
+        assert!(g.waits_on(0).is_empty());
+    }
+
+    #[test]
+    fn summary_names_every_blocked_rank() {
+        let s = sample().summary();
+        assert!(s.contains("2 rank(s) blocked"), "summary: {s}");
+        assert!(s.contains("rank 1 waits on recv(src = 2, tag = 7)"));
+        assert!(s.contains("rank 2 waits on collective `barrier`"));
+        assert!(s.contains("finished ranks [0]"));
+        assert!(s.contains("2 queued at rank 1 under (src = 0, tag = 7)"));
+    }
+
+    #[test]
+    fn dot_render_has_nodes_and_edges() {
+        let dot = sample().to_dot();
+        assert!(dot.starts_with("digraph wait_for {"));
+        assert!(dot.contains("r1 -> r2 [label=\"tag 7\"]"));
+        assert!(dot.contains("style=dashed"), "finished rank style: {dot}");
+        assert!(dot.contains("r2 -> r0"), "collective edge: {dot}");
+        assert!(dot.contains("2 unclaimed"), "unclaimed box: {dot}");
+    }
+
+    #[test]
+    fn json_render_is_well_formed_and_complete() {
+        let json = sample().to_json();
+        assert!(json.contains("\"blocked\": [{\"rank\": 1"));
+        assert!(json.contains("\"cause\": {\"kind\": \"recv\", \"src\": 2, \"tag\": 7}"));
+        assert!(json.contains("\"clock\": 0.5"));
+        assert!(json.contains(
+            "\"collective\": {\"kind\": \"barrier\", \"reached\": [2], \"absent\": [0, 1]}"
+        ));
+        assert!(
+            json.contains("\"unclaimed\": [{\"dst\": 1, \"src\": 0, \"tag\": 7, \"queued\": 2}]")
+        );
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

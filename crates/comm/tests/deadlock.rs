@@ -1,0 +1,233 @@
+//! Runtime deadlock diagnostics: each gallery shape must produce a
+//! [`ClusterError::Deadlock`] whose wait-for graph names every stuck rank,
+//! its cause, the unclaimed mailbox keys, and (for collectives) the
+//! rendezvous front — plus the typed [`ClusterError::InvalidPeer`] for
+//! out-of-range peers. The impls mirror `examples/deadlock_gallery.rs`; the
+//! planted bugs carry `lint:allow` because the workspace lint scans tests.
+
+use bytes::Bytes;
+use comm::prelude::*;
+use comm::{WaitCause, WaitGraph};
+
+const N: usize = 4;
+
+fn deadlock_of<P: DeviceProgram<Output = ()>>(factory: impl FnMut(usize) -> P) -> WaitGraph {
+    match Cluster::try_run_with(N, None, factory) {
+        Err(ClusterError::Deadlock { graph }) => *graph,
+        other => panic!("expected a deadlock diagnosis, got {other:?}"),
+    }
+}
+
+struct ReversedRing;
+
+impl DeviceProgram for ReversedRing {
+    type Output = ();
+    fn resume(&mut self, ctx: &mut DeviceCtx, input: Resume) -> Step<()> {
+        let n = ctx.num_devices();
+        let right = (ctx.rank() + 1) % n;
+        match input {
+            Resume::Start => Step::Yield(Command::Send {
+                dst: right,
+                tag: 7,
+                payload: Bytes::from_static(b"x"),
+            }),
+            // lint:allow(unmatched-comm): planted bug — reversed ring under test
+            Resume::Sent => Step::Yield(Command::Recv { src: right, tag: 7 }),
+            _ => Step::Done(()),
+        }
+    }
+}
+
+#[test]
+fn reversed_ring_blocks_every_rank_with_unclaimed_messages() {
+    let graph = deadlock_of(|_| ReversedRing);
+    let blocked: Vec<usize> = graph.blocked.iter().map(|b| b.rank).collect();
+    assert_eq!(blocked, [0, 1, 2, 3], "all ranks fold into the error");
+    for b in &graph.blocked {
+        let want_src = (b.rank + 1) % N;
+        assert_eq!(
+            b.cause,
+            WaitCause::Recv {
+                src: want_src,
+                tag: 7
+            }
+        );
+    }
+    // Each rank's actual arrival (from the left) sits unclaimed.
+    assert_eq!(graph.unclaimed.len(), N);
+    for m in &graph.unclaimed {
+        assert_eq!(m.src, (m.dst + N - 1) % N);
+        assert_eq!((m.tag, m.queued), (7, 1));
+    }
+    assert!(graph.finished.is_empty());
+    assert!(graph.collective.is_none());
+}
+
+struct TagTypo;
+
+impl DeviceProgram for TagTypo {
+    type Output = ();
+    fn resume(&mut self, ctx: &mut DeviceCtx, input: Resume) -> Step<()> {
+        let n = ctx.num_devices();
+        let right = (ctx.rank() + 1) % n;
+        let left = (ctx.rank() + n - 1) % n;
+        match input {
+            Resume::Start => Step::Yield(Command::Send {
+                dst: right,
+                tag: 7,
+                payload: Bytes::from_static(b"x"),
+            }),
+            // lint:allow(unmatched-comm): planted bug — tag typo under test
+            Resume::Sent => Step::Yield(Command::Recv { src: left, tag: 8 }),
+            _ => Step::Done(()),
+        }
+    }
+}
+
+#[test]
+fn tag_typo_reports_the_mismatched_mailbox_keys() {
+    let graph = deadlock_of(|_| TagTypo);
+    assert_eq!(graph.blocked.len(), N);
+    assert!(graph
+        .blocked
+        .iter()
+        .all(|b| matches!(b.cause, WaitCause::Recv { tag: 8, .. })));
+    assert!(graph.unclaimed.iter().all(|m| m.tag == 7));
+}
+
+struct SkippedBarrier;
+
+impl DeviceProgram for SkippedBarrier {
+    type Output = ();
+    fn resume(&mut self, ctx: &mut DeviceCtx, input: Resume) -> Step<()> {
+        match input {
+            Resume::Start => {
+                if ctx.rank() == 0 {
+                    return Step::Done(());
+                }
+                // lint:allow(collective-divergence): planted bug — skipped rendezvous under test
+                Step::Yield(Command::Barrier)
+            }
+            _ => Step::Done(()),
+        }
+    }
+}
+
+#[test]
+fn skipped_barrier_reports_the_collective_front_and_finished_ranks() {
+    let graph = deadlock_of(|_| SkippedBarrier);
+    let blocked: Vec<usize> = graph.blocked.iter().map(|b| b.rank).collect();
+    assert_eq!(blocked, [1, 2, 3]);
+    assert!(graph
+        .blocked
+        .iter()
+        .all(|b| matches!(b.cause, WaitCause::Collective { kind: "barrier" })));
+    assert_eq!(graph.finished, vec![0], "the escapee is named, not lost");
+    let front = graph.collective.as_ref().expect("front recorded");
+    assert_eq!(front.kind, "barrier");
+    assert_eq!(front.reached, vec![1, 2, 3]);
+    assert_eq!(front.absent, vec![0]);
+}
+
+struct RecvFirstRing;
+
+impl DeviceProgram for RecvFirstRing {
+    type Output = ();
+    fn resume(&mut self, ctx: &mut DeviceCtx, input: Resume) -> Step<()> {
+        let n = ctx.num_devices();
+        let right = (ctx.rank() + 1) % n;
+        let left = (ctx.rank() + n - 1) % n;
+        match input {
+            // lint:allow(unmatched-comm): planted bug — recv-before-send cycle under test
+            Resume::Start => Step::Yield(Command::Recv { src: left, tag: 3 }),
+            Resume::Received(_) => Step::Yield(Command::Send {
+                dst: right,
+                tag: 3,
+                payload: Bytes::from_static(b"x"),
+            }),
+            _ => Step::Done(()),
+        }
+    }
+}
+
+#[test]
+fn recv_before_send_cycle_blocks_everyone_with_empty_mailboxes() {
+    let graph = deadlock_of(|_| RecvFirstRing);
+    assert_eq!(graph.blocked.len(), N);
+    assert!(graph.unclaimed.is_empty(), "nothing was ever sent");
+    // The cycle is visible in the graph: following wait edges from rank 0
+    // walks the whole ring back to rank 0.
+    let mut at = 0usize;
+    for _ in 0..N {
+        let next = graph.waits_on(at);
+        assert_eq!(next.len(), 1);
+        at = next[0];
+    }
+    assert_eq!(at, 0, "wait-for edges close the ring");
+}
+
+#[test]
+fn display_names_every_blocked_rank() {
+    let Err(err) = Cluster::try_run_with(N, None, |_| RecvFirstRing) else {
+        panic!("must deadlock")
+    };
+    let text = err.to_string();
+    for rank in 0..N {
+        assert!(
+            text.contains(&format!("rank {rank} waits on")),
+            "rank {rank} missing from: {text}"
+        );
+    }
+}
+
+#[test]
+fn dot_and_json_render_the_same_graph() {
+    let graph = deadlock_of(|_| ReversedRing);
+    let dot = graph.to_dot();
+    assert!(dot.starts_with("digraph wait_for {"));
+    for rank in 0..N {
+        assert!(dot.contains(&format!("r{rank} [label=\"rank {rank}")));
+    }
+    assert!(dot.contains("r3 -> r0"), "ring edge back to rank 0");
+    assert!(dot.contains("shape=box"), "unclaimed messages rendered");
+    let json = graph.to_json();
+    assert!(json.contains(r#""cause": {"kind": "recv", "src": 1, "tag": 7}"#));
+    assert!(json.contains(r#""unclaimed": [{"dst": 0, "src": 3, "tag": 7, "queued": 1}"#));
+}
+
+struct BadPeer;
+
+impl DeviceProgram for BadPeer {
+    type Output = ();
+    fn resume(&mut self, ctx: &mut DeviceCtx, input: Resume) -> Step<()> {
+        let n = ctx.num_devices();
+        match input {
+            Resume::Start => Step::Yield(Command::Send {
+                dst: n + 2,
+                tag: 1,
+                payload: Bytes::from_static(b"x"),
+            }),
+            _ => Step::Done(()),
+        }
+    }
+}
+
+#[test]
+fn out_of_range_peer_is_a_typed_invalid_peer_error() {
+    let Err(err) = Cluster::try_run_with(N, None, |_| BadPeer) else {
+        panic!("must fail")
+    };
+    assert_eq!(
+        err,
+        ClusterError::InvalidPeer {
+            rank: 0,
+            peer: N + 2,
+            n: N,
+            op: "send"
+        }
+    );
+    assert_eq!(
+        err.to_string(),
+        format!("device 0: send peer {} out of range (n = {N})", N + 2)
+    );
+}

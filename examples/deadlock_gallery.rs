@@ -1,0 +1,173 @@
+//! Deadlock gallery: four communication bugs that `adaqp-lint` flags
+//! statically and the event scheduler diagnoses dynamically — with matching
+//! attribution. Each exhibit is a [`DeviceProgram`] carrying a
+//! `lint:allow` on its planted bug (the gallery is deliberate); the static
+//! test `gallery_is_flagged_statically` strips those allows and asserts the
+//! scanner rediscovers every exhibit, while this binary runs each one on a
+//! four-rank cluster and checks the [`ClusterError::Deadlock`] wait-for
+//! graph names the same ranks the rule predicts.
+//!
+//! Run with: `cargo run --release --example deadlock_gallery`
+
+use bytes::Bytes;
+use comm::prelude::*;
+
+/// Exhibit 1 — reversed ring (`unmatched-comm`): every rank sends right and
+/// then *receives from the right as well*, so the message that actually
+/// arrives (from the left) sits unclaimed forever. All four ranks block on
+/// a mailbox key nobody writes.
+struct ReversedRing;
+
+impl DeviceProgram for ReversedRing {
+    type Output = ();
+    fn resume(&mut self, ctx: &mut DeviceCtx, input: Resume) -> Step<()> {
+        let n = ctx.num_devices();
+        let right = (ctx.rank() + 1) % n;
+        match input {
+            Resume::Start => Step::Yield(Command::Send {
+                dst: right,
+                tag: 7,
+                payload: Bytes::from_static(b"grad"),
+            }),
+            // lint:allow(unmatched-comm): gallery exhibit — the reversed recv is the bug on display
+            Resume::Sent => Step::Yield(Command::Recv { src: right, tag: 7 }),
+            _ => Step::Done(()),
+        }
+    }
+}
+
+/// Exhibit 2 — tag typo (`unmatched-comm`): the ring direction is right but
+/// the receiver asks for tag 8 while every send uses tag 7. Same stall,
+/// different cause: the unclaimed messages carry the mismatched tag.
+struct TagTypo;
+
+impl DeviceProgram for TagTypo {
+    type Output = ();
+    fn resume(&mut self, ctx: &mut DeviceCtx, input: Resume) -> Step<()> {
+        let n = ctx.num_devices();
+        let right = (ctx.rank() + 1) % n;
+        let left = (ctx.rank() + n - 1) % n;
+        match input {
+            Resume::Start => Step::Yield(Command::Send {
+                dst: right,
+                tag: 7,
+                payload: Bytes::from_static(b"grad"),
+            }),
+            // lint:allow(unmatched-comm): gallery exhibit — the mistyped tag is the bug on display
+            Resume::Sent => Step::Yield(Command::Recv { src: left, tag: 8 }),
+            _ => Step::Done(()),
+        }
+    }
+}
+
+/// Exhibit 3 — skipped barrier (`collective-divergence`): rank 0 returns
+/// early, so the barrier's rendezvous is reached by ranks 1..4 and never by
+/// rank 0. Three ranks park at the collective front forever.
+struct SkippedBarrier;
+
+impl DeviceProgram for SkippedBarrier {
+    type Output = ();
+    fn resume(&mut self, ctx: &mut DeviceCtx, input: Resume) -> Step<()> {
+        match input {
+            Resume::Start => {
+                if ctx.rank() == 0 {
+                    return Step::Done(());
+                }
+                // lint:allow(collective-divergence): gallery exhibit — the skipped rendezvous is the bug on display
+                Step::Yield(Command::Barrier)
+            }
+            _ => Step::Done(()),
+        }
+    }
+}
+
+/// Exhibit 4 — recv-before-send cycle (`unmatched-comm`): the ring protocol
+/// is mirrored correctly, but every rank *receives first*. With one program
+/// on all ranks nobody ever produces the first message, so the cluster
+/// blocks with every mailbox empty.
+struct RecvFirstRing;
+
+impl DeviceProgram for RecvFirstRing {
+    type Output = ();
+    fn resume(&mut self, ctx: &mut DeviceCtx, input: Resume) -> Step<()> {
+        let n = ctx.num_devices();
+        let right = (ctx.rank() + 1) % n;
+        let left = (ctx.rank() + n - 1) % n;
+        match input {
+            // lint:allow(unmatched-comm): gallery exhibit — receiving before anyone sends is the bug on display
+            Resume::Start => Step::Yield(Command::Recv { src: left, tag: 3 }),
+            Resume::Received(_) => Step::Yield(Command::Send {
+                dst: right,
+                tag: 3,
+                payload: Bytes::from_static(b"grad"),
+            }),
+            _ => Step::Done(()),
+        }
+    }
+}
+
+const N: usize = 4;
+
+/// Runs one exhibit to its deadlock and checks the wait-for graph blames
+/// exactly the ranks the static rule predicts.
+fn diagnose<P: DeviceProgram<Output = ()>>(
+    name: &str,
+    rule: &str,
+    expect_blocked: &[usize],
+    factory: impl FnMut(usize) -> P,
+) -> comm::WaitGraph {
+    let err =
+        Cluster::try_run_with(N, None, factory).expect_err("every gallery exhibit must deadlock");
+    let ClusterError::Deadlock { graph } = err else {
+        panic!("{name}: expected a deadlock diagnosis, got {err}");
+    };
+    let blocked: Vec<usize> = graph.blocked.iter().map(|b| b.rank).collect();
+    assert_eq!(
+        blocked, expect_blocked,
+        "{name}: runtime attribution must match the static [{rule}] finding"
+    );
+    println!("[{rule}] {name}");
+    println!("  {}", graph.summary());
+    *graph
+}
+
+fn main() {
+    println!("deadlock gallery: {N} ranks per exhibit\n");
+    let reversed = diagnose("ReversedRing", "unmatched-comm", &[0, 1, 2, 3], |_| {
+        ReversedRing
+    });
+    assert_eq!(
+        reversed.unclaimed.len(),
+        N,
+        "each rank's send sits unclaimed"
+    );
+
+    let typo = diagnose("TagTypo", "unmatched-comm", &[0, 1, 2, 3], |_| TagTypo);
+    assert!(typo.unclaimed.iter().all(|m| m.tag == 7));
+
+    let skipped = diagnose(
+        "SkippedBarrier",
+        "collective-divergence",
+        &[1, 2, 3],
+        |_| SkippedBarrier,
+    );
+    assert_eq!(
+        skipped.finished,
+        vec![0],
+        "rank 0 exits without the barrier"
+    );
+    let front = skipped.collective.as_ref().expect("barrier front recorded");
+    assert_eq!(
+        (front.reached.as_slice(), front.absent.as_slice()),
+        (&[1, 2, 3][..], &[0][..])
+    );
+
+    let cycle = diagnose("RecvFirstRing", "unmatched-comm", &[0, 1, 2, 3], |_| {
+        RecvFirstRing
+    });
+    assert!(cycle.unclaimed.is_empty(), "nobody ever sent anything");
+
+    println!("\nwait-for graph of the reversed ring, rendered both ways:\n");
+    println!("{}", reversed.to_dot());
+    println!("{}", reversed.to_json());
+}

@@ -9,10 +9,14 @@ cargo fmt --all -- --check
 echo "==> cargo clippy --all-targets -D warnings"
 cargo clippy --offline --all-targets -- -D warnings
 
-echo "==> adaqp-lint (simulation invariants)"
+echo "==> adaqp-lint (simulation invariants; covers src/, tests/, examples/)"
 mkdir -p results
 cargo run --offline --release -p analysis -- --workspace --json \
     | tee results/LINT_findings.json
+
+echo "==> adaqp-lint --explain smoke"
+cargo run --offline -q --release -p analysis -- --explain unmatched-comm >/dev/null
+cargo run --offline -q --release -p analysis -- --explain collective-divergence >/dev/null
 
 echo "==> sanitizer smoke (ADAQP_SAN=1 pinned tiny run)"
 ADAQP_SAN=1 cargo run --offline -q --release -p adaqp --bin adaqp -- \
@@ -26,6 +30,9 @@ echo "==> scalability smoke (64 devices on the event core, racks + oversub)"
 cargo run --offline -q --release -p adaqp --bin adaqp -- \
     run --dataset tiny --method adaqp --machines 16 --devices 4 \
     --epochs 2 --hidden 8 --seed 11 --rack-size 2 --oversub 4 >/dev/null
+
+echo "==> deadlock gallery (static flags must match runtime diagnosis)"
+cargo run --offline -q --release --example deadlock_gallery >/dev/null
 
 echo "==> kernel bench smoke (scripts/bench.sh --smoke)"
 scripts/bench.sh --smoke
