@@ -63,6 +63,15 @@ fn bench_wire_ratio(c: &mut Criterion) {
         let widths = vec![BitWidth::B2; rows];
         b.iter(|| encode_block(&msgs, &widths, &mut rng));
     });
+    // Decode side of the same comparison: expanding a packed block back to
+    // f32 must also stay in the same league as the fp32 memcpy above.
+    for w in BitWidth::ALL {
+        let mut rng = Rng::seed_from(3);
+        let block = encode_block(&msgs, &vec![w; rows], &mut rng);
+        group.bench_function(format!("dequantize_{}bit", w.bits()), |b| {
+            b.iter(|| decode_block(&block).expect("valid block"));
+        });
+    }
     group.finish();
 }
 

@@ -57,6 +57,7 @@ USAGE:
   adaqp run --dataset <name> [--method <m>] [--machines N] [--devices N]
             [--epochs N] [--hidden N] [--sage] [--seed N] [--lambda X]
             [--group-size N] [--period N] [--no-overlap] [--error-feedback]
+            [--grouped-wire] [--stream-quant]
             [--rack-size N] [--oversub X] [--scale X] [--json] [--telemetry]
             [--trace <file.json>] [--events <file.jsonl>] [--metrics <path>]
             [--san]
@@ -81,6 +82,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         "json",
         "markdown",
         "grouped-wire",
+        "stream-quant",
         "telemetry",
         "san",
     ];
@@ -157,6 +159,7 @@ fn experiment_from(flags: &Flags) -> Result<ExperimentConfig, String> {
     training.disable_overlap = flags.contains_key("no-overlap");
     training.error_feedback = flags.contains_key("error-feedback");
     training.grouped_wire = flags.contains_key("grouped-wire");
+    training.stream_quant = flags.contains_key("stream-quant");
     // Recording is implied by asking for an export.
     training.telemetry = flags.contains_key("telemetry")
         || flags.contains_key("trace")

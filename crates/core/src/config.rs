@@ -91,6 +91,17 @@ pub struct TrainingConfig {
     /// adds it back before the next quantization, turning the unbiased
     /// stochastic error into a compensated one (Wu et al. 2018 style).
     pub error_feedback: bool,
+    /// Pipeline quantization with transmission: each peer's block is
+    /// encoded chunk by chunk and charged to the wire as chunks finish
+    /// (`exchange::streamed_send_seconds`), overlapping encode compute with
+    /// the transfer. Wire bytes and training results are bit-identical to
+    /// the non-streamed path; only the time accounting changes. Only
+    /// effective with the quantized row-major exchanges; incompatible with
+    /// `grouped_wire` (the group-major encoder has no chunk schedule) and
+    /// `error_feedback` (residuals need the whole block decoded before the
+    /// send completes).
+    #[serde(default)]
+    pub stream_quant: bool,
     /// Effective inter-machine bandwidth, bytes/second.
     pub inter_bw: f64,
     /// Effective intra-machine bandwidth, bytes/second.
@@ -160,6 +171,7 @@ impl Default for TrainingConfig {
             disable_overlap: false,
             grouped_wire: false,
             error_feedback: false,
+            stream_quant: false,
             inter_bw: comm::costmodel::DEFAULT_INTER_BW,
             intra_bw: comm::costmodel::DEFAULT_INTRA_BW,
             latency: comm::costmodel::DEFAULT_LATENCY,
@@ -416,6 +428,20 @@ impl ExperimentConfig {
         if self.training.group_size == 0 {
             return Err(Error::InvalidConfig(
                 "quantization group_size must be > 0".into(),
+            ));
+        }
+        if self.training.stream_quant && self.training.grouped_wire {
+            return Err(Error::InvalidConfig(
+                "stream_quant is incompatible with grouped_wire: the group-major \
+                 encoder has no chunk schedule to stream"
+                    .into(),
+            ));
+        }
+        if self.training.stream_quant && self.training.error_feedback {
+            return Err(Error::InvalidConfig(
+                "stream_quant is incompatible with error_feedback: residuals need \
+                 the whole block decoded before the send completes"
+                    .into(),
             ));
         }
         if let Some(topology) = &self.training.topology {

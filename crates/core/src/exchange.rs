@@ -4,7 +4,10 @@
 use crate::decompose::DevicePartition;
 use bytes::Bytes;
 use comm::{CostModel, DeviceHandle};
-use quant::{decode_block, encode_block_with_stats, BitWidth, EncodedBlock};
+use quant::{
+    decode_block, encode_block_streamed, encode_block_with_stats, BitWidth, EncodedBlock,
+    StreamProfile,
+};
 use tensor::{Matrix, Rng};
 
 /// Operations per element of the quantization encoder (hash coin + scale +
@@ -32,6 +35,15 @@ pub struct ExchangeStats {
     /// error) from the row-major quantized exchanges; zero for fp32 and
     /// group-major paths.
     pub encode_stats: quant::EncodeStats,
+    /// Pipelined quantize+send seconds per destination, filled by the
+    /// streamed exchanges ([`exchange_forward_quant_streamed`]): chunk `k`'s
+    /// transfer starts once its rows are encoded and the previous chunk has
+    /// left the NIC, so this time *includes* both the encode compute and the
+    /// transfer for that destination. Zero entries mean the destination was
+    /// not streamed and [`ExchangeStats::ring_seconds`] falls back to the
+    /// plain transfer model (with encode charged separately via
+    /// `quant_ops`).
+    pub streamed_send: Vec<f64>,
 }
 
 impl ExchangeStats {
@@ -42,6 +54,7 @@ impl ExchangeStats {
             quant_cpu_seconds: 0.0,
             quant_ops: 0.0,
             encode_stats: quant::EncodeStats::default(),
+            streamed_send: vec![0.0; n],
         }
     }
 
@@ -61,6 +74,9 @@ impl ExchangeStats {
         self.quant_cpu_seconds += other.quant_cpu_seconds;
         self.quant_ops += other.quant_ops;
         self.encode_stats.merge(&other.encode_stats);
+        for (a, b) in self.streamed_send.iter_mut().zip(&other.streamed_send) {
+            *a += b;
+        }
     }
 
     /// Simulated communication seconds for this device under the
@@ -72,7 +88,12 @@ impl ExchangeStats {
         for round in 1..n {
             let dst = (rank + round) % n;
             let src = (rank + n - round) % n;
-            let send = cost.transfer_time(rank, dst, self.sent_bytes[dst]);
+            // A streamed destination's send time already folds the encode
+            // pipeline in (and is never less than the bare transfer), so the
+            // max picks it up without double-charging the non-streamed case.
+            let send = cost
+                .transfer_time(rank, dst, self.sent_bytes[dst])
+                .max(self.streamed_send.get(dst).copied().unwrap_or(0.0));
             let recv = cost.transfer_time(src, rank, self.recv_bytes[src]);
             t += send.max(recv);
         }
@@ -271,6 +292,105 @@ pub fn exchange_forward_quant_ef(
     (halo, stats)
 }
 
+/// Pipelined quantize+send seconds for one destination under the streamed
+/// exchange: the encoder produces the block chunk by chunk (the codec's
+/// fixed parallel ranges), and chunk `k` enters the wire as soon as both
+/// its rows are encoded (the CPU prefix) and chunk `k-1` has left the NIC.
+/// Chunks after the first ride the same message, so they do not re-pay the
+/// link setup latency `gamma`.
+///
+/// Two bounds follow directly from the recurrence and pin the model's
+/// sanity: the result is at least the bare transfer time of the whole
+/// block, and at most the serial `encode + transfer` total the
+/// non-streamed path charges.
+pub fn streamed_send_seconds(
+    cost: &CostModel,
+    src: usize,
+    dst: usize,
+    profile: &StreamProfile,
+) -> f64 {
+    let (_, gamma) = cost.link_params(src, dst);
+    let mut cpu = 0.0_f64;
+    let mut nic = 0.0_f64;
+    for (k, chunk) in profile.chunks.iter().enumerate() {
+        cpu += cost.ops_time_for(src, chunk.elements as f64 * ENCODE_OPS_PER_ELEMENT);
+        let mut wire = cost.transfer_time(src, dst, chunk.wire_bytes);
+        if k > 0 {
+            wire = (wire - gamma).max(0.0);
+        }
+        nic = nic.max(cpu) + wire;
+    }
+    nic
+}
+
+/// [`exchange_forward_quant`] with the quantize+send pipeline: each peer's
+/// block is encoded chunk by chunk and the chunks are charged to the wire
+/// as they finish, overlapping encode compute with the transfer
+/// ([`streamed_send_seconds`]). Wire bytes, decoded halos, statistics, and
+/// the RNG stream are byte-identical to the non-streamed exchange — only
+/// the time accounting changes: encode work is folded into
+/// `streamed_send` instead of `quant_ops`.
+///
+/// # Panics
+///
+/// Panics if a width vector's length disagrees with its send set.
+pub fn exchange_forward_quant_streamed(
+    dev: &mut DeviceHandle,
+    part: &DevicePartition,
+    x: &Matrix,
+    widths: &[Vec<BitWidth>],
+    rng: &mut Rng,
+    cost: &CostModel,
+) -> (Matrix, ExchangeStats) {
+    let n = part.num_parts;
+    let dim = x.cols();
+    let mut stats = ExchangeStats::new(n);
+    let mut payloads: Vec<Bytes> = Vec::with_capacity(n);
+    for q in 0..n {
+        if q == part.rank || part.send_sets[q].is_empty() {
+            payloads.push(Bytes::new());
+            continue;
+        }
+        assert_eq!(
+            widths[q].len(),
+            part.send_sets[q].len(),
+            "one width per message to peer {q}"
+        );
+        let msgs = part.gather_send_rows(x, q);
+        let ((block, enc_stats, profile), secs) =
+            comm::timing::measure(|| encode_block_streamed(&msgs, &widths[q], rng));
+        stats.quant_cpu_seconds += secs;
+        stats.encode_stats.merge(&enc_stats);
+        stats.streamed_send[q] = streamed_send_seconds(cost, part.rank, q, &profile);
+        stats.sent_bytes[q] = block.wire_len();
+        payloads.push(block.bytes);
+    }
+    let received = dev.ring_all2all(payloads);
+    let mut halo = Matrix::zeros(part.num_halo(), dim);
+    for (q, payload) in received.into_iter().enumerate() {
+        let Some(payload) = payload else { continue };
+        stats.recv_bytes[q] = payload.len();
+        if payload.is_empty() {
+            continue;
+        }
+        let rows = part.recv_slots[q].len();
+        let block = EncodedBlock {
+            bytes: payload,
+            rows,
+            dim,
+        };
+        let (decoded, secs) =
+            // lint:allow(no-panic): peers run this same codec; a malformed block is a codec bug, not runtime state
+            comm::timing::measure(|| decode_block(&block).expect("peer sent a well-formed block"));
+        stats.quant_cpu_seconds += secs;
+        stats.quant_ops += (rows * dim) as f64 * DECODE_OPS_PER_ELEMENT;
+        for (r, &slot) in part.recv_slots[q].iter().enumerate() {
+            halo.row_mut(slot as usize).copy_from_slice(decoded.row(r));
+        }
+    }
+    (halo, stats)
+}
+
 /// Gathers the halo-gradient rows destined for peer `q` (aligned with
 /// `recv_slots[q]`) out of an extended gradient matrix.
 fn gather_halo_grads(part: &DevicePartition, grad_ext: &Matrix, q: usize) -> Matrix {
@@ -398,6 +518,69 @@ pub fn exchange_backward_quant_ef(
             r.sub_assign(&decoded);
             res[q] = r;
         }
+        stats.sent_bytes[q] = block.wire_len();
+        payloads.push(block.bytes);
+    }
+    let received = dev.ring_all2all(payloads);
+    for (q, payload) in received.into_iter().enumerate() {
+        let Some(payload) = payload else { continue };
+        stats.recv_bytes[q] = payload.len();
+        if payload.is_empty() {
+            continue;
+        }
+        let rows = part.send_sets[q].len();
+        let block = EncodedBlock {
+            bytes: payload,
+            rows,
+            dim,
+        };
+        let (decoded, secs) =
+            // lint:allow(no-panic): peers run this same codec; a malformed block is a codec bug, not runtime state
+            comm::timing::measure(|| decode_block(&block).expect("peer sent a well-formed block"));
+        stats.quant_cpu_seconds += secs;
+        stats.quant_ops += (rows * dim) as f64 * DECODE_OPS_PER_ELEMENT;
+        scatter_grads(part, grad_local, q, &decoded);
+    }
+    stats
+}
+
+/// Backward counterpart of [`exchange_forward_quant_streamed`]: ships halo
+/// gradients back to their owners with the quantize+send pipeline.
+/// `widths[q]` aligns with `part.recv_slots[q]`.
+///
+/// # Panics
+///
+/// Panics if shapes or width vectors disagree with the partition.
+pub fn exchange_backward_quant_streamed(
+    dev: &mut DeviceHandle,
+    part: &DevicePartition,
+    grad_ext: &Matrix,
+    grad_local: &mut Matrix,
+    widths: &[Vec<BitWidth>],
+    rng: &mut Rng,
+    cost: &CostModel,
+) -> ExchangeStats {
+    let n = part.num_parts;
+    let dim = grad_ext.cols();
+    assert_eq!(grad_ext.rows(), part.num_ext(), "grad_ext shape");
+    let mut stats = ExchangeStats::new(n);
+    let mut payloads: Vec<Bytes> = Vec::with_capacity(n);
+    for q in 0..n {
+        if q == part.rank || part.recv_slots[q].is_empty() {
+            payloads.push(Bytes::new());
+            continue;
+        }
+        assert_eq!(
+            widths[q].len(),
+            part.recv_slots[q].len(),
+            "one width per gradient message to peer {q}"
+        );
+        let msgs = gather_halo_grads(part, grad_ext, q);
+        let ((block, enc_stats, profile), secs) =
+            comm::timing::measure(|| encode_block_streamed(&msgs, &widths[q], rng));
+        stats.quant_cpu_seconds += secs;
+        stats.encode_stats.merge(&enc_stats);
+        stats.streamed_send[q] = streamed_send_seconds(cost, part.rank, q, &profile);
         stats.sent_bytes[q] = block.wire_len();
         payloads.push(block.bytes);
     }
@@ -576,6 +759,7 @@ mod tests {
             quant_cpu_seconds: 0.5,
             quant_ops: 100.0,
             encode_stats: quant::EncodeStats::default(),
+            streamed_send: vec![0.0; 2],
         };
         let b = ExchangeStats {
             sent_bytes: vec![10, 20],
@@ -583,6 +767,7 @@ mod tests {
             quant_cpu_seconds: 0.25,
             quant_ops: 50.0,
             encode_stats: quant::EncodeStats::default(),
+            streamed_send: vec![0.5, 0.25],
         };
         a.merge(&b);
         assert_eq!(a.sent_bytes, vec![11, 22]);
@@ -590,6 +775,7 @@ mod tests {
         assert!((a.quant_cpu_seconds - 0.75).abs() < 1e-12);
         assert_eq!(a.quant_ops, 150.0);
         assert_eq!(a.total_sent(), 33);
+        assert_eq!(a.streamed_send, vec![0.5, 0.25]);
     }
 
     #[test]
@@ -601,11 +787,73 @@ mod tests {
             quant_cpu_seconds: 0.0,
             quant_ops: 0.0,
             encode_stats: quant::EncodeStats::default(),
+            streamed_send: vec![0.0; 3],
         };
         // rank 0: round 1 -> send to 1 (1ms) / recv from 2 (4ms) => 4ms;
         //         round 2 -> send to 2 (2ms) / recv from 1 (0.5ms) => 2ms.
         let t = stats.ring_seconds(&cost, 0);
         assert!((t - 6e-3).abs() < 1e-9, "t = {t}");
+    }
+
+    #[test]
+    fn streamed_send_bounds_hold() {
+        // Pipelined time is sandwiched between the bare transfer and the
+        // serial encode + transfer total, for every chunking.
+        let cost = CostModel::homogeneous(2, 1e6, 5e-6);
+        let profile = StreamProfile {
+            chunks: vec![
+                quant::StreamChunk {
+                    rows: 512,
+                    elements: 512 * 64,
+                    wire_bytes: 9000,
+                },
+                quant::StreamChunk {
+                    rows: 512,
+                    elements: 512 * 64,
+                    wire_bytes: 8992,
+                },
+            ],
+        };
+        let streamed = streamed_send_seconds(&cost, 0, 1, &profile);
+        let total_bytes = profile.total_bytes();
+        let bare = cost.transfer_time(0, 1, total_bytes);
+        let encode = cost.ops_time_for(0, profile.total_elements() as f64 * ENCODE_OPS_PER_ELEMENT);
+        assert!(streamed >= bare, "streamed {streamed} < transfer {bare}");
+        assert!(
+            streamed <= bare + encode + 1e-12,
+            "streamed {streamed} > serial {}",
+            bare + encode
+        );
+    }
+
+    #[test]
+    fn streamed_send_single_chunk_is_serial() {
+        // One chunk cannot overlap anything: encode then transfer.
+        let cost = CostModel::homogeneous(2, 1e6, 5e-6);
+        let profile = StreamProfile {
+            chunks: vec![quant::StreamChunk {
+                rows: 16,
+                elements: 16 * 8,
+                wire_bytes: 200,
+            }],
+        };
+        let streamed = streamed_send_seconds(&cost, 0, 1, &profile);
+        let serial =
+            cost.ops_time_for(0, 128.0 * ENCODE_OPS_PER_ELEMENT) + cost.transfer_time(0, 1, 200);
+        assert!((streamed - serial).abs() < 1e-15, "{streamed} vs {serial}");
+    }
+
+    #[test]
+    fn ring_seconds_uses_streamed_send_when_larger() {
+        let cost = CostModel::homogeneous(2, 1e6, 0.0);
+        let mut stats = ExchangeStats::new(2);
+        stats.sent_bytes[1] = 1000; // 1 ms bare transfer
+        stats.recv_bytes[1] = 500;
+        let bare = stats.ring_seconds(&cost, 0);
+        assert!((bare - 1e-3).abs() < 1e-12);
+        stats.streamed_send[1] = 4e-3; // pipeline stalled on encode
+        let streamed = stats.ring_seconds(&cost, 0);
+        assert!((streamed - 4e-3).abs() < 1e-12);
     }
 
     #[test]
@@ -617,6 +865,7 @@ mod tests {
             quant_cpu_seconds: 0.0,
             quant_ops: 0.0,
             encode_stats: quant::EncodeStats::default(),
+            streamed_send: vec![0.0; 3],
         };
         // rank 0's view: own turn = 3ms + 1ms = 4ms; turn 1 broadcast 2000B
         // to 2 peers = 4ms; turn 2 likewise = 4ms.

@@ -12,7 +12,8 @@ use crate::config::{Method, TrainingConfig};
 use crate::decompose::{DevicePartition, LocalLabels};
 use crate::exchange::{
     exchange_backward_fp32, exchange_backward_grouped, exchange_backward_quant_ef,
-    exchange_forward_fp32, exchange_forward_grouped, exchange_forward_quant_ef, ExchangeStats,
+    exchange_forward_fp32, exchange_forward_grouped, exchange_forward_quant_ef,
+    exchange_forward_quant_streamed, ExchangeStats,
 };
 use crate::metrics::{DeviceEpochRecord, MetricParts};
 use comm::telemetry::{Event, EventDetail, EventKind};
@@ -367,6 +368,21 @@ impl<'a> DeviceTrainer<'a> {
                     );
                     self.charge_ring(tb, bytes, &stats, uniform_bits(&send));
                     halo
+                } else if self.cfg.stream_quant {
+                    // Pipelined quantize+send: same bytes and RNG stream as
+                    // the plain quantized exchange, but encode time rides
+                    // inside the per-destination send pipeline.
+                    let widths = self.assignment.fwd[l].clone();
+                    let (halo, stats) = exchange_forward_quant_streamed(
+                        &mut self.dev,
+                        self.part,
+                        h,
+                        &widths,
+                        &mut self.rng,
+                        &self.cost,
+                    );
+                    self.charge_ring(tb, bytes, &stats, uniform_bits(&widths));
+                    halo
                 } else {
                     let widths = self.assignment.fwd[l].clone();
                     let residuals = if self.cfg.error_feedback {
@@ -449,6 +465,7 @@ impl<'a> DeviceTrainer<'a> {
             quant_cpu_seconds: 0.0,
             quant_ops: 0.0,
             encode_stats: quant::EncodeStats::default(),
+            streamed_send: vec![0.0; n],
         };
         if broadcast {
             self.sancus_snapshot[l] = Some(h.clone());
@@ -515,6 +532,18 @@ impl<'a> DeviceTrainer<'a> {
                         &mut self.rng,
                     );
                     self.charge_ring(tb, bytes, &stats, uniform_bits(&send));
+                } else if self.cfg.stream_quant {
+                    let widths = self.assignment.bwd[l].clone();
+                    let stats = crate::exchange::exchange_backward_quant_streamed(
+                        &mut self.dev,
+                        self.part,
+                        grad_ext,
+                        grad_local,
+                        &widths,
+                        &mut self.rng,
+                        &self.cost,
+                    );
+                    self.charge_ring(tb, bytes, &stats, uniform_bits(&widths));
                 } else {
                     let widths = self.assignment.bwd[l].clone();
                     let residuals = if self.cfg.error_feedback {

@@ -22,6 +22,12 @@ pub struct Thresholds {
     /// Overrides by exact flattened path or by final path segment.
     #[serde(default)]
     pub per_metric: BTreeMap<String, f64>,
+    /// Absolute ratio ceilings checked against the *current* file alone
+    /// (see [`check_ratio_gates`]). A relative tolerance can't express
+    /// "quantize must stay within K× of fp32 serialize" — both sides drift
+    /// together on a noisy host, so the gate pins their quotient instead.
+    #[serde(default)]
+    pub ratio_gates: Vec<RatioGate>,
 }
 
 impl Default for Thresholds {
@@ -29,8 +35,75 @@ impl Default for Thresholds {
         Thresholds {
             default_rel: 1e-9,
             per_metric: BTreeMap::new(),
+            ratio_gates: Vec::new(),
         }
     }
+}
+
+/// An upper bound on the quotient of two metrics in the same artifact.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RatioGate {
+    /// Flattened path of the numerator leaf (e.g. `codec_vs_fp32/quantize_2bit.ns`).
+    pub numerator: String,
+    /// Flattened path of the denominator leaf.
+    pub denominator: String,
+    /// Maximum allowed `numerator / denominator`.
+    pub max_ratio: f64,
+}
+
+/// One violated [`RatioGate`]: the quotient exceeded its ceiling, or one of
+/// the referenced leaves is missing from the artifact (a gate that silently
+/// stops measuring anything would be worse than a failing one).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RatioViolation {
+    /// The gate that failed.
+    pub gate: RatioGate,
+    /// Observed quotient; `None` when a referenced leaf is missing.
+    pub observed: Option<f64>,
+}
+
+impl std::fmt::Display for RatioViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.observed {
+            Some(r) => write!(
+                f,
+                "{} / {} = {:.3} exceeds max ratio {:.3}",
+                self.gate.numerator, self.gate.denominator, r, self.gate.max_ratio
+            ),
+            None => write!(
+                f,
+                "{} / {}: metric missing from current file",
+                self.gate.numerator, self.gate.denominator
+            ),
+        }
+    }
+}
+
+/// Evaluates every ratio gate in `thresholds` against `current` and returns
+/// the violations in gate order. Gates look only at the current artifact:
+/// they assert an invariant of the measurement itself, not drift from a
+/// baseline.
+pub fn check_ratio_gates(current: &Value, thresholds: &Thresholds) -> Vec<RatioViolation> {
+    let cur = flatten(current);
+    let mut out = Vec::new();
+    for gate in &thresholds.ratio_gates {
+        match (cur.get(&gate.numerator), cur.get(&gate.denominator)) {
+            (Some(&n), Some(&d)) => {
+                let r = n / d.abs().max(1e-12);
+                if r > gate.max_ratio {
+                    out.push(RatioViolation {
+                        gate: gate.clone(),
+                        observed: Some(r),
+                    });
+                }
+            }
+            _ => out.push(RatioViolation {
+                gate: gate.clone(),
+                observed: None,
+            }),
+        }
+    }
+    out
 }
 
 impl Thresholds {
@@ -168,7 +241,7 @@ mod tests {
         // Within a loose tolerance the same doctoring passes.
         let loose = Thresholds {
             default_rel: 1.0,
-            per_metric: BTreeMap::new(),
+            ..Thresholds::default()
         };
         assert!(compare(&base, &bad, &loose).is_empty());
     }
@@ -202,6 +275,7 @@ mod tests {
         let th = Thresholds {
             default_rel: 1e-9,
             per_metric: per.clone(),
+            ratio_gates: Vec::new(),
         };
         assert!(compare(&base, &cur, &th).is_empty());
         // ...and an exact-path override wins over the segment one.
@@ -209,6 +283,7 @@ mod tests {
         let th = Thresholds {
             default_rel: 1e-9,
             per_metric: per,
+            ratio_gates: Vec::new(),
         };
         let regs = compare(&base, &cur, &th);
         assert_eq!(regs.len(), 1);
@@ -230,6 +305,7 @@ mod tests {
         let th = Thresholds {
             default_rel: 1e-6,
             per_metric: per,
+            ratio_gates: Vec::new(),
         };
         let json = serde_json::to_string(&th).expect("serializes");
         let back: Thresholds = serde_json::from_str(&json).expect("parses");
@@ -238,5 +314,47 @@ mod tests {
         let sparse: Thresholds = serde_json::from_str(r#"{"default_rel": 0.5}"#).expect("parses");
         assert_eq!(sparse.default_rel, 0.5);
         assert!(sparse.per_metric.is_empty());
+        assert!(sparse.ratio_gates.is_empty());
+    }
+
+    #[test]
+    fn ratio_gate_flags_excess_and_passes_within_bound() {
+        let th: Thresholds = serde_json::from_str(
+            r#"{"default_rel": 1e-9, "ratio_gates": [{
+                "numerator": "codec_vs_fp32.quantize_2bit.ns",
+                "denominator": "codec_vs_fp32.fp32_serialize.ns",
+                "max_ratio": 2.0
+            }]}"#,
+        )
+        .expect("parses");
+        let ok = parse(
+            r#"{"codec_vs_fp32": {"quantize_2bit": {"ns": 110.0}, "fp32_serialize": {"ns": 60.0}}}"#,
+        );
+        assert!(check_ratio_gates(&ok, &th).is_empty());
+        let bad = parse(
+            r#"{"codec_vs_fp32": {"quantize_2bit": {"ns": 130.0}, "fp32_serialize": {"ns": 60.0}}}"#,
+        );
+        let v = check_ratio_gates(&bad, &th);
+        assert_eq!(v.len(), 1);
+        let r = v[0].observed.expect("both metrics present");
+        assert!((r - 130.0 / 60.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratio_gate_missing_metric_is_a_violation() {
+        let th = Thresholds {
+            default_rel: 1e-9,
+            per_metric: BTreeMap::new(),
+            ratio_gates: vec![RatioGate {
+                numerator: "a.ns".to_string(),
+                denominator: "gone.ns".to_string(),
+                max_ratio: 2.0,
+            }],
+        };
+        let cur = parse(r#"{"a": {"ns": 1.0}}"#);
+        let v = check_ratio_gates(&cur, &th);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].observed.is_none());
+        assert!(v[0].to_string().contains("missing"));
     }
 }

@@ -4,11 +4,7 @@
 //! into 8-bit byte streams before transmission. Codes are packed LSB-first:
 //! the first code occupies the lowest bits of the first byte.
 
-use crate::BitWidth;
-
-/// Minimum codes per parallel chunk in [`unpack_into`]; short messages stay
-/// inline.
-const PAR_MIN_CODES: usize = 32 * 1024;
+use crate::{kernels, BitWidth};
 
 /// Packs `codes` (each `<= width.max_code()`) into a byte stream.
 ///
@@ -74,28 +70,32 @@ pub fn unpack(bytes: &[u8], width: BitWidth, n: usize) -> Vec<u8> {
 
 /// Unpacks into an existing buffer (hot receive path).
 ///
-/// Long streams unpack in parallel: every destination code depends only on
-/// its own bit position, so fixed element chunks are byte-identical at any
-/// thread count.
+/// Table-driven: a 256-entry LUT expands each packed byte into its four
+/// 2-bit or two 4-bit codes per lookup (8-bit streams copy directly). Long
+/// streams unpack in parallel over fixed element chunks of at least
+/// [`crate::PAR_MIN_ELEMS`] codes — every destination code depends only on
+/// its own bit position, so the output is byte-identical at any thread
+/// count and short messages never pay pool dispatch.
 ///
 /// # Panics
 ///
 /// Panics if `bytes` is too short for `dst.len()` codes.
 pub fn unpack_into(bytes: &[u8], width: BitWidth, dst: &mut [u8]) {
-    let bits = width.bits() as usize;
     assert!(
         bytes.len() >= width.packed_len(dst.len()),
         "byte stream too short"
     );
-    // lint:allow(lossy-cast): max_code <= 255 for the <=8-bit widths this codec supports
-    let mask = width.max_code() as u8;
     let n = dst.len();
-    tensor::par::par_chunks_deterministic(dst, n, PAR_MIN_CODES, |s, _e, chunk| {
-        for (local, d) in chunk.iter_mut().enumerate() {
-            let bit_pos = (s + local) * bits;
-            *d = (bytes[bit_pos / 8] >> (bit_pos % 8)) & mask;
-        }
-    });
+    tensor::par::par_chunks_deterministic(
+        dst,
+        n,
+        crate::PAR_MIN_ELEMS,
+        |s, e, chunk| match width {
+            BitWidth::B2 => kernels::unpack_span2(bytes, s, chunk),
+            BitWidth::B4 => kernels::unpack_span4(bytes, s, chunk),
+            BitWidth::B8 => chunk.copy_from_slice(&bytes[s..e]),
+        },
+    );
 }
 
 #[cfg(test)]

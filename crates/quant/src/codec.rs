@@ -14,7 +14,7 @@
 //! per row: packed codes (byte aligned)
 //! ```
 
-use crate::BitWidth;
+use crate::{kernels, BitWidth};
 use bytes::Bytes;
 use serde::{Deserialize, Serialize};
 use tensor::{Matrix, Rng};
@@ -22,8 +22,13 @@ use tensor::{Matrix, Rng};
 /// Per-row metadata overhead on the wire: bits byte + two f32 params.
 pub const ROW_OVERHEAD_BYTES: usize = 1 + 4 + 4;
 
-/// Minimum message rows per parallel chunk when encoding/decoding a block.
-const PAR_MIN_ROWS: usize = 32;
+/// Row-granularity parallel-chunk threshold for a block of `dim`-wide
+/// messages: chunks cover at least [`crate::PAR_MIN_ELEMS`] elements each,
+/// so short blocks stay on the caller's thread and never pay pool dispatch.
+#[inline]
+fn par_min_rows(dim: usize) -> usize {
+    crate::PAR_MIN_ELEMS.div_ceil(dim.max(1))
+}
 
 /// SplitMix64 finalizer: turns a per-row counter into an independent,
 /// well-mixed stream key so parallel rows need no serial RNG dependency.
@@ -145,7 +150,9 @@ impl std::error::Error for DecodeError {}
 ///
 /// Panics if `widths.len() != messages.rows()`.
 pub fn encode_block(messages: &Matrix, widths: &[BitWidth], rng: &mut Rng) -> EncodedBlock {
-    encode_block_with_stats(messages, widths, rng).0
+    // `STATS = false`: the caller is discarding the statistics, so the
+    // monomorphized core skips the per-row f64 accumulation entirely.
+    encode_block_core::<false>(messages, widths, rng).0
 }
 
 /// [`encode_block`], additionally returning per-width quantization
@@ -163,6 +170,88 @@ pub fn encode_block_with_stats(
     widths: &[BitWidth],
     rng: &mut Rng,
 ) -> (EncodedBlock, EncodeStats) {
+    let (block, stats, _, _) = encode_block_core::<true>(messages, widths, rng);
+    (block, stats)
+}
+
+/// One encoded chunk of a streamed block: the unit the pipelined
+/// quantize+send model hands to the simulated wire as soon as its rows
+/// finish encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamChunk {
+    /// Message rows covered by this chunk.
+    pub rows: usize,
+    /// Elements (rows x dim) quantized by this chunk.
+    pub elements: usize,
+    /// Wire bytes the chunk contributes (headers + packed codes; the first
+    /// chunk also carries the fixed block header).
+    pub wire_bytes: usize,
+}
+
+/// The chunk schedule of one streamed block encode.
+///
+/// Chunk boundaries are the codec's fixed parallel ranges — a pure function
+/// of `(rows, dim)` — and the concatenated chunk payloads are exactly
+/// [`EncodedBlock::bytes`], so streaming changes *when* bytes are charged
+/// to the simulated wire, never *which* bytes are sent.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StreamProfile {
+    /// Per-chunk sizes, in encode (row) order.
+    pub chunks: Vec<StreamChunk>,
+}
+
+impl StreamProfile {
+    /// Total wire bytes across all chunks (== the block's `wire_len`).
+    pub fn total_bytes(&self) -> usize {
+        self.chunks.iter().map(|c| c.wire_bytes).sum()
+    }
+
+    /// Total elements quantized across all chunks.
+    pub fn total_elements(&self) -> usize {
+        self.chunks.iter().map(|c| c.elements).sum()
+    }
+}
+
+/// [`encode_block_with_stats`], additionally returning the
+/// [`StreamProfile`] describing how the block's bytes are produced chunk by
+/// chunk — the input to the pipelined quantize+send time model in
+/// `core::exchange`. Wire bytes and statistics are byte-identical to the
+/// non-streamed entry points.
+///
+/// # Panics
+///
+/// Panics if `widths.len() != messages.rows()`.
+pub fn encode_block_streamed(
+    messages: &Matrix,
+    widths: &[BitWidth],
+    rng: &mut Rng,
+) -> (EncodedBlock, EncodeStats, StreamProfile) {
+    let (block, stats, ranges, code_offsets) = encode_block_core::<true>(messages, widths, rng);
+    let dim = block.dim;
+    let chunks = ranges
+        .iter()
+        .enumerate()
+        .map(|(k, &(s, e))| StreamChunk {
+            rows: e - s,
+            elements: (e - s) * dim,
+            wire_bytes: (e - s) * ROW_OVERHEAD_BYTES
+                + (code_offsets[e] - code_offsets[s])
+                + if k == 0 { HEADER_BYTES } else { 0 },
+        })
+        .collect();
+    (block, stats, StreamProfile { chunks })
+}
+
+/// Shared body of the block encoders: returns the encoded block, the
+/// per-width statistics, the fixed parallel chunk ranges, and the per-row
+/// packed-code prefix sums. `STATS = false` skips the statistics
+/// accumulation (the returned [`EncodeStats`] stays default) for callers
+/// that drop it — the wire bytes are identical either way.
+fn encode_block_core<const STATS: bool>(
+    messages: &Matrix,
+    widths: &[BitWidth],
+    rng: &mut Rng,
+) -> (EncodedBlock, EncodeStats, Vec<(usize, usize)>, Vec<usize>) {
     assert_eq!(widths.len(), messages.rows(), "one width per message row");
     let rows = messages.rows();
     let dim = messages.cols();
@@ -184,7 +273,7 @@ pub fn encode_block_with_stats(
     let base = rng.next_u64();
     // Cut the header and code regions at the same fixed row-chunk boundaries;
     // each task owns one disjoint piece of both.
-    let ranges = tensor::par::chunk_ranges(rows, PAR_MIN_ROWS);
+    let ranges = tensor::par::chunk_ranges(rows, par_min_rows(dim));
     // One disjoint statistics slot per chunk, folded in chunk order below.
     let mut chunk_stats = vec![EncodeStats::default(); ranges.len()];
     let mut tasks = Vec::with_capacity(ranges.len());
@@ -200,6 +289,10 @@ pub fn encode_block_with_stats(
         code_rest = code_tail;
         stat_rest = stat_tail;
     }
+    // Expected squared error of stochastic rounding is `dim * S^2 / 6` per
+    // row; the `dim / 6` factor is row-independent, so hoist it out of the
+    // loop (f64 division is the slowest scalar op in the row prologue).
+    let sq_coef = dim as f64 / 6.0;
     tensor::par::run_range_tasks(
         "quant::encode_block",
         rows,
@@ -208,28 +301,20 @@ pub fn encode_block_with_stats(
             for i in s..e {
                 let w = widths[i];
                 let row = messages.row(i);
-                let mut mn = f32::INFINITY;
-                let mut mx = f32::NEG_INFINITY;
-                for &v in row {
-                    mn = mn.min(v);
-                    mx = mx.max(v);
-                }
-                if row.is_empty() {
-                    mn = 0.0;
-                    mx = 0.0;
-                }
+                let (mn, mx) = kernels::min_max(row);
                 let scale = if mx > mn {
                     // lint:allow(lossy-cast): max_code <= 255, exactly representable in f32
                     (mx - mn) / w.max_code() as f32
                 } else {
                     0.0
                 };
-                let ws = &mut stat.per_width[w.index()];
-                ws.rows += 1;
-                ws.elements += dim as u64;
-                ws.sum_range += if mx > mn { f64::from(mx - mn) } else { 0.0 };
-                // Expected squared error of stochastic rounding: dim * S^2 / 6.
-                ws.sum_sq_err += dim as f64 * f64::from(scale) * f64::from(scale) / 6.0;
+                if STATS {
+                    let ws = &mut stat.per_width[w.index()];
+                    ws.rows += 1;
+                    ws.elements += dim as u64;
+                    ws.sum_range += if mx > mn { f64::from(mx - mn) } else { 0.0 };
+                    ws.sum_sq_err += sq_coef * f64::from(scale) * f64::from(scale);
+                }
                 let h = &mut hdr[(i - s) * ROW_OVERHEAD_BYTES..(i - s + 1) * ROW_OVERHEAD_BYTES];
                 // lint:allow(lossy-cast): supported widths are 2/4/8 bits; always fits a u8
                 h[0] = w.bits() as u8;
@@ -239,51 +324,45 @@ pub fn encode_block_with_stats(
                     // Codes stay zero (the buffer is pre-zeroed).
                     continue;
                 }
-                // Stochastic quantization packed straight into the wire buffer.
-                // Hot path: `floor(x + u)` with `u ~ U[0,1)` *is* stochastic
-                // rounding (it rounds up with probability frac(x)), so one add +
-                // floor replaces the separate floor / coin / compare sequence,
-                // and the coins come from a murmur-style counter hash keyed per
-                // row — independent per element, so the loop pipelines and rows
-                // need no serial RNG chain.
+                // Fused stochastic round + pack straight into the wire buffer:
+                // `floor(x + u)` with `u ~ U[0,1)` *is* stochastic rounding,
+                // the coins come from a murmur-style counter hash keyed per
+                // row, and the kernel assembles one wire byte per iteration
+                // (kernels::encode_span) — no per-element fill branch, no
+                // intermediate code buffer.
                 let out = &mut codes
                     [code_offsets[i] - code_offsets[s]..code_offsets[i + 1] - code_offsets[s]];
-                let bits = w.bits() as usize;
-                let max_code = w.max_code();
                 let inv_scale = 1.0 / scale;
                 // Truncating the mixed 64-bit key to its low 32 bits is the draw itself.
-                let mut c32 = splitmix64(base ^ (i as u64)) as u32;
-                let mut acc: u8 = 0;
-                let mut fill = 0usize;
-                let mut byte_idx = 0usize;
-                for &v in row {
-                    // Murmur-style 32-bit counter hash: independent per element,
-                    // cheap enough to pipeline, and the high 24 bits are uniform —
-                    // all a rounding coin needs.
-                    c32 = c32.wrapping_add(0x9E37_79B9);
-                    let mut z = c32 ^ (c32 >> 16);
-                    z = z.wrapping_mul(0x85EB_CA6B);
-                    z ^= z >> 13;
-                    // lint:allow(lossy-cast): 24-bit uniform sample is exactly representable in f32
-                    let u = (z >> 8) as f32 * (1.0 / 16_777_216.0);
-                    // x >= 0 by construction (v >= zero-point), so `as u32`
-                    // truncation *is* floor — one cvttss instruction instead of a
-                    // libm floor call. The min() handles the row maximum, where
-                    // x can reach max_code + u.
-                    let x = (v - mn) * inv_scale + u;
-                    // lint:allow(lossy-cast): clamped to max_code <= 255 before the narrowing
-                    let code = (x as u32).min(max_code) as u8;
-                    acc |= code << fill;
-                    fill += bits;
-                    if fill == 8 {
-                        out[byte_idx] = acc;
-                        byte_idx += 1;
-                        acc = 0;
-                        fill = 0;
+                let seed = splitmix64(base ^ (i as u64)) as u32;
+                // A normal scale bounds (x - mn)/scale by max_code·(1+3ε),
+                // unlocking the cheaper bounded clamp (see encode_span's
+                // EXACT contract); subnormal/inf/NaN scales take the
+                // full-domain kernel. Identical bytes either way.
+                if scale.is_normal() {
+                    match w {
+                        BitWidth::B2 => {
+                            kernels::encode_span::<2, false>(row, mn, inv_scale, seed, out);
+                        }
+                        BitWidth::B4 => {
+                            kernels::encode_span::<4, false>(row, mn, inv_scale, seed, out);
+                        }
+                        BitWidth::B8 => {
+                            kernels::encode_span::<8, false>(row, mn, inv_scale, seed, out);
+                        }
                     }
-                }
-                if fill > 0 {
-                    out[byte_idx] = acc;
+                } else {
+                    match w {
+                        BitWidth::B2 => {
+                            kernels::encode_span::<2, true>(row, mn, inv_scale, seed, out);
+                        }
+                        BitWidth::B4 => {
+                            kernels::encode_span::<4, true>(row, mn, inv_scale, seed, out);
+                        }
+                        BitWidth::B8 => {
+                            kernels::encode_span::<8, true>(row, mn, inv_scale, seed, out);
+                        }
+                    }
                 }
             }
         },
@@ -299,6 +378,8 @@ pub fn encode_block_with_stats(
             dim,
         },
         stats,
+        ranges,
+        code_offsets,
     )
 }
 
@@ -343,22 +424,27 @@ pub fn decode_block(block: &EncodedBlock) -> Result<Matrix, DecodeError> {
         return Err(DecodeError::Truncated);
     }
     // Unpack + de-quantize row chunks in parallel: every row reads its own
-    // packed span and writes its own output row.
+    // packed span and writes its own output row. Decode is table-driven —
+    // a 256-entry LUT expands each packed byte into its codes, and the
+    // reconstruction values come from a per-row table built once per row
+    // (kernels::dequant_span*), byte-identical to the scalar bit-extract.
     let mut out = Matrix::zeros(rows, dim);
-    tensor::par::par_chunks_deterministic(out.as_mut_slice(), rows, PAR_MIN_ROWS, |s, e, chunk| {
+    let min_rows = par_min_rows(dim);
+    tensor::par::par_chunks_deterministic(out.as_mut_slice(), rows, min_rows, |s, e, chunk| {
         for i in s..e {
             let (width, zero, scale) = headers[i];
             let packed = &raw[code_base + code_offsets[i]..code_base + code_offsets[i + 1]];
-            let bits = width.bits() as usize;
-            // lint:allow(lossy-cast): max_code <= 255 for the <=8-bit widths this codec supports
-            let mask = width.max_code() as u8;
             let row = &mut chunk[(i - s) * dim..(i - s + 1) * dim];
-            let mut bitpos = 0usize;
-            for r in row.iter_mut() {
-                let c = (packed[bitpos >> 3] >> (bitpos & 7)) & mask;
-                // lint:allow(lossy-cast): u8 code widens exactly to f32
-                *r = c as f32 * scale + zero;
-                bitpos += bits;
+            match width {
+                BitWidth::B2 => {
+                    let vals = kernels::vals_table::<4>(scale, zero);
+                    kernels::dequant_span2(packed, 0, &vals, row);
+                }
+                BitWidth::B4 => {
+                    let vals = kernels::vals_table::<16>(scale, zero);
+                    kernels::dequant_span4(packed, 0, &vals, row);
+                }
+                BitWidth::B8 => kernels::dequant_span8(packed, 0, scale, zero, row),
             }
         }
     });

@@ -20,9 +20,94 @@
 //!     contiguous packed codes (count * dim codes, byte aligned per group)
 //! ```
 
-use crate::{BitWidth, EncodedBlock};
+use crate::{kernels, BitWidth, EncodedBlock};
 use bytes::{BufMut, BytesMut};
 use tensor::{Matrix, Rng};
+
+/// Encodes one width group's contiguous code stream (rows are *not* byte
+/// aligned inside a group). Element `g` of the stream draws its coin from
+/// counter `c32_start + (g+1)*φ32`, matching the historical one-add-per-
+/// element recurrence. Rows enter the fused [`kernels::encode_span`] for
+/// their byte-aligned middle; the carried partial byte at each row boundary
+/// is handled by short scalar head/tail loops.
+fn encode_group_codes<const BITS: u32>(
+    messages: &Matrix,
+    members: &[usize],
+    params: &[(f32, f32)],
+    c32_start: u32,
+    out: &mut [u8],
+) {
+    let per_byte = (8 / BITS) as usize;
+    let max_code = (1u32 << BITS) - 1;
+    let mut g = 0usize; // global element index within the group stream
+    let mut byte_idx = 0usize;
+    let mut acc = 0u8;
+    let mut fill = 0u32;
+    for (k, &i) in members.iter().enumerate() {
+        let (zero, scale) = params[k];
+        // For flat rows (scale == 0) the historical path forced code 0; with
+        // inv_scale = 0 the fused expression yields floor(coin) = 0 for the
+        // same elements (NaN inputs truncate to 0 on both paths), so the
+        // bytes — and the counter advance — are identical.
+        let inv_scale = if scale > 0.0 { 1.0 / scale } else { 0.0 };
+        let row = messages.row(i);
+        let mut j = 0usize;
+        // Head: finish the partial byte carried across the row boundary.
+        while fill != 0 && j < row.len() {
+            let c32 = kernels::counter_at(c32_start, g + j);
+            let x = (row[j] - zero) * inv_scale + kernels::coin(c32);
+            // lint:allow(lossy-cast): clamped to max_code <= 255 before the narrowing
+            let code = (x as u32).min(max_code) as u8;
+            acc |= code << fill;
+            fill += BITS;
+            if fill == 8 {
+                out[byte_idx] = acc;
+                byte_idx += 1;
+                acc = 0;
+                fill = 0;
+            }
+            j += 1;
+        }
+        // Byte-aligned middle: the fused word-at-a-time kernel.
+        let mid = (row.len() - j) / per_byte * per_byte;
+        if mid > 0 {
+            // Shift the span seed so span element 0 maps to stream element
+            // g + j: seed' + 1*φ32 == c32_start + (g+j+1)*φ32.
+            let seed = c32_start.wrapping_add(((g + j) as u32).wrapping_mul(kernels::PHI32));
+            let span = &mut out[byte_idx..byte_idx + mid / per_byte];
+            // Normal scale -> bounded clamp (see encode_span's EXACT
+            // contract); flat rows (scale 0) and degenerate scales take the
+            // full-domain kernel. Identical bytes either way.
+            if scale.is_normal() {
+                kernels::encode_span::<BITS, false>(&row[j..j + mid], zero, inv_scale, seed, span);
+            } else {
+                kernels::encode_span::<BITS, true>(&row[j..j + mid], zero, inv_scale, seed, span);
+            }
+            byte_idx += mid / per_byte;
+            j += mid;
+        }
+        // Tail: start the next partial byte (< per_byte elements).
+        while j < row.len() {
+            let c32 = kernels::counter_at(c32_start, g + j);
+            let x = (row[j] - zero) * inv_scale + kernels::coin(c32);
+            // lint:allow(lossy-cast): clamped to max_code <= 255 before the narrowing
+            let code = (x as u32).min(max_code) as u8;
+            acc |= code << fill;
+            fill += BITS;
+            if fill == 8 {
+                out[byte_idx] = acc;
+                byte_idx += 1;
+                acc = 0;
+                fill = 0;
+            }
+            j += 1;
+        }
+        g += row.len();
+    }
+    if fill != 0 {
+        out[byte_idx] = acc;
+    }
+}
 
 /// Group-major wire size for a block (exact).
 pub fn grouped_wire_len(dim: usize, widths: &[BitWidth]) -> usize {
@@ -54,17 +139,7 @@ pub fn encode_block_grouped(messages: &Matrix, widths: &[BitWidth], rng: &mut Rn
         // the shared width assignment on the receiving side).
         let mut params = Vec::with_capacity(members.len());
         for &i in &members {
-            let row = messages.row(i);
-            let mut mn = f32::INFINITY;
-            let mut mx = f32::NEG_INFINITY;
-            for &v in row {
-                mn = mn.min(v);
-                mx = mx.max(v);
-            }
-            if row.is_empty() {
-                mn = 0.0;
-                mx = 0.0;
-            }
+            let (mn, mx) = kernels::min_max(messages.row(i));
             let scale = if mx > mn {
                 // lint:allow(lossy-cast): max_code <= 255, exactly representable in f32
                 (mx - mn) / w.max_code() as f32
@@ -75,41 +150,27 @@ pub fn encode_block_grouped(messages: &Matrix, widths: &[BitWidth], rng: &mut Rn
             buf.put_f32_le(scale);
             params.push((mn, scale));
         }
-        // One contiguous code stream for the whole group.
-        let bits = w.bits() as usize;
-        let max_code = w.max_code();
-        let mut acc: u8 = 0;
-        let mut fill = 0usize;
-        let mut c32 = counter as u32;
-        for (k, &i) in members.iter().enumerate() {
-            let (zero, scale) = params[k];
-            let inv_scale = if scale > 0.0 { 1.0 / scale } else { 0.0 };
-            for &v in messages.row(i) {
-                c32 = c32.wrapping_add(0x9E37_79B9);
-                let mut z = c32 ^ (c32 >> 16);
-                z = z.wrapping_mul(0x85EB_CA6B);
-                z ^= z >> 13;
-                // lint:allow(lossy-cast): 24-bit uniform sample is exactly representable in f32
-                let u = (z >> 8) as f32 * (1.0 / 16_777_216.0);
-                let x = (v - zero) * inv_scale + u;
-                let code = if scale > 0.0 {
-                    // lint:allow(lossy-cast): clamped to max_code <= 255 before the narrowing
-                    ((x as u32).min(max_code)) as u8
-                } else {
-                    0
-                };
-                acc |= code << fill;
-                fill += bits;
-                if fill == 8 {
-                    buf.put_u8(acc);
-                    acc = 0;
-                    fill = 0;
-                }
+        // One contiguous code stream for the whole group, written by the
+        // fused round+pack kernels.
+        let c32_start = counter as u32;
+        let total = members.len() * dim;
+        let mut codes = vec![0u8; w.packed_len(total)];
+        match w {
+            BitWidth::B2 => {
+                encode_group_codes::<2>(messages, &members, &params, c32_start, &mut codes);
+            }
+            BitWidth::B4 => {
+                encode_group_codes::<4>(messages, &members, &params, c32_start, &mut codes);
+            }
+            BitWidth::B8 => {
+                encode_group_codes::<8>(messages, &members, &params, c32_start, &mut codes);
             }
         }
-        if fill > 0 {
-            buf.put_u8(acc);
-        }
+        buf.put_slice(&codes);
+        // The per-element recurrence ends at c32_start + total*φ32 (mod 2^32);
+        // compute it directly so the LCG advance below sees the same value
+        // the historical one-add-per-element loop produced.
+        let c32 = c32_start.wrapping_add((total as u32).wrapping_mul(kernels::PHI32));
         // LCG-style advance: never collapses to a fixed point (the previous
         // self-XOR variant zeroed the low bits after an empty group, making
         // the next group's coins deterministic).
@@ -173,23 +234,28 @@ pub fn decode_block_grouped(
             params.push((zero, scale));
         }
         pos += count * 8;
-        let bits = w.bits() as usize;
-        // lint:allow(lossy-cast): max_code <= 255 for the <=8-bit widths this codec supports
-        let mask = w.max_code() as u8;
         let plen = w.packed_len(count * dim);
         need(pos, plen)?;
         let packed = &raw[pos..pos + plen];
         pos += plen;
-        let mut bitpos = 0usize;
+        // Table-driven de-quantize: rows are contiguous code spans (not byte
+        // aligned), so each row passes its stream offset to the span kernel.
+        let mut code_idx = 0usize;
         for (k, &i) in members.iter().enumerate() {
             let (zero, scale) = params[k];
             let row = out.row_mut(i);
-            for r in row.iter_mut() {
-                let c = (packed[bitpos >> 3] >> (bitpos & 7)) & mask;
-                // lint:allow(lossy-cast): u8 code widens exactly to f32
-                *r = c as f32 * scale + zero;
-                bitpos += bits;
+            match w {
+                BitWidth::B2 => {
+                    let vals = kernels::vals_table::<4>(scale, zero);
+                    kernels::dequant_span2(packed, code_idx, &vals, row);
+                }
+                BitWidth::B4 => {
+                    let vals = kernels::vals_table::<16>(scale, zero);
+                    kernels::dequant_span4(packed, code_idx, &vals, row);
+                }
+                BitWidth::B8 => kernels::dequant_span8(packed, code_idx, scale, zero, row),
             }
+            code_idx += dim;
         }
         seen += count;
     }

@@ -1,0 +1,608 @@
+//! Fused, autovectorizable codec kernels shared by the wire codecs.
+//!
+//! Everything here is a *bit-identical* reformulation of the original
+//! scalar codec loops — same per-element arithmetic, same coin streams,
+//! same wire bytes — restructured so the compiler can keep the hot loops
+//! branch-free and lane-parallel:
+//!
+//! * [`min_max`] — 8-accumulator min/max reduction. `f32::min`/`max`
+//!   ignore NaN and are associative and commutative on the extended reals,
+//!   so lane-splitting the reduction is exact, not approximate.
+//! * [`encode_span`] — fused stochastic-round + bit-pack over a
+//!   byte-aligned span, monomorphized per bit-width. One wire byte is
+//!   assembled per outer iteration (4×2-bit / 2×4-bit / 1×8-bit codes), so
+//!   there is no per-element `fill == 8` branch and no intermediate
+//!   one-byte-per-code buffer. Rounding coins come from the same
+//!   murmur-style counter hash as before; the counter for element `j` is
+//!   computed directly as `seed + (j+1)·φ32` (wrapping), which equals the
+//!   historical one-add-per-element recurrence and breaks the loop-carried
+//!   dependency so the lanes pipeline.
+//! * [`dequant_span2`]/[`dequant_span4`] and [`unpack_span2`]/
+//!   [`unpack_span4`] — table-driven decode: a 256-entry LUT expands each
+//!   packed byte into its 2-bit quads / 4-bit pairs in one lookup, and the
+//!   de-quantizing variants read the reconstruction values from a per-row
+//!   table built once per row with the exact historical expression
+//!   `code as f32 * scale + zero_point`.
+//!
+//! Determinism invariants (DESIGN.md codec section): coins are a pure
+//! function of `(block seed, element index)`, reductions are exact under
+//! reassociation, and every span writes only its own output slice — so all
+//! kernels are byte-identical at any worker-thread count and under the
+//! sanitizer's adversarial schedules.
+
+/// The golden-ratio increment of the per-element coin counter.
+pub(crate) const PHI32: u32 = 0x9E37_79B9;
+
+/// Murmur-style 32-bit finalizer turning a counter into a rounding coin in
+/// `[0, 1)`. Identical to the historical per-element mix: independent per
+/// element and cheap enough to pipeline; the high 24 bits are uniform —
+/// all a rounding coin needs.
+#[inline(always)]
+pub(crate) fn coin(c32: u32) -> f32 {
+    let mut z = c32 ^ (c32 >> 16);
+    z = z.wrapping_mul(0x85EB_CA6B);
+    z ^= z >> 13;
+    // lint:allow(lossy-cast): 24-bit uniform sample is exactly representable in f32
+    (z >> 8) as f32 * (1.0 / 16_777_216.0)
+}
+
+/// The coin counter for element `j` of a span keyed by `seed`: the
+/// historical loop advanced the counter by `φ32` *before* each draw, so
+/// element `j` sees `seed + (j+1)·φ32` (all arithmetic mod 2^32).
+#[inline(always)]
+pub(crate) fn counter_at(seed: u32, j: usize) -> u32 {
+    seed.wrapping_add((j as u32).wrapping_add(1).wrapping_mul(PHI32))
+}
+
+/// Number of min/max accumulator lanes; wide enough for one AVX2 register.
+const LANES: usize = 8;
+
+/// Min and max of a slice via an 8-lane accumulator reduction.
+///
+/// Exact (bit-identical to the sequential fold) for every input: `f32::min`
+/// and `f32::max` return the non-NaN operand, so NaNs are skipped in any
+/// association, and on non-NaN values min/max are associative and
+/// commutative. An empty slice reports `(0.0, 0.0)`.
+///
+/// The main loop consumes 16 elements per iteration but tree-combines each
+/// pair of 8-lane loads *before* touching the accumulators, so the serial
+/// accumulator dependency chain (min/max latency-bound, not
+/// throughput-bound) is half as long as a plain lane fold.
+#[inline]
+pub(crate) fn min_max(xs: &[f32]) -> (f32, f32) {
+    if xs.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mut mins = [f32::INFINITY; LANES];
+    let mut maxs = [f32::NEG_INFINITY; LANES];
+    let mut chunks = xs.chunks_exact(2 * LANES);
+    for c in chunks.by_ref() {
+        for k in 0..LANES {
+            mins[k] = mins[k].min(c[k].min(c[LANES + k]));
+            maxs[k] = maxs[k].max(c[k].max(c[LANES + k]));
+        }
+    }
+    let mut rem = chunks.remainder().chunks_exact(LANES);
+    for c in rem.by_ref() {
+        for k in 0..LANES {
+            mins[k] = mins[k].min(c[k]);
+            maxs[k] = maxs[k].max(c[k]);
+        }
+    }
+    for (k, &x) in rem.remainder().iter().enumerate() {
+        mins[k] = mins[k].min(x);
+        maxs[k] = maxs[k].max(x);
+    }
+    // Tree-shaped fold: three rounds of pairwise combines instead of a
+    // seven-step serial min/max chain — the fold runs once per row, but at
+    // small dims (64-wide messages) its latency is a visible slice of the
+    // whole call. min/max are associative and commutative over the
+    // NaN-ignoring accumulators, so the reduction order is free to choose.
+    let mut stride = LANES / 2;
+    while stride > 0 {
+        for k in 0..stride {
+            mins[k] = mins[k].min(mins[k + stride]);
+            maxs[k] = maxs[k].max(maxs[k + stride]);
+        }
+        stride /= 2;
+    }
+    (mins[0], maxs[0])
+}
+
+/// Branch-free, autovectorizable `min(floor(x), max_code)` for `x >= 0` or
+/// NaN — exactly the value of `(x as u32).min(max_code)`, which LLVM can
+/// only emit as a scalar `cvttss2si` chain (the saturating float-to-int
+/// cast has no packed lowering below AVX-512), scalarizing the whole
+/// quantize loop. Instead: adding 2^23 forces the float's mantissa to hold
+/// `round(x)` (round-to-nearest-even, exact for `x < 2^23`), the compare
+/// corrects round to floor, and two selects restore the saturating cast's
+/// exact behavior for `x >= 2^23` (clamp) and NaN (zero). Verified
+/// bit-identical to the cast on the full f32 domain (see
+/// `floor_code_matches_saturating_cast`); every step lowers to packed
+/// add/sub/cmp/and/min.
+#[inline(always)]
+pub(crate) fn floor_code(x: f32, max_code: u32) -> u32 {
+    const BIG: f32 = 8_388_608.0; // 2^23
+    let s = x + BIG;
+    let r = s.to_bits() & 0x7F_FFFF;
+    let rf = s - BIG;
+    let adj = u32::from(rf > x);
+    // For x just below 2^23 the biased sum rounds into the 2^24 regime and
+    // r underflows through the wrapping sub — the min() clamp makes that
+    // lane max_code, which is what floor would have produced anyway.
+    let code = r.wrapping_sub(adj).min(max_code);
+    let code = if x >= BIG { max_code } else { code };
+    if x.is_nan() {
+        0
+    } else {
+        code
+    }
+}
+
+/// [`floor_code`] specialized to the *bounded* domain the normal-scale
+/// encode path guarantees: every non-NaN input satisfies
+/// `0 <= x < max_code + 1.001` (see [`encode_span`]'s `EXACT = false`
+/// contract), so `floor(x) <= 2^BITS` and the saturating `min(·, max_code)`
+/// collapses to `code - (code >> BITS)` — two cheap packed integer ops
+/// instead of an unsigned-min emulation. Bit-identical to
+/// `floor_code(x, max_code)` on that domain (NaN still maps to 0), pinned
+/// by `bounded_floor_matches_exact_on_domain`.
+#[inline(always)]
+pub(crate) fn floor_code_bounded<const BITS: u32>(x: f32) -> u32 {
+    const BIG: f32 = 8_388_608.0; // 2^23
+    let s = x + BIG;
+    let r = s.to_bits() & 0x7F_FFFF;
+    let rf = s - BIG;
+    let adj = u32::from(rf > x);
+    // No wrap: adj == 1 implies rf (an exact integer) > x >= 0, so r >= 1.
+    let code = r.wrapping_sub(adj);
+    let code = code - (code >> BITS);
+    if x.is_nan() {
+        0
+    } else {
+        code
+    }
+}
+
+/// Lane-block width of the fused encode kernel: 32 elements per block keeps
+/// whole output bytes per block at every supported width (32/4 = 8 bytes at
+/// 2-bit, 16 at 4-bit, 32 at 8-bit) and gives the autovectorizer eight full
+/// SSE lanesets (or four AVX2) per iteration — measured faster than both 16
+/// (less unroll) and 64 (register spills) on the quantize hot loop.
+const ENC_BLOCK: usize = 32;
+
+/// Fused stochastic-round + pack of `row` into `out`, one wire byte per
+/// outer iteration. `out` must hold exactly `packed_len(row.len())` bytes
+/// for `BITS`-bit codes; element `j` draws its coin from
+/// [`counter_at`]`(seed, j)`. Byte-aligned spans only: the first code lands
+/// in the low bits of `out[0]`.
+///
+/// `EXACT` selects the clamp implementation. `EXACT = true` handles the
+/// full f32 domain ([`floor_code`]). `EXACT = false` additionally requires
+/// `mn` to be the row minimum and `inv_scale = 1/scale` for a *normal*
+/// `scale = (max - min)/max_code`: then `(x - mn) * inv_scale` is in
+/// `[0, max_code·(1 + 3ε)]` for every non-NaN element, the coin adds less
+/// than 1, and the cheaper [`floor_code_bounded`] is bit-identical. Callers
+/// dispatch on `scale.is_normal()`; both paths produce identical bytes on
+/// their shared domain.
+#[inline]
+pub(crate) fn encode_span<const BITS: u32, const EXACT: bool>(
+    row: &[f32],
+    mn: f32,
+    inv_scale: f32,
+    seed: u32,
+    out: &mut [u8],
+) {
+    let per_byte = (8 / BITS) as usize;
+    let max_code = (1u32 << BITS) - 1;
+    // Lane-parallel middle: quantize ENC_BLOCK elements into a code array
+    // (branch-free, no loop-carried state — the counter for lane k is
+    // `base + k*φ32`, so every step autovectorizes), then fold the codes
+    // into whole wire bytes. The chunks_exact pairing (instead of manual
+    // `out[blk*n..]` slicing) is what lets LLVM drop the per-block bounds
+    // checks when the span length is only known at run time — measured
+    // ~25% faster on dim-64 rows.
+    let blocks = row.len() / ENC_BLOCK;
+    let bytes_per_block = ENC_BLOCK / per_byte;
+    for (blk, (lanes, obytes)) in row
+        .chunks_exact(ENC_BLOCK)
+        .zip(out[..blocks * bytes_per_block].chunks_exact_mut(bytes_per_block))
+        .enumerate()
+    {
+        let base = counter_at(seed, blk * ENC_BLOCK);
+        let mut codes = [0u32; ENC_BLOCK];
+        for k in 0..ENC_BLOCK {
+            let c32 = base.wrapping_add((k as u32).wrapping_mul(PHI32));
+            // x >= 0 by construction (row[j] >= mn), so floor_code computes
+            // exactly `(x as u32).min(max_code)` — the stochastic-rounding
+            // clamp — without the scalar saturating-cast chain.
+            let x = (lanes[k] - mn) * inv_scale + coin(c32);
+            codes[k] = if EXACT {
+                floor_code(x, max_code)
+            } else {
+                floor_code_bounded::<BITS>(x)
+            };
+        }
+        // SWAR byte assembly: adjacent u32 codes pair into one u64 (LLVM
+        // merges the two loads), and two shift+or steps drop each code onto
+        // its LSB-first bit position — the naive `acc |= code << k*BITS`
+        // fold made LLVM extract every vector lane through a scalar
+        // register. The truncating `as u8` keeps only the assembled byte;
+        // the high half carries the shifted copies.
+        if BITS == 2 {
+            for (b, byte) in obytes.iter_mut().enumerate() {
+                let j = b * 4;
+                let w1 = u64::from(codes[j]) | u64::from(codes[j + 1]) << 32;
+                let w2 = u64::from(codes[j + 2]) | u64::from(codes[j + 3]) << 32;
+                let t = w1 | (w2 << 4);
+                // lint:allow(lossy-cast): low byte is c0 | c1<<2 | c2<<4 | c3<<6
+                *byte = (t | (t >> 30)) as u8;
+            }
+        } else if BITS == 4 {
+            for (b, byte) in obytes.iter_mut().enumerate() {
+                let j = b * 2;
+                let w = u64::from(codes[j]) | u64::from(codes[j + 1]) << 32;
+                // lint:allow(lossy-cast): low byte is c0 | c1<<4
+                *byte = (w | (w >> 28)) as u8;
+            }
+        } else {
+            for (b, byte) in obytes.iter_mut().enumerate() {
+                // lint:allow(lossy-cast): an 8-bit code fills exactly one byte
+                *byte = codes[b] as u8;
+            }
+        }
+    }
+    // Scalar tail: whole bytes first, then the final partial byte.
+    let done = blocks * ENC_BLOCK;
+    let full = row.len() / per_byte;
+    for (b, byte) in out.iter_mut().enumerate().take(full).skip(done / per_byte) {
+        let mut acc = 0u8;
+        for k in 0..per_byte {
+            let j = b * per_byte + k;
+            let x = (row[j] - mn) * inv_scale + coin(counter_at(seed, j));
+            // lint:allow(lossy-cast): clamped to max_code <= 255 before the narrowing
+            let code = (x as u32).min(max_code) as u8;
+            acc |= code << (k as u32 * BITS);
+        }
+        *byte = acc;
+    }
+    let tail = full * per_byte;
+    if tail < row.len() {
+        let mut acc = 0u8;
+        for (k, j) in (tail..row.len()).enumerate() {
+            let x = (row[j] - mn) * inv_scale + coin(counter_at(seed, j));
+            // lint:allow(lossy-cast): clamped to max_code <= 255 before the narrowing
+            let code = (x as u32).min(max_code) as u8;
+            acc |= code << (k as u32 * BITS);
+        }
+        out[full] = acc;
+    }
+}
+
+/// 256-entry expansion table: `LUT2[b]` is the four 2-bit codes packed
+/// LSB-first in byte `b`.
+pub(crate) static LUT2: [[u8; 4]; 256] = build_lut2();
+
+/// 256-entry expansion table: `LUT4[b]` is the two 4-bit codes packed
+/// LSB-first in byte `b`.
+pub(crate) static LUT4: [[u8; 2]; 256] = build_lut4();
+
+const fn build_lut2() -> [[u8; 4]; 256] {
+    let mut t = [[0u8; 4]; 256];
+    let mut b = 0usize;
+    while b < 256 {
+        let mut k = 0usize;
+        while k < 4 {
+            // lint:allow(lossy-cast): masked to two bits before the narrowing
+            t[b][k] = ((b >> (2 * k)) & 3) as u8;
+            k += 1;
+        }
+        b += 1;
+    }
+    t
+}
+
+const fn build_lut4() -> [[u8; 2]; 256] {
+    let mut t = [[0u8; 2]; 256];
+    let mut b = 0usize;
+    while b < 256 {
+        // lint:allow(lossy-cast): masked to four bits before the narrowing
+        t[b] = [(b & 0xF) as u8, ((b >> 4) & 0xF) as u8];
+        b += 1;
+    }
+    t
+}
+
+/// The reconstruction-value table for a `(scale, zero_point)` pair:
+/// `vals[c] = c as f32 * scale + zero` — the exact historical de-quantize
+/// expression, evaluated once per row instead of once per element.
+#[inline(always)]
+pub(crate) fn vals_table<const N: usize>(scale: f32, zero: f32) -> [f32; N] {
+    let mut vals = [0.0f32; N];
+    for (c, v) in vals.iter_mut().enumerate() {
+        // lint:allow(lossy-cast): code c < N <= 256 widens exactly to f32
+        *v = c as f32 * scale + zero;
+    }
+    vals
+}
+
+/// De-quantizes `out.len()` 2-bit codes starting at code index `start` of
+/// `packed` through the 4-entry value table. Handles unaligned starts with
+/// scalar head/tail loops; the aligned middle expands four codes per LUT
+/// lookup.
+pub(crate) fn dequant_span2(packed: &[u8], start: usize, vals: &[f32; 4], out: &mut [f32]) {
+    let mut j = start;
+    let mut o = 0usize;
+    while !j.is_multiple_of(4) && o < out.len() {
+        out[o] = vals[((packed[j >> 2] >> ((j & 3) * 2)) & 3) as usize];
+        j += 1;
+        o += 1;
+    }
+    let full = (out.len() - o) / 4;
+    let byte0 = j >> 2;
+    for (b, quad) in packed[byte0..byte0 + full]
+        .iter()
+        .zip(out[o..].chunks_exact_mut(4))
+    {
+        let codes = &LUT2[*b as usize];
+        quad[0] = vals[codes[0] as usize];
+        quad[1] = vals[codes[1] as usize];
+        quad[2] = vals[codes[2] as usize];
+        quad[3] = vals[codes[3] as usize];
+    }
+    j += full * 4;
+    o += full * 4;
+    while o < out.len() {
+        out[o] = vals[((packed[j >> 2] >> ((j & 3) * 2)) & 3) as usize];
+        j += 1;
+        o += 1;
+    }
+}
+
+/// De-quantizes `out.len()` 4-bit codes starting at code index `start` of
+/// `packed` through the 16-entry value table (two codes per LUT lookup).
+pub(crate) fn dequant_span4(packed: &[u8], start: usize, vals: &[f32; 16], out: &mut [f32]) {
+    let mut j = start;
+    let mut o = 0usize;
+    while !j.is_multiple_of(2) && o < out.len() {
+        out[o] = vals[((packed[j >> 1] >> ((j & 1) * 4)) & 0xF) as usize];
+        j += 1;
+        o += 1;
+    }
+    let full = (out.len() - o) / 2;
+    let byte0 = j >> 1;
+    for (b, pair) in packed[byte0..byte0 + full]
+        .iter()
+        .zip(out[o..].chunks_exact_mut(2))
+    {
+        let codes = &LUT4[*b as usize];
+        pair[0] = vals[codes[0] as usize];
+        pair[1] = vals[codes[1] as usize];
+    }
+    j += full * 2;
+    o += full * 2;
+    while o < out.len() {
+        out[o] = vals[((packed[j >> 1] >> ((j & 1) * 4)) & 0xF) as usize];
+        j += 1;
+        o += 1;
+    }
+}
+
+/// De-quantizes 8-bit codes (one code per byte) — a straight FMA loop the
+/// compiler vectorizes on its own.
+pub(crate) fn dequant_span8(packed: &[u8], start: usize, scale: f32, zero: f32, out: &mut [f32]) {
+    let src = &packed[start..start + out.len()];
+    for (o, &b) in out.iter_mut().zip(src) {
+        // lint:allow(lossy-cast): u8 code widens exactly to f32
+        *o = b as f32 * scale + zero;
+    }
+}
+
+/// Expands `out.len()` raw 2-bit codes starting at code index `start`
+/// (table-driven middle, scalar head/tail for unaligned spans).
+pub(crate) fn unpack_span2(packed: &[u8], start: usize, out: &mut [u8]) {
+    let mut j = start;
+    let mut o = 0usize;
+    while !j.is_multiple_of(4) && o < out.len() {
+        out[o] = (packed[j >> 2] >> ((j & 3) * 2)) & 3;
+        j += 1;
+        o += 1;
+    }
+    let full = (out.len() - o) / 4;
+    let byte0 = j >> 2;
+    for (b, quad) in packed[byte0..byte0 + full]
+        .iter()
+        .zip(out[o..].chunks_exact_mut(4))
+    {
+        quad.copy_from_slice(&LUT2[*b as usize]);
+    }
+    j += full * 4;
+    o += full * 4;
+    while o < out.len() {
+        out[o] = (packed[j >> 2] >> ((j & 3) * 2)) & 3;
+        j += 1;
+        o += 1;
+    }
+}
+
+/// Expands `out.len()` raw 4-bit codes starting at code index `start`.
+pub(crate) fn unpack_span4(packed: &[u8], start: usize, out: &mut [u8]) {
+    let mut j = start;
+    let mut o = 0usize;
+    while !j.is_multiple_of(2) && o < out.len() {
+        out[o] = (packed[j >> 1] >> ((j & 1) * 4)) & 0xF;
+        j += 1;
+        o += 1;
+    }
+    let full = (out.len() - o) / 2;
+    let byte0 = j >> 1;
+    for (b, pair) in packed[byte0..byte0 + full]
+        .iter()
+        .zip(out[o..].chunks_exact_mut(2))
+    {
+        pair.copy_from_slice(&LUT4[*b as usize]);
+    }
+    j += full * 2;
+    o += full * 2;
+    while o < out.len() {
+        out[o] = (packed[j >> 1] >> ((j & 1) * 4)) & 0xF;
+        j += 1;
+        o += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn floor_code_matches_saturating_cast() {
+        // Edge cases around every regime change, plus a deterministic fuzz
+        // sweep over raw bit patterns. The kernel only feeds floor_code
+        // non-negative or NaN values, so that is the pinned domain.
+        let mut cases: Vec<f32> = vec![
+            f32::NAN,
+            f32::INFINITY,
+            0.0,
+            f32::MIN_POSITIVE,
+            1.0e-40, // subnormal
+            0.999_999_9,
+            1.0,
+            3.999_999_8,
+            4.0,
+            255.999_98,
+            256.0,
+            8_388_607.5,
+            8_388_608.0,
+            16_777_216.0,
+            1.0e38,
+            f32::MAX,
+        ];
+        let mut state = 0x1234_5678_u64;
+        for _ in 0..200_000 {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            cases.push(f32::from_bits((state >> 32) as u32));
+        }
+        for mc in [3u32, 15, 255] {
+            for &x in &cases {
+                if x.is_nan() || x >= 0.0 {
+                    let want = (x as u32).min(mc);
+                    assert_eq!(
+                        floor_code(x, mc),
+                        want,
+                        "x={x:?} bits={:08x} mc={mc}",
+                        x.to_bits()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_floor_matches_exact_on_domain() {
+        // The EXACT = false contract: non-NaN inputs lie in
+        // [0, max_code + 1.001). Sweep a dense grid over that interval plus
+        // the exact boundary values floor can reach (integers up to
+        // 2^BITS), and NaN.
+        fn check<const BITS: u32>() {
+            let max_code = (1u32 << BITS) - 1;
+            let hi = max_code as f32 + 1.0009;
+            let steps = 400_000u32;
+            for k in 0..=steps {
+                let x = hi * (k as f32 / steps as f32);
+                assert_eq!(
+                    floor_code_bounded::<BITS>(x),
+                    floor_code(x, max_code),
+                    "BITS={BITS} x={x:?}"
+                );
+            }
+            for i in 0..=(1u32 << BITS) {
+                for nudge in [-1i32, 0, 1] {
+                    let x = f32::from_bits(((i as f32).to_bits() as i32 + nudge) as u32);
+                    if x >= 0.0 && x < hi {
+                        assert_eq!(
+                            floor_code_bounded::<BITS>(x),
+                            floor_code(x, max_code),
+                            "BITS={BITS} x={x:?}"
+                        );
+                    }
+                }
+            }
+            assert_eq!(floor_code_bounded::<BITS>(f32::NAN), 0);
+        }
+        check::<2>();
+        check::<4>();
+        check::<8>();
+    }
+
+    #[test]
+    fn counter_matches_sequential_recurrence() {
+        let seed = 0xDEAD_BEEF_u32;
+        let mut c = seed;
+        for j in 0..1000 {
+            c = c.wrapping_add(PHI32);
+            assert_eq!(counter_at(seed, j), c, "element {j}");
+        }
+    }
+
+    #[test]
+    fn min_max_matches_sequential_fold() {
+        let xs: Vec<f32> = (0..1003).map(|i| ((i * 37) % 101) as f32 - 50.0).collect();
+        for n in [0usize, 1, 7, 8, 9, 63, 64, 65, 1003] {
+            let s = &xs[..n];
+            let got = min_max(s);
+            let want = if n == 0 {
+                (0.0, 0.0)
+            } else {
+                s.iter()
+                    .fold((f32::INFINITY, f32::NEG_INFINITY), |(mn, mx), &x| {
+                        (mn.min(x), mx.max(x))
+                    })
+            };
+            assert_eq!(got, want, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn luts_expand_every_byte() {
+        for b in 0..256usize {
+            for k in 0..4 {
+                assert_eq!(LUT2[b][k], ((b >> (2 * k)) & 3) as u8);
+            }
+            for k in 0..2 {
+                assert_eq!(LUT4[b][k], ((b >> (4 * k)) & 0xF) as u8);
+            }
+        }
+    }
+
+    #[test]
+    fn spans_handle_unaligned_starts() {
+        // Pack a known code pattern, then unpack every (start, len) window.
+        let codes: Vec<u8> = (0..64).map(|i| (i % 4) as u8).collect();
+        let packed = crate::bitpack::pack(&codes, crate::BitWidth::B2);
+        for start in 0..12 {
+            for len in 0..40 {
+                let mut out = vec![0xAAu8; len];
+                unpack_span2(&packed, start, &mut out);
+                assert_eq!(out, &codes[start..start + len], "start {start} len {len}");
+                let vals = vals_table::<4>(0.5, -1.0);
+                let mut deq = vec![0.0f32; len];
+                dequant_span2(&packed, start, &vals, &mut deq);
+                for (d, &c) in deq.iter().zip(&codes[start..start + len]) {
+                    assert_eq!(*d, c as f32 * 0.5 - 1.0);
+                }
+            }
+        }
+        let codes4: Vec<u8> = (0..40).map(|i| (i % 16) as u8).collect();
+        let packed4 = crate::bitpack::pack(&codes4, crate::BitWidth::B4);
+        for start in 0..6 {
+            for len in 0..24 {
+                let mut out = vec![0u8; len];
+                unpack_span4(&packed4, start, &mut out);
+                assert_eq!(out, &codes4[start..start + len], "start {start} len {len}");
+            }
+        }
+    }
+}

@@ -39,15 +39,25 @@
 pub mod bitpack;
 pub mod codec;
 pub mod grouped;
+mod kernels;
 mod quantize;
 pub mod variance;
 
+/// Minimum number of *elements* (codes) a parallel chunk must cover before
+/// the quant kernels pay pool dispatch. Shared by [`quantize_into`] /
+/// [`dequantize_into`], [`bitpack`], and the block codecs (which convert it
+/// to a row count via `PAR_MIN_ELEMS.div_ceil(dim)`), so a short message is
+/// always one chunk and runs inline on the caller's thread.
+pub const PAR_MIN_ELEMS: usize = 32 * 1024;
+
 pub use codec::{
-    decode_block, encode_block, encode_block_with_stats, EncodeStats, EncodedBlock, WidthStats,
+    decode_block, encode_block, encode_block_streamed, encode_block_with_stats, EncodeStats,
+    EncodedBlock, StreamChunk, StreamProfile, WidthStats,
 };
 pub use grouped::{decode_block_grouped, encode_block_grouped};
 pub use quantize::{
-    dequantize, dequantize_into, quantize, quantize_into, QuantParams, QuantizedMessage,
+    dequantize, dequantize_into, quantize, quantize_into, quantize_packed_into, QuantParams,
+    QuantizedMessage,
 };
 
 use serde::{Deserialize, Serialize};

@@ -1,11 +1,8 @@
 //! Stochastic quantization and deterministic de-quantization (Eqn. 4-5).
 
-use crate::BitWidth;
+use crate::{kernels, BitWidth};
 use serde::{Deserialize, Serialize};
 use tensor::Rng;
-
-/// Minimum elements per parallel chunk in [`dequantize_into`].
-const PAR_MIN_ELEMS: usize = 32 * 1024;
 
 /// Per-message quantization parameters transmitted alongside the codes.
 ///
@@ -68,7 +65,7 @@ pub fn quantize_into(
     rng: &mut Rng,
     codes: &mut Vec<u8>,
 ) -> QuantParams {
-    let (min, max) = min_max(message);
+    let (min, max) = kernels::min_max(message);
     // lint:allow(lossy-cast): max_code <= 255, exactly representable in f32
     let levels = width.max_code() as f32;
     let scale = if max > min { (max - min) / levels } else { 0.0 };
@@ -93,6 +90,56 @@ pub fn quantize_into(
             let x = (v - min) * inv_scale + coin;
             // lint:allow(lossy-cast): clamped to max_code <= 255 before the narrowing
             *c = (x as u32).min(max_code) as u8;
+        }
+    }
+    QuantParams {
+        zero_point: min,
+        scale,
+    }
+}
+
+/// Fused quantize + bit-pack into a caller-provided wire buffer: computes
+/// the same codes as [`quantize_into`] (same coin stream — byte-identical
+/// output) but assembles one packed wire byte per outer iteration instead of
+/// materializing one byte per element and re-reading it through
+/// [`crate::bitpack::pack_into`]. `out` is cleared and resized to exactly
+/// `width.packed_len(message.len())` bytes.
+pub fn quantize_packed_into(
+    message: &[f32],
+    width: BitWidth,
+    rng: &mut Rng,
+    out: &mut Vec<u8>,
+) -> QuantParams {
+    let (min, max) = kernels::min_max(message);
+    // lint:allow(lossy-cast): max_code <= 255, exactly representable in f32
+    let levels = width.max_code() as f32;
+    let scale = if max > min { (max - min) / levels } else { 0.0 };
+    out.clear();
+    out.resize(width.packed_len(message.len()), 0);
+    if scale != 0.0 {
+        // Same xorshift coin stream as quantize_into (one RNG draw seeds
+        // it), so the packed bytes equal pack_into(quantize_into(..)).
+        let mut state = rng.next_u64() | 1;
+        let inv_scale = 1.0 / scale;
+        let max_code = width.max_code();
+        let bits = width.bits();
+        let per_byte = (8 / bits) as usize;
+        for (b, byte) in out.iter_mut().enumerate() {
+            let s = b * per_byte;
+            let e = (s + per_byte).min(message.len());
+            let mut acc = 0u8;
+            for (k, &v) in message[s..e].iter().enumerate() {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                // lint:allow(lossy-cast): 24-bit uniform sample is exactly representable in f32
+                let coin = (state >> 40) as f32 * (1.0 / 16_777_216.0);
+                let x = (v - min) * inv_scale + coin;
+                // lint:allow(lossy-cast): clamped to max_code <= 255 before the narrowing
+                let code = (x as u32).min(max_code) as u8;
+                acc |= code << (k as u32 * bits);
+            }
+            *byte = acc;
         }
     }
     QuantParams {
@@ -126,27 +173,12 @@ pub fn dequantize_into(q: &QuantizedMessage, dst: &mut [f32]) {
     let scale = q.params.scale;
     let zero = q.params.zero_point;
     let n = dst.len();
-    tensor::par::par_chunks_deterministic(dst, n, PAR_MIN_ELEMS, |s, e, chunk| {
+    tensor::par::par_chunks_deterministic(dst, n, crate::PAR_MIN_ELEMS, |s, e, chunk| {
         for (d, &c) in chunk.iter_mut().zip(&q.codes[s..e]) {
             // lint:allow(lossy-cast): u8 code widens exactly to f32
             *d = c as f32 * scale + zero;
         }
     });
-}
-
-#[inline]
-fn min_max(xs: &[f32]) -> (f32, f32) {
-    let mut min = f32::INFINITY;
-    let mut max = f32::NEG_INFINITY;
-    for &x in xs {
-        min = min.min(x);
-        max = max.max(x);
-    }
-    if xs.is_empty() {
-        (0.0, 0.0)
-    } else {
-        (min, max)
-    }
 }
 
 #[cfg(test)]
@@ -276,6 +308,26 @@ mod tests {
             let params = quantize_into(&msg, w, &mut rng_b, &mut codes);
             assert_eq!(params, q.params);
             assert_eq!(codes, q.codes);
+        }
+    }
+
+    #[test]
+    fn quantize_packed_into_matches_quantize_then_pack() {
+        for n in [0usize, 1, 3, 4, 5, 7, 8, 50, 129] {
+            let msg: Vec<f32> = (0..n).map(|i| (i as f32 * 0.91).cos() * 2.0).collect();
+            for w in BitWidth::ALL {
+                let mut rng_a = Rng::seed_from(13);
+                let mut rng_b = Rng::seed_from(13);
+                let mut codes = Vec::new();
+                let params_a = quantize_into(&msg, w, &mut rng_a, &mut codes);
+                let packed_ref = crate::bitpack::pack(&codes, w);
+                let mut packed = vec![0xFFu8; 2]; // stale contents must be cleared
+                let params_b = quantize_packed_into(&msg, w, &mut rng_b, &mut packed);
+                assert_eq!(params_a, params_b, "params differ at {w} n {n}");
+                assert_eq!(packed, packed_ref, "wire bytes differ at {w} n {n}");
+                // Both paths must leave the caller RNG in the same state.
+                assert_eq!(rng_a.next_u64(), rng_b.next_u64());
+            }
         }
     }
 

@@ -166,3 +166,230 @@ proptest! {
         prop_assert!((mean - value as f64).abs() < 0.06, "mean {mean} vs {value}");
     }
 }
+
+/// Independent two-pass reference codec, retained to pin the fused
+/// single-pass kernels in `quant::codec` / `quant::kernels`.
+///
+/// This module re-implements the documented wire contract from scratch —
+/// sequential min/max pass, then a separate quantize pass through the
+/// historical `(x as u32).min(max_code)` saturating cast, then LSB-first
+/// packing into a scratch buffer — with none of the fused kernels' blocking,
+/// SWAR byte assembly, or branch-free floor tricks. The proptests below
+/// require the production encoder to match it byte-for-byte (wire bytes,
+/// per-row `(zero_point, scale)` params, and `EncodeStats`) at 1/2/8
+/// runtime threads, so any divergence introduced by future kernel work is
+/// caught against a spec-level implementation rather than a refactor twin.
+/// Run under `ADAQP_SAN=1` (scripts/regress.sh does) to also exercise the
+/// sanitizer's adversarial parallel schedules.
+mod reference {
+    use quant::codec::{EncodeStats, HEADER_BYTES, ROW_OVERHEAD_BYTES};
+    use quant::{BitWidth, PAR_MIN_ELEMS};
+    use tensor::Matrix;
+
+    const PHI32: u32 = 0x9E37_79B9;
+
+    fn splitmix64(seed: u64) -> u64 {
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn coin(c32: u32) -> f32 {
+        let mut z = c32 ^ (c32 >> 16);
+        z = z.wrapping_mul(0x85EB_CA6B);
+        z ^= z >> 13;
+        (z >> 8) as f32 * (1.0 / 16_777_216.0)
+    }
+
+    /// Two-pass reference encode: returns the full wire buffer and the
+    /// per-width statistics. `base` is the block's single RNG draw (the
+    /// production encoder takes it as `rng.next_u64()`).
+    pub fn encode_block(
+        messages: &Matrix,
+        widths: &[BitWidth],
+        base: u64,
+    ) -> (Vec<u8>, EncodeStats) {
+        let rows = messages.rows();
+        let dim = messages.cols();
+        let code_bytes: usize = widths.iter().map(|w| w.packed_len(dim)).sum();
+        let mut buf = vec![0u8; HEADER_BYTES + rows * ROW_OVERHEAD_BYTES + code_bytes];
+        buf[0..4].copy_from_slice(&(rows as u32).to_le_bytes());
+        buf[4..8].copy_from_slice(&(dim as u32).to_le_bytes());
+        // Statistics accumulate per parallel chunk and fold in chunk order;
+        // the chunk boundaries are a pure function of (rows, dim), so the
+        // reference reproduces the same f64 association.
+        let ranges = tensor::par::chunk_ranges(rows, PAR_MIN_ELEMS.div_ceil(dim.max(1)));
+        let mut stats = EncodeStats::default();
+        let sq_coef = dim as f64 / 6.0;
+        let mut code_at = HEADER_BYTES + rows * ROW_OVERHEAD_BYTES;
+        for &(cs, ce) in &ranges {
+            let mut chunk = EncodeStats::default();
+            for i in cs..ce {
+                let w = widths[i];
+                let row = messages.row(i);
+                // Pass 1: sequential min/max fold.
+                let mut mn = f32::INFINITY;
+                let mut mx = f32::NEG_INFINITY;
+                for &v in row {
+                    mn = mn.min(v);
+                    mx = mx.max(v);
+                }
+                let scale = if mx > mn {
+                    (mx - mn) / w.max_code() as f32
+                } else {
+                    0.0
+                };
+                let ws = &mut chunk.per_width[w.index()];
+                ws.rows += 1;
+                ws.elements += dim as u64;
+                ws.sum_range += if mx > mn { f64::from(mx - mn) } else { 0.0 };
+                ws.sum_sq_err += sq_coef * f64::from(scale) * f64::from(scale);
+                let h = HEADER_BYTES + i * ROW_OVERHEAD_BYTES;
+                buf[h] = w.bits() as u8;
+                buf[h + 1..h + 5].copy_from_slice(&mn.to_le_bytes());
+                buf[h + 5..h + 9].copy_from_slice(&scale.to_le_bytes());
+                if scale != 0.0 {
+                    // Pass 2: stochastic round every element through the
+                    // historical saturating-cast expression, into a scratch
+                    // code buffer.
+                    let inv_scale = 1.0 / scale;
+                    let seed = splitmix64(base ^ (i as u64)) as u32;
+                    let mut codes = Vec::with_capacity(dim);
+                    for (j, &v) in row.iter().enumerate() {
+                        let c32 = seed.wrapping_add((j as u32).wrapping_add(1).wrapping_mul(PHI32));
+                        let x = (v - mn) * inv_scale + coin(c32);
+                        codes.push((x as u32).min(w.max_code()) as u8);
+                    }
+                    // Separate pack pass, LSB-first within each byte.
+                    let bits = w.bits() as usize;
+                    for (b, byte) in buf[code_at..code_at + w.packed_len(dim)]
+                        .iter_mut()
+                        .enumerate()
+                    {
+                        let mut acc = 0u8;
+                        for (k, &c) in codes.iter().skip(b * (8 / bits)).take(8 / bits).enumerate()
+                        {
+                            acc |= c << (k * bits);
+                        }
+                        *byte = acc;
+                    }
+                }
+                code_at += w.packed_len(dim);
+            }
+            stats.merge(&chunk);
+        }
+        (buf, stats)
+    }
+
+    /// Scalar reference decode: per-element shift/mask unpack and the
+    /// historical `code * scale + zero` reconstruction — no LUT expansion.
+    pub fn decode_block(bytes: &[u8]) -> Vec<f32> {
+        let rows = u32::from_le_bytes(bytes[0..4].try_into().unwrap()) as usize;
+        let dim = u32::from_le_bytes(bytes[4..8].try_into().unwrap()) as usize;
+        let mut out = Vec::with_capacity(rows * dim);
+        let mut code_at = HEADER_BYTES + rows * ROW_OVERHEAD_BYTES;
+        for i in 0..rows {
+            let h = HEADER_BYTES + i * ROW_OVERHEAD_BYTES;
+            let bits = bytes[h] as usize;
+            let zero = f32::from_le_bytes(bytes[h + 1..h + 5].try_into().unwrap());
+            let scale = f32::from_le_bytes(bytes[h + 5..h + 9].try_into().unwrap());
+            for j in 0..dim {
+                let bit = j * bits;
+                let code = (bytes[code_at + bit / 8] >> (bit % 8)) & ((1u16 << bits) - 1) as u8;
+                out.push(code as f32 * scale + zero);
+            }
+            code_at += (dim * bits).div_ceil(8);
+        }
+        out
+    }
+}
+
+/// Shared body for the fused-vs-reference pinning tests: encodes `msgs`
+/// with the production codec at 1/2/8 runtime threads and asserts wire
+/// bytes, per-row params, and statistics all match the reference exactly.
+fn assert_matches_reference(msgs: &Matrix, widths: &[BitWidth], seed: u64) {
+    let base = Rng::seed_from(seed).next_u64();
+    let (want_bytes, want_stats) = reference::encode_block(msgs, widths, base);
+    for t in [1usize, 2, 8] {
+        tensor::par::set_threads(t);
+        let mut rng = Rng::seed_from(seed);
+        let (block, stats) = quant::encode_block_with_stats(msgs, widths, &mut rng);
+        prop_assert_eq!(
+            block.bytes.as_ref(),
+            &want_bytes[..],
+            "fused wire bytes differ from two-pass reference at {} threads",
+            t
+        );
+        prop_assert_eq!(
+            stats,
+            want_stats,
+            "stats differ from reference at {} threads",
+            t
+        );
+        // Redundant with full-buffer equality, but states the QuantParams
+        // contract explicitly: row i's (zero_point, scale) live at a fixed
+        // header offset and must be bit-equal to the reference's pass-1 result.
+        for i in 0..msgs.rows() {
+            let h = quant::codec::HEADER_BYTES + i * quant::codec::ROW_OVERHEAD_BYTES;
+            prop_assert_eq!(&block.bytes.as_ref()[h..h + 9], &want_bytes[h..h + 9]);
+        }
+    }
+    tensor::par::set_threads(0);
+}
+
+proptest! {
+    #[test]
+    fn fused_encode_matches_two_pass_reference(
+        rows in 1usize..40,
+        dim in 1usize..33,
+        seed in 0u64..10_000,
+    ) {
+        let mut data_rng = Rng::seed_from(seed.wrapping_mul(0x5DEE_CE66));
+        // Every seventh row is flat to exercise the scale == 0 path.
+        let msgs = Matrix::from_fn(rows, dim, |i, _| {
+            if i % 7 == 3 { 2.5 } else { data_rng.uniform(-50.0, 50.0) }
+        });
+        let widths: Vec<BitWidth> = (0..rows).map(|_| BitWidth::ALL[data_rng.below(3)]).collect();
+        assert_matches_reference(&msgs, &widths, seed);
+    }
+
+    #[test]
+    fn lut_decode_matches_scalar_reference(
+        rows in 1usize..24,
+        dim in 1usize..40,
+        seed in 0u64..10_000,
+    ) {
+        let mut data_rng = Rng::seed_from(seed ^ 0x00C0_FFEE);
+        let msgs = Matrix::from_fn(rows, dim, |_, _| data_rng.uniform(-8.0, 8.0));
+        let widths: Vec<BitWidth> = (0..rows).map(|_| BitWidth::ALL[data_rng.below(3)]).collect();
+        let mut rng = Rng::seed_from(seed);
+        let block = encode_block(&msgs, &widths, &mut rng);
+        let want = reference::decode_block(block.bytes.as_ref());
+        let got = decode_block(&block).expect("well-formed block");
+        prop_assert_eq!(got.shape(), (rows, dim));
+        for (k, (a, b)) in got.as_slice().iter().zip(&want).enumerate() {
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "element {} differs from scalar decode", k);
+        }
+    }
+}
+
+#[test]
+fn fused_encode_matches_reference_multi_chunk() {
+    // Large enough that par_min_rows splits the block into multiple
+    // parallel chunks (1200 rows x 33 dim > PAR_MIN_ELEMS), with a dim
+    // that is not a multiple of the 32-element kernel block — exercises
+    // chunked stats folding and the scalar tail in one shot.
+    let mut data_rng = Rng::seed_from(77);
+    let msgs = Matrix::from_fn(1200, 33, |i, _| {
+        if i % 11 == 5 {
+            -1.25
+        } else {
+            data_rng.uniform(-300.0, 300.0)
+        }
+    });
+    let widths: Vec<BitWidth> = (0..1200)
+        .map(|_| BitWidth::ALL[data_rng.below(3)])
+        .collect();
+    assert_matches_reference(&msgs, &widths, 0xFEED_5EED);
+}

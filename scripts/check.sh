@@ -26,6 +26,9 @@ ADAQP_SAN=1 cargo run --offline -q --release -p adaqp --bin adaqp -- \
 echo "==> cargo test -q"
 cargo test --offline -q
 
+echo "==> sanitized codec tests (ADAQP_SAN=1: reference-pinning proptests under adversarial schedules)"
+ADAQP_SAN=1 cargo test --offline -q -p quant
+
 echo "==> scalability smoke (64 devices on the event core, racks + oversub)"
 cargo run --offline -q --release -p adaqp --bin adaqp -- \
     run --dataset tiny --method adaqp --machines 16 --devices 4 \

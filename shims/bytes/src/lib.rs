@@ -13,7 +13,11 @@ use std::sync::Arc;
 /// A cheaply cloneable, immutable view into a shared byte buffer.
 #[derive(Clone, Default)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    // `Arc<Vec<u8>>` rather than `Arc<[u8]>`: converting a `Vec` into an
+    // `Arc<[u8]>` copies the contents into a fresh allocation, and
+    // `Bytes::from(Vec<u8>)` sits on the codec's per-block hot path.
+    // Wrapping the vector keeps the conversion zero-copy.
+    data: Arc<Vec<u8>>,
     start: usize,
     end: usize,
 }
@@ -74,7 +78,7 @@ impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
         let end = v.len();
         Self {
-            data: v.into(),
+            data: Arc::new(v),
             start: 0,
             end,
         }
