@@ -130,6 +130,16 @@ fn main() {
     }
     bench::rule(66);
     println!("paper Fig. 10(b): assignment averages 5.43% of wall-clock time.");
+
+    // ------------------------------------------------------------------
+    // Where does the time go? Critical-path profile of the AdaQP run on
+    // the first dataset, reconstructed from the causal flight recorder's
+    // event DAG (same run shape as the table above).
+    println!();
+    let spec = bench::datasets().remove(0);
+    let cfg = bench::experiment(spec, 2, 2, Method::AdaQp, false, seed);
+    let (_, profile) = bench::run_profiled(&cfg);
+    println!("{}", profile.report.summary());
     bench::save_json(
         "fig10_breakdown",
         &serde_json::json!({ "per_epoch": json, "wallclock": json_b }),

@@ -67,5 +67,20 @@ fn main() {
         }
         bench::rule(66);
     }
+
+    // Where does the time go on a congested spine? Critical-path profile
+    // of the 8x-oversubscribed AdaQP point, from the causal flight
+    // recorder: the wire/collective-wait split shows how much of the
+    // slowdown is the spine versus the rendezvous behind it.
+    println!();
+    let mut cfg = bench::experiment(dataset, machines, 4, Method::AdaQp, true, 4242);
+    cfg.training.epochs = 8;
+    cfg.training.hidden = 16;
+    cfg.training.reassign_period = 8;
+    let mut spec = TopologySpec::from_training(&cfg.training);
+    spec.machines_per_rack = Some(4);
+    cfg.training.topology = Some(spec.oversubscription(8.0));
+    let (_, profile) = bench::run_profiled(&cfg);
+    println!("{}", profile.report.summary());
     bench::save_json("fig_topology_sensitivity", &serde_json::Value::Array(json));
 }

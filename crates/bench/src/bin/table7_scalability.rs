@@ -133,5 +133,19 @@ fn main() {
         }
     }
     bench::rule(86);
+
+    // Where does the time go at fleet scale? Critical-path profile of the
+    // 64-device AdaQP weak-scaling point, from the causal flight recorder.
+    println!();
+    let dataset = DatasetSpec::tiny().scaled(16.0);
+    let mut cfg = bench::experiment(dataset, 16, 4, Method::AdaQp, true, 4242);
+    cfg.training.epochs = 2;
+    cfg.training.hidden = 8;
+    cfg.training.reassign_period = 2;
+    let mut spec = TopologySpec::from_training(&cfg.training);
+    spec.machines_per_rack = Some(8);
+    cfg.training.topology = Some(spec.oversubscription(4.0));
+    let (_, profile) = bench::run_profiled(&cfg);
+    println!("{}", profile.report.summary());
     bench::save_json("table7_scalability", &serde_json::Value::Array(json));
 }

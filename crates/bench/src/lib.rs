@@ -106,6 +106,21 @@ pub fn run_with_telemetry(cfg: &ExperimentConfig) -> (adaqp::RunResult, adaqp::T
     (r, agg)
 }
 
+/// Runs an experiment with the causal flight recorder armed and returns the
+/// result together with its critical-path profile. The figure binaries use
+/// this for their "where does the time go?" sections: the profile's
+/// classified segments come from the same event DAG the run executed, not
+/// from a separate model.
+pub fn run_profiled(cfg: &ExperimentConfig) -> (adaqp::RunResult, adaqp::RunProfile) {
+    let mut cfg = cfg.clone();
+    cfg.training.profile = true;
+    let (r, p) =
+        // lint:allow(no-panic): harness configs are built from known-good parts; an Err is a harness bug
+        adaqp::run_experiment_profiled(&cfg).expect("harness experiment config is valid");
+    // lint:allow(no-panic): the profile flag was set three lines up; absence is a runner bug
+    (r, p.expect("profiling was enabled"))
+}
+
 /// Total simulated seconds with the assigner's host-measured solve time
 /// carved out: each epoch's breakdown is re-composed under the run's
 /// method schedule with `solve` zeroed. Everything left (comm, compute,

@@ -238,6 +238,27 @@ impl Cluster {
         T: Send,
         F: Fn(DeviceHandle) -> T + Sync,
     {
+        Self::try_run_fn_recorded(n, cost, None, f)
+    }
+
+    /// [`Cluster::try_run_fn_with`] with an optional causal flight recorder
+    /// attached to the scheduler (see [`crate::flight::FlightRecorder`]).
+    /// The recorder observes every scheduling transition; with `None` the
+    /// run is identical to [`Cluster::try_run_fn_with`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Cluster::try_run_with`].
+    pub fn try_run_fn_recorded<T, F>(
+        n: usize,
+        cost: Option<&CostModel>,
+        recorder: Option<&mut crate::flight::FlightRecorder>,
+        f: F,
+    ) -> Result<ClusterReport<T>, ClusterError>
+    where
+        T: Send,
+        F: Fn(DeviceHandle) -> T + Sync,
+    {
         if n == 0 {
             return Err(ClusterError::NoDevices);
         }
@@ -272,7 +293,7 @@ impl Cluster {
                         }
                     }));
                 }
-                let report = event::run_programs(stubs, cost);
+                let report = event::run_programs_recorded(stubs, cost, recorder);
                 // On error the scheduler drops the stub programs, which
                 // closes their channels; device threads still parked at a
                 // rendezvous unwind internally and are swallowed here (the
@@ -443,6 +464,9 @@ pub struct DeviceHandle {
     telemetry: Recorder,
     // Boxed to keep the handle small when metrics are off (the common case).
     metrics: Option<Box<obs::Registry>>,
+    /// Whether simulated-time charges are routed through the scheduler
+    /// ([`Command::Advance`]) so an attached flight recorder sees them.
+    profile: bool,
 }
 
 impl DeviceHandle {
@@ -460,6 +484,7 @@ impl DeviceHandle {
             next_collective_tag: COLLECTIVE_TAG_BASE,
             telemetry: Recorder::disabled(),
             metrics: None,
+            profile: false,
         }
     }
 
@@ -472,6 +497,7 @@ impl DeviceHandle {
             next_collective_tag: COLLECTIVE_TAG_BASE,
             telemetry: Recorder::disabled(),
             metrics: None,
+            profile: false,
         }
     }
 
@@ -494,6 +520,42 @@ impl DeviceHandle {
     /// Switches the device's recorder to collecting mode.
     pub fn enable_telemetry(&mut self) {
         self.telemetry = Recorder::enabled();
+    }
+
+    /// Routes subsequent [`DeviceHandle::advance_phase`] charges through
+    /// the scheduler so an attached flight recorder logs them. Without this
+    /// (the default) `advance_phase` is a no-op — profiling stays zero-cost
+    /// when off.
+    pub fn enable_profile(&mut self) {
+        self.profile = true;
+    }
+
+    /// Whether phase charges are routed through the scheduler.
+    pub fn profile_enabled(&self) -> bool {
+        self.profile
+    }
+
+    /// Charges `seconds` of simulated `phase` time (training `epoch`) to
+    /// this rank's scheduler clock, visible to an attached flight recorder.
+    /// No-op unless [`DeviceHandle::enable_profile`] was called; only the
+    /// event transport supports it (the caller gates profiling off the
+    /// thread backend with a typed error before any device runs).
+    pub fn advance_phase(&mut self, phase: crate::TimeCategory, epoch: usize, seconds: f64) {
+        if !self.profile {
+            return;
+        }
+        match &mut self.port {
+            Port::Event(p) => match p.roundtrip(Command::Advance {
+                phase,
+                epoch,
+                seconds,
+            }) {
+                Resume::Advanced => {}
+                other => protocol_violation("Advanced", &other),
+            },
+            #[cfg(feature = "thread-backend")]
+            Port::Thread(_) => {}
+        }
     }
 
     /// Switches the device to metric collection: every payload leaving this

@@ -103,6 +103,23 @@ pub fn run_programs<P: DeviceProgram>(
     programs: Vec<P>,
     cost: Option<&CostModel>,
 ) -> Result<ClusterReport<P::Output>, ClusterError> {
+    run_programs_recorded(programs, cost, None)
+}
+
+/// [`run_programs`] with an optional causal flight recorder attached: every
+/// scheduling transition (dispatch, block, message departure/arrival,
+/// collective formation/release, phase advance) is logged with its causal
+/// predecessor. With `recorder = None` the only overhead is one branch per
+/// transition (the zero-cost-off contract, DESIGN.md §12).
+///
+/// # Errors
+///
+/// As [`run_programs`].
+pub fn run_programs_recorded<P: DeviceProgram>(
+    programs: Vec<P>,
+    cost: Option<&CostModel>,
+    mut recorder: Option<&mut crate::flight::FlightRecorder>,
+) -> Result<ClusterReport<P::Output>, ClusterError> {
     let n = programs.len();
     if n == 0 {
         return Err(ClusterError::NoDevices);
@@ -126,6 +143,10 @@ pub fn run_programs<P: DeviceProgram>(
                 collectives += 1;
                 run_collective(&mut statuses, &mut ctxs, cost)?;
                 waiting_collective = 0;
+                if let Some(rec) = recorder.as_deref_mut() {
+                    let clocks: Vec<f64> = ctxs.iter().map(DeviceCtx::now).collect();
+                    rec.collective_release(&clocks);
+                }
                 for (r, ctx) in ctxs.iter().enumerate() {
                     ready.insert((clock_key(ctx.now()), r));
                 }
@@ -136,6 +157,9 @@ pub fn run_programs<P: DeviceProgram>(
             });
         };
         ready.remove(&(key, rank));
+        if let Some(rec) = recorder.as_deref_mut() {
+            rec.resume(rank, ctxs[rank].now());
+        }
 
         // Run-to-block: keep stepping this device until it suspends.
         let Status::Ready(mut input) = std::mem::replace(&mut statuses[rank], Status::Running)
@@ -160,6 +184,9 @@ pub fn run_programs<P: DeviceProgram>(
                     outputs[rank] = Some(out);
                     statuses[rank] = Status::Done;
                     done += 1;
+                    if let Some(rec) = recorder.as_deref_mut() {
+                        rec.done(rank, ctxs[rank].now());
+                    }
                     break;
                 }
                 Ok(Step::Yield(Command::Send { dst, tag, payload })) => {
@@ -172,8 +199,12 @@ pub fn run_programs<P: DeviceProgram>(
                         });
                     }
                     messages += 1;
-                    let arrival = ctxs[rank].now()
-                        + cost.map_or(0.0, |c| c.transfer_time(rank, dst, payload.len()));
+                    let bytes = payload.len();
+                    let arrival =
+                        ctxs[rank].now() + cost.map_or(0.0, |c| c.transfer_time(rank, dst, bytes));
+                    if let Some(rec) = recorder.as_deref_mut() {
+                        rec.depart(rank, ctxs[rank].now(), dst, tag, bytes);
+                    }
                     mailboxes[dst]
                         .entry((rank, tag))
                         .or_default()
@@ -184,6 +215,9 @@ pub fn run_programs<P: DeviceProgram>(
                         if src == rank && want == tag {
                             let (at, msg) = pop_message(&mut mailboxes[dst], (src, want));
                             ctxs[dst].advance_to(at);
+                            if let Some(rec) = recorder.as_deref_mut() {
+                                rec.arrive(dst, ctxs[dst].now(), src, want, msg.len());
+                            }
                             statuses[dst] = Status::Ready(Resume::Received(msg));
                             ready.insert((clock_key(ctxs[dst].now()), dst));
                         }
@@ -203,13 +237,34 @@ pub fn run_programs<P: DeviceProgram>(
                     if mailboxes[rank].get(&key).is_some_and(|q| !q.is_empty()) {
                         let (at, msg) = pop_message(&mut mailboxes[rank], key);
                         ctxs[rank].advance_to(at);
+                        if let Some(rec) = recorder.as_deref_mut() {
+                            rec.arrive(rank, ctxs[rank].now(), src, tag, msg.len());
+                        }
                         input = Resume::Received(msg);
                     } else {
+                        if let Some(rec) = recorder.as_deref_mut() {
+                            rec.block_recv(rank, ctxs[rank].now(), src, tag);
+                        }
                         statuses[rank] = Status::RecvWait { src, tag };
                         break;
                     }
                 }
+                Ok(Step::Yield(Command::Advance {
+                    phase,
+                    epoch,
+                    seconds,
+                })) => {
+                    let t0 = ctxs[rank].now();
+                    ctxs[rank].advance(seconds);
+                    if let Some(rec) = recorder.as_deref_mut() {
+                        rec.phase_advance(rank, t0, phase, epoch, seconds);
+                    }
+                    input = Resume::Advanced;
+                }
                 Ok(Step::Yield(cmd)) => {
+                    if let Some(rec) = recorder.as_deref_mut() {
+                        rec.collective_form(rank, ctxs[rank].now(), cmd.kind_name());
+                    }
                     statuses[rank] = Status::CollectiveWait(cmd);
                     waiting_collective += 1;
                     break;
@@ -350,8 +405,8 @@ fn run_collective(
         Command::Broadcast { root, .. } => Shape::Broadcast(*root),
         Command::Gather { root, .. } => Shape::Gather(*root),
         Command::Scatter { root, .. } => Shape::Scatter(*root),
-        // Send/Recv never park a device in CollectiveWait.
-        Command::Send { .. } | Command::Recv { .. } => {
+        // Send/Recv/Advance never park a device in CollectiveWait.
+        Command::Send { .. } | Command::Recv { .. } | Command::Advance { .. } => {
             unreachable!("point-to-point command parked as a collective")
         }
     };

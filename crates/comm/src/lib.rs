@@ -39,6 +39,7 @@
 pub mod cluster;
 pub mod costmodel;
 pub mod event;
+pub mod flight;
 pub mod program;
 pub mod schedule;
 pub mod telemetry;
@@ -51,6 +52,7 @@ pub mod waitgraph;
 pub use cluster::{Cluster, ClusterError, DeviceHandle};
 pub use costmodel::{ClusterTopology, CostModel};
 pub use event::ClusterReport;
+pub use flight::FlightRecorder;
 pub use program::{Command, DeviceCtx, DeviceProgram, Resume, Step};
 #[allow(deprecated)]
 pub use schedule::{per_device_ring_times, ring_all2all_time, sequential_broadcast_time};

@@ -78,6 +78,19 @@ pub enum Command {
         /// One payload per rank (`Some` on the root only).
         payloads: Option<Vec<Bytes>>,
     },
+    /// Charge `seconds` of simulated `phase` time (during training `epoch`)
+    /// to this rank's clock *through the scheduler*, so the flight recorder
+    /// can log the advance with its causal context. Semantically identical
+    /// to [`DeviceCtx::advance`]; resumes immediately with
+    /// [`Resume::Advanced`]. Only profiled runs route charges this way.
+    Advance {
+        /// The charged phase (`comm::TimeCategory` bucket).
+        phase: crate::TimeCategory,
+        /// Training epoch the charge belongs to.
+        epoch: usize,
+        /// Charged simulated seconds (finite, non-negative).
+        seconds: f64,
+    },
 }
 
 impl Command {
@@ -92,6 +105,7 @@ impl Command {
             Command::Broadcast { .. } => "BroadcastDone",
             Command::Gather { .. } => "GatherDone",
             Command::Scatter { .. } => "ScatterDone",
+            Command::Advance { .. } => "Advanced",
         }
     }
 
@@ -105,6 +119,7 @@ impl Command {
             Command::Broadcast { .. } => "broadcast",
             Command::Gather { .. } => "gather",
             Command::Scatter { .. } => "scatter",
+            Command::Advance { .. } => "advance",
         }
     }
 }
@@ -128,6 +143,8 @@ pub enum Resume {
     GatherDone(Option<Vec<Bytes>>),
     /// This rank's slice of the scatter.
     ScatterDone(Bytes),
+    /// The [`Command::Advance`] charge was applied to the clock.
+    Advanced,
 }
 
 /// One step of a device program: either a yield with the command to satisfy

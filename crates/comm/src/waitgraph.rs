@@ -161,13 +161,17 @@ impl WaitGraph {
 
     /// Graphviz DOT rendering: one node per rank, one edge per wait-for
     /// dependency (recv edges labeled with their tag, collective edges with
-    /// the collective kind).
+    /// the collective kind). All interpolated label text is escaped with
+    /// [`dot_escape`], so the output stays well-formed DOT whatever the
+    /// cause text contains.
     pub fn to_dot(&self) -> String {
         let mut out = String::from("digraph wait_for {\n");
         for b in &self.blocked {
             out.push_str(&format!(
                 "  r{} [label=\"rank {}\\n{}\"];\n",
-                b.rank, b.rank, b.cause
+                b.rank,
+                b.rank,
+                dot_escape(&b.cause.to_string())
             ));
         }
         for rank in &self.finished {
@@ -187,7 +191,9 @@ impl WaitGraph {
                     for absent in self.collective.iter().flat_map(|c| c.absent.iter()) {
                         out.push_str(&format!(
                             "  r{} -> r{} [label=\"{}\", style=dotted];\n",
-                            b.rank, absent, kind
+                            b.rank,
+                            absent,
+                            dot_escape(kind)
                         ));
                     }
                 }
@@ -263,6 +269,21 @@ impl WaitGraph {
             unclaimed.join(", ")
         )
     }
+}
+
+/// Escapes text for use inside a double-quoted DOT string: backslashes and
+/// quotes are escaped, newlines become the DOT line-break escape `\n`.
+pub fn dot_escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
 }
 
 #[cfg(test)]

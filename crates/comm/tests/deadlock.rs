@@ -195,6 +195,86 @@ fn dot_and_json_render_the_same_graph() {
     assert!(json.contains(r#""unclaimed": [{"dst": 0, "src": 3, "tag": 7, "queued": 1}"#));
 }
 
+/// A tiny DOT well-formedness check, the structural mirror of the JSON
+/// round-trip in `dot_and_json_render_the_same_graph`: the digraph wrapper
+/// closes, every statement is a node or an edge terminated by `;`, and
+/// every quoted label closes on its own line with inner quotes escaped.
+fn assert_well_formed_dot(dot: &str) {
+    let mut lines = dot.lines();
+    assert_eq!(lines.next(), Some("digraph wait_for {"));
+    let body: Vec<&str> = lines.collect();
+    assert_eq!(body.last().copied(), Some("}"), "digraph must close");
+    for line in &body[..body.len() - 1] {
+        let stmt = line.trim();
+        assert!(stmt.ends_with(';'), "unterminated statement: {stmt}");
+        // Quotes must balance per line, honoring backslash escapes; an
+        // unescaped quote or raw newline in a label breaks both.
+        let mut in_string = false;
+        let mut chars = stmt.chars();
+        while let Some(c) = chars.next() {
+            match c {
+                '\\' if in_string => {
+                    assert!(chars.next().is_some(), "dangling escape: {stmt}");
+                }
+                '"' => in_string = !in_string,
+                _ => {}
+            }
+        }
+        assert!(!in_string, "unclosed label string: {stmt}");
+        // Outside labels the only statement forms are `node [..];`,
+        // `a -> b [..];` and `a -> b;`.
+        let head = stmt.split('[').next().unwrap_or(stmt).trim_end();
+        let head = head.strip_suffix(';').unwrap_or(head).trim_end();
+        let parts: Vec<&str> = head.split_whitespace().collect();
+        match parts.as_slice() {
+            [_node] => {}
+            [_a, "->", _b] => {}
+            other => panic!("unrecognized statement shape {other:?} in: {stmt}"),
+        }
+    }
+}
+
+#[test]
+fn dot_survives_hostile_label_text() {
+    // A hand-built graph whose collective kind carries a quote, a newline
+    // and a backslash — everything the escaper must neutralize. `kind` is
+    // `&'static str`, so the hostile text is a literal.
+    let graph = WaitGraph {
+        blocked: vec![comm::BlockedRank {
+            rank: 1,
+            cause: WaitCause::Collective {
+                kind: "all\"gather\n\\phase",
+            },
+            clock: 0.25,
+        }],
+        finished: vec![0],
+        collective: Some(comm::CollectiveFront {
+            kind: "all\"gather\n\\phase",
+            reached: vec![1],
+            absent: vec![0],
+        }),
+        unclaimed: vec![],
+    };
+    let dot = graph.to_dot();
+    assert_well_formed_dot(&dot);
+    assert!(
+        dot.contains(r#"all\"gather\n\\phase"#),
+        "label text must arrive escaped: {dot}"
+    );
+}
+
+#[test]
+fn every_gallery_graph_renders_well_formed_dot() {
+    for dot in [
+        deadlock_of(|_| ReversedRing).to_dot(),
+        deadlock_of(|_| TagTypo).to_dot(),
+        deadlock_of(|_| SkippedBarrier).to_dot(),
+        deadlock_of(|_| RecvFirstRing).to_dot(),
+    ] {
+        assert_well_formed_dot(&dot);
+    }
+}
+
 struct BadPeer;
 
 impl DeviceProgram for BadPeer {

@@ -60,7 +60,7 @@ USAGE:
             [--grouped-wire] [--stream-quant]
             [--rack-size N] [--oversub X] [--scale X] [--json] [--telemetry]
             [--trace <file.json>] [--events <file.jsonl>] [--metrics <path>]
-            [--san]
+            [--san] [--critical-path <file.json>] [--flow-trace <file.json>]
   adaqp compare --dataset <name> [--machines N] [--devices N] [--epochs N]
             [--rack-size N] [--oversub X] [--scale X] [--markdown]
   adaqp tune --dataset <name> [--machines N] [--devices N] [--epochs N] [--scale X]
@@ -166,6 +166,8 @@ fn experiment_from(flags: &Flags) -> Result<ExperimentConfig, String> {
         || flags.contains_key("events");
     training.metrics = flags.contains_key("metrics");
     training.sanitize = flags.contains_key("san");
+    // Profiling, like telemetry, is implied by asking for an export.
+    training.profile = flags.contains_key("critical-path") || flags.contains_key("flow-trace");
     // `--rack-size 0` (or leaving both flags off) keeps the flat
     // single-rack network; any other value installs a topology section.
     let rack_size = parse_num(flags, "rack-size", 0usize)?;
@@ -202,7 +204,7 @@ fn cmd_run(flags: &Flags) -> Result<(), String> {
         cfg.num_devices(),
         cfg.training.epochs
     );
-    let r = adaqp::run_experiment(&cfg).map_err(|e| e.to_string())?;
+    let (r, profile) = adaqp::run_experiment_profiled(&cfg).map_err(|e| e.to_string())?;
     if cfg.training.sanitize || tensor::san::enabled() {
         // run_experiment fails on violations, so reaching here means clean.
         let rep = tensor::san::report();
@@ -221,8 +223,37 @@ fn cmd_run(flags: &Flags) -> Result<(), String> {
             eprintln!("wrote {} telemetry events to {path}", log.num_events());
         }
     }
+    if let Some(p) = &profile {
+        if let Some(path) = flags.get("critical-path") {
+            let json = serde_json::to_string_pretty(&p.report).map_err(|e| e.to_string())?;
+            std::fs::write(path, json).map_err(|e| e.to_string())?;
+            eprintln!(
+                "wrote critical-path report ({} segments) to {path}",
+                p.report.segments.len()
+            );
+        }
+        if let Some(path) = flags.get("flow-trace") {
+            let trace = obs::critpath::chrome_trace_flow(&p.flight);
+            std::fs::write(path, trace).map_err(|e| e.to_string())?;
+            eprintln!(
+                "wrote causal flow trace ({} flight events) to {path} \
+                 (open in Perfetto or chrome://tracing)",
+                p.flight.num_events()
+            );
+        }
+    }
     if let (Some(snap), Some(path)) = (&r.metrics, flags.get("metrics")) {
-        let json = serde_json::to_string_pretty(snap).map_err(|e| e.to_string())?;
+        // The snapshot gains a regress-exempt `_meta` block describing the
+        // run environment; `adaqp-regress` skips `_`-prefixed keys, so this
+        // never trips a numeric gate.
+        let mut doc = match serde_json::to_value(snap) {
+            serde_json::Value::Object(m) => m,
+            // A struct snapshot always serializes to an object.
+            other => return Err(format!("snapshot serialized to a non-object: {other:?}")),
+        };
+        doc.insert("_meta".to_string(), run_meta(&cfg));
+        let json = serde_json::to_string_pretty(&serde_json::Value::Object(doc))
+            .map_err(|e| e.to_string())?;
         std::fs::write(format!("{path}.json"), json).map_err(|e| e.to_string())?;
         std::fs::write(format!("{path}.prom"), snap.to_prometheus()).map_err(|e| e.to_string())?;
         eprintln!(
@@ -237,6 +268,9 @@ fn cmd_run(flags: &Flags) -> Result<(), String> {
         );
         return Ok(());
     }
+    if let Some(p) = &profile {
+        println!("{}", p.report.summary());
+    }
     println!("method:       {}", r.method);
     println!("dataset:      {} ({})", r.dataset, r.partition);
     println!("best val:     {:.2}%", r.best_val * 100.0);
@@ -249,6 +283,51 @@ fn cmd_run(flags: &Flags) -> Result<(), String> {
     println!("comm share:   {:.1}%", r.comm_fraction() * 100.0);
     println!("data moved:   {:.2} MB", r.total_bytes as f64 / 1e6);
     Ok(())
+}
+
+/// The regress-exempt `_meta` block attached to `--metrics` JSON exports:
+/// run-environment facts (backend, thread count, sanitizer, streaming
+/// codec, git revision) that describe *how* the numbers were produced
+/// without ever being compared as numbers.
+fn run_meta(cfg: &ExperimentConfig) -> serde_json::Value {
+    let mut m = serde_json::Map::new();
+    m.insert("backend".to_string(), serde_json::to_value("event"));
+    m.insert(
+        "threads".to_string(),
+        serde_json::to_value(&cfg.training.threads),
+    );
+    m.insert(
+        "adaqp_san".to_string(),
+        serde_json::Value::Bool(cfg.training.sanitize || tensor::san::enabled()),
+    );
+    m.insert(
+        "stream_quant".to_string(),
+        serde_json::Value::Bool(cfg.training.stream_quant),
+    );
+    m.insert(
+        "git_rev".to_string(),
+        git_rev().map_or(serde_json::Value::Null, serde_json::Value::String),
+    );
+    serde_json::Value::Object(m)
+}
+
+/// Best-effort short git revision of the working tree; `None` outside a
+/// checkout or without a `git` binary.
+fn git_rev() -> Option<String> {
+    let out = std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    let rev = String::from_utf8(out.stdout).ok()?;
+    let rev = rev.trim();
+    if rev.is_empty() {
+        None
+    } else {
+        Some(rev.to_string())
+    }
 }
 
 fn cmd_compare(flags: &Flags) -> Result<(), String> {
@@ -441,6 +520,36 @@ mod tests {
         assert!(!cfg.training.telemetry);
         let off = experiment_from(&flags_of(&["--dataset", "tiny"])).expect("valid config");
         assert!(!off.training.metrics);
+    }
+
+    #[test]
+    fn profile_exports_imply_profiling() {
+        let f = flags_of(&["--dataset", "tiny", "--critical-path", "out/cp.json"]);
+        let cfg = experiment_from(&f).expect("valid config");
+        assert!(cfg.training.profile);
+        let f = flags_of(&["--dataset", "tiny", "--flow-trace", "out/flow.json"]);
+        let cfg = experiment_from(&f).expect("valid config");
+        assert!(cfg.training.profile);
+        let off = experiment_from(&flags_of(&["--dataset", "tiny"])).expect("valid config");
+        assert!(!off.training.profile);
+    }
+
+    #[test]
+    fn run_meta_names_the_environment_without_numbers_to_regress() {
+        let f = flags_of(&["--dataset", "tiny", "--stream-quant", "--method", "adaqp"]);
+        let cfg = experiment_from(&f).expect("valid config");
+        let serde_json::Value::Object(meta) = run_meta(&cfg) else {
+            panic!("meta must be an object");
+        };
+        assert_eq!(meta.get("backend"), Some(&serde_json::to_value("event")));
+        assert_eq!(
+            meta.get("stream_quant"),
+            Some(&serde_json::Value::Bool(true))
+        );
+        assert!(meta.get("threads").is_some());
+        assert!(meta.get("adaqp_san").is_some());
+        // Present even when unknown (null outside a git checkout).
+        assert!(meta.get("git_rev").is_some());
     }
 
     #[test]

@@ -146,6 +146,15 @@ pub struct TrainingConfig {
     /// the `ADAQP_SAN` env var enables the mode independently of this flag.
     #[serde(default)]
     pub sanitize: bool,
+    /// Record the causal flight log of every scheduling transition and run
+    /// the critical-path analyzer over it (`comm::flight` +
+    /// `obs::critpath`). Off by default; when off the scheduler pays one
+    /// untaken branch per transition and results are byte-identical to an
+    /// unprofiled run. Event backend only — the runner rejects profiled
+    /// thread-backend runs with a typed error. The `ADAQP_PROFILE` env var
+    /// enables the mode independently of this flag.
+    #[serde(default)]
+    pub profile: bool,
     /// Optional three-tier network section (racks + oversubscribable spine).
     /// `None` (the default) keeps the flat two-tier model built from
     /// `inter_bw` / `intra_bw` / `latency` above, float-identical to the
@@ -181,6 +190,7 @@ impl Default for TrainingConfig {
             metrics: false,
             threads: 0,
             sanitize: false,
+            profile: false,
             topology: None,
         }
     }
@@ -652,6 +662,13 @@ impl ExperimentConfigBuilder {
         self
     }
 
+    /// Enables or disables the causal flight recorder + critical-path
+    /// profiler (event backend only).
+    pub fn profile(mut self, on: bool) -> Self {
+        self.cfg.training.profile = on;
+        self
+    }
+
     /// Installs a full three-tier `topology` section ([`build`] validates
     /// it).
     ///
@@ -873,6 +890,23 @@ mod tests {
             .build()
             .expect("ok");
         assert!(built.training.metrics);
+    }
+
+    #[test]
+    fn profile_field_defaults_off_and_deserializes_when_absent() {
+        assert!(!TrainingConfig::default().profile);
+        // Configs serialized before the field existed still load.
+        let mut v = serde_json::to_value(&TrainingConfig::default());
+        if let Some(obj) = v.as_object_mut() {
+            obj.remove("profile");
+        }
+        let back: TrainingConfig = serde_json::from_value(v).expect("missing field defaults");
+        assert!(!back.profile);
+        let built = ExperimentConfig::builder()
+            .profile(true)
+            .build()
+            .expect("ok");
+        assert!(built.training.profile);
     }
 
     #[test]

@@ -71,7 +71,7 @@ pub use config::{ExperimentConfig, ExperimentConfigBuilder, Method, TopologySpec
 pub use decompose::{build_partitions, DevicePartition, GlobalInfo, LocalLabels};
 pub use error::Error;
 pub use metrics::{EpochMetrics, RunResult};
-pub use runner::run_experiment;
 #[cfg(feature = "thread-backend")]
 pub use runner::run_experiment_threaded;
+pub use runner::{run_experiment, run_experiment_profiled, RunProfile};
 pub use telemetry::{HostKernelSummary, TelemetryAggregate, TelemetryLog};

@@ -2,7 +2,7 @@
 //! programs on the discrete-event cluster core and combines their records
 //! into a [`RunResult`].
 
-use crate::config::ExperimentConfig;
+use crate::config::{ExperimentConfig, Method};
 use crate::decompose::build_partitions;
 use crate::error::Error;
 use crate::metrics::{DeviceEpochRecord, EpochMetrics, MetricParts, RunResult};
@@ -11,6 +11,7 @@ use crate::trainers::DeviceTrainer;
 use comm::telemetry::Event;
 use comm::Cluster;
 use graph::Task;
+use obs::critpath::{CritPathReport, FlightLog, Schedule};
 use tensor::Rng;
 
 /// Which cluster execution core drives the device trainers.
@@ -39,7 +40,62 @@ enum Backend {
 /// (`TrainingConfig::sanitize` or `ADAQP_SAN=1`) observes a parallel-kernel
 /// determinism violation.
 pub fn run_experiment(cfg: &ExperimentConfig) -> Result<RunResult, Error> {
+    run_experiment_on(cfg, Backend::Event).map(|(result, _)| result)
+}
+
+/// The causal profile of one run: the post-run critical-path analysis plus
+/// the raw flight log it was derived from.
+///
+/// Kept outside [`RunResult`] on purpose: profiling must never change the
+/// result artifact, so the profile travels next to it, not inside it.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RunProfile {
+    /// Critical path, per-device idle attribution, and straggler ranking.
+    pub report: CritPathReport,
+    /// Every scheduling transition with its causal predecessor.
+    pub flight: FlightLog,
+}
+
+/// [`run_experiment`] with the causal flight recorder armed: also returns
+/// the [`RunProfile`] when profiling is active (`TrainingConfig::profile`
+/// or `ADAQP_PROFILE=1`), `None` otherwise.
+///
+/// Profiling is observation-only: the returned [`RunResult`] is
+/// byte-identical to an unprofiled run of the same config, and the profile
+/// itself is byte-deterministic at any `ADAQP_THREADS`.
+///
+/// # Errors
+///
+/// As [`run_experiment`]; additionally [`Error::InvalidConfig`] when
+/// profiling is requested on the retired thread-per-device backend, which
+/// has no event DAG to record.
+pub fn run_experiment_profiled(
+    cfg: &ExperimentConfig,
+) -> Result<(RunResult, Option<RunProfile>), Error> {
     run_experiment_on(cfg, Backend::Event)
+}
+
+/// Whether the environment forces profiling on (`ADAQP_PROFILE` set to
+/// anything but empty or `0`), mirroring the `ADAQP_SAN` convention.
+fn env_profile() -> bool {
+    std::env::var("ADAQP_PROFILE").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// The epoch-time composition rule the critical-path analyzer must mirror
+/// for `method`: how [`crate::metrics::epoch_time_with_overlap`] folds a
+/// device's phase sums into its epoch time.
+fn schedule_for(method: Method, disable_overlap: bool) -> Schedule {
+    match method {
+        Method::Vanilla | Method::Sancus => Schedule::Serial,
+        Method::AdaQp | Method::AdaQpUniform => {
+            if disable_overlap {
+                Schedule::Serial
+            } else {
+                Schedule::Overlapped
+            }
+        }
+        Method::PipeGcn => Schedule::Pipelined,
+    }
 }
 
 /// [`run_experiment`] on the retired thread-per-device backend.
@@ -53,11 +109,23 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> Result<RunResult, Error> {
 /// As [`run_experiment`].
 #[cfg(feature = "thread-backend")]
 pub fn run_experiment_threaded(cfg: &ExperimentConfig) -> Result<RunResult, Error> {
-    run_experiment_on(cfg, Backend::Thread)
+    run_experiment_on(cfg, Backend::Thread).map(|(result, _)| result)
 }
 
-fn run_experiment_on(cfg: &ExperimentConfig, backend: Backend) -> Result<RunResult, Error> {
+fn run_experiment_on(
+    cfg: &ExperimentConfig,
+    backend: Backend,
+) -> Result<(RunResult, Option<RunProfile>), Error> {
     cfg.validate()?;
+    let profiling = cfg.training.profile || env_profile();
+    #[cfg(feature = "thread-backend")]
+    if profiling && backend == Backend::Thread {
+        return Err(Error::InvalidConfig(
+            "profiling needs the event scheduler's causal DAG; the thread-per-device \
+             backend has none (drop --threads-backend or the profile flag)"
+                .to_string(),
+        ));
+    }
     // Pin the kernel runtime's worker count for this run (0 = auto-detect).
     // Kernel results are byte-identical at any thread count, so this only
     // affects host wall-clock, never simulated numerics.
@@ -90,24 +158,40 @@ fn run_experiment_on(cfg: &ExperimentConfig, backend: Backend) -> Result<RunResu
     });
     let parts_ref = &parts;
     let cost_ref = &cost;
+    // Devices read the profile switch from their TrainingConfig; fold the
+    // ADAQP_PROFILE override in here so they mirror their phase charges to
+    // the scheduler when the environment (not the config) armed profiling.
+    let mut training = cfg.training.clone();
+    training.profile = profiling;
+    let training_ref = &training;
     type DeviceOutput = (Vec<DeviceEpochRecord>, Vec<Event>, Option<obs::Registry>);
     let device = |dev: comm::DeviceHandle| {
         let rank = dev.rank();
         let trainer = DeviceTrainer::new(
             dev,
             &parts_ref[rank],
-            &cfg.training,
+            training_ref,
             cfg.method,
             cost_ref.clone(),
             cfg.seed,
         );
         trainer.run()
     };
+    // The recorder carries its own cost-model copy purely to annotate
+    // message departures with the theta*bytes + gamma split; the scheduler
+    // itself keeps running uncosted, exactly as in an unprofiled run.
+    let mut recorder = profiling.then(|| comm::FlightRecorder::new(n, Some(cost.clone())));
     let outputs: Vec<DeviceOutput> = match backend {
-        Backend::Event => Cluster::try_run_fn(n, device)?,
+        Backend::Event => Cluster::try_run_fn_recorded(n, None, recorder.as_mut(), device)?.outputs,
         #[cfg(feature = "thread-backend")]
         Backend::Thread => Cluster::try_run_fn_threaded(n, device)?,
     };
+    let profile = recorder.map(|rec| {
+        let flight = rec.finish();
+        let schedule = schedule_for(cfg.method, cfg.training.disable_overlap);
+        let report = obs::critpath::analyze(&flight, schedule, n.min(8));
+        RunProfile { report, flight }
+    });
     let mut records = Vec::with_capacity(n);
     let mut events = Vec::with_capacity(n);
     let mut registries = Vec::with_capacity(n);
@@ -129,6 +213,9 @@ fn run_experiment_on(cfg: &ExperimentConfig, backend: Backend) -> Result<RunResu
             reg.merge(&dev_reg);
         }
         record_run_metrics(&mut reg, &result, &records);
+        if let Some(p) = &profile {
+            record_profile_metrics(&mut reg, &p.report);
+        }
         if let Some(t) = train_timer {
             t.stop(&mut reg);
         }
@@ -147,7 +234,29 @@ fn run_experiment_on(cfg: &ExperimentConfig, backend: Backend) -> Result<RunResu
             )));
         }
     }
-    Ok(result)
+    Ok((result, profile))
+}
+
+/// Registers the critical-path summary as regress-exempt gauges: the
+/// leading underscore keeps them out of `adaqp-regress` comparisons (host
+/// timing shifts must never fail a numeric gate) while still landing in
+/// the snapshot for dashboards.
+fn record_profile_metrics(reg: &mut obs::Registry, report: &CritPathReport) {
+    reg.gauge_set("_critpath_total_seconds", &[], report.total_seconds);
+    reg.gauge_set(
+        "_critpath_collective_wait_share",
+        &[],
+        report.collective_wait_share,
+    );
+    for (class, seconds) in &report.class_totals {
+        reg.gauge_set("_critpath_class_seconds", &[("class", class)], *seconds);
+    }
+    for dev in &report.devices {
+        let rank = dev.rank.to_string();
+        let labels = [("rank", rank.as_str())];
+        reg.gauge_set("_critpath_idle_fraction", &labels, dev.idle_fraction);
+        reg.gauge_set("_critpath_busy_seconds", &labels, dev.busy_seconds);
+    }
 }
 
 /// Records the cluster-level series into the merged registry: per-epoch
@@ -417,6 +526,75 @@ mod tests {
         assert!(matches!(
             run_experiment(&too_many_devices),
             Err(Error::Partition(_))
+        ));
+    }
+
+    #[test]
+    fn profiling_is_observation_only_and_reports_the_path() {
+        let plain = quick_cfg(Method::Vanilla, 4);
+        let mut profiled = plain.clone();
+        profiled.training.profile = true;
+        let bare = run_experiment(&plain).expect("valid config");
+        let (result, profile) = run_experiment_profiled(&profiled).expect("valid config");
+        // Observation-only: the result artifact is unchanged by recording.
+        assert_eq!(bare, result, "profiling changed the run result");
+        let profile = profile.expect("profile requested");
+        assert!(profile.flight.num_events() > 0);
+        let report = &profile.report;
+        assert_eq!(report.schedule, "serial");
+        assert_eq!(report.num_devices, 2);
+        assert_eq!(report.epochs, 4);
+        // The classified critical path reconstructs the epoch-time total.
+        assert_eq!(
+            report.total_seconds.to_bits(),
+            result.total_sim_seconds.to_bits(),
+            "critical path {} vs simulated {}",
+            report.total_seconds,
+            result.total_sim_seconds
+        );
+        assert!(!report.segments.is_empty());
+        assert!(!report.stragglers.is_empty());
+    }
+
+    #[test]
+    fn profile_stays_none_when_off() {
+        let (_, profile) =
+            run_experiment_profiled(&quick_cfg(Method::Vanilla, 2)).expect("valid config");
+        assert!(profile.is_none());
+    }
+
+    #[test]
+    fn profiled_metrics_gain_exempt_gauges_without_disturbing_the_rest() {
+        let mut cfg = quick_cfg(Method::Vanilla, 3);
+        cfg.training.metrics = true;
+        let plain = run_experiment(&cfg).expect("valid config");
+        cfg.training.profile = true;
+        let (profiled, profile) = run_experiment_profiled(&cfg).expect("valid config");
+        assert!(profile.is_some());
+        let snap = profiled.metrics.as_ref().expect("metrics requested");
+        assert!(snap.metrics.keys().any(|k| k.starts_with("_critpath_")));
+        // Dropping the underscore-prefixed series recovers the plain snapshot.
+        let plain_snap = plain.metrics.as_ref().expect("metrics requested");
+        let visible: Vec<_> = snap
+            .metrics
+            .iter()
+            .filter(|(k, _)| !k.starts_with('_'))
+            .collect();
+        let plain_visible: Vec<_> = plain_snap.metrics.iter().collect();
+        assert_eq!(
+            visible, plain_visible,
+            "profiling leaked into gated metrics"
+        );
+    }
+
+    #[cfg(feature = "thread-backend")]
+    #[test]
+    fn profiling_rejects_the_thread_backend() {
+        let mut cfg = quick_cfg(Method::Vanilla, 2);
+        cfg.training.profile = true;
+        assert!(matches!(
+            run_experiment_threaded(&cfg),
+            Err(Error::InvalidConfig(_))
         ));
     }
 

@@ -53,6 +53,8 @@ pub struct DeviceTrainer<'a> {
     /// Error-feedback residuals for backward messages, `[layer][peer]`.
     ef_bwd: Vec<Vec<Matrix>>,
     central_frac: f64,
+    /// Epoch currently being trained, tagged onto profiled phase charges.
+    cur_epoch: usize,
 }
 
 /// SANCUS broadcasts again when local embeddings drift more than this
@@ -88,6 +90,9 @@ impl<'a> DeviceTrainer<'a> {
         }
         if cfg.metrics {
             dev.enable_metrics();
+        }
+        if cfg.profile {
+            dev.enable_profile();
         }
         let dims = cfg.dims(part.features.cols(), part.global.num_classes);
         let mut init_rng = Rng::seed_from(seed);
@@ -156,7 +161,18 @@ impl<'a> DeviceTrainer<'a> {
             ef_fwd,
             ef_bwd,
             central_frac,
+            cur_epoch: 0,
         }
+    }
+
+    /// Charges `secs` to `tb`'s `cat` bucket and mirrors the charge to the
+    /// scheduler clock ([`DeviceHandle::advance_phase`], a no-op unless
+    /// profiling is on), so the flight recorder logs exactly the charges
+    /// the [`TimeBreakdown`] accumulates — in the same order, with the same
+    /// values.
+    fn charge(&mut self, tb: &mut TimeBreakdown, cat: TimeCategory, secs: f64) {
+        tb.charge(cat, secs);
+        self.dev.advance_phase(cat, self.cur_epoch, secs);
     }
 
     fn num_layers(&self) -> usize {
@@ -184,6 +200,7 @@ impl<'a> DeviceTrainer<'a> {
     /// One training epoch: forward, loss, backward, allreduce, step,
     /// optional reassignment, evaluation.
     pub fn run_epoch(&mut self, epoch: usize) -> DeviceEpochRecord {
+        self.cur_epoch = epoch;
         let mut tb = TimeBreakdown::new();
         let mut bytes = 0usize;
         let trace_now = self.is_assign_epoch(epoch);
@@ -254,7 +271,7 @@ impl<'a> DeviceTrainer<'a> {
         let mut grads = self.model.grads_flat();
         self.dev.allreduce_sum_f32(&mut grads);
         let allreduce_secs = self.allreduce_seconds(grads.len() * 4);
-        tb.charge(TimeCategory::Comm, allreduce_secs);
+        self.charge(&mut tb, TimeCategory::Comm, allreduce_secs);
         self.dev.telemetry_mut().record_detail(
             EventKind::AllReduce,
             allreduce_secs,
@@ -276,7 +293,7 @@ impl<'a> DeviceTrainer<'a> {
         let adam_secs = self
             .cost
             .ops_time_for(self.part.rank, params.len() as f64 * 10.0);
-        tb.charge(TimeCategory::MarginalComp, adam_secs);
+        self.charge(&mut tb, TimeCategory::MarginalComp, adam_secs);
         self.dev
             .telemetry_mut()
             .record(EventKind::MarginalCompute, adam_secs);
@@ -299,7 +316,7 @@ impl<'a> DeviceTrainer<'a> {
                 &mut self.rng,
             );
             self.assignment = assignment;
-            tb.charge(TimeCategory::Solve, solve.secs);
+            self.charge(&mut tb, TimeCategory::Solve, solve.secs);
             self.dev
                 .telemetry_mut()
                 .record(EventKind::AssignerSolve, solve.secs);
@@ -490,7 +507,7 @@ impl<'a> DeviceTrainer<'a> {
             }
         }
         let comm_secs = stats.sequential_seconds(&self.cost, self.part.rank);
-        tb.charge(TimeCategory::Comm, comm_secs);
+        self.charge(tb, TimeCategory::Comm, comm_secs);
         *bytes += stats.total_sent();
         if self.dev.telemetry().is_enabled() {
             self.emit_comm_events(&stats.sent_bytes, &stats.recv_bytes, comm_secs, Some(32));
@@ -593,8 +610,8 @@ impl<'a> DeviceTrainer<'a> {
     ) {
         let comm_secs = stats.ring_seconds(&self.cost, self.part.rank);
         let quant_secs = self.cost.ops_time_for(self.part.rank, stats.quant_ops);
-        tb.charge(TimeCategory::Comm, comm_secs);
-        tb.charge(TimeCategory::Quant, quant_secs);
+        self.charge(tb, TimeCategory::Comm, comm_secs);
+        self.charge(tb, TimeCategory::Quant, quant_secs);
         *bytes += stats.total_sent();
         self.record_ring_metrics(stats, width_bits);
         if self.dev.telemetry().is_enabled() {
@@ -712,7 +729,7 @@ impl<'a> DeviceTrainer<'a> {
             comm::timing::measure(|| self.part.agg.aggregate_rows(xe, &self.part.central));
         let ops_c = self.part.agg.entries_for(&self.part.central) as f64 * dim * 2.0;
         let central_secs = self.cost.ops_time_for(self.part.rank, ops_c);
-        tb.charge(TimeCategory::CentralComp, central_secs);
+        self.charge(tb, TimeCategory::CentralComp, central_secs);
         self.dev.telemetry_mut().record_detail(
             EventKind::CentralCompute,
             central_secs,
@@ -726,7 +743,7 @@ impl<'a> DeviceTrainer<'a> {
             comm::timing::measure(|| self.part.agg.aggregate_rows(xe, &self.part.marginal));
         let ops_m = self.part.agg.entries_for(&self.part.marginal) as f64 * dim * 2.0;
         let marginal_secs = self.cost.ops_time_for(self.part.rank, ops_m);
-        tb.charge(TimeCategory::MarginalComp, marginal_secs);
+        self.charge(tb, TimeCategory::MarginalComp, marginal_secs);
         self.dev.telemetry_mut().record_detail(
             EventKind::MarginalCompute,
             marginal_secs,
@@ -750,8 +767,12 @@ impl<'a> DeviceTrainer<'a> {
     /// buckets proportionally to node counts (the kernels are row-wise).
     fn charge_split_ops(&mut self, tb: &mut TimeBreakdown, ops: f64) {
         let sim = self.cost.ops_time_for(self.part.rank, ops);
-        tb.charge(TimeCategory::CentralComp, sim * self.central_frac);
-        tb.charge(TimeCategory::MarginalComp, sim * (1.0 - self.central_frac));
+        self.charge(tb, TimeCategory::CentralComp, sim * self.central_frac);
+        self.charge(
+            tb,
+            TimeCategory::MarginalComp,
+            sim * (1.0 - self.central_frac),
+        );
         self.dev
             .telemetry_mut()
             .record(EventKind::CentralCompute, sim * self.central_frac);

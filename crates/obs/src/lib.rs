@@ -24,6 +24,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod critpath;
 mod registry;
 pub mod regress;
 pub mod timer;

@@ -37,6 +37,17 @@ cargo run --offline -q --release -p adaqp --bin adaqp -- \
 echo "==> deadlock gallery (static flags must match runtime diagnosis)"
 cargo run --offline -q --release --example deadlock_gallery >/dev/null
 
+echo "==> critical-path smoke (pinned Vanilla tiny run vs committed baseline)"
+CP_TMP="$(mktemp)"
+cargo run --offline -q --release -p adaqp --bin adaqp -- \
+    run --dataset tiny --method vanilla --machines 1 --devices 2 \
+    --epochs 6 --hidden 16 --seed 4242 \
+    --critical-path "$CP_TMP" >/dev/null
+cargo run --offline -q --release -p obs --bin adaqp-regress -- \
+    results/baseline/critpath.snapshot.json "$CP_TMP" \
+    --tolerances results/baseline/tolerances.json
+rm -f "$CP_TMP"
+
 echo "==> kernel bench smoke (scripts/bench.sh --smoke)"
 scripts/bench.sh --smoke
 

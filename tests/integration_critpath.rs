@@ -1,0 +1,126 @@
+//! End-to-end contracts of the causal flight recorder + critical-path
+//! profiler: profiling is observation-only (results and gated metrics are
+//! byte-identical with it on or off), the profile is byte-deterministic at
+//! any kernel thread count, and on the tiny AdaQP run the classified path
+//! reconstructs the epoch time while wasting strictly less device time at
+//! collective rendezvous than Vanilla.
+
+use adaqp::{ExperimentConfig, Method, TrainingConfig};
+use graph::DatasetSpec;
+
+fn pinned(method: Method, profile: bool) -> ExperimentConfig {
+    ExperimentConfig {
+        dataset: DatasetSpec::tiny(),
+        machines: 2,
+        devices_per_machine: 2,
+        method,
+        training: TrainingConfig {
+            epochs: 6,
+            hidden: 16,
+            num_layers: 2,
+            dropout: 0.0,
+            reassign_period: 2,
+            profile,
+            ..TrainingConfig::default()
+        },
+        seed: 7,
+    }
+}
+
+#[test]
+fn profiling_on_vs_off_is_byte_identical_in_results_and_metrics() {
+    let mut off = pinned(Method::Vanilla, false);
+    off.training.metrics = true;
+    let mut on = off.clone();
+    on.training.profile = true;
+    let plain = adaqp::run_experiment(&off).expect("valid config");
+    let (profiled, profile) = adaqp::run_experiment_profiled(&on).expect("valid config");
+    assert!(profile.is_some(), "profile requested");
+
+    // Results JSON, with the metrics snapshot compared separately below.
+    let mut plain_r = plain.clone();
+    let mut profiled_r = profiled.clone();
+    plain_r.metrics = None;
+    profiled_r.metrics = None;
+    let a = serde_json::to_string(&plain_r).expect("encodes");
+    let b = serde_json::to_string(&profiled_r).expect("encodes");
+    assert_eq!(a, b, "profiling changed the results JSON");
+
+    // Metrics snapshot: dropping the `_`-prefixed (regress-exempt) series
+    // must recover the unprofiled snapshot byte-for-byte.
+    let plain_snap = plain.metrics.expect("metrics on");
+    let mut profiled_snap = profiled.metrics.expect("metrics on");
+    assert!(
+        profiled_snap.metrics.keys().any(|k| k.starts_with('_')),
+        "profiled snapshot carries the exempt gauges"
+    );
+    profiled_snap.metrics.retain(|k, _| !k.starts_with('_'));
+    let a = serde_json::to_string(&plain_snap).expect("encodes");
+    let b = serde_json::to_string(&profiled_snap).expect("encodes");
+    assert_eq!(a, b, "profiling leaked into gated metric series");
+}
+
+#[test]
+fn report_and_flight_log_are_byte_identical_across_thread_counts() {
+    let mut encoded = Vec::new();
+    for threads in [1usize, 2, 8] {
+        let mut cfg = pinned(Method::Vanilla, true);
+        cfg.training.threads = threads;
+        let (_, profile) = adaqp::run_experiment_profiled(&cfg).expect("valid config");
+        let p = profile.expect("profiling on");
+        encoded.push((
+            serde_json::to_string(&p.report).expect("report encodes"),
+            serde_json::to_string(&p.flight).expect("log encodes"),
+        ));
+    }
+    assert_eq!(encoded[0], encoded[1], "profile differs at 1 vs 2 threads");
+    assert_eq!(encoded[0], encoded[2], "profile differs at 1 vs 8 threads");
+}
+
+#[test]
+fn adaqp_path_tiles_the_epoch_time_and_waits_less_than_vanilla() {
+    let (r, profile) =
+        adaqp::run_experiment_profiled(&pinned(Method::AdaQp, true)).expect("valid config");
+    let report = profile.expect("profiling on").report;
+    assert_eq!(report.schedule, "overlapped");
+    assert_eq!(report.epochs, 6);
+
+    // The classified segment totals reconstruct the epoch-time total.
+    let class_sum: f64 = report.class_totals.values().sum();
+    let tol = 1e-12 * report.total_seconds.max(1.0);
+    assert!(
+        (class_sum - report.total_seconds).abs() <= tol,
+        "classes sum to {class_sum}, path is {}",
+        report.total_seconds
+    );
+    assert!(
+        (report.total_seconds - r.total_sim_seconds).abs() <= tol,
+        "path {} vs simulated {}",
+        report.total_seconds,
+        r.total_sim_seconds
+    );
+
+    // Segments tile the path: each closes exactly where it opened plus its
+    // length, and within an epoch each opens exactly where the last closed.
+    for w in report.segments.windows(2) {
+        let (s, next) = (&w[0], &w[1]);
+        assert_eq!((s.start + s.seconds).to_bits(), s.end.to_bits());
+        assert!(s.seconds > 0.0, "zero-length segment on the path");
+        if s.epoch == next.epoch {
+            assert_eq!(s.end.to_bits(), next.start.to_bits(), "gap inside epoch");
+        }
+    }
+
+    // AdaQP quantizes the imbalanced halo traffic away, so its ranks spend
+    // a strictly smaller share of device time parked at the epoch
+    // rendezvous than Vanilla's.
+    let (_, vanilla) =
+        adaqp::run_experiment_profiled(&pinned(Method::Vanilla, true)).expect("valid config");
+    let vanilla = vanilla.expect("profiling on").report;
+    assert!(
+        report.collective_wait_share < vanilla.collective_wait_share,
+        "AdaQP wait share {} !< Vanilla {}",
+        report.collective_wait_share,
+        vanilla.collective_wait_share
+    );
+}
