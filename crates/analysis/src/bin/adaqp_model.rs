@@ -1,0 +1,181 @@
+//! `adaqp-model` — exhaustive small-scope model checking of `DeviceProgram`
+//! communication skeletons.
+//!
+//! ```text
+//! adaqp-model --workspace            # check every shipped program at n = 2..4
+//! adaqp-model path/to/file.rs …      # check explicit files
+//! adaqp-model --json --workspace     # emit the proof-certificate JSON
+//! adaqp-model --dot --workspace      # also render violation wait graphs as DOT
+//! adaqp-model --explain deadlock     # document a violation class
+//! ```
+//!
+//! Exit status: `0` when every program is proved or suppressed (unverifiable
+//! programs are reported but do not fail the run — they are never counted as
+//! proved), `1` when any unsuppressed violation or `model:allow` hygiene
+//! problem exists, `2` on usage or I/O errors.
+
+use analysis::model::{check_source, AllowProblem, ModelDoc, ProgramReport, Verdict, MODEL_DOCS};
+use analysis::{certificates_json, find_root, render_program, workspace_sources, ModelOptions};
+
+fn usage() -> String {
+    let classes: Vec<&str> = MODEL_DOCS.iter().map(|d: &ModelDoc| d.name).collect();
+    format!(
+        "usage: adaqp-model [--json] [--dot] --workspace\n\
+         \x20      adaqp-model [--json] [--dot] <file.rs>…\n\
+         \x20      adaqp-model --explain <class>\n\
+         \n\
+         Instantiates every DeviceProgram's communication skeleton on\n\
+         n = 2, 3, 4 symbolic ranks, explores all interleavings and\n\
+         rank-branch resolutions, and proves deadlock-freedom or prints\n\
+         the shortest counterexample in runtime WaitGraph vocabulary.\n\
+         \n\
+         classes: {}\n",
+        classes.join(", ")
+    )
+}
+
+fn main() {
+    std::process::exit(run());
+}
+
+fn run() -> i32 {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json = false;
+    let mut dot = false;
+    let mut workspace = false;
+    let mut explain: Option<String> = None;
+    let mut paths: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--dot" => dot = true,
+            "--workspace" => workspace = true,
+            "--explain" => match it.next() {
+                Some(name) => explain = Some(name.clone()),
+                None => {
+                    eprintln!("{}", usage());
+                    return 2;
+                }
+            },
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return 0;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag `{other}`\n\n{}", usage());
+                return 2;
+            }
+            path => paths.push(path.to_string()),
+        }
+    }
+
+    if let Some(name) = explain {
+        return match analysis::explain_model(&name) {
+            Some(text) => {
+                println!("{text}");
+                0
+            }
+            None => {
+                eprintln!("unknown class `{name}`\n\n{}", usage());
+                2
+            }
+        };
+    }
+
+    if workspace != paths.is_empty() {
+        eprintln!("{}", usage());
+        return 2;
+    }
+
+    let opts = ModelOptions::default();
+    let mut programs: Vec<ProgramReport> = Vec::new();
+    let mut problems: Vec<AllowProblem> = Vec::new();
+
+    if workspace {
+        let root = match find_root() {
+            Ok(root) => root,
+            Err(e) => {
+                eprintln!("adaqp-model: {e}");
+                return 2;
+            }
+        };
+        let sources = match workspace_sources(&root) {
+            Ok(sources) => sources,
+            Err(e) => {
+                eprintln!("adaqp-model: {e}");
+                return 2;
+            }
+        };
+        for (rel, path) in sources {
+            match std::fs::read_to_string(&path) {
+                Ok(src) => {
+                    let rep = check_source(&rel, &src, &opts);
+                    programs.extend(rep.programs);
+                    problems.extend(rep.problems);
+                }
+                Err(e) => {
+                    eprintln!("adaqp-model: {rel}: {e}");
+                    return 2;
+                }
+            }
+        }
+    } else {
+        for path in &paths {
+            match std::fs::read_to_string(path) {
+                Ok(src) => {
+                    let rep = check_source(path, &src, &opts);
+                    programs.extend(rep.programs);
+                    problems.extend(rep.problems);
+                }
+                Err(e) => {
+                    eprintln!("adaqp-model: {path}: {e}");
+                    return 2;
+                }
+            }
+        }
+    }
+
+    if json {
+        println!("{}", certificates_json(&programs, &opts));
+    } else {
+        for rep in &programs {
+            print!("{}", render_program(rep));
+            if dot {
+                for (_, v) in &rep.results {
+                    if let Verdict::Violation(viol) = v {
+                        println!("{}", viol.graph.to_dot());
+                    }
+                }
+            }
+        }
+        let proved = programs
+            .iter()
+            .filter(|p| !p.has_violation() && !p.has_unverifiable())
+            .count();
+        let suppressed = programs
+            .iter()
+            .filter(|p| p.has_violation() && p.suppressed)
+            .count();
+        let violating = programs
+            .iter()
+            .filter(|p| p.has_violation() && !p.suppressed)
+            .count();
+        let unverifiable = programs.iter().filter(|p| p.has_unverifiable()).count();
+        println!(
+            "adaqp-model: {} programs — {proved} proved, {violating} violating, \
+             {suppressed} suppressed, {unverifiable} unverifiable",
+            programs.len()
+        );
+    }
+    for p in &problems {
+        eprintln!("{}:{}: [stale-model-allow] {}", p.file, p.line, p.message);
+    }
+
+    let failing = problems.len()
+        + programs
+            .iter()
+            .filter(|p| p.has_violation() && !p.suppressed)
+            .count();
+    i32::from(failing > 0)
+}

@@ -34,12 +34,17 @@
 
 pub mod explain;
 pub mod lexer;
+pub mod model;
 pub mod protocol;
 pub mod rules;
 pub mod scopes;
 pub mod workspace;
 
 pub use explain::{explain_rule, RuleDoc};
+pub use model::{
+    certificates_json, check_source, explain_model, render_program, FileReport, ModelOptions,
+    ProgramReport, Verdict, MODEL_RULES,
+};
 pub use protocol::{extract_skeletons, Skeleton};
 pub use rules::{to_json, Finding, RULE_NAMES};
-pub use workspace::{find_root, scan_path, scan_workspace, ScanError};
+pub use workspace::{find_root, scan_path, scan_workspace, workspace_sources, ScanError};

@@ -44,7 +44,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 /// `Resume` variants that answer a previous yield: a match arm naming one
 /// of these (and not `Start`) cannot be taken on the first resumption.
-const RESPONSE_VARIANTS: [&str; 7] = [
+pub(crate) const RESPONSE_VARIANTS: [&str; 8] = [
     "Sent",
     "Received",
     "BarrierDone",
@@ -52,6 +52,7 @@ const RESPONSE_VARIANTS: [&str; 7] = [
     "BroadcastDone",
     "GatherDone",
     "ScatterDone",
+    "Advanced",
 ];
 
 /// Command kinds that park every rank at a rendezvous.
@@ -60,12 +61,38 @@ const COLLECTIVE_KINDS: [&str; 5] = ["Barrier", "RingAll2All", "Broadcast", "Gat
 /// A peer expression, normalized for mirror-matching.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Peer {
-    /// `(rank + k) % n` for `|k| <= 2` (`n`-multiples contribute 0).
+    /// `(rank + k) % n` for `|k| <= 2` (`n`-multiples contribute 0). Only
+    /// expressions carrying an explicit `% n` wrap normalize here; an
+    /// unwrapped `rank + k` can leave `0..n` at the edge ranks and stays
+    /// [`Peer::Other`].
     Offset(i64),
     /// A constant rank (roots, masters).
     Literal(i64),
+    /// `n + k` without a wrap: a constant relative to the device count
+    /// (`n - 1` is the last rank; `n + 2` is out of range on every
+    /// cluster, the shape behind `ClusterError::InvalidPeer`).
+    NRelative(i64),
     /// Anything the normalizer cannot verify; never flagged.
     Other(String),
+}
+
+impl Peer {
+    /// Concretely evaluates the peer for `rank` out of `n`. `Offset` wraps
+    /// into the ring and is always in range; `Literal` and `NRelative`
+    /// evaluate as written and may land outside `0..n` (the model checker
+    /// turns that into an `invalid-peer` violation). `Other` is
+    /// unverifiable and evaluates to `None`.
+    pub fn eval(&self, rank: usize, n: usize) -> Option<i64> {
+        match self {
+            Peer::Offset(k) => {
+                let n = n as i64;
+                Some(((rank as i64 + k) % n + n) % n)
+            }
+            Peer::Literal(v) => Some(*v),
+            Peer::NRelative(k) => Some(n as i64 + k),
+            Peer::Other(_) => None,
+        }
+    }
 }
 
 /// One yield point of the skeleton.
@@ -126,6 +153,40 @@ pub struct Branch {
     pub arms: Vec<Arm>,
 }
 
+/// How a branch arm is selected, for concrete per-rank resolution in the
+/// model checker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArmCond {
+    /// A `match` arm: dispatch is by pattern (see [`Arm::variants`]).
+    Pattern,
+    /// An `if`/`else if` arm; `Some` when the condition resolves to a
+    /// concrete rank test, `None` when it is opaque.
+    If(Option<RankCond>),
+    /// The final `else` arm: taken whenever no earlier arm was.
+    Else,
+}
+
+/// A branch condition that resolves to a concrete test on the rank — the
+/// declared master/worker split the model checker instantiates exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RankCond {
+    /// True exactly on this rank (`is_master`, `rank == 0`, …).
+    IsRank(i64),
+    /// True on every rank but this one (`!is_master`, `rank != 0`,
+    /// `rank > 0`).
+    IsNotRank(i64),
+}
+
+impl RankCond {
+    /// Whether the condition holds on `rank`.
+    pub fn holds(&self, rank: usize) -> bool {
+        match self {
+            RankCond::IsRank(r) => rank as i64 == *r,
+            RankCond::IsNotRank(r) => rank as i64 != *r,
+        }
+    }
+}
+
 /// One branch arm.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Arm {
@@ -134,6 +195,14 @@ pub struct Arm {
     /// The arm body mentions `return` or `Done` (it may end the program
     /// or exit `resume` early).
     pub has_exit: bool,
+    /// How the arm is selected (`match` pattern, `if` condition, `else`).
+    pub cond: ArmCond,
+    /// `Start`/response variants named by the pattern or condition; empty
+    /// means a wildcard or binding pattern that matches anything.
+    pub variants: Vec<String>,
+    /// The `match` pattern carries an `if` guard, so matching the variant
+    /// does not guarantee the arm is taken.
+    pub guarded: bool,
     /// Nested skeleton nodes.
     pub nodes: Vec<Node>,
 }
@@ -156,13 +225,122 @@ pub struct Skeleton {
     pub impl_name: String,
     /// 1-based line of the `impl` keyword.
     pub line: u32,
+    /// 1-based line of the impl block's closing brace.
+    pub end_line: u32,
     /// Top-level nodes in source order.
     pub nodes: Vec<Node>,
 }
 
+/// A same-file free helper function whose body contains `Command`
+/// constructions: a yield point hidden behind a call. Skeleton extraction
+/// inlines these at their call sites (with argument substitution, so peer
+/// offsets survive), closing the soundness hole where a reversed recv
+/// inside a helper was invisible to the protocol rules. Methods (any `fn`
+/// with a `self` receiver, like the `DeviceCtx` command wrappers) are
+/// deliberately excluded: only plain `name(args)` calls inline.
+struct Helper {
+    /// Parameter names in order.
+    params: Vec<String>,
+    /// Token indices of the body's `{` and matching `}`.
+    body: (usize, usize),
+}
+
+/// Collects every same-file free `fn` (except `resume` itself) whose body
+/// constructs `Command`s, keyed by name.
+fn collect_helpers(code: &[&Tok]) -> BTreeMap<String, Helper> {
+    let mut out = BTreeMap::new();
+    let mut i = 0;
+    while i + 1 < code.len() {
+        if !code[i].is_ident("fn") || code[i + 1].kind != TokKind::Ident {
+            i += 1;
+            continue;
+        }
+        let name = code[i + 1].text.clone();
+        // Find the parameter list, stopping at a body or item end so a
+        // malformed header cannot send us scanning the whole file.
+        let mut j = i + 2;
+        while j < code.len()
+            && !code[j].is_punct('(')
+            && !code[j].is_punct('{')
+            && !code[j].is_punct(';')
+        {
+            j += 1;
+        }
+        if j >= code.len() || !code[j].is_punct('(') {
+            i += 1;
+            continue;
+        }
+        let close_paren = scopes::matching(code, j);
+        let mut params = Vec::new();
+        let mut has_receiver = false;
+        let mut k = j + 1;
+        while k < close_paren {
+            let end = {
+                // Split one parameter at the next depth-0 comma.
+                let mut depth = 0usize;
+                let mut e = k;
+                while e < close_paren {
+                    let t = code[e];
+                    if t.is_punct('(') || t.is_punct('[') || t.is_punct('<') {
+                        depth += 1;
+                    } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('>') {
+                        depth = depth.saturating_sub(1);
+                    } else if depth == 0 && t.is_punct(',') {
+                        break;
+                    }
+                    e += 1;
+                }
+                e
+            };
+            let seg = &code[k..end];
+            let colon = seg.iter().position(|t| t.is_punct(':'));
+            let name_tok = seg[..colon.unwrap_or(seg.len())]
+                .iter()
+                .find(|t| t.kind == TokKind::Ident && !matches!(t.text.as_str(), "mut" | "ref"));
+            if seg.iter().any(|t| t.is_ident("self")) {
+                has_receiver = true;
+            } else if let Some(t) = name_tok {
+                params.push(t.text.clone());
+            }
+            k = end + 1;
+        }
+        // The body `{` follows the return type (whose `Step<()>` parens are
+        // already balanced); a `;` first means a bodyless declaration.
+        let mut b = close_paren + 1;
+        while b < code.len() && !code[b].is_punct('{') && !code[b].is_punct(';') {
+            b += 1;
+        }
+        if b >= code.len() || !code[b].is_punct('{') {
+            i = close_paren + 1;
+            continue;
+        }
+        let body_close = scopes::matching(code, b);
+        let has_commands = (b..body_close.min(code.len())).any(|x| {
+            code[x].is_ident("Command")
+                && code.get(x + 1).is_some_and(|t| t.is_punct(':'))
+                && code.get(x + 2).is_some_and(|t| t.is_punct(':'))
+        });
+        if has_commands && !has_receiver && name != "resume" {
+            out.insert(
+                name,
+                Helper {
+                    params,
+                    body: (b, body_close),
+                },
+            );
+        }
+        // Continue from inside the header so nested fns are still found.
+        i = b + 1;
+    }
+    out
+}
+
 /// Extracts the communication skeleton of every `impl … DeviceProgram …
-/// for …` block in a comment-free token slice.
+/// for …` block in a comment-free token slice. Calls to same-file helper
+/// functions containing `Command` constructions are inlined with argument
+/// substitution (see [`Helper`]).
 pub fn extract_skeletons(code: &[&Tok]) -> Vec<Skeleton> {
+    let helpers = collect_helpers(code);
     let mut out = Vec::new();
     let mut i = 0;
     while i < code.len() {
@@ -198,10 +376,16 @@ pub fn extract_skeletons(code: &[&Tok]) -> Vec<Skeleton> {
             code,
             taint: BTreeSet::new(),
             defs: BTreeMap::new(),
+            helpers: &helpers,
+            inlining: Vec::new(),
         };
+        let end_line = code
+            .get(close.min(code.len().saturating_sub(1)))
+            .map_or(impl_line, |t| t.line);
         out.push(Skeleton {
             impl_name,
             line: impl_line,
+            end_line,
             nodes: parser.parse_seq(j + 1, close.min(code.len())),
         });
         i = close + 1;
@@ -220,6 +404,10 @@ struct Parser<'a> {
     taint: BTreeSet<String>,
     /// Single-binding `let` initializers, for peer/tag resolution.
     defs: BTreeMap<String, Vec<String>>,
+    /// Same-file command-bearing helpers, inlined at call sites.
+    helpers: &'a BTreeMap<String, Helper>,
+    /// Helper names currently being inlined (recursion/depth guard).
+    inlining: Vec<String>,
 }
 
 impl Parser<'_> {
@@ -294,11 +482,87 @@ impl Parser<'_> {
                     nodes.push(Node::Yield(op));
                 }
                 i = next;
+            } else if t.is_ident("fn")
+                && self
+                    .code
+                    .get(i + 1)
+                    .is_some_and(|t| self.helpers.contains_key(&t.text))
+            {
+                // A helper *definition* nested in the walked range: its body
+                // is spliced at call sites, so walking it here would double
+                // count its yields.
+                let open = self.find_at_depth(i + 2, hi, '{');
+                i = if open >= hi {
+                    open
+                } else {
+                    scopes::matching(self.code, open) + 1
+                };
+            } else if t.kind == TokKind::Ident
+                && self.code.get(i + 1).is_some_and(|n| n.is_punct('('))
+                && self.helpers.contains_key(&t.text)
+                && !self.code.get(i.wrapping_sub(1)).is_some_and(|p| {
+                    // Only plain free-function calls inline: not a
+                    // definition (`fn name(`), a path call (`T::name(`) or
+                    // a method call (`x.name(`).
+                    p.is_ident("fn") || p.is_punct(':') || p.is_punct('.')
+                })
+            {
+                let next = self.inline_call(&t.text.clone(), i, &mut nodes);
+                i = next;
             } else {
                 i += 1;
             }
         }
         nodes
+    }
+
+    /// Inlines a call to a command-bearing helper at token `i` (the callee
+    /// ident, followed by `(`): parses the helper body with the call's
+    /// argument tokens substituted for its parameters, splicing the
+    /// resulting nodes in place. Recursive or deeply nested helper chains
+    /// fall back to the old opaque-call behavior.
+    fn inline_call(&mut self, name: &str, i: usize, nodes: &mut Vec<Node>) -> usize {
+        let close = scopes::matching(self.code, i + 1);
+        let helper = match self.helpers.get(name) {
+            Some(h) if !self.inlining.iter().any(|s| s == name) && self.inlining.len() < 3 => h,
+            _ => return i + 1,
+        };
+        // Split the argument list at depth-0 commas.
+        let mut args: Vec<Vec<String>> = Vec::new();
+        let mut k = i + 2;
+        while k < close {
+            let end = self.find_at_depth_all(k, close, ',');
+            let texts: Vec<String> = self.code[k..end.min(self.code.len())]
+                .iter()
+                .map(|t| t.text.clone())
+                .collect();
+            if !texts.is_empty() {
+                args.push(texts);
+            }
+            k = end + 1;
+        }
+        let mut child = Parser {
+            code: self.code,
+            taint: self.taint.clone(),
+            defs: self.defs.clone(),
+            helpers: self.helpers,
+            inlining: {
+                let mut s = self.inlining.clone();
+                s.push(name.to_string());
+                s
+            },
+        };
+        for (param, arg) in helper.params.iter().zip(&args) {
+            let tainted = arg
+                .iter()
+                .any(|t| is_rank_marker(t) || self.taint.contains(t));
+            if tainted {
+                child.taint.insert(param.clone());
+            }
+            child.defs.insert(param.clone(), arg.clone());
+        }
+        nodes.extend(child.parse_seq(helper.body.0 + 1, helper.body.1));
+        close + 1
     }
 
     /// Records a `let` binding's taint and (for single-ident patterns) its
@@ -354,6 +618,51 @@ impl Parser<'_> {
         j + 1
     }
 
+    /// Resolves a branch condition to a concrete rank test when it is one
+    /// of the recognized master/worker forms (`is_master`, `rank == k`,
+    /// `rank != k`, `rank > 0`, negations, or a `let` alias of one).
+    fn rank_cond(&self, lo: usize, hi: usize) -> Option<RankCond> {
+        let mut texts: Vec<String> = self.code[lo..hi.min(self.code.len())]
+            .iter()
+            .map(|t| t.text.clone())
+            .filter(|t| !matches!(t.as_str(), "ctx" | "self" | "." | "(" | ")"))
+            .collect();
+        if texts.len() == 1 && !is_rank_marker(&texts[0]) {
+            if let Some(def) = self.defs.get(&texts[0]) {
+                texts = def
+                    .iter()
+                    .filter(|t| !matches!(t.as_str(), "ctx" | "self" | "." | "(" | ")"))
+                    .cloned()
+                    .collect();
+            }
+        }
+        let s: Vec<&str> = texts.iter().map(String::as_str).collect();
+        let num = |t: &str| t.parse::<i64>().ok();
+        match s.as_slice() {
+            ["is_master"] => Some(RankCond::IsRank(0)),
+            ["!", "is_master"] => Some(RankCond::IsNotRank(0)),
+            ["rank", "=", "=", k] | [k, "=", "=", "rank"] => num(k).map(RankCond::IsRank),
+            ["rank", "!", "=", k] | [k, "!", "=", "rank"] => num(k).map(RankCond::IsNotRank),
+            ["rank", ">", "0"] | ["0", "<", "rank"] => Some(RankCond::IsNotRank(0)),
+            _ => None,
+        }
+    }
+
+    /// `Start`/response variants named in a token range, for resume-arm
+    /// dispatch in the model checker.
+    fn variants_in(&self, lo: usize, hi: usize) -> Vec<String> {
+        let mut out = Vec::new();
+        for t in &self.code[lo..hi.min(self.code.len())] {
+            if t.kind == TokKind::Ident
+                && (t.text == "Start" || RESPONSE_VARIANTS.contains(&t.text.as_str()))
+                && !out.contains(&t.text)
+            {
+                out.push(t.text.clone());
+            }
+        }
+        out
+    }
+
     fn parse_if(&mut self, i: usize, hi: usize) -> (Branch, usize) {
         let line = self.code[i].line;
         let open = self.find_at_depth(i + 1, hi, '{');
@@ -372,8 +681,17 @@ impl Parser<'_> {
         // cannot be taken on the first resumption.
         let then_live = !self.mentions_response_variant(cond.0, cond.1)
             || self.mentions_ident(cond.0, cond.1, "Start");
+        let then_cond = ArmCond::If(self.rank_cond(cond.0, cond.1));
+        let then_variants = self.variants_in(cond.0, cond.1);
         let close = scopes::matching(self.code, open);
-        branch.arms.push(self.parse_arm(open + 1, close, then_live));
+        branch.arms.push(self.parse_arm(
+            open + 1,
+            close,
+            then_live,
+            then_cond,
+            then_variants,
+            false,
+        ));
         let mut next = close + 1;
         if self.code.get(next).is_some_and(|t| t.is_ident("else")) {
             if self.code.get(next + 1).is_some_and(|t| t.is_ident("if")) {
@@ -385,7 +703,14 @@ impl Parser<'_> {
                 next = after;
             } else if self.code.get(next + 1).is_some_and(|t| t.is_punct('{')) {
                 let eclose = scopes::matching(self.code, next + 1);
-                branch.arms.push(self.parse_arm(next + 2, eclose, true));
+                branch.arms.push(self.parse_arm(
+                    next + 2,
+                    eclose,
+                    true,
+                    ArmCond::Else,
+                    Vec::new(),
+                    false,
+                ));
                 branch.exhaustive = true;
                 next = eclose + 1;
             }
@@ -451,8 +776,17 @@ impl Parser<'_> {
             if !branch.resume_match && self.mentions_ident(pat.0, pat.1, "Resume") {
                 branch.resume_match = true;
             }
+            let variants = self.variants_in(pat.0, pat.1);
+            let guarded = self.mentions_ident(pat.0, pat.1, "if");
             patterns.push(pat);
-            branch.arms.push(self.parse_arm(body_lo, body_hi, true));
+            branch.arms.push(self.parse_arm(
+                body_lo,
+                body_hi,
+                true,
+                ArmCond::Pattern,
+                variants,
+                guarded,
+            ));
             k = after;
         }
         if branch.resume_match {
@@ -492,13 +826,24 @@ impl Parser<'_> {
         hi
     }
 
-    fn parse_arm(&mut self, lo: usize, hi: usize, live_at_first: bool) -> Arm {
+    fn parse_arm(
+        &mut self,
+        lo: usize,
+        hi: usize,
+        live_at_first: bool,
+        cond: ArmCond,
+        variants: Vec<String>,
+        guarded: bool,
+    ) -> Arm {
         let has_exit = self.code[lo..hi.min(self.code.len())]
             .iter()
             .any(|t| t.is_ident("return") || t.is_ident("Done"));
         Arm {
             live_at_first,
             has_exit,
+            cond,
+            variants,
+            guarded,
             nodes: self.parse_seq(lo, hi),
         }
     }
@@ -618,29 +963,76 @@ impl Parser<'_> {
     }
 
     /// Normalizes a peer expression to [`Peer`]. The evaluator understands
-    /// `rank`/`ctx.rank()` terms, integer constants, and `n`-multiples
-    /// (`n`, `num_devices`, and `% n` wraps contribute 0 mod n); `ctx` and
-    /// `self` receivers are transparent. Anything else — or a net offset
-    /// with magnitude above 2, which real neighbor exchanges never use —
-    /// degrades to `Other` and is never flagged.
+    /// `rank`/`ctx.rank()` terms, integer constants, `n`/`num_devices`
+    /// terms, and a trailing `% n` wrap; `ctx` and `self` receivers are
+    /// transparent. Subtraction distributes over parenthesized groups, so
+    /// the subtract-form offsets `(rank + n - k) % n` and grouped variants
+    /// like `(rank + n - (2 - 1)) % n` all normalize to `Offset(-k)`.
+    /// `Offset` requires the explicit wrap — an unwrapped `rank + k` can
+    /// leave `0..n` at the edge ranks, so it stays `Other` — and a net
+    /// offset with magnitude above 2, which real neighbor exchanges never
+    /// use, also degrades to `Other`.
     fn normalize_peer(&self, texts: &[String]) -> Peer {
         let texts = self.resolve_texts(texts, 3);
         let joined = texts.join(" ");
+        // Split a trailing `% n` wrap off the expression body: everything
+        // after the *last* `%` must be `n`-ish or transparent.
+        let transparent = |t: &str| {
+            matches!(
+                t,
+                "(" | ")" | "." | "ctx" | "self" | "as" | "usize" | "i64" | "u64" | "u32" | "i32"
+            )
+        };
+        let n_ish = |t: &str| t == "n" || t == "num_devices";
+        let (body, wrapped, bad_mod) = match texts.iter().rposition(|t| t == "%") {
+            None => (&texts[..], false, false),
+            Some(pos) => {
+                let tail = &texts[pos + 1..];
+                let tail_is_n = tail.iter().any(|t| n_ish(t))
+                    && tail.iter().all(|t| n_ish(t) || transparent(t));
+                if tail_is_n {
+                    (&texts[..pos], true, false)
+                } else {
+                    (&texts[..], false, true)
+                }
+            }
+        };
+        // Sign-aware accumulation with a parenthesis stack, so `- (a - b)`
+        // contributes `-a + b`.
         let mut sign = 1i64;
+        let mut mul = 1i64;
+        let mut stack: Vec<i64> = Vec::new();
         let mut rank_terms = 0i64;
+        let mut n_terms = 0i64;
         let mut konst = 0i64;
-        let mut unknown = false;
-        for t in &texts {
+        let mut unknown = bad_mod;
+        for t in body {
             match t.as_str() {
-                "(" | ")" | "." => {}
-                "+" | "%" => sign = 1,
+                "(" => {
+                    stack.push(mul);
+                    mul *= sign;
+                    sign = 1;
+                }
+                ")" => mul = stack.pop().unwrap_or(1),
+                "+" => sign = 1,
                 "-" => sign = -1,
-                "rank" => rank_terms += sign,
-                "n" | "num_devices" => {} // ≡ 0 (mod n)
-                "ctx" | "self" | "as" | "usize" | "i64" | "u64" | "u32" | "i32" => {}
+                // An inner `%` (not the trailing wrap) is unsupported.
+                "%" => unknown = true,
+                "rank" => {
+                    rank_terms += sign * mul;
+                    sign = 1;
+                }
+                s if n_ish(s) => {
+                    n_terms += sign * mul;
+                    sign = 1;
+                }
+                s if transparent(s) => {}
                 s if s.chars().next().is_some_and(|c| c.is_ascii_digit()) => {
                     match s.replace('_', "").parse::<i64>() {
-                        Ok(v) => konst += sign * v,
+                        Ok(v) => {
+                            konst += sign * mul * v;
+                            sign = 1;
+                        }
                         Err(_) => unknown = true,
                     }
                 }
@@ -649,10 +1041,19 @@ impl Parser<'_> {
         }
         if unknown {
             Peer::Other(joined)
-        } else if rank_terms == 1 && konst.abs() <= 2 {
-            Peer::Offset(konst)
-        } else if rank_terms == 0 {
+        } else if wrapped {
+            // Under `% n`, whole multiples of `n` contribute 0.
+            if rank_terms == 1 && konst.abs() <= 2 {
+                Peer::Offset(konst)
+            } else if rank_terms == 0 && n_terms == 0 {
+                Peer::Literal(konst)
+            } else {
+                Peer::Other(joined)
+            }
+        } else if rank_terms == 0 && n_terms == 0 {
             Peer::Literal(konst)
+        } else if rank_terms == 0 && n_terms == 1 {
+            Peer::NRelative(konst)
         } else {
             Peer::Other(joined)
         }
@@ -720,6 +1121,7 @@ fn walk_divergence(
         match node {
             Node::Yield(CommOp::Collective { kind, line }) if diverged => {
                 raw.push(Finding {
+                    id: String::new(),
                     file: display_path.to_string(),
                     line: *line,
                     rule: "collective-divergence",
@@ -848,6 +1250,8 @@ fn peer_desc(peer: &Peer) -> String {
         Peer::Offset(k) if *k >= 0 => format!("rank+{k}"),
         Peer::Offset(k) => format!("rank{k}"),
         Peer::Literal(v) => format!("rank {v}"),
+        Peer::NRelative(k) if *k >= 0 => format!("rank n+{k}"),
+        Peer::NRelative(k) => format!("rank n{k}"),
         Peer::Other(s) => format!("`{s}`"),
     }
 }
@@ -884,6 +1288,7 @@ fn check_unmatched(display_path: &str, sk: &Skeleton, raw: &mut Vec<Finding>) {
                     })
                     .collect();
                 raw.push(Finding {
+                    id: String::new(),
                     file: display_path.to_string(),
                     line: *line,
                     rule: "unmatched-comm",
@@ -918,6 +1323,7 @@ fn check_unmatched(display_path: &str, sk: &Skeleton, raw: &mut Vec<Finding>) {
                     })
                     .collect();
                 raw.push(Finding {
+                    id: String::new(),
                     file: display_path.to_string(),
                     line: *line,
                     rule: "unmatched-comm",
@@ -951,6 +1357,7 @@ fn check_unmatched(display_path: &str, sk: &Skeleton, raw: &mut Vec<Finding>) {
                 .min()
                 .unwrap_or(sk.line);
             raw.push(Finding {
+                id: String::new(),
                 file: display_path.to_string(),
                 line,
                 rule: "unmatched-comm",

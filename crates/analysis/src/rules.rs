@@ -100,6 +100,8 @@ const INDEX_NEUTRAL: [&str; 15] = [
 /// One diagnostic.
 #[derive(Debug, Clone)]
 pub struct Finding {
+    /// Stable content-derived id (see [`assign_ids`]); empty until assigned.
+    pub id: String,
     /// Path as reported (workspace-relative for `--workspace` scans).
     pub file: String,
     /// 1-based line.
@@ -108,6 +110,42 @@ pub struct Finding {
     pub rule: &'static str,
     /// Human-readable description.
     pub message: String,
+}
+
+/// Assigns stable content-derived ids: FNV-1a over
+/// `rule|file|normalized snippet`, where the snippet is the finding's
+/// source line with whitespace collapsed, plus an occurrence counter so
+/// identical lines in one file stay distinct. Line numbers are deliberately
+/// excluded — inserting code above a finding must not churn its id, or the
+/// baseline ratchet (`--baseline`) would flag grandfathered findings as
+/// new on every unrelated edit.
+pub fn assign_ids(findings: &mut [Finding], src: &str) {
+    let lines: Vec<&str> = src.lines().collect();
+    let mut seen: std::collections::BTreeMap<u64, u32> = std::collections::BTreeMap::new();
+    for f in findings {
+        let snippet = f
+            .line
+            .checked_sub(1)
+            .and_then(|i| lines.get(i as usize))
+            .copied()
+            .unwrap_or("");
+        let normalized = snippet.split_whitespace().collect::<Vec<_>>().join(" ");
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in f
+            .rule
+            .bytes()
+            .chain([b'|'])
+            .chain(f.file.bytes())
+            .chain([b'|'])
+            .chain(normalized.bytes())
+        {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let occurrence = seen.entry(hash).or_insert(0);
+        f.id = format!("{hash:016x}-{occurrence}");
+        *occurrence += 1;
+    }
 }
 
 impl std::fmt::Display for Finding {
@@ -213,7 +251,7 @@ fn collect_allows_in_text(text: &str, line: u32, out: &mut Vec<Allow>) {
 
 /// Line ranges (inclusive) covered by `#[cfg(test)]`-gated items, which
 /// `no-panic`/`det-iter`/`lossy-cast` exempt.
-fn test_exempt_ranges(code: &[&Tok]) -> Vec<(u32, u32)> {
+pub(crate) fn test_exempt_ranges(code: &[&Tok]) -> Vec<(u32, u32)> {
     let mut ranges = Vec::new();
     let mut i = 0;
     while i < code.len() {
@@ -293,6 +331,7 @@ pub fn scan_rust(display_path: &str, rel: &str, class: &FileClass, src: &str) ->
         for t in &code {
             if t.is_ident("Instant") || t.is_ident("SystemTime") {
                 raw.push(Finding {
+                    id: String::new(),
                     file: display_path.to_string(),
                     line: t.line,
                     rule: "sim-clock",
@@ -317,6 +356,7 @@ pub fn scan_rust(display_path: &str, rel: &str, class: &FileClass, src: &str) ->
             let next_bang = code.get(idx + 1).is_some_and(|n| n.is_punct('!'));
             if (t.is_ident("unwrap") || t.is_ident("expect")) && prev_dot && next_open {
                 raw.push(Finding {
+                    id: String::new(),
                     file: display_path.to_string(),
                     line: t.line,
                     rule: "no-panic",
@@ -330,6 +370,7 @@ pub fn scan_rust(display_path: &str, rel: &str, class: &FileClass, src: &str) ->
                 && !prev_dot
             {
                 raw.push(Finding {
+                    id: String::new(),
                     file: display_path.to_string(),
                     line: t.line,
                     rule: "no-panic",
@@ -351,6 +392,7 @@ pub fn scan_rust(display_path: &str, rel: &str, class: &FileClass, src: &str) ->
             let next_bang = code.get(idx + 1).is_some_and(|n| n.is_punct('!'));
             if PRINT_MACROS.iter().any(|m| t.is_ident(m)) && next_bang && !prev_dot {
                 raw.push(Finding {
+                    id: String::new(),
                     file: display_path.to_string(),
                     line: t.line,
                     rule: "no-stray-print",
@@ -371,6 +413,7 @@ pub fn scan_rust(display_path: &str, rel: &str, class: &FileClass, src: &str) ->
                 }
                 if t.is_ident("HashMap") || t.is_ident("HashSet") {
                     raw.push(Finding {
+                        id: String::new(),
                         file: display_path.to_string(),
                         line: t.line,
                         rule: "det-iter",
@@ -400,6 +443,7 @@ pub fn scan_rust(display_path: &str, rel: &str, class: &FileClass, src: &str) ->
                 if let Some(target) = code.get(idx + 1) {
                     if NARROWING_TARGETS.contains(&target.text.as_str()) {
                         raw.push(Finding {
+                            id: String::new(),
                             file: display_path.to_string(),
                             line: t.line,
                             rule: "lossy-cast",
@@ -422,7 +466,9 @@ pub fn scan_rust(display_path: &str, rel: &str, class: &FileClass, src: &str) ->
     // structural rules.
     protocol::check(display_path, &code, &exempt, &mut raw);
 
-    apply_allows(raw, &allows, display_path)
+    let mut findings = apply_allows(raw, &allows, display_path);
+    assign_ids(&mut findings, src);
+    findings
 }
 
 /// Scans one crate manifest for the `dep-hygiene` rule: every dependency
@@ -449,6 +495,7 @@ pub fn scan_manifest(display_path: &str, src: &str) -> Vec<Finding> {
             in_dep_section = section.ends_with("dependencies");
             if in_dep_section && section.contains("dependencies.") {
                 raw.push(Finding {
+                    id: String::new(),
                     file: display_path.to_string(),
                     line: lineno,
                     rule: "dep-hygiene",
@@ -461,6 +508,7 @@ pub fn scan_manifest(display_path: &str, src: &str) -> Vec<Finding> {
         }
         if in_dep_section && code.contains('=') && !code.contains("workspace = true") {
             raw.push(Finding {
+                id: String::new(),
                 file: display_path.to_string(),
                 line: lineno,
                 rule: "dep-hygiene",
@@ -473,7 +521,9 @@ pub fn scan_manifest(display_path: &str, src: &str) -> Vec<Finding> {
             });
         }
     }
-    apply_allows(raw, &allows, display_path)
+    let mut findings = apply_allows(raw, &allows, display_path);
+    assign_ids(&mut findings, src);
+    findings
 }
 
 /// `SCREAMING_CASE` identifiers are constants: deterministic by definition,
@@ -679,6 +729,7 @@ fn par_disjoint(display_path: &str, code: &[&Tok], exempt: &[(u32, u32)], raw: &
             }
             if seen_ident && !any_derived {
                 raw.push(Finding {
+                    id: String::new(),
                     file: display_path.to_string(),
                     line: t.line,
                     rule: "par-disjoint",
@@ -738,6 +789,7 @@ fn no_host_block(display_path: &str, code: &[&Tok], exempt: &[(u32, u32)], raw: 
                 HOST_BLOCK_CALLS.iter().any(|n| t.is_ident(n)) || (t.is_ident("recv") && prev_dot);
             if blocking {
                 raw.push(Finding {
+                    id: String::new(),
                     file: display_path.to_string(),
                     line: t.line,
                     rule: "no-host-block",
@@ -999,6 +1051,7 @@ fn unit_confusion(
             if (lh && rs) || (ls && rh) {
                 reported.insert(t.line);
                 raw.push(Finding {
+                    id: String::new(),
                     file: display_path.to_string(),
                     line: t.line,
                     rule: "unit-confusion",
@@ -1014,7 +1067,8 @@ fn unit_confusion(
 }
 
 /// Renders findings as a stable JSON array (one object per finding with
-/// `file`/`line`/`rule`/`message`), for `adaqp-lint --json` CI artifacts.
+/// `id`/`file`/`line`/`rule`/`message`), for `adaqp-lint --json` CI
+/// artifacts and the `--baseline` ratchet.
 /// Hand-rolled so the analysis crate stays dependency-free; the escaper
 /// covers quotes, backslashes and control characters.
 pub fn to_json(findings: &[Finding]) -> String {
@@ -1038,7 +1092,9 @@ pub fn to_json(findings: &[Finding]) -> String {
     let mut out = String::from("[");
     for (i, f) in findings.iter().enumerate() {
         out.push_str(if i == 0 { "\n" } else { ",\n" });
-        out.push_str("  {\"file\": ");
+        out.push_str("  {\"id\": ");
+        escape(&f.id, &mut out);
+        out.push_str(", \"file\": ");
         escape(&f.file, &mut out);
         out.push_str(&format!(", \"line\": {}, \"rule\": ", f.line));
         escape(f.rule, &mut out);
@@ -1073,6 +1129,7 @@ fn apply_allows(raw: Vec<Finding>, allows: &[Allow], display_path: &str) -> Vec<
     for (i, a) in allows.iter().enumerate() {
         if !a.has_reason {
             out.push(Finding {
+                id: String::new(),
                 file: display_path.to_string(),
                 line: a.line,
                 rule: "lint-allow",
@@ -1083,6 +1140,7 @@ fn apply_allows(raw: Vec<Finding>, allows: &[Allow], display_path: &str) -> Vec<
             });
         } else if !RULE_NAMES.contains(&a.rule.as_str()) {
             out.push(Finding {
+                id: String::new(),
                 file: display_path.to_string(),
                 line: a.line,
                 rule: "lint-allow",
@@ -1094,6 +1152,7 @@ fn apply_allows(raw: Vec<Finding>, allows: &[Allow], display_path: &str) -> Vec<
             });
         } else if !used[i] {
             out.push(Finding {
+                id: String::new(),
                 file: display_path.to_string(),
                 line: a.line,
                 rule: "stale-allow",

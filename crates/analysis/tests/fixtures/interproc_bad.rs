@@ -1,0 +1,22 @@
+// Fixture: the reversed-ring recv hidden behind a same-file free helper.
+// The impl sends right and then calls `take_from(right)` — the yield point
+// lives in the helper body, so only interprocedural extraction (inlining
+// the helper with the caller's argument substituted for `src`) can see
+// that the recv names the send's own target and has no mirrored send.
+fn take_from(src: usize) -> Step<()> {
+    Step::Yield(Command::Recv { src, tag: 7 })
+}
+
+struct HiddenReversed;
+impl DeviceProgram for HiddenReversed {
+    type Output = ();
+    fn resume(&mut self, ctx: &mut DeviceCtx, input: Resume) -> Step<()> {
+        let n = ctx.num_devices();
+        let right = (ctx.rank() + 1) % n;
+        match input {
+            Resume::Start => Step::Yield(Command::Send { dst: right, tag: 7, payload: Bytes::new() }),
+            Resume::Sent => take_from(right),
+            _ => Step::Done(()),
+        }
+    }
+}

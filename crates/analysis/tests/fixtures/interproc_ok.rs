@@ -1,0 +1,21 @@
+// Fixture: the same helper-hidden recv, called correctly. The impl sends
+// right and takes from the left via `take_from(left)`; after inlining the
+// skeleton sees the mirrored pair and stays clean.
+fn take_from(src: usize) -> Step<()> {
+    Step::Yield(Command::Recv { src, tag: 7 })
+}
+
+struct HiddenRing;
+impl DeviceProgram for HiddenRing {
+    type Output = ();
+    fn resume(&mut self, ctx: &mut DeviceCtx, input: Resume) -> Step<()> {
+        let n = ctx.num_devices();
+        let right = (ctx.rank() + 1) % n;
+        let left = (ctx.rank() + n - 1) % n;
+        match input {
+            Resume::Start => Step::Yield(Command::Send { dst: right, tag: 7, payload: Bytes::new() }),
+            Resume::Sent => take_from(left),
+            _ => Step::Done(()),
+        }
+    }
+}

@@ -1,0 +1,19 @@
+// Fixture: reversed ring spelled with subtract-form offsets. The send
+// targets the left neighbor via `(rank + n - (2 - 1)) % n` — a grouped
+// subtrahend the normalizer must fold to Offset(-1) — and the recv names
+// the *same* neighbor, so no mirrored send exists. Before the normalizer
+// handled grouped subtraction this shape silently degraded to Peer::Other
+// and escaped the rule.
+struct SubtractReversed;
+impl DeviceProgram for SubtractReversed {
+    type Output = ();
+    fn resume(&mut self, ctx: &mut DeviceCtx, input: Resume) -> Step<()> {
+        let n = ctx.num_devices();
+        let left = (ctx.rank() + n - (2 - 1)) % n;
+        match input {
+            Resume::Start => Step::Yield(Command::Send { dst: left, tag: 7, payload: Bytes::new() }),
+            Resume::Sent => Step::Yield(Command::Recv { src: left, tag: 7 }),
+            _ => Step::Done(()),
+        }
+    }
+}

@@ -1,0 +1,17 @@
+// Fixture: correct ring spelled with subtract-form offsets. The send goes
+// left via the grouped subtrahend `(rank + n - (2 - 1)) % n` (= Offset(-1))
+// and the recv takes from the right, so every recv has its mirrored send.
+struct SubtractRing;
+impl DeviceProgram for SubtractRing {
+    type Output = ();
+    fn resume(&mut self, ctx: &mut DeviceCtx, input: Resume) -> Step<()> {
+        let n = ctx.num_devices();
+        let left = (ctx.rank() + n - (2 - 1)) % n;
+        let right = (ctx.rank() + 1) % n;
+        match input {
+            Resume::Start => Step::Yield(Command::Send { dst: left, tag: 7, payload: Bytes::new() }),
+            Resume::Sent => Step::Yield(Command::Recv { src: right, tag: 7 }),
+            _ => Step::Done(()),
+        }
+    }
+}

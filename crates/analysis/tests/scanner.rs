@@ -344,15 +344,69 @@ fn stale_allow_fixture_pair() {
 }
 
 #[test]
+fn peer_subtract_fixture_pair() {
+    // Grouped subtrahend offsets — `(rank + n - (2 - 1)) % n` — must fold
+    // to Offset(-1), not silently degrade to an unanalyzable peer.
+    let bad = scan_fixture("peer_subtract_bad.rs");
+    assert_eq!(rules_of(&bad), ["unmatched-comm"], "findings: {bad:?}");
+    assert!(
+        bad[0].message.contains("reversed ring"),
+        "message names the shape: {}",
+        bad[0].message
+    );
+    assert!(scan_fixture("peer_subtract_ok.rs").is_empty());
+}
+
+#[test]
+fn interproc_fixture_pair() {
+    // The recv lives in a same-file free helper; only interprocedural
+    // extraction (inlining with argument substitution) can flag it.
+    let bad = scan_fixture("interproc_bad.rs");
+    assert_eq!(rules_of(&bad), ["unmatched-comm"], "findings: {bad:?}");
+    assert!(scan_fixture("interproc_ok.rs").is_empty());
+}
+
+#[test]
+fn finding_ids_are_content_derived_and_line_stable() {
+    let bad = scan_fixture("peer_subtract_bad.rs");
+    assert!(!bad[0].id.is_empty(), "ids assigned after scan");
+    // Rescanning the same content yields the same id; shifting the code
+    // down a line must not change it (ids hash content, not position).
+    let src = std::fs::read_to_string(fixture("peer_subtract_bad.rs")).unwrap();
+    let direct = analysis::rules::scan_rust(
+        "crates/analysis/tests/fixtures/peer_subtract_bad.rs",
+        "crates/analysis/tests/fixtures/peer_subtract_bad.rs",
+        &analysis::rules::FileClass::Explicit,
+        &src,
+    );
+    let shifted = analysis::rules::scan_rust(
+        "crates/analysis/tests/fixtures/peer_subtract_bad.rs",
+        "crates/analysis/tests/fixtures/peer_subtract_bad.rs",
+        &analysis::rules::FileClass::Explicit,
+        &format!("// an extra leading comment line\n{src}"),
+    );
+    assert_eq!(direct[0].id, shifted[0].id, "line shifts keep ids stable");
+    assert_eq!(direct[0].line + 1, shifted[0].line);
+    // The JSON artifact leads with the id, so baselines can be harvested.
+    let json = analysis::to_json(&direct);
+    assert!(
+        json.contains(&format!("{{\"id\": \"{}\"", direct[0].id)),
+        "{json}"
+    );
+}
+
+#[test]
 fn to_json_escapes_and_orders_findings() {
     let findings = vec![
         Finding {
+            id: "deadbeef-0".into(),
             file: "a.rs".into(),
             line: 3,
             rule: "no-panic",
             message: "say \"no\" to panics\tplease".into(),
         },
         Finding {
+            id: "deadbeef-1".into(),
             file: "b\\c.rs".into(),
             line: 7,
             rule: "sim-clock",

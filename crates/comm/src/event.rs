@@ -28,7 +28,7 @@
 
 use crate::cluster::{panic_message, ClusterError};
 use crate::program::{Command, DeviceCtx, DeviceProgram, Resume, Step};
-use crate::waitgraph::{BlockedRank, CollectiveFront, UnclaimedMessage, WaitCause, WaitGraph};
+use crate::waitgraph::{BlockedRank, UnclaimedMessage, WaitCause, WaitGraph};
 use crate::CostModel;
 use bytes::Bytes;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
@@ -302,8 +302,6 @@ fn pop_message(mailbox: &mut Mailbox, key: (usize, u64)) -> (f64, Bytes) {
 fn build_wait_graph(statuses: &[Status], ctxs: &[DeviceCtx], mailboxes: &[Mailbox]) -> WaitGraph {
     let mut blocked = Vec::new();
     let mut finished = Vec::new();
-    let mut reached = Vec::new();
-    let mut kind: Option<&'static str> = None;
     for (rank, s) in statuses.iter().enumerate() {
         match s {
             Status::RecvWait { src, tag } => blocked.push(BlockedRank {
@@ -314,28 +312,17 @@ fn build_wait_graph(statuses: &[Status], ctxs: &[DeviceCtx], mailboxes: &[Mailbo
                 },
                 clock: ctxs[rank].now(),
             }),
-            Status::CollectiveWait(cmd) => {
-                reached.push(rank);
-                kind.get_or_insert(cmd.kind_name());
-                blocked.push(BlockedRank {
-                    rank,
-                    cause: WaitCause::Collective {
-                        kind: cmd.kind_name(),
-                    },
-                    clock: ctxs[rank].now(),
-                });
-            }
+            Status::CollectiveWait(cmd) => blocked.push(BlockedRank {
+                rank,
+                cause: WaitCause::Collective {
+                    kind: cmd.kind_name(),
+                },
+                clock: ctxs[rank].now(),
+            }),
             Status::Done => finished.push(rank),
             Status::Ready(_) | Status::Running => {}
         }
     }
-    let collective = kind.map(|kind| CollectiveFront {
-        kind,
-        absent: (0..statuses.len())
-            .filter(|r| !reached.contains(r))
-            .collect(),
-        reached,
-    });
     let mut unclaimed = Vec::new();
     for (dst, mailbox) in mailboxes.iter().enumerate() {
         for (&(src, tag), queue) in mailbox {
@@ -349,12 +336,7 @@ fn build_wait_graph(statuses: &[Status], ctxs: &[DeviceCtx], mailboxes: &[Mailbo
             }
         }
     }
-    WaitGraph {
-        blocked,
-        finished,
-        collective,
-        unclaimed,
-    }
+    WaitGraph::from_frontier(statuses.len(), blocked, finished, unclaimed)
 }
 
 /// Fires the collective every rank is parked at: validates that the entry

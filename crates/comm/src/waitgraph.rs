@@ -101,6 +101,40 @@ pub struct WaitGraph {
 }
 
 impl WaitGraph {
+    /// Assembles a graph from a stall frontier: the blocked ranks (ascending
+    /// by rank), the finished ranks, and the undelivered mailbox keys. The
+    /// collective front is derived here exactly the way the event scheduler
+    /// derives it at runtime — `kind` comes from the lowest collective-parked
+    /// rank, `absent` is every rank of `0..n` not parked at a collective —
+    /// so a statically predicted stall (adaqp-model) and a runtime
+    /// `ClusterError::Deadlock` render identically for the same frontier.
+    pub fn from_frontier(
+        n: usize,
+        blocked: Vec<BlockedRank>,
+        finished: Vec<usize>,
+        unclaimed: Vec<UnclaimedMessage>,
+    ) -> WaitGraph {
+        let mut reached = Vec::new();
+        let mut kind: Option<&'static str> = None;
+        for b in &blocked {
+            if let WaitCause::Collective { kind: k } = &b.cause {
+                reached.push(b.rank);
+                kind.get_or_insert(*k);
+            }
+        }
+        let collective = kind.map(|kind| CollectiveFront {
+            kind,
+            absent: (0..n).filter(|r| !reached.contains(r)).collect(),
+            reached,
+        });
+        WaitGraph {
+            blocked,
+            finished,
+            collective,
+            unclaimed,
+        }
+    }
+
     /// The ranks `rank` waits on: the awaited sender for a recv, every
     /// absent rank for a collective. Empty for ranks that are not blocked.
     pub fn waits_on(&self, rank: usize) -> Vec<usize> {
@@ -317,6 +351,21 @@ mod tests {
                 queued: 2,
             }],
         }
+    }
+
+    #[test]
+    fn from_frontier_derives_the_collective_front() {
+        let want = sample();
+        let got = WaitGraph::from_frontier(
+            3,
+            want.blocked.clone(),
+            want.finished.clone(),
+            want.unclaimed.clone(),
+        );
+        assert_eq!(got, want);
+        // No collective-parked rank => no front at all.
+        let none = WaitGraph::from_frontier(2, Vec::new(), vec![0, 1], Vec::new());
+        assert!(none.collective.is_none());
     }
 
     #[test]

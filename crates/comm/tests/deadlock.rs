@@ -20,6 +20,7 @@ fn deadlock_of<P: DeviceProgram<Output = ()>>(factory: impl FnMut(usize) -> P) -
 
 struct ReversedRing;
 
+// model:allow(deadlock): planted fixture — the reversed recv is under test
 impl DeviceProgram for ReversedRing {
     type Output = ();
     fn resume(&mut self, ctx: &mut DeviceCtx, input: Resume) -> Step<()> {
@@ -65,6 +66,7 @@ fn reversed_ring_blocks_every_rank_with_unclaimed_messages() {
 
 struct TagTypo;
 
+// model:allow(deadlock): planted fixture — the mistyped tag is under test
 impl DeviceProgram for TagTypo {
     type Output = ();
     fn resume(&mut self, ctx: &mut DeviceCtx, input: Resume) -> Step<()> {
@@ -97,6 +99,7 @@ fn tag_typo_reports_the_mismatched_mailbox_keys() {
 
 struct SkippedBarrier;
 
+// model:allow(deadlock): planted fixture — the skipped rendezvous is under test
 impl DeviceProgram for SkippedBarrier {
     type Output = ();
     fn resume(&mut self, ctx: &mut DeviceCtx, input: Resume) -> Step<()> {
@@ -131,6 +134,7 @@ fn skipped_barrier_reports_the_collective_front_and_finished_ranks() {
 
 struct RecvFirstRing;
 
+// model:allow(deadlock): planted fixture — the recv-before-send cycle is under test
 impl DeviceProgram for RecvFirstRing {
     type Output = ();
     fn resume(&mut self, ctx: &mut DeviceCtx, input: Resume) -> Step<()> {
@@ -277,6 +281,7 @@ fn every_gallery_graph_renders_well_formed_dot() {
 
 struct BadPeer;
 
+// model:allow(invalid-peer): planted fixture — the unwrapped peer is under test
 impl DeviceProgram for BadPeer {
     type Output = ();
     fn resume(&mut self, ctx: &mut DeviceCtx, input: Resume) -> Step<()> {

@@ -9,14 +9,21 @@ cargo fmt --all -- --check
 echo "==> cargo clippy --all-targets -D warnings"
 cargo clippy --offline --all-targets -- -D warnings
 
-echo "==> adaqp-lint (simulation invariants; covers src/, tests/, examples/)"
+echo "==> adaqp-lint (simulation invariants; ratcheted against results/LINT_baseline.json)"
 mkdir -p results
 cargo run --offline --release -p analysis -- --workspace --json \
+    --baseline results/LINT_baseline.json \
     | tee results/LINT_findings.json
 
 echo "==> adaqp-lint --explain smoke"
 cargo run --offline -q --release -p analysis -- --explain unmatched-comm >/dev/null
 cargo run --offline -q --release -p analysis -- --explain collective-divergence >/dev/null
+
+echo "==> adaqp-model (exhaustive small-scope model check of every DeviceProgram, n = 2..4)"
+cargo run --offline -q --release -p analysis --bin adaqp-model -- --workspace --json \
+    >results/MODEL_certificates.json
+cargo run --offline -q --release -p analysis --bin adaqp-model -- --workspace >/dev/null
+cargo run --offline -q --release -p analysis --bin adaqp-model -- --explain deadlock >/dev/null
 
 echo "==> sanitizer smoke (ADAQP_SAN=1 pinned tiny run)"
 ADAQP_SAN=1 cargo run --offline -q --release -p adaqp --bin adaqp -- \
